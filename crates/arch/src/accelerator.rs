@@ -1,0 +1,115 @@
+//! The common interface every simulated architecture implements.
+
+use crate::area::AreaBreakdown;
+use crate::stats::{LayerResult, RunSummary};
+use flexsim_model::{ConvLayer, Network};
+
+/// A simulated CNN accelerator.
+///
+/// Implementations exist for the paper's three baselines
+/// (`flexsim-baselines`) and for FlexFlow itself (`flexflow`). The
+/// experiment harness drives everything through this trait.
+///
+/// # Example
+///
+/// ```no_run
+/// use flexsim_arch::Accelerator;
+/// use flexsim_model::workloads;
+///
+/// fn report(acc: &mut dyn Accelerator) {
+///     let summary = acc.run_network(&workloads::lenet5());
+///     println!("{summary}");
+/// }
+/// ```
+pub trait Accelerator {
+    /// Human-readable architecture name (e.g. `"Systolic"`).
+    fn name(&self) -> &str;
+
+    /// Number of processing elements in the computing engine.
+    fn pe_count(&self) -> usize;
+
+    /// Clock frequency in GHz. The paper evaluates everything at 1 GHz.
+    fn clock_ghz(&self) -> f64 {
+        1.0
+    }
+
+    /// Simulates one CONV layer, returning timing, traffic, and energy.
+    fn run_conv(&mut self, layer: &ConvLayer) -> LayerResult;
+
+    /// Estimated chip area.
+    fn area(&self) -> AreaBreakdown;
+
+    /// Simulates every CONV layer of a workload in order.
+    fn run_network(&mut self, net: &Network) -> RunSummary {
+        let layers = net
+            .conv_layers()
+            .map(|l| self.run_conv(l))
+            .collect::<Vec<_>>();
+        RunSummary {
+            arch: self.name().to_owned(),
+            workload: net.name().to_owned(),
+            layers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::energy::EnergyBreakdown;
+    use crate::stats::{EventCounts, Traffic};
+    use flexsim_model::workloads;
+
+    /// A trivial ideal accelerator: one MAC per PE per cycle, perfect
+    /// utilization — used to validate the trait's default method.
+    struct Ideal {
+        pes: usize,
+    }
+
+    impl Accelerator for Ideal {
+        fn name(&self) -> &str {
+            "Ideal"
+        }
+        fn pe_count(&self) -> usize {
+            self.pes
+        }
+        fn run_conv(&mut self, layer: &ConvLayer) -> LayerResult {
+            let macs = layer.macs();
+            LayerResult {
+                arch: self.name().into(),
+                layer: layer.name().into(),
+                pe_count: self.pes,
+                clock_ghz: 1.0,
+                cycles: macs.div_ceil(self.pes as u64),
+                macs,
+                events: EventCounts {
+                    macs,
+                    ..Default::default()
+                },
+                traffic: Traffic::default(),
+                energy: EnergyBreakdown::default(),
+            }
+        }
+        fn area(&self) -> AreaBreakdown {
+            AreaBreakdown::default()
+        }
+    }
+
+    #[test]
+    fn default_run_network_covers_all_conv_layers() {
+        let mut acc = Ideal { pes: 256 };
+        let summary = acc.run_network(&workloads::lenet5());
+        assert_eq!(summary.layers.len(), 2);
+        assert_eq!(summary.macs(), workloads::lenet5().conv_macs());
+        // An ideal engine approaches 100% utilization on large layers.
+        assert!(summary.utilization() > 0.95);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut acc = Ideal { pes: 4 };
+        let dyn_acc: &mut dyn Accelerator = &mut acc;
+        assert_eq!(dyn_acc.name(), "Ideal");
+        assert_eq!(dyn_acc.clock_ghz(), 1.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! External-memory bandwidth model and roofline analysis.
+//!
+//! The paper evaluates the accelerators with on-chip traffic as the
+//! reusability proxy (Fig. 17) and DRAM accesses per operation
+//! (Table 7), but stops short of the system-level consequence: with a
+//! finite DRAM bandwidth, an engine's *achievable* throughput is capped
+//! by `bandwidth / bytes-per-op`. This module adds that roofline —
+//! an extension experiment (`flexsim ext_roofline`) uses it to show
+//! which architectures would be memory-bound at the paper's 1 GHz
+//! engine clock.
+
+use crate::dram::DramTraffic;
+
+/// Bytes per 16-bit word.
+const WORD_BYTES: f64 = 2.0;
+
+/// A DRAM interface with a fixed sustained bandwidth.
+///
+/// # Example
+///
+/// ```
+/// use flexsim_arch::bandwidth::DramInterface;
+///
+/// let dram = DramInterface::ddr3_style();
+/// assert!(dram.bandwidth_gbps() > 1.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DramInterface {
+    bandwidth_gbps: f64,
+}
+
+impl DramInterface {
+    /// Creates an interface with `bandwidth_gbps` GB/s of sustained
+    /// bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is not positive.
+    pub fn new(bandwidth_gbps: f64) -> Self {
+        assert!(bandwidth_gbps > 0.0, "bandwidth must be positive");
+        DramInterface { bandwidth_gbps }
+    }
+
+    /// A single-channel DDR3-1600-style interface (~12.8 GB/s peak,
+    /// ~6.4 GB/s sustained) — the class of memory system contemporary
+    /// with the paper's 65 nm accelerators.
+    pub fn ddr3_style() -> Self {
+        DramInterface::new(6.4)
+    }
+
+    /// Sustained bandwidth in GB/s.
+    pub fn bandwidth_gbps(&self) -> f64 {
+        self.bandwidth_gbps
+    }
+
+    /// Words per second this interface sustains.
+    pub fn words_per_second(&self) -> f64 {
+        self.bandwidth_gbps * 1e9 / WORD_BYTES
+    }
+
+    /// The roofline: maximum achievable GOPS given a workload's DRAM
+    /// traffic and MAC count, regardless of compute throughput.
+    pub fn roofline_gops(&self, traffic: DramTraffic, macs: u64) -> f64 {
+        if traffic.total() == 0 {
+            return f64::INFINITY;
+        }
+        let ops = 2.0 * macs as f64;
+        let seconds_for_traffic = traffic.total() as f64 / self.words_per_second();
+        ops / seconds_for_traffic / 1e9
+    }
+
+    /// Caps a compute-side throughput by the memory roofline, returning
+    /// the achievable GOPS and whether the engine is memory-bound.
+    pub fn cap(&self, compute_gops: f64, traffic: DramTraffic, macs: u64) -> RooflinePoint {
+        let roof = self.roofline_gops(traffic, macs);
+        RooflinePoint {
+            compute_gops,
+            roofline_gops: roof,
+            achievable_gops: compute_gops.min(roof),
+            memory_bound: roof < compute_gops,
+        }
+    }
+}
+
+impl Default for DramInterface {
+    fn default() -> Self {
+        DramInterface::ddr3_style()
+    }
+}
+
+/// One point of the roofline analysis.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RooflinePoint {
+    /// Compute-side throughput (utilization-limited).
+    pub compute_gops: f64,
+    /// Memory-side ceiling.
+    pub roofline_gops: f64,
+    /// `min` of the two.
+    pub achievable_gops: f64,
+    /// True when memory is the binding constraint.
+    pub memory_bound: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roofline_scales_with_bandwidth() {
+        let traffic = DramTraffic {
+            reads: 1_000_000,
+            writes: 0,
+        };
+        let slow = DramInterface::new(1.0).roofline_gops(traffic, 10_000_000);
+        let fast = DramInterface::new(4.0).roofline_gops(traffic, 10_000_000);
+        assert!((fast / slow - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn high_reuse_means_compute_bound() {
+        // 0.005 acc/op (FlexFlow-class reuse): a 512-GOPS engine needs
+        // only ~2.6 GW/s... well under DDR3.
+        let macs = 100_000_000u64;
+        let traffic = DramTraffic {
+            reads: 800_000,
+            writes: 200_000,
+        };
+        let p = DramInterface::ddr3_style().cap(512.0, traffic, macs);
+        assert!(!p.memory_bound);
+        assert_eq!(p.achievable_gops, 512.0);
+    }
+
+    #[test]
+    fn no_reuse_means_memory_bound() {
+        // One word per op (Tiling-style synapse streaming straight from
+        // DRAM would look like this).
+        let macs = 1_000_000u64;
+        let traffic = DramTraffic {
+            reads: 2_000_000,
+            writes: 0,
+        };
+        let p = DramInterface::ddr3_style().cap(512.0, traffic, macs);
+        assert!(p.memory_bound);
+        assert!(p.achievable_gops < 10.0);
+    }
+
+    #[test]
+    fn zero_traffic_is_unbounded() {
+        let p = DramInterface::ddr3_style().cap(100.0, DramTraffic::default(), 10);
+        assert!(!p.memory_bound);
+        assert_eq!(p.achievable_gops, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = DramInterface::new(0.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Shared plumbing for the baseline simulators.
+
+use flexsim_arch::dram::conv_layer_traffic;
+use flexsim_arch::energy::EnergyModel;
+use flexsim_arch::stats::{EventCounts, LayerResult, Traffic};
+use flexsim_model::ConvLayer;
+
+/// Table 5 on-chip buffer capacity per buffer, in 16-bit words
+/// (32 KB each).
+pub(crate) const BUFFER_WORDS: u64 = 16 * 1024;
+
+/// Raw outcome of a layer simulation before energy pricing.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Outcome {
+    pub cycles: u64,
+    pub macs: u64,
+    pub events: EventCounts,
+    pub traffic: Traffic,
+}
+
+/// Assembles a [`LayerResult`]: charges DRAM traffic, idle PE-cycles, and
+/// prices energy.
+pub(crate) fn finish(
+    arch: &str,
+    layer: &ConvLayer,
+    pe_count: usize,
+    mut outcome: Outcome,
+    energy: &EnergyModel,
+    area_mm2: f64,
+) -> LayerResult {
+    let dram = conv_layer_traffic(layer, BUFFER_WORDS, BUFFER_WORDS);
+    outcome.events.dram_reads = dram.reads;
+    outcome.events.dram_writes = dram.writes;
+    let pe_cycles = outcome.cycles.saturating_mul(pe_count as u64);
+    outcome.events.idle_pe_cycles = pe_cycles.saturating_sub(outcome.macs);
+    let energy_breakdown = energy.energy(&outcome.events, outcome.cycles, area_mm2);
+    LayerResult {
+        arch: arch.to_owned(),
+        layer: layer.name().to_owned(),
+        pe_count,
+        clock_ghz: 1.0,
+        cycles: outcome.cycles,
+        macs: outcome.macs,
+        events: outcome.events,
+        traffic: outcome.traffic,
+        energy: energy_breakdown,
+    }
+}
+
+/// Ceiling division.
+#[inline]
+pub(crate) fn cdiv(a: usize, b: usize) -> usize {
+    a.div_ceil(b)
+}

@@ -1,0 +1,46 @@
+//! # flexsim-baselines — the three baseline CNN accelerator
+//! architectures
+//!
+//! Reimplementations (as the paper itself did, Section 6.1.1) of the
+//! three representative architectures FlexFlow is compared against:
+//!
+//! * [`systolic::Systolic`] — DC-CNN style synapse-parallel arrays
+//!   (processing style `SFSNMS`, Section 3.1): 7 arrays of 6×6 PEs, each
+//!   a deep convolution pipeline with inter-row FIFOs;
+//! * [`mapping2d::Mapping2d`] — ShiDiannao style neuron-parallel array
+//!   (`SFMNSS`, Section 3.2): 16×16 output neurons computed in place
+//!   while inputs shift through inter-PE FIFOs;
+//! * [`tiling::TilingArray`] — DianNao style feature-map-parallel engine
+//!   (`MFSNSS`, Section 3.3): `Tm` PEs of `Tn` multipliers + adder trees,
+//!   no local operand reuse.
+//!
+//! Every simulator offers a **functional** path (`forward`) that computes
+//! real 16-bit fixed-point convolutions following the architecture's
+//! dataflow — validated bit-exactly against
+//! [`flexsim_model::reference::conv`] — and an **analytic** path
+//! ([`flexsim_arch::Accelerator::run_conv`]) producing cycle counts,
+//! utilization, traffic volumes, and energy for the evaluation figures.
+//!
+//! ## Example
+//!
+//! ```
+//! use flexsim_arch::Accelerator;
+//! use flexsim_baselines::tiling::TilingArray;
+//! use flexsim_model::workloads;
+//!
+//! let mut tiling = TilingArray::diannao();
+//! let summary = tiling.run_network(&workloads::lenet5());
+//! // Tiling wastes most PEs on small-feature-map workloads (Fig. 15).
+//! assert!(summary.utilization() < 0.5);
+//! ```
+
+#![deny(missing_docs)]
+
+pub(crate) mod common;
+pub mod mapping2d;
+pub mod systolic;
+pub mod tiling;
+
+pub use mapping2d::Mapping2d;
+pub use systolic::Systolic;
+pub use tiling::TilingArray;

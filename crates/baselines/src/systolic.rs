@@ -1,0 +1,393 @@
+//! The Systolic baseline (DC-CNN style, processing style `SFSNMS`).
+//!
+//! Section 3.1: each array is a deep convolution pipeline of `K×K` PEs.
+//! Output-neuron accumulators are born at the first stage, travel through
+//! every PE (crossing inter-row FIFOs of depth `W−K`), and meet synapse
+//! `K(i,j)` exactly when input neuron `I(r+i, c+j)` is being broadcast —
+//! one completed output neuron emerges per cycle once the pipeline is
+//! full. Following the paper's Section 6.1.1 configuration, the engine is
+//! 7 identical 6×6 arrays working in a tiling-like mode over output
+//! feature maps (DC-CNN), or 11×11 arrays for AlexNet.
+//!
+//! The functional simulator ([`Systolic::forward`]) implements the
+//! tagged-accumulator pipeline literally; the analytic path counts the
+//! same schedule in closed form, including the pipeline fill/drain time
+//! that the paper blames for Systolic's performance shortfall
+//! ("Systolic needs a long initialization phase to fill its deep
+//! pipeline", Section 6.2.3).
+
+use crate::common::{cdiv, finish, Outcome};
+use flexsim_arch::area::{AreaBreakdown, AreaModel, AreaSpec, InterconnectStyle};
+use flexsim_arch::energy::EnergyModel;
+use flexsim_arch::stats::{EventCounts, LayerResult, Traffic};
+use flexsim_arch::Accelerator;
+use flexsim_model::reference::apply_activation;
+use flexsim_model::tensor::KernelSet;
+use flexsim_model::{Acc32, ConvLayer, Tensor2, Tensor3};
+
+/// The Systolic baseline simulator.
+///
+/// # Example
+///
+/// ```
+/// use flexsim_arch::Accelerator;
+/// use flexsim_baselines::Systolic;
+/// use flexsim_model::ConvLayer;
+///
+/// let mut sys = Systolic::dc_cnn();
+/// assert_eq!(sys.pe_count(), 7 * 36);
+/// let r = sys.run_conv(&ConvLayer::new("C1", 6, 1, 28, 5));
+/// assert!(r.utilization() < 1.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Systolic {
+    array_k: usize,
+    num_arrays: usize,
+    energy: EnergyModel,
+}
+
+impl Systolic {
+    /// Creates an engine of `num_arrays` arrays, each `array_k × array_k`
+    /// PEs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(array_k: usize, num_arrays: usize) -> Self {
+        assert!(array_k > 0 && num_arrays > 0, "engine dimensions must be non-zero");
+        Systolic {
+            array_k,
+            num_arrays,
+            energy: EnergyModel::tsmc65(),
+        }
+    }
+
+    /// The paper's default configuration: 7 identical 6×6 arrays
+    /// (`⟨Ti=6, Tj=6⟩`, DC-CNN).
+    pub fn dc_cnn() -> Self {
+        Systolic::new(6, 7)
+    }
+
+    /// The paper's AlexNet configuration (`⟨Ti=11, Tj=11⟩`); two arrays
+    /// keep the engine at the ~256-PE scale.
+    pub fn alexnet_config() -> Self {
+        Systolic::new(11, 2)
+    }
+
+    /// Scales the engine to approximately `pe_budget` PEs while keeping
+    /// the array geometry (Fig. 19 scalability sweeps).
+    pub fn scaled_to(array_k: usize, pe_budget: usize) -> Self {
+        let arrays = (pe_budget / (array_k * array_k)).max(1);
+        Systolic::new(array_k, arrays)
+    }
+
+    /// Replaces the energy model (for ablations).
+    pub fn with_energy_model(mut self, energy: EnergyModel) -> Self {
+        self.energy = energy;
+        self
+    }
+
+    /// Side length of each array.
+    pub fn array_k(&self) -> usize {
+        self.array_k
+    }
+
+    /// Number of arrays.
+    pub fn num_arrays(&self) -> usize {
+        self.num_arrays
+    }
+
+    /// Pipeline depth for input width `w`: `(K−1)·W + K` chain cells.
+    fn chain_len(&self, w: usize) -> usize {
+        let k = self.array_k;
+        (k - 1) * w + k
+    }
+
+    /// Functionally computes a CONV layer through the systolic pipeline,
+    /// bit-exact with the golden reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer's kernel exceeds the array (`K > array_k`),
+    /// the stride is not 1, or the layer is not a valid convolution —
+    /// the functional model covers the paper's small workloads.
+    pub fn forward(&self, layer: &ConvLayer, input: &Tensor3, kernels: &KernelSet) -> Tensor3 {
+        assert!(
+            layer.k() <= self.array_k,
+            "functional systolic model requires K <= array size"
+        );
+        assert_eq!(layer.stride(), 1, "functional systolic model requires stride 1");
+        assert!(layer.is_valid_convolution(), "padded layers not supported");
+        let (m, n, s) = (layer.m(), layer.n(), layer.s());
+        let mut out = Tensor3::zeros(m, s, s);
+        for om in 0..m {
+            let mut acc_map: Tensor2<Acc32> = Tensor2::zeros(s, s);
+            for inm in 0..n {
+                self.pipeline_pass(layer, om, inm, input, kernels, &mut acc_map);
+            }
+            for r in 0..s {
+                for c in 0..s {
+                    out[(om, r, c)] =
+                        apply_activation(acc_map[(r, c)].to_fx16(), layer.activation());
+                }
+            }
+        }
+        out
+    }
+
+    /// One (m, n) pipeline pass: streams the whole input map and drains.
+    fn pipeline_pass(
+        &self,
+        layer: &ConvLayer,
+        om: usize,
+        inm: usize,
+        input: &Tensor3,
+        kernels: &KernelSet,
+        acc_map: &mut Tensor2<Acc32>,
+    ) {
+        let w = layer.input_size();
+        let k = layer.k();
+        let s = layer.s();
+        // Chain cells: index p = i*w + j; PE cells are those with
+        // (j < k && i < k); others are FIFO slots. Length (k-1)*w + k.
+        let chain_len = (k - 1) * w + k;
+        let mut chain: Vec<Option<(Acc32, usize, usize)>> = vec![None; chain_len];
+        let total_cycles = w * w + chain_len;
+        for t in 0..total_cycles {
+            let x = if t < w * w {
+                input[(inm, t / w, t % w)]
+            } else {
+                flexsim_model::Fx16::ZERO
+            };
+            // Exit stage.
+            if let Some((acc, r, c)) = chain[chain_len - 1].take() {
+                if r < s && c < s {
+                    acc_map[(r, c)] += acc;
+                }
+            }
+            // Shift.
+            for p in (1..chain_len).rev() {
+                chain[p] = chain[p - 1].take();
+            }
+            // Birth a new accumulator tagged with the current raster
+            // position (only while streaming).
+            chain[0] = if t < w * w {
+                Some((Acc32::ZERO, t / w, t % w))
+            } else {
+                None
+            };
+            // Every PE cell accumulates k(i,j) * x into its resident
+            // accumulator.
+            for i in 0..k {
+                for j in 0..k {
+                    let p = i * w + j;
+                    if let Some((acc, _, _)) = chain[p].as_mut() {
+                        acc.mac(kernels[(om, inm, i, j)], x);
+                    }
+                }
+            }
+        }
+        debug_assert!(chain.iter().all(Option::is_none), "pipeline fully drained");
+    }
+
+    /// Closed-form schedule accounting shared by `run_conv`.
+    fn analyze(&self, layer: &ConvLayer) -> Outcome {
+        let (m, n, k, s) = (layer.m(), layer.n(), layer.k(), layer.s());
+        let w = layer.input_size();
+        let ak = self.array_k;
+        // Kernels larger than the array decompose into sub-kernels, each
+        // needing its own pass over the input.
+        let pk = cdiv(k, ak) * cdiv(k, ak);
+        // Arrays parallelize over output feature maps (DC-CNN mode).
+        let m_groups = cdiv(m, self.num_arrays);
+        let passes = (m_groups * n * pk) as u64;
+        let cycles_per_pass = (w * w + self.chain_len(w)) as u64;
+        let cycles = passes * cycles_per_pass;
+        let macs = layer.macs();
+
+        // Traffic: input broadcast is shared by all arrays in a group;
+        // each array holds its own kernel for the whole pass; outputs
+        // integrate across (n, sub-kernel) passes via the output buffer.
+        let neuron_in = passes * (w * w) as u64;
+        let kernel_in = layer.synapses();
+        let out_words = (m * s * s) as u64;
+        let integration_passes = (n * pk) as u64;
+        let psum = if integration_passes > 1 {
+            out_words * 2 * (integration_passes - 1)
+        } else {
+            0
+        };
+        let traffic = Traffic {
+            neuron_in,
+            neuron_out: out_words,
+            kernel_in,
+            psum,
+        };
+
+        // Events: each MAC reads its synapse register and updates the
+        // accumulator register; each of the (K−1) inter-row FIFOs does
+        // one push and one pop per busy cycle (circular-buffer FIFOs);
+        // the input broadcast is one bus word per cycle.
+        let busy_array_cycles = (m * n * pk) as u64 * cycles_per_pass;
+        let fifos_per_array = (k.min(ak) - 1) as u64;
+        let events = EventCounts {
+            macs,
+            local_store_reads: 2 * macs + busy_array_cycles * fifos_per_array,
+            local_store_writes: macs + busy_array_cycles * fifos_per_array,
+            neuron_in_buf: neuron_in,
+            neuron_out_buf: out_words + psum,
+            kernel_buf: kernel_in,
+            bus_words: neuron_in,
+            ..Default::default()
+        };
+        Outcome {
+            cycles,
+            macs,
+            events,
+            traffic,
+        }
+    }
+
+    fn area_spec(&self) -> AreaSpec {
+        let w_provisioned = 64; // provisioned FIFO depth per row crossing
+        AreaSpec {
+            pe_count: self.pe_count(),
+            local_store_bytes_per_pe: 4, // synapse + partial-result regs
+            fifo_bytes_total: self.num_arrays * (self.array_k - 1) * w_provisioned * 2,
+            buffer_kb_total: 64,
+            interconnect: InterconnectStyle::SystolicChain,
+            fixed_overhead_mm2: 0.30,
+        }
+    }
+}
+
+impl Accelerator for Systolic {
+    fn name(&self) -> &str {
+        "Systolic"
+    }
+
+    fn pe_count(&self) -> usize {
+        self.num_arrays * self.array_k * self.array_k
+    }
+
+    fn run_conv(&mut self, layer: &ConvLayer) -> LayerResult {
+        let outcome = self.analyze(layer);
+        let area = self.area().total_mm2();
+        finish(self.name(), layer, self.pe_count(), outcome, &self.energy, area)
+    }
+
+    fn area(&self) -> AreaBreakdown {
+        AreaModel::tsmc65().area(&self.area_spec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsim_model::reference;
+    use flexsim_model::workloads;
+
+    #[test]
+    fn functional_matches_reference_small_layer() {
+        let layer = ConvLayer::new("C", 3, 2, 6, 3);
+        let (input, kernels) = reference::random_layer_data(&layer, 11);
+        let sys = Systolic::dc_cnn();
+        let got = sys.forward(&layer, &input, &kernels);
+        let want = reference::conv(&layer, &input, &kernels);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn functional_matches_reference_lenet_c1() {
+        let net = workloads::lenet5();
+        let c1 = net.conv_layer("C1").unwrap();
+        let (input, kernels) = reference::random_layer_data(c1, 7);
+        let sys = Systolic::dc_cnn();
+        let got = sys.forward(c1, &input, &kernels);
+        let want = reference::conv(c1, &input, &kernels);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn functional_matches_reference_k_equals_array() {
+        // PV C1 has K=6, exactly the array size.
+        let net = workloads::pv();
+        let c1 = net.conv_layer("C1").unwrap();
+        let (input, kernels) = reference::random_layer_data(c1, 3);
+        let sys = Systolic::dc_cnn();
+        assert_eq!(
+            sys.forward(c1, &input, &kernels),
+            reference::conv(c1, &input, &kernels)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "K <= array size")]
+    fn oversized_kernel_rejected_functionally() {
+        let layer = ConvLayer::new("C", 1, 1, 4, 7);
+        let (input, kernels) = reference::random_layer_data(&layer, 0);
+        let _ = Systolic::dc_cnn().forward(&layer, &input, &kernels);
+    }
+
+    #[test]
+    fn small_kernels_waste_pes() {
+        // Table 3's premise: a K=3 layer on a 6x6 array uses 9/36 = 25%
+        // of each array at best.
+        let layer = ConvLayer::new("C3", 12, 8, 20, 3);
+        let mut sys = Systolic::dc_cnn();
+        let r = sys.run_conv(&layer);
+        assert!(r.utilization() < 0.25);
+        assert_eq!(r.macs, layer.macs());
+    }
+
+    #[test]
+    fn pipeline_fill_penalizes_small_maps() {
+        // Same MACs, smaller maps -> worse utilization because the
+        // fill/drain overhead amortizes over fewer outputs.
+        let big = ConvLayer::new("big", 4, 4, 40, 5);
+        let small = ConvLayer::new("small", 64, 4, 10, 5);
+        let mut sys = Systolic::dc_cnn();
+        let ub = sys.run_conv(&big).utilization();
+        let us = sys.run_conv(&small).utilization();
+        assert!(ub > us);
+    }
+
+    #[test]
+    fn kernel_decomposition_multiplies_passes() {
+        let layer = ConvLayer::new("C", 1, 1, 20, 7); // K=7 > 6
+        let mut sys = Systolic::dc_cnn();
+        let r7 = sys.run_conv(&layer);
+        let layer6 = ConvLayer::new("C", 1, 1, 20, 6).with_input_size(26);
+        let r6 = sys.run_conv(&layer6);
+        // 4 sub-kernel passes vs 1.
+        assert!(r7.cycles > 3 * r6.cycles);
+    }
+
+    #[test]
+    fn traffic_shares_input_across_arrays() {
+        // 7 output maps in one group: the input is streamed once.
+        let layer = ConvLayer::new("C", 7, 1, 23, 6);
+        let mut sys = Systolic::dc_cnn();
+        let r = sys.run_conv(&layer);
+        assert_eq!(r.traffic.neuron_in, (28 * 28) as u64);
+        assert_eq!(r.traffic.kernel_in, layer.synapses());
+    }
+
+    #[test]
+    fn area_near_paper() {
+        let sys = Systolic::dc_cnn();
+        let total = sys.area().total_mm2();
+        assert!(
+            (total - 3.52).abs() / 3.52 < 0.08,
+            "Systolic area {total:.2} vs paper 3.52"
+        );
+    }
+
+    #[test]
+    fn scaled_engines_grow() {
+        let s8 = Systolic::scaled_to(6, 64);
+        let s64 = Systolic::scaled_to(6, 4096);
+        assert!(s8.pe_count() <= 64);
+        assert!(s64.pe_count() > 100 * 8);
+    }
+}

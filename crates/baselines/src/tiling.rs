@@ -1,0 +1,277 @@
+//! The Tiling baseline (DianNao style, processing style `MFSNSS`).
+//!
+//! Section 3.3: `Tm` PEs, each holding `Tn` multipliers and an adder
+//! tree. Every cycle, `Tn` input neurons and `Tm×Tn` synapses are loaded
+//! from the buffers — there is no local operand storage, so nothing is
+//! reused ("it acquires the poorest data sharing"). Each PE accumulates a
+//! single output neuron over `K²` cycles (times the `N/Tn` input tiles),
+//! then switches to the next.
+//!
+//! The functional simulator executes the exact tile schedule (adder-tree
+//! reduction per cycle); the analytic path counts the schedule in closed
+//! form and charges the per-cycle operand streaming that makes this
+//! architecture's data volume the largest of the four (Fig. 17).
+
+use crate::common::{cdiv, finish, Outcome};
+use flexsim_arch::area::{AreaBreakdown, AreaModel, AreaSpec, InterconnectStyle};
+use flexsim_arch::energy::EnergyModel;
+use flexsim_arch::stats::{EventCounts, LayerResult, Traffic};
+use flexsim_arch::Accelerator;
+use flexsim_model::reference::apply_activation;
+use flexsim_model::tensor::KernelSet;
+use flexsim_model::{Acc32, ConvLayer, Tensor3};
+
+/// The Tiling baseline simulator.
+///
+/// # Example
+///
+/// ```
+/// use flexsim_arch::Accelerator;
+/// use flexsim_baselines::TilingArray;
+/// use flexsim_model::ConvLayer;
+///
+/// let mut tiling = TilingArray::diannao();
+/// assert_eq!(tiling.pe_count(), 256);
+/// // M=8, N=1: only 8 of 256 multiplier lanes ever fire (Table 3).
+/// let r = tiling.run_conv(&ConvLayer::new("C1", 8, 1, 45, 6));
+/// assert!(r.utilization() < 0.05);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TilingArray {
+    tm: usize,
+    tn: usize,
+    energy: EnergyModel,
+}
+
+impl TilingArray {
+    /// Creates an engine of `tm` PEs × `tn` multiplier lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(tm: usize, tn: usize) -> Self {
+        assert!(tm > 0 && tn > 0, "engine dimensions must be non-zero");
+        TilingArray {
+            tm,
+            tn,
+            energy: EnergyModel::tsmc65(),
+        }
+    }
+
+    /// The paper's configuration: `⟨Tm=16, Tn=16⟩`.
+    pub fn diannao() -> Self {
+        TilingArray::new(16, 16)
+    }
+
+    /// Replaces the energy model (for ablations).
+    pub fn with_energy_model(mut self, energy: EnergyModel) -> Self {
+        self.energy = energy;
+        self
+    }
+
+    /// Output feature-map parallelism `Tm`.
+    pub fn tm(&self) -> usize {
+        self.tm
+    }
+
+    /// Input feature-map parallelism `Tn`.
+    pub fn tn(&self) -> usize {
+        self.tn
+    }
+
+    /// Functionally computes a CONV layer through the tile schedule,
+    /// bit-exact with the golden reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer is not a valid convolution.
+    pub fn forward(&self, layer: &ConvLayer, input: &Tensor3, kernels: &KernelSet) -> Tensor3 {
+        assert!(layer.is_valid_convolution(), "padded layers not supported");
+        let (m, n, s, k, stride) = (layer.m(), layer.n(), layer.s(), layer.k(), layer.stride());
+        let mut out = Tensor3::zeros(m, s, s);
+        for r in 0..s {
+            for c in 0..s {
+                // Each PE of an m-tile accumulates one output neuron.
+                for m0 in (0..m).step_by(self.tm) {
+                    let tm = self.tm.min(m - m0);
+                    let mut accs = vec![Acc32::ZERO; tm];
+                    for n0 in (0..n).step_by(self.tn) {
+                        let tn = self.tn.min(n - n0);
+                        for i in 0..k {
+                            for j in 0..k {
+                                // One engine cycle: Tn neurons fan out to
+                                // Tm PEs; each PE's adder tree reduces
+                                // its Tn products into the accumulator.
+                                for (pe, acc) in accs.iter_mut().enumerate() {
+                                    for lane in 0..tn {
+                                        acc.mac(
+                                            kernels[(m0 + pe, n0 + lane, i, j)],
+                                            input[(n0 + lane, r * stride + i, c * stride + j)],
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    for (pe, acc) in accs.iter().enumerate() {
+                        out[(m0 + pe, r, c)] =
+                            apply_activation(acc.to_fx16(), layer.activation());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn analyze(&self, layer: &ConvLayer) -> Outcome {
+        let (m, n, s, k) = (layer.m(), layer.n(), layer.s(), layer.k());
+        let m_tiles = cdiv(m, self.tm) as u64;
+        let n_tiles = cdiv(n, self.tn) as u64;
+        let cycles = m_tiles * n_tiles * (s * s * k * k) as u64;
+        let macs = layer.macs();
+
+        // Per cycle: Tn neurons + Tm·Tn synapses stream from the buffers
+        // with no reuse. Effective (clamped) lane counts sum to N over
+        // n-tiles and M over m-tiles.
+        let neuron_in = m_tiles * (n * s * s * k * k) as u64;
+        let kernel_in = (m * n * s * s * k * k) as u64;
+        let out_words = (m * s * s) as u64;
+        let traffic = Traffic {
+            neuron_in,
+            neuron_out: out_words,
+            kernel_in,
+            psum: 0,
+        };
+
+        // Events: operands stream wide from the buffers (line reads);
+        // neurons are broadcast across PEs (bus); the only local storage
+        // is each PE's partial-result register.
+        let events = EventCounts {
+            macs,
+            local_store_reads: cycles * self.tm as u64,
+            local_store_writes: cycles * self.tm as u64,
+            neuron_in_buf: 0,
+            neuron_out_buf: out_words,
+            kernel_buf: 0,
+            stream_words: neuron_in + kernel_in,
+            bus_words: neuron_in,
+            ..Default::default()
+        };
+        Outcome {
+            cycles,
+            macs,
+            events,
+            traffic,
+        }
+    }
+
+    fn area_spec(&self) -> AreaSpec {
+        AreaSpec {
+            pe_count: self.pe_count(),
+            local_store_bytes_per_pe: 4, // partial-result register only
+            fifo_bytes_total: 0,
+            buffer_kb_total: 64,
+            interconnect: InterconnectStyle::BroadcastTree,
+            fixed_overhead_mm2: 0.30,
+        }
+    }
+}
+
+impl Accelerator for TilingArray {
+    fn name(&self) -> &str {
+        "Tiling"
+    }
+
+    fn pe_count(&self) -> usize {
+        self.tm * self.tn
+    }
+
+    fn run_conv(&mut self, layer: &ConvLayer) -> LayerResult {
+        let outcome = self.analyze(layer);
+        let area = self.area().total_mm2();
+        finish(self.name(), layer, self.pe_count(), outcome, &self.energy, area)
+    }
+
+    fn area(&self) -> AreaBreakdown {
+        AreaModel::tsmc65().area(&self.area_spec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsim_model::reference;
+    use flexsim_model::workloads;
+
+    #[test]
+    fn functional_matches_reference_small_layer() {
+        let layer = ConvLayer::new("C", 5, 3, 6, 3);
+        let (input, kernels) = reference::random_layer_data(&layer, 17);
+        let t = TilingArray::new(4, 2);
+        assert_eq!(
+            t.forward(&layer, &input, &kernels),
+            reference::conv(&layer, &input, &kernels)
+        );
+    }
+
+    #[test]
+    fn functional_matches_reference_lenet_c3() {
+        let net = workloads::lenet5();
+        let c3 = net.conv_layer("C3").unwrap();
+        let (input, kernels) = reference::random_layer_data(c3, 9);
+        let t = TilingArray::diannao();
+        assert_eq!(
+            t.forward(c3, &input, &kernels),
+            reference::conv(c3, &input, &kernels)
+        );
+    }
+
+    #[test]
+    fn functional_handles_stride() {
+        let layer = ConvLayer::new("C", 2, 2, 4, 3).with_stride(2);
+        let (input, kernels) = reference::random_layer_data(&layer, 4);
+        let t = TilingArray::new(2, 2);
+        assert_eq!(
+            t.forward(&layer, &input, &kernels),
+            reference::conv(&layer, &input, &kernels)
+        );
+    }
+
+    #[test]
+    fn few_feature_maps_starve_the_engine() {
+        // Table 3: PV C1 on C3-opt gives 8/96 = 8.3%; at the paper's
+        // 16x16 configuration M=8, N=1 -> 8/256 = 3.1%.
+        let mut t = TilingArray::diannao();
+        let r = t.run_conv(&ConvLayer::new("C1", 8, 1, 45, 6));
+        assert!((r.utilization() - 8.0 / 256.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn many_feature_maps_fill_the_engine() {
+        // AlexNet C5: M=192, N=256 are multiples of 16 -> full occupancy
+        // (the paper's explanation for Tiling's high AlexNet/VGG
+        // utilization in Fig. 15).
+        let mut t = TilingArray::diannao();
+        let r = t.run_conv(&ConvLayer::new("C5", 192, 256, 13, 3).with_input_size(15));
+        assert!((r.utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn synapse_traffic_equals_macs() {
+        // The no-reuse hallmark: one synapse word streamed per MAC.
+        let mut t = TilingArray::diannao();
+        let layer = ConvLayer::new("C", 16, 16, 8, 3);
+        let r = t.run_conv(&layer);
+        assert_eq!(r.traffic.kernel_in, layer.macs());
+        assert!(r.traffic.total() > layer.macs());
+    }
+
+    #[test]
+    fn area_near_paper() {
+        let total = TilingArray::diannao().area().total_mm2();
+        assert!(
+            (total - 3.21).abs() / 3.21 < 0.08,
+            "Tiling area {total:.2} vs paper 3.21"
+        );
+    }
+}

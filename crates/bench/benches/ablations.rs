@@ -1,0 +1,32 @@
+//! Criterion bench regenerating the three ablation studies (not paper
+//! figures; they quantify the paper's design claims — see
+//! `flexsim_experiments::ablations`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    eprintln!("{}", flexsim_experiments::ablations::styles());
+    eprintln!("{}", flexsim_experiments::ablations::local_store());
+    eprintln!("{}", flexsim_experiments::ablations::coupling());
+    eprintln!("{}", flexsim_experiments::ablations::rc_bound());
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group.bench_function("styles", |b| {
+        b.iter(|| black_box(flexsim_experiments::ablations::styles()))
+    });
+    group.bench_function("local_store", |b| {
+        b.iter(|| black_box(flexsim_experiments::ablations::local_store()))
+    });
+    group.bench_function("coupling", |b| {
+        b.iter(|| black_box(flexsim_experiments::ablations::coupling()))
+    });
+    group.bench_function("rc_bound", |b| {
+        b.iter(|| black_box(flexsim_experiments::ablations::rc_bound()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion bench regenerating the paper's fig17 — prints the
+//! table once, then measures the cost of regenerating it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    // Print the regenerated table/figure data once per bench run.
+    eprintln!("{}", flexsim_experiments::fig17::run());
+    let mut group = c.benchmark_group("fig17_data_volume");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group.bench_function("regenerate", |b| {
+        b.iter(|| black_box(flexsim_experiments::fig17::run()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Micro-benchmarks of the simulation kernels themselves: the golden
+//! reference convolution, the cycle-stepped FlexFlow PE array, the
+//! baselines' functional pipelines, the factor search, and the analytic
+//! schedule. These gate the cost of the repository's own machinery (not
+//! a paper figure).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexflow::analytic::schedule_default;
+use flexflow::array::PeArray;
+use flexsim_baselines::{Mapping2d, Systolic, TilingArray};
+use flexsim_dataflow::search::{best_unroll, plan_network};
+use flexsim_model::{reference, workloads};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let net = workloads::lenet5();
+    let c1 = net.conv_layer("C1").unwrap().clone();
+    let (input, kernels) = reference::random_layer_data(&c1, 1);
+    let choice = best_unroll(&c1, 16, None);
+
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(20).measurement_time(Duration::from_secs(5));
+
+    group.bench_function("reference_conv_lenet_c1", |b| {
+        b.iter(|| black_box(reference::conv(&c1, &input, &kernels)))
+    });
+
+    group.bench_function("flexflow_array_lenet_c1", |b| {
+        b.iter(|| {
+            let mut array = PeArray::new(16);
+            black_box(array.run_layer(&c1, choice.unroll, &input, &kernels))
+        })
+    });
+
+    group.bench_function("systolic_pipeline_lenet_c1", |b| {
+        let sys = Systolic::dc_cnn();
+        b.iter(|| black_box(sys.forward(&c1, &input, &kernels)))
+    });
+
+    group.bench_function("mapping2d_forward_lenet_c1", |b| {
+        let m2d = Mapping2d::shidiannao();
+        b.iter(|| black_box(m2d.forward(&c1, &input, &kernels)))
+    });
+
+    group.bench_function("tiling_forward_lenet_c1", |b| {
+        let til = TilingArray::diannao();
+        b.iter(|| black_box(til.forward(&c1, &input, &kernels)))
+    });
+
+    group.bench_function("plan_network_lenet", |b| {
+        b.iter(|| black_box(plan_network(&net, 16)))
+    });
+
+    let vgg = workloads::vgg11();
+    group.bench_function("plan_network_vgg11", |b| {
+        b.iter(|| black_box(plan_network(&vgg, 16)))
+    });
+
+    group.bench_function("schedule_lenet_c1", |b| {
+        b.iter(|| black_box(schedule_default(&c1, choice.unroll, 16)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

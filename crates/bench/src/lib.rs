@@ -1,0 +1,6 @@
+//! # flexsim-bench
+//!
+//! Criterion benches regenerating every table and figure of the
+//! FlexFlow (HPCA'17) evaluation, plus micro-benchmarks of the
+//! simulation kernels. See the `benches/` directory; run with
+//! `cargo bench --workspace`.

@@ -1,0 +1,111 @@
+//! The per-row adder tree (Section 4.1).
+//!
+//! "Only the adders within each PE row are connected to form an adder
+//! tree, each PE row can complete one convolution and serve to one
+//! output neuron." Each cycle, the tree reduces the row's products and
+//! accumulates into the row's partial-result register.
+
+use flexsim_model::Acc32;
+
+/// Reduction result: the sum plus the adder-op count (for the energy
+/// model) and tree depth (for pipeline latency).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Reduction {
+    /// The reduced sum.
+    pub sum: Acc32,
+    /// Two-input additions performed.
+    pub adds: u64,
+    /// Tree depth in adder stages (`⌈log2 n⌉`).
+    pub depth: u32,
+}
+
+/// Reduces a row's products through a binary adder tree.
+///
+/// # Example
+///
+/// ```
+/// use flexflow::adder_tree::reduce;
+/// use flexsim_model::{Acc32, Fx16};
+///
+/// let products: Vec<Acc32> = (1..=4)
+///     .map(|i| Acc32::from_fx16(Fx16::from_f64(i as f64)))
+///     .collect();
+/// let r = reduce(&products);
+/// assert_eq!(r.sum.to_fx16().to_f64(), 10.0);
+/// assert_eq!(r.adds, 3);
+/// assert_eq!(r.depth, 2);
+/// ```
+pub fn reduce(products: &[Acc32]) -> Reduction {
+    if products.is_empty() {
+        return Reduction {
+            sum: Acc32::ZERO,
+            adds: 0,
+            depth: 0,
+        };
+    }
+    let mut level: Vec<Acc32> = products.to_vec();
+    let mut adds = 0u64;
+    let mut depth = 0u32;
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                next.push(pair[0].saturating_add(pair[1]));
+                adds += 1;
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+        depth += 1;
+    }
+    Reduction {
+        sum: level[0],
+        adds,
+        depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsim_model::Fx16;
+
+    fn acc(v: f64) -> Acc32 {
+        Acc32::from_fx16(Fx16::from_f64(v))
+    }
+
+    #[test]
+    fn empty_row_sums_to_zero() {
+        let r = reduce(&[]);
+        assert_eq!(r.sum, Acc32::ZERO);
+        assert_eq!(r.adds, 0);
+    }
+
+    #[test]
+    fn single_product_passes_through() {
+        let r = reduce(&[acc(7.0)]);
+        assert_eq!(r.sum.to_fx16().to_f64(), 7.0);
+        assert_eq!((r.adds, r.depth), (0, 0));
+    }
+
+    #[test]
+    fn n_minus_one_adds_for_any_width() {
+        for n in 1..=16usize {
+            let products: Vec<Acc32> = (0..n).map(|i| acc(i as f64 / 4.0)).collect();
+            let r = reduce(&products);
+            assert_eq!(r.adds, (n - 1) as u64, "n={n}");
+            assert_eq!(r.depth, (usize::BITS - (n - 1).leading_zeros()), "n={n}");
+            let want: f64 = (0..n).map(|i| i as f64 / 4.0).sum();
+            assert!((r.sum.to_f64() - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn full_16_wide_row_depth() {
+        let products = vec![acc(0.25); 16];
+        let r = reduce(&products);
+        assert_eq!(r.depth, 4);
+        assert_eq!(r.sum.to_fx16().to_f64(), 4.0);
+    }
+}

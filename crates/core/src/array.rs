@@ -1,0 +1,465 @@
+//! Cycle-stepped functional simulation of the FlexFlow PE array.
+//!
+//! Executes the [`crate::analytic`] schedule on real data: every cycle,
+//! every active PE reads one neuron and one synapse from its local
+//! stores, multiplies, and its row's adder tree accumulates — exactly
+//! the Section 4 dataflow. Operands are delivered lazily over the
+//! vertical (neuron) and horizontal (kernel) buses into the per-PE local
+//! stores, with per-stripe persistence so the Relax-Synchronization
+//! preloading and column-sharing reuse are measured, not assumed.
+//!
+//! The simulator asserts the Relax-Alignment property as it runs: within
+//! one cycle, the operands of every active row land on *distinct* PE
+//! columns (no bus or store port conflict).
+
+use crate::adder_tree;
+use crate::analytic::{schedule_default, Schedule};
+use crate::cdb::CdbFabric;
+use crate::local_store::STORE_WORDS;
+use crate::mapping::Mapping;
+use crate::pe::Pe;
+use flexsim_dataflow::utilization::ceil_div;
+use flexsim_dataflow::Unroll;
+use flexsim_model::reference::apply_activation;
+use flexsim_model::tensor::KernelSet;
+use flexsim_model::{Acc32, ConvLayer, Tensor3};
+use std::collections::{HashMap, HashSet};
+
+/// What one functional layer run measured.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FunctionalReport {
+    /// The computed output feature maps.
+    pub output: Tensor3,
+    /// Engine cycles (compute + per-segment writeback).
+    pub cycles: u64,
+    /// MACs executed.
+    pub macs: u64,
+    /// Words broadcast on the vertical (neuron) buses.
+    pub vertical_bus_words: u64,
+    /// Words broadcast on the horizontal (kernel) buses.
+    pub horizontal_bus_words: u64,
+    /// Words on the busiest vertical bus (bandwidth hot spot).
+    pub max_vertical_bus_words: u64,
+    /// Words on the busiest horizontal bus.
+    pub max_horizontal_bus_words: u64,
+    /// Local-store reads across all PEs.
+    pub store_reads: u64,
+    /// Local-store writes across all PEs.
+    pub store_writes: u64,
+    /// Adder-tree additions.
+    pub adder_tree_adds: u64,
+}
+
+/// Per-PE operand residency bookkeeping on top of the raw [`Pe`].
+#[derive(Clone, Debug, Default)]
+struct PeState {
+    pe: Pe,
+    neuron_addr: HashMap<u64, usize>,
+    neuron_next: usize,
+    kernel_addr: HashMap<u64, usize>,
+    kernel_next: usize,
+}
+
+impl PeState {
+    fn new() -> Self {
+        PeState {
+            pe: Pe::new(),
+            ..Default::default()
+        }
+    }
+
+    fn clear_neurons(&mut self) {
+        self.neuron_addr.clear();
+        self.neuron_next = 0;
+    }
+
+    fn clear_kernels(&mut self) {
+        self.kernel_addr.clear();
+        self.kernel_next = 0;
+    }
+}
+
+/// The `D×D` PE array.
+///
+/// # Example
+///
+/// ```
+/// use flexflow::array::PeArray;
+/// use flexsim_dataflow::Unroll;
+/// use flexsim_model::{reference, ConvLayer};
+///
+/// let layer = ConvLayer::new("C1", 2, 1, 8, 4);
+/// let (input, kernels) = reference::random_layer_data(&layer, 1);
+/// let mut array = PeArray::new(4);
+/// // The paper's Fig. 8 unrolling for this layer.
+/// let report = array.run_layer(&layer, Unroll::new(2, 1, 1, 2, 1, 4), &input, &kernels);
+/// assert_eq!(report.output, reference::conv(&layer, &input, &kernels));
+/// ```
+#[derive(Clone, Debug)]
+pub struct PeArray {
+    d: usize,
+    pes: Vec<PeState>,
+}
+
+impl PeArray {
+    /// Creates a `d×d` array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero.
+    pub fn new(d: usize) -> Self {
+        assert!(d > 0, "array side must be non-zero");
+        PeArray {
+            d,
+            pes: (0..d * d).map(|_| PeState::new()).collect(),
+        }
+    }
+
+    /// Engine side `D`.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Number of PEs.
+    pub fn pe_count(&self) -> usize {
+        self.d * self.d
+    }
+
+    /// Functionally executes one CONV layer under unrolling `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` violates the engine bounds, or the layer is not a
+    /// valid convolution (the functional model needs real operands for
+    /// every window position).
+    pub fn run_layer(
+        &mut self,
+        layer: &ConvLayer,
+        u: Unroll,
+        input: &Tensor3,
+        kernels: &KernelSet,
+    ) -> FunctionalReport {
+        assert!(
+            u.cols_used() <= self.d && u.rows_used() <= self.d,
+            "unrolling exceeds the engine"
+        );
+        assert!(layer.is_valid_convolution(), "padded layers not supported");
+        let sch: Schedule = schedule_default(layer, u, self.d);
+        let mapping = Mapping::new(u);
+        let (m, n, s, k) = (layer.m(), layer.n(), layer.s(), layer.k());
+        let stride = layer.stride();
+        let s_in = layer.input_size();
+        let kernels_persist =
+            sch.m_groups.saturating_mul(sch.chunks) <= STORE_WORDS as u64;
+
+        for st in self.pes.iter_mut() {
+            st.clear_neurons();
+            st.clear_kernels();
+            st.pe.reset_counters();
+        }
+
+        let mut out = Tensor3::zeros(m, s, s);
+        let mut cycles = 0u64;
+        let mut macs = 0u64;
+        let mut fabric = CdbFabric::new(self.d);
+        let mut tree_adds = 0u64;
+
+        // Per-stripe neuron broadcast memory (RS persistence along the
+        // column-tile walk); per-residency-epoch kernel broadcast memory.
+        let mut kernel_broadcast: HashSet<u64> = HashSet::new();
+
+        let n_chunks = ceil_div(n, u.tn);
+        let i_chunks = ceil_div(k, u.ti);
+        let j_chunks = ceil_div(k, u.tj);
+
+        for r0 in (0..s).step_by(u.tr) {
+            let tr_eff = u.tr.min(s - r0);
+            let mut neuron_broadcast: HashSet<u64> = HashSet::new();
+            for st in self.pes.iter_mut() {
+                st.clear_neurons();
+            }
+            for c0 in (0..s).step_by(u.tc) {
+                let tc_eff = u.tc.min(s - c0);
+                if !kernels_persist {
+                    kernel_broadcast.clear();
+                    for st in self.pes.iter_mut() {
+                        st.clear_kernels();
+                    }
+                }
+                for m0 in (0..m).step_by(u.tm) {
+                    let tm_eff = u.tm.min(m - m0);
+                    // One row-batch: accumulators per active row.
+                    let mut accs: HashMap<usize, Acc32> = HashMap::new();
+                    for n0_idx in 0..n_chunks {
+                        for i0_idx in 0..i_chunks {
+                            for j0_idx in 0..j_chunks {
+                                cycles += 1;
+                                let n0 = n0_idx * u.tn;
+                                let i0 = i0_idx * u.ti;
+                                let j0 = j0_idx * u.tj;
+                                let tn_eff = u.tn.min(n - n0);
+                                let ti_eff = u.ti.min(k - i0);
+                                let tj_eff = u.tj.min(k - j0);
+                                for dm in 0..tm_eff {
+                                    for dr in 0..tr_eff {
+                                        for dc in 0..tc_eff {
+                                            let (om, r, c) = (m0 + dm, r0 + dr, c0 + dc);
+                                            let row = mapping.output_row(om, r, c);
+                                            let mut products = Vec::with_capacity(
+                                                tn_eff * ti_eff * tj_eff,
+                                            );
+                                            let mut cols_seen: HashSet<usize> = HashSet::new();
+                                            for dn in 0..tn_eff {
+                                                for di in 0..ti_eff {
+                                                    for dj in 0..tj_eff {
+                                                        let (inm, i, j) =
+                                                            (n0 + dn, i0 + di, j0 + dj);
+                                                        let col = mapping
+                                                            .operand_col(inm, r, c, i, j, stride);
+                                                        // RA property: one
+                                                        // column per operand.
+                                                        debug_assert!(
+                                                            cols_seen.insert(col),
+                                                            "column conflict in one cycle"
+                                                        );
+                                                        let (ir, ic) = (
+                                                            r * stride + i,
+                                                            c * stride + j,
+                                                        );
+                                                        let nid = ((inm * s_in + ir) * s_in
+                                                            + ic)
+                                                            as u64;
+                                                        let kid = (((om * n + inm) * k + i) * k
+                                                            + j)
+                                                            as u64;
+                                                        let pe_idx = row * self.d + col;
+                                                        let st = &mut self.pes[pe_idx];
+                                                        // Lazy neuron delivery.
+                                                        let naddr = match st
+                                                            .neuron_addr
+                                                            .get(&nid)
+                                                        {
+                                                            Some(&a) => a,
+                                                            None => {
+                                                                if neuron_broadcast.insert(nid)
+                                                                {
+                                                                    fabric
+                                                                        .vertical
+                                                                        .broadcast(col);
+                                                                }
+                                                                if st.neuron_next
+                                                                    >= STORE_WORDS
+                                                                {
+                                                                    st.clear_neurons();
+                                                                }
+                                                                let a = st.neuron_next;
+                                                                st.neuron_next += 1;
+                                                                st.neuron_addr.insert(nid, a);
+                                                                st.pe.load_neuron(
+                                                                    a,
+                                                                    input[(inm, ir, ic)],
+                                                                );
+                                                                a
+                                                            }
+                                                        };
+                                                        // Lazy kernel delivery
+                                                        // (IPDR replica).
+                                                        let kaddr = match st
+                                                            .kernel_addr
+                                                            .get(&kid)
+                                                        {
+                                                            Some(&a) => a,
+                                                            None => {
+                                                                if kernel_broadcast.insert(kid)
+                                                                {
+                                                                    fabric
+                                                                        .horizontal
+                                                                        .broadcast(row);
+                                                                }
+                                                                if st.kernel_next
+                                                                    >= STORE_WORDS
+                                                                {
+                                                                    st.clear_kernels();
+                                                                }
+                                                                let a = st.kernel_next;
+                                                                st.kernel_next += 1;
+                                                                st.kernel_addr.insert(kid, a);
+                                                                st.pe.load_kernel(
+                                                                    a,
+                                                                    kernels[(om, inm, i, j)],
+                                                                );
+                                                                a
+                                                            }
+                                                        };
+                                                        products.push(
+                                                            st.pe.multiply(naddr, kaddr),
+                                                        );
+                                                        macs += 1;
+                                                    }
+                                                }
+                                            }
+                                            let red = adder_tree::reduce(&products);
+                                            tree_adds += red.adds;
+                                            let acc =
+                                                accs.entry(row).or_insert(Acc32::ZERO);
+                                            *acc = acc.saturating_add(red.sum);
+                                            tree_adds += 1; // row accumulator add
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    // Writeback is pipelined under the next batch; only
+                    // segment-boundary spills stall (added after the
+                    // loop, mirroring the analytic model).
+                    for dm in 0..tm_eff {
+                        for dr in 0..tr_eff {
+                            for dc in 0..tc_eff {
+                                let (om, r, c) = (m0 + dm, r0 + dr, c0 + dc);
+                                let row = mapping.output_row(om, r, c);
+                                let acc = accs.get(&row).copied().unwrap_or(Acc32::ZERO);
+                                out[(om, r, c)] =
+                                    apply_activation(acc.to_fx16(), layer.activation());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        cycles += sch.row_batches * (sch.segments - 1)
+            * crate::analytic::SEGMENT_STALL_CYCLES
+            + crate::analytic::PIPELINE_FILL_CYCLES;
+        let store_reads: u64 = self.pes.iter().map(|s| s.pe.store_reads()).sum();
+        let store_writes: u64 = self.pes.iter().map(|s| s.pe.store_writes()).sum();
+        FunctionalReport {
+            output: out,
+            cycles,
+            macs,
+            vertical_bus_words: fabric.vertical.total_words(),
+            horizontal_bus_words: fabric.horizontal.total_words(),
+            max_vertical_bus_words: fabric.vertical.max_bus_words(),
+            max_horizontal_bus_words: fabric.horizontal.max_bus_words(),
+            store_reads,
+            store_writes,
+            adder_tree_adds: tree_adds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsim_dataflow::search;
+    use flexsim_model::{reference, workloads};
+
+    fn check_layer(layer: &ConvLayer, u: Unroll, d: usize, seed: u64) -> FunctionalReport {
+        let (input, kernels) = reference::random_layer_data(layer, seed);
+        let mut array = PeArray::new(d);
+        let report = array.run_layer(layer, u, &input, &kernels);
+        assert_eq!(
+            report.output,
+            reference::conv(layer, &input, &kernels),
+            "functional output mismatch for {} under {u}",
+            layer.name()
+        );
+        report
+    }
+
+    #[test]
+    fn paper_example_c1_bit_exact() {
+        let net = workloads::paper_example();
+        let c1 = net.conv_layer("C1").unwrap();
+        check_layer(c1, Unroll::new(2, 1, 1, 2, 1, 4), 4, 42);
+    }
+
+    #[test]
+    fn paper_example_c2_bit_exact() {
+        let net = workloads::paper_example();
+        let c2 = net.conv_layer("C2").unwrap();
+        check_layer(c2, Unroll::new(2, 2, 1, 2, 1, 2), 4, 43);
+    }
+
+    #[test]
+    fn lenet_c3_with_planned_factors_bit_exact() {
+        let net = workloads::lenet5();
+        let plan = search::plan_network(&net, 16);
+        for (layer, choice) in net.conv_layers().zip(&plan) {
+            check_layer(layer, choice.unroll, 16, 7);
+        }
+    }
+
+    #[test]
+    fn cycles_match_analytic_schedule() {
+        let layer = ConvLayer::new("C", 5, 3, 9, 3);
+        for u in [
+            Unroll::new(2, 3, 1, 3, 1, 3),
+            Unroll::new(5, 1, 2, 1, 3, 3),
+            Unroll::scalar(),
+        ] {
+            let report = check_layer(&layer, u, 16, 3);
+            let sch = schedule_default(&layer, u, 16);
+            assert_eq!(report.cycles, sch.cycles, "cycle mismatch under {u}");
+            assert_eq!(report.macs, sch.macs);
+        }
+    }
+
+    #[test]
+    fn bus_words_match_analytic_traffic_when_resident() {
+        // Small layer, everything fits: functional bus counts equal the
+        // closed-form traffic model exactly.
+        let layer = ConvLayer::new("C", 4, 2, 8, 3);
+        let u = Unroll::new(4, 2, 1, 4, 1, 3);
+        let report = check_layer(&layer, u, 16, 9);
+        let sch = schedule_default(&layer, u, 16);
+        assert_eq!(report.vertical_bus_words, sch.traffic.neuron_in);
+        assert_eq!(report.horizontal_bus_words, sch.traffic.kernel_in);
+    }
+
+    #[test]
+    fn store_reads_are_two_per_mac() {
+        let layer = ConvLayer::new("C", 2, 2, 4, 2);
+        let u = Unroll::new(2, 2, 1, 2, 2, 2);
+        let report = check_layer(&layer, u, 16, 5);
+        assert_eq!(report.store_reads, 2 * report.macs);
+    }
+
+    #[test]
+    fn odd_unrollings_still_bit_exact() {
+        // Factors that don't divide the layer dimensions exercise the
+        // edge-clamping paths.
+        let layer = ConvLayer::new("C", 5, 3, 7, 4);
+        for u in [
+            Unroll::new(3, 2, 2, 2, 2, 2),
+            Unroll::new(4, 3, 1, 2, 2, 2),
+            Unroll::new(1, 1, 3, 3, 1, 1),
+        ] {
+            check_layer(&layer, u, 16, 13);
+        }
+    }
+
+    #[test]
+    fn bus_load_is_balanced_across_columns() {
+        // The residue mapping spreads neuron broadcasts across the
+        // occupied vertical buses: the busiest bus carries no more than
+        // a small multiple of the average.
+        let layer = ConvLayer::new("C", 4, 2, 8, 3);
+        let u = Unroll::new(4, 2, 1, 4, 1, 3);
+        let (input, kernels) = reference::random_layer_data(&layer, 23);
+        let mut array = PeArray::new(16);
+        let report = array.run_layer(&layer, u, &input, &kernels);
+        let avg = report.vertical_bus_words as f64 / u.cols_used() as f64;
+        assert!(
+            (report.max_vertical_bus_words as f64) < 3.0 * avg,
+            "max {} vs avg {avg:.1}",
+            report.max_vertical_bus_words
+        );
+    }
+
+    #[test]
+    fn strided_layer_bit_exact() {
+        let layer = ConvLayer::new("C", 3, 2, 5, 3).with_stride(2);
+        check_layer(&layer, Unroll::new(3, 2, 1, 5, 1, 3), 16, 15);
+    }
+}

@@ -1,0 +1,132 @@
+//! DataFlow1: the common data buses (Section 4.3).
+//!
+//! FlexFlow replaces inter-PE links with `D` vertical buses (neurons,
+//! one per PE column) and `D` horizontal buses (kernels, one per PE
+//! row). CDBs are "simple, pipelined, data-only buses" — no address
+//! decoding, no handshaking — so their cost model here is a word counter
+//! per bus plus a busy-cycle tally used for bandwidth checks.
+
+use std::fmt;
+
+/// One direction's bus bundle (vertical or horizontal).
+#[derive(Clone, Debug)]
+pub struct BusBundle {
+    name: &'static str,
+    words: Vec<u64>,
+}
+
+impl BusBundle {
+    /// Creates `count` buses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn new(name: &'static str, count: usize) -> Self {
+        assert!(count > 0, "bus bundle must have at least one bus");
+        BusBundle {
+            name,
+            words: vec![0; count],
+        }
+    }
+
+    /// Number of buses.
+    pub fn count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Records one word broadcast on bus `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn broadcast(&mut self, index: usize) {
+        assert!(index < self.words.len(), "bus index out of range");
+        self.words[index] += 1;
+    }
+
+    /// Total words across all buses.
+    pub fn total_words(&self) -> u64 {
+        self.words.iter().sum()
+    }
+
+    /// Words on the busiest bus — with each bus moving one word per
+    /// cycle, this lower-bounds the cycles the transfers need, which is
+    /// what RS's preloading must hide under the compute time.
+    pub fn max_bus_words(&self) -> u64 {
+        self.words.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Resets the counters.
+    pub fn reset(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+}
+
+impl fmt::Display for BusBundle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} buses, {} words (max/bus {})",
+            self.name,
+            self.count(),
+            self.total_words(),
+            self.max_bus_words()
+        )
+    }
+}
+
+/// The full CDB fabric of a `D×D` engine.
+#[derive(Clone, Debug)]
+pub struct CdbFabric {
+    /// Vertical (neuron) buses, one per PE column.
+    pub vertical: BusBundle,
+    /// Horizontal (kernel) buses, one per PE row.
+    pub horizontal: BusBundle,
+}
+
+impl CdbFabric {
+    /// Creates the fabric for a `d×d` engine.
+    pub fn new(d: usize) -> Self {
+        CdbFabric {
+            vertical: BusBundle::new("vertical/neuron", d),
+            horizontal: BusBundle::new("horizontal/kernel", d),
+        }
+    }
+
+    /// Total words moved on either direction.
+    pub fn total_words(&self) -> u64 {
+        self.vertical.total_words() + self.horizontal.total_words()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcasts_accumulate_per_bus() {
+        let mut fabric = CdbFabric::new(4);
+        fabric.vertical.broadcast(0);
+        fabric.vertical.broadcast(0);
+        fabric.vertical.broadcast(3);
+        fabric.horizontal.broadcast(1);
+        assert_eq!(fabric.vertical.total_words(), 3);
+        assert_eq!(fabric.vertical.max_bus_words(), 2);
+        assert_eq!(fabric.total_words(), 4);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut b = BusBundle::new("v", 2);
+        b.broadcast(1);
+        b.reset();
+        assert_eq!(b.total_words(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bus index out of range")]
+    fn oob_bus_rejected() {
+        let mut b = BusBundle::new("v", 2);
+        b.broadcast(2);
+    }
+}

@@ -1,0 +1,414 @@
+//! The whole FlexFlow accelerator.
+//!
+//! [`FlexFlow`] ties the pieces together: the Section 5 planner picks
+//! unrolling factors, [`crate::analytic`] prices the schedule
+//! (cycles/traffic/energy → one [`LayerResult`] per layer, the
+//! [`Accelerator`] path used by every experiment), and
+//! [`FlexFlow::execute`] runs a compiled [`Program`] *functionally* —
+//! real data through the cycle-stepped [`crate::array`] simulator and the
+//! pooling unit, layer by layer through the ping-pong buffers.
+
+use crate::analytic::{schedule_default, Schedule};
+use crate::array::PeArray;
+use crate::buffers::BufferSet;
+use crate::compiler::Program;
+use crate::isa::Instr;
+use crate::pooling::{PoolStats, PoolingUnit};
+use flexsim_arch::area::{AreaBreakdown, AreaModel, AreaSpec, InterconnectStyle};
+use flexsim_arch::dram::conv_layer_traffic;
+use flexsim_arch::energy::EnergyModel;
+use flexsim_arch::stats::{EventCounts, LayerResult, RunSummary};
+use flexsim_arch::Accelerator;
+use flexsim_dataflow::search::{best_unroll, plan_network};
+use flexsim_dataflow::Unroll;
+use flexsim_model::tensor::KernelSet;
+use flexsim_model::{ConvLayer, Network, Tensor3};
+
+/// The FlexFlow accelerator simulator.
+///
+/// # Example
+///
+/// ```
+/// use flexflow::FlexFlow;
+/// use flexsim_arch::Accelerator;
+/// use flexsim_model::ConvLayer;
+///
+/// let mut ff = FlexFlow::paper_config();
+/// let r = ff.run_conv(&ConvLayer::new("C3", 16, 6, 10, 5).with_input_size(14));
+/// assert!(r.utilization() > 0.5);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FlexFlow {
+    d: usize,
+    energy: EnergyModel,
+}
+
+impl FlexFlow {
+    /// Creates a `d×d`-PE FlexFlow with Table 5 buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero.
+    pub fn new(d: usize) -> Self {
+        assert!(d > 0, "engine side must be non-zero");
+        FlexFlow {
+            d,
+            energy: EnergyModel::tsmc65(),
+        }
+    }
+
+    /// The paper's evaluated configuration: a 16×16-PE convolutional
+    /// unit.
+    pub fn paper_config() -> Self {
+        FlexFlow::new(16)
+    }
+
+    /// Replaces the energy model (for ablations).
+    pub fn with_energy_model(mut self, energy: EnergyModel) -> Self {
+        self.energy = energy;
+        self
+    }
+
+    /// Engine side `D`.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Simulates one layer under explicit unrolling factors (the
+    /// [`Accelerator::run_conv`] path plans them automatically).
+    pub fn run_conv_with(&self, layer: &ConvLayer, unroll: Unroll) -> LayerResult {
+        let sch = schedule_default(layer, unroll, self.d);
+        self.result_from_schedule(layer, &sch)
+    }
+
+    fn result_from_schedule(&self, layer: &ConvLayer, sch: &Schedule) -> LayerResult {
+        let pe_count = self.pe_count();
+        let u = sch.unroll;
+        let k = layer.k();
+        // Local-store write sharing: a neuron word is written into every
+        // row that consumes it (same m-residue rows across the window
+        // span), a kernel word is replicated across its group's Tr·Tc
+        // rows (IPDR).
+        let neuron_sharing = (u.tm * u.tr.min(k) * u.tc.min(k)).min(u.rows_used()) as u64;
+        let kernel_replication = (u.tr * u.tc) as u64;
+        let dram = conv_layer_traffic(layer, 16 * 1024, 16 * 1024);
+        let macs = sch.macs;
+        let cycles = sch.cycles;
+        let events = EventCounts {
+            macs,
+            local_store_reads: 2 * macs,
+            local_store_writes: sch.traffic.neuron_in * neuron_sharing
+                + sch.traffic.kernel_in * kernel_replication,
+            neuron_in_buf: sch.traffic.neuron_in + sch.traffic.psum / 2,
+            neuron_out_buf: sch.traffic.neuron_out + sch.traffic.psum,
+            kernel_buf: sch.traffic.kernel_in,
+            bus_words: sch.traffic.neuron_in + sch.traffic.kernel_in * kernel_replication,
+            dram_reads: dram.reads,
+            dram_writes: dram.writes,
+            idle_pe_cycles: (cycles * pe_count as u64).saturating_sub(macs),
+            ..Default::default()
+        };
+        let energy = self
+            .energy
+            .energy(&events, cycles, self.area().total_mm2());
+        LayerResult {
+            arch: self.name().to_owned(),
+            layer: layer.name().to_owned(),
+            pe_count,
+            clock_ghz: 1.0,
+            cycles,
+            macs,
+            events,
+            traffic: sch.traffic,
+            energy,
+        }
+    }
+
+    /// Functionally executes a compiled program on real data.
+    ///
+    /// `kernels` supplies one [`KernelSet`] per CONV layer, in network
+    /// order. Returns the final tensor plus a per-step trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program wasn't compiled for this engine size, the
+    /// kernel sets don't match the CONV layers, or the network's layer
+    /// shapes don't chain (each layer's input must be exactly the
+    /// previous layer's output).
+    pub fn execute(
+        &mut self,
+        program: &Program,
+        net: &Network,
+        input: Tensor3,
+        kernels: &[KernelSet],
+    ) -> ExecutionTrace {
+        assert_eq!(program.d(), self.d, "program compiled for a different engine");
+        assert_eq!(
+            kernels.len(),
+            program.choices().len(),
+            "one kernel set per CONV/FC layer required"
+        );
+        let mut array = PeArray::new(self.d);
+        let pooling = PoolingUnit::new(self.d);
+        let mut buffers = BufferSet::new(self.d);
+        let mut current = input;
+        let mut conv_idx = 0usize;
+        let mut steps = Vec::new();
+        let mut cycles = 0u64;
+        for instr in program.instrs() {
+            match *instr {
+                Instr::Configure { .. } | Instr::LoadKernels { .. } => {}
+                Instr::SwapBuffers => buffers.swap(),
+                Instr::Halt => break,
+                Instr::Conv { layer } => {
+                    // FC layers run as 1x1 convolutions over a flattened
+                    // input (the compiler planned them the same way).
+                    let (conv, conv_input) = match &net.layers()[layer as usize] {
+                        flexsim_model::Layer::Conv(c) => (c.clone(), current.clone()),
+                        flexsim_model::Layer::Fc(fc) => {
+                            let flat_len = current.len();
+                            assert_eq!(
+                                flat_len,
+                                fc.inputs(),
+                                "layer {} flattened input length mismatch",
+                                fc.name()
+                            );
+                            let flat = Tensor3::from_fn(flat_len, 1, 1, |m, _, _| {
+                                current.as_slice()[m]
+                            });
+                            (fc.as_conv(), flat)
+                        }
+                        flexsim_model::Layer::Pool(_) => {
+                            panic!("Conv instruction must target a CONV or FC layer")
+                        }
+                    };
+                    let current_shape = (conv_input.maps(), conv_input.rows());
+                    assert_eq!(
+                        current_shape.0,
+                        conv.n(),
+                        "layer {} input maps mismatch",
+                        conv.name()
+                    );
+                    assert_eq!(
+                        current_shape.1,
+                        conv.input_size(),
+                        "layer {} input size mismatch",
+                        conv.name()
+                    );
+                    let choice = &program.choices()[conv_idx];
+                    let report =
+                        array.run_layer(&conv, choice.unroll, &conv_input, &kernels[conv_idx]);
+                    buffers.input().read_bulk(report.vertical_bus_words);
+                    buffers.kernel().read_bulk(report.horizontal_bus_words);
+                    buffers
+                        .output()
+                        .write_bulk(conv.output_neurons());
+                    cycles += report.cycles;
+                    steps.push(StepTrace::Conv {
+                        layer: conv.name().to_owned(),
+                        cycles: report.cycles,
+                        macs: report.macs,
+                    });
+                    current = report.output;
+                    conv_idx += 1;
+                }
+                Instr::Pool { layer } => {
+                    let pool = net.layers()[layer as usize]
+                        .as_pool()
+                        .expect("Pool instruction must target a POOL layer");
+                    let (out, stats): (Tensor3, PoolStats) = pooling.run(pool, &current);
+                    cycles += stats.cycles;
+                    steps.push(StepTrace::Pool {
+                        layer: pool.name().to_owned(),
+                        cycles: stats.cycles,
+                        alu_ops: stats.alu_ops,
+                    });
+                    current = out;
+                }
+            }
+        }
+        ExecutionTrace {
+            output: current,
+            cycles,
+            steps,
+        }
+    }
+
+    fn area_spec(&self) -> AreaSpec {
+        AreaSpec {
+            pe_count: self.pe_count(),
+            local_store_bytes_per_pe: 512, // 256 B neuron + 256 B kernel
+            fifo_bytes_total: 0,
+            buffer_kb_total: 64, // Table 7: 64 KB on-chip buffers
+            interconnect: InterconnectStyle::CommonDataBus,
+            fixed_overhead_mm2: 0.30, // decoder + pooling unit + I/O
+        }
+    }
+}
+
+impl Accelerator for FlexFlow {
+    fn name(&self) -> &str {
+        "FlexFlow"
+    }
+
+    fn pe_count(&self) -> usize {
+        self.d * self.d
+    }
+
+    fn run_conv(&mut self, layer: &ConvLayer) -> LayerResult {
+        let choice = best_unroll(layer, self.d, None);
+        self.run_conv_with(layer, choice.unroll)
+    }
+
+    fn run_network(&mut self, net: &Network) -> RunSummary {
+        // Unlike the default, plan the whole network jointly (IADP
+        // coupling) before simulating.
+        let plan = plan_network(net, self.d);
+        let layers = net
+            .conv_layers()
+            .zip(&plan)
+            .map(|(layer, choice)| self.run_conv_with(layer, choice.unroll))
+            .collect();
+        RunSummary {
+            arch: self.name().to_owned(),
+            workload: net.name().to_owned(),
+            layers,
+        }
+    }
+
+    fn area(&self) -> AreaBreakdown {
+        AreaModel::tsmc65().area(&self.area_spec())
+    }
+}
+
+/// One step of a functional execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StepTrace {
+    /// A CONV layer ran on the PE array.
+    Conv {
+        /// Layer name.
+        layer: String,
+        /// Cycles spent.
+        cycles: u64,
+        /// MACs executed.
+        macs: u64,
+    },
+    /// A POOL layer ran on the pooling unit.
+    Pool {
+        /// Layer name.
+        layer: String,
+        /// Cycles spent.
+        cycles: u64,
+        /// ALU operations.
+        alu_ops: u64,
+    },
+}
+
+/// The result of functionally executing a program.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExecutionTrace {
+    /// The network's final output tensor.
+    pub output: Tensor3,
+    /// Total cycles across conv + pooling.
+    pub cycles: u64,
+    /// Per-step details.
+    pub steps: Vec<StepTrace>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::Compiler;
+    use flexsim_model::{reference, workloads};
+
+    #[test]
+    fn paper_area_reproduced() {
+        let ff = FlexFlow::paper_config();
+        let total = ff.area().total_mm2();
+        assert!(
+            (total - 3.89).abs() / 3.89 < 0.05,
+            "FlexFlow area {total:.2} vs paper 3.89"
+        );
+    }
+
+    #[test]
+    fn high_utilization_on_all_small_workloads() {
+        // Fig. 15: FlexFlow achieves over ~80% utilization. Note the
+        // paper's own Table 4 factors for PV C1 (Ti=2, Tj=6) cap Ur at
+        // 12/16 = 75% under Eq. 2, so PV lands at ~74% — we hold every
+        // workload above 70% and most above 80% (see EXPERIMENTS.md).
+        for net in [
+            workloads::pv(),
+            workloads::fr(),
+            workloads::lenet5(),
+            workloads::hg(),
+        ] {
+            let mut ff = FlexFlow::paper_config();
+            let s = ff.run_network(&net);
+            assert!(
+                s.utilization() > 0.70,
+                "{}: utilization {:.2}",
+                net.name(),
+                s.utilization()
+            );
+        }
+    }
+
+    #[test]
+    fn performance_above_420_gops() {
+        // Section 6.2.3: "FlexFlow can constantly acquire over 420 GOPs
+        // performance with 1 GHz working frequency".
+        for net in [workloads::lenet5(), workloads::pv()] {
+            let mut ff = FlexFlow::paper_config();
+            let s = ff.run_network(&net);
+            assert!(s.gops() > 380.0, "{}: {:.0} GOPS", net.name(), s.gops());
+        }
+    }
+
+    #[test]
+    fn end_to_end_execution_matches_reference_chain() {
+        let net = workloads::chained_toy();
+        let program = Compiler::new(8).compile(&net);
+        let mut ff = FlexFlow::new(8);
+
+        // Build reference data.
+        let convs: Vec<&ConvLayer> = net.conv_layers().collect();
+        let (input, k1) = reference::random_layer_data(convs[0], 31);
+        let (_, k2) = reference::random_layer_data(convs[1], 32);
+        let kernels = vec![k1.clone(), k2.clone()];
+
+        let trace = ff.execute(&program, &net, input.clone(), &kernels);
+
+        // Reference chain: conv -> pool -> conv.
+        let mid = reference::conv(convs[0], &input, &k1);
+        let pool = net.layers()[1].as_pool().unwrap();
+        let pooled = reference::pool(pool, &mid);
+        let want = reference::conv(convs[1], &pooled, &k2);
+        assert_eq!(trace.output, want);
+        assert_eq!(trace.steps.len(), 3);
+        assert!(trace.cycles > 0);
+    }
+
+    #[test]
+    fn power_in_table6_regime() {
+        // Table 6 totals run 0.84–1.12 W for the six workloads; our
+        // calibration should land in the same watt-class.
+        let mut ff = FlexFlow::paper_config();
+        let s = ff.run_network(&workloads::lenet5());
+        let p = s.power_w();
+        assert!(
+            (0.4..2.0).contains(&p),
+            "LeNet-5 power {p:.2} W outside the paper's regime"
+        );
+    }
+
+    #[test]
+    fn buffer_power_split_orders_like_table6() {
+        // Table 6: buffers are a small share (<20%) of total power.
+        let mut ff = FlexFlow::paper_config();
+        let s = ff.run_network(&workloads::pv());
+        let e = s.energy();
+        let buffers = e.neuron_in_buf_j + e.neuron_out_buf_j + e.kernel_buf_j;
+        assert!(buffers < 0.25 * e.on_chip_j());
+    }
+}

@@ -1,0 +1,290 @@
+//! The four-state local-store addressing FSM (Section 4.4, Fig. 11).
+//!
+//! Local-store *writes* are auto-increment; *reads* walk the store under
+//! a tiny controller with four states:
+//!
+//! * `S0 / INIT` — a new computation starts; address resets;
+//! * `S1 / INCR` — the address advances by the configured step;
+//! * `S2 / HOLD` — the address holds when a computing window (of `Ti`
+//!   operands) completes but its data is reused by the next window;
+//! * `S3 / JUMP` — the address jumps to the next neuron row when a row
+//!   of windows completes.
+//!
+//! The step is `Tc` for the paper's running example ("the step for
+//! neuron local store is 1, and the step for kernel local store is 2"),
+//! and the transitions depend only on window/row completion — no other
+//! control, which is the point: the dataflow optimizations (RA/RS) make
+//! local addressing *regular* even though the global dataflow is
+//! flexible.
+
+use std::fmt;
+
+/// FSM states, named as in Fig. 11.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FsmState {
+    /// `S0` — initialize a new computation.
+    Init,
+    /// `S1` — increment the address by the step.
+    Incr,
+    /// `S2` — hold the current address across a window boundary.
+    Hold,
+    /// `S3` — jump to the next neuron row.
+    Jump,
+}
+
+impl fmt::Display for FsmState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FsmState::Init => "S0/INIT",
+            FsmState::Incr => "S1/INCR",
+            FsmState::Hold => "S2/HOLD",
+            FsmState::Jump => "S3/JUMP",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Configuration of one store's read addressing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FsmConfig {
+    /// Address increment in `S1` (the paper's "counter step", `Tc`).
+    pub step: usize,
+    /// Operands per computing window (`Ti` in the paper's description).
+    pub window: usize,
+    /// Windows per neuron row.
+    pub windows_per_row: usize,
+    /// Address stride between neuron rows.
+    pub row_stride: usize,
+}
+
+/// The address-generation FSM.
+///
+/// Drive it with [`AddrFsm::next_addr`]; it yields the address to read
+/// this cycle and advances its state.
+///
+/// # Example
+///
+/// ```
+/// use flexflow::fsm::{AddrFsm, FsmConfig, FsmState};
+///
+/// // Two windows of 3 operands per row, step 1, rows 8 apart.
+/// let mut fsm = AddrFsm::new(FsmConfig {
+///     step: 1,
+///     window: 3,
+///     windows_per_row: 2,
+///     row_stride: 8,
+/// });
+/// let addrs: Vec<usize> = (0..6).map(|_| fsm.next_addr()).collect();
+/// assert_eq!(addrs, vec![0, 1, 2, 1, 2, 3]);
+/// assert_eq!(fsm.state(), FsmState::Jump);
+/// assert_eq!(fsm.next_addr(), 8); // next neuron row
+/// ```
+#[derive(Clone, Debug)]
+pub struct AddrFsm {
+    config: FsmConfig,
+    state: FsmState,
+    addr: usize,
+    row_start: usize,
+    window_start: usize,
+    in_window: usize,
+    windows_done: usize,
+}
+
+impl AddrFsm {
+    /// Creates the FSM in `S0` with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any configuration field is zero.
+    pub fn new(config: FsmConfig) -> Self {
+        assert!(
+            config.step > 0
+                && config.window > 0
+                && config.windows_per_row > 0
+                && config.row_stride > 0,
+            "FSM configuration fields must be non-zero"
+        );
+        AddrFsm {
+            config,
+            state: FsmState::Init,
+            addr: 0,
+            row_start: 0,
+            window_start: 0,
+            in_window: 0,
+            windows_done: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> FsmState {
+        self.state
+    }
+
+    /// Emits the address for this cycle and advances the FSM.
+    pub fn next_addr(&mut self) -> usize {
+        let emitted = match self.state {
+            FsmState::Init => {
+                self.addr = 0;
+                self.row_start = 0;
+                self.window_start = 0;
+                self.addr
+            }
+            FsmState::Incr => {
+                self.addr += self.config.step;
+                self.addr
+            }
+            FsmState::Hold => {
+                // A new window starts one step after the previous
+                // window's start: the held data is re-walked from there
+                // (the overlap reuse RA/RS arrange for).
+                self.window_start += self.config.step;
+                self.addr = self.window_start;
+                self.addr
+            }
+            FsmState::Jump => {
+                self.row_start += self.config.row_stride;
+                self.window_start = self.row_start;
+                self.addr = self.row_start;
+                self.addr
+            }
+        };
+        self.advance();
+        emitted
+    }
+
+    fn advance(&mut self) {
+        if matches!(self.state, FsmState::Jump) {
+            self.windows_done = 0;
+        }
+        if matches!(self.state, FsmState::Hold) {
+            // Hold emitted the first operand of a fresh window.
+            self.in_window = 1;
+        } else if matches!(self.state, FsmState::Init | FsmState::Jump) {
+            self.in_window = 1;
+        } else {
+            self.in_window += 1;
+        }
+
+        let window_done = self.in_window == self.config.window;
+        self.state = if window_done {
+            self.windows_done += 1;
+            self.in_window = 0;
+            if self.windows_done == self.config.windows_per_row {
+                FsmState::Jump
+            } else {
+                FsmState::Hold
+            }
+        } else {
+            FsmState::Incr
+        };
+    }
+
+    /// Resets to `S0` (a new computation starts).
+    pub fn reset(&mut self) {
+        self.state = FsmState::Init;
+        self.addr = 0;
+        self.row_start = 0;
+        self.window_start = 0;
+        self.in_window = 0;
+        self.windows_done = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(fsm: &mut AddrFsm, n: usize) -> Vec<usize> {
+        (0..n).map(|_| fsm.next_addr()).collect()
+    }
+
+    #[test]
+    fn window_walk_with_overlap() {
+        // 3 windows of 4 operands, step 1 — the overlapping-window walk
+        // of a K=4 convolution row under Tc=1.
+        let mut fsm = AddrFsm::new(FsmConfig {
+            step: 1,
+            window: 4,
+            windows_per_row: 3,
+            row_stride: 16,
+        });
+        let addrs = collect(&mut fsm, 12);
+        assert_eq!(addrs, vec![0, 1, 2, 3, 1, 2, 3, 4, 2, 3, 4, 5]);
+        assert_eq!(fsm.state(), FsmState::Jump);
+    }
+
+    #[test]
+    fn jump_moves_to_next_row() {
+        let mut fsm = AddrFsm::new(FsmConfig {
+            step: 1,
+            window: 2,
+            windows_per_row: 2,
+            row_stride: 10,
+        });
+        let addrs = collect(&mut fsm, 8);
+        assert_eq!(addrs, vec![0, 1, 1, 2, 10, 11, 11, 12]);
+    }
+
+    #[test]
+    fn kernel_store_step_two() {
+        // The paper's Group(0,0)-of-C1 kernel store uses step 2.
+        let mut fsm = AddrFsm::new(FsmConfig {
+            step: 2,
+            window: 3,
+            windows_per_row: 1,
+            row_stride: 8,
+        });
+        let addrs = collect(&mut fsm, 6);
+        assert_eq!(addrs, vec![0, 2, 4, 8, 10, 12]);
+    }
+
+    #[test]
+    fn state_sequence_matches_fig11() {
+        let mut fsm = AddrFsm::new(FsmConfig {
+            step: 1,
+            window: 2,
+            windows_per_row: 2,
+            row_stride: 4,
+        });
+        let mut states = vec![fsm.state()];
+        for _ in 0..4 {
+            fsm.next_addr();
+            states.push(fsm.state());
+        }
+        assert_eq!(
+            states,
+            vec![
+                FsmState::Init,
+                FsmState::Incr,
+                FsmState::Hold,
+                FsmState::Incr,
+                FsmState::Jump
+            ]
+        );
+    }
+
+    #[test]
+    fn reset_restarts_computation() {
+        let mut fsm = AddrFsm::new(FsmConfig {
+            step: 1,
+            window: 2,
+            windows_per_row: 1,
+            row_stride: 4,
+        });
+        let first = collect(&mut fsm, 4);
+        fsm.reset();
+        let second = collect(&mut fsm, 4);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_config_rejected() {
+        let _ = AddrFsm::new(FsmConfig {
+            step: 0,
+            window: 1,
+            windows_per_row: 1,
+            row_stride: 1,
+        });
+    }
+}

@@ -1,0 +1,166 @@
+//! The complementary-parallelism mapping (Section 4.3).
+//!
+//! An unrolling `⟨Tm,Tn,Tr,Tc,Ti,Tj⟩` logically divides the PE array into
+//! `Tm×Tn` groups of `(Ti·Tj)×(Tr·Tc)` PEs and assigns:
+//!
+//! * output neuron `O^(m)_(r,c)` → PE row
+//!   `(m mod Tm)·Tr·Tc + (r mod Tr)·Tc + (c mod Tc)`,
+//! * input neuron `I^(n)_(r,c)` → PE columns
+//!   `(n mod Tn)·Ti·Tj + (r mod Ti)·Tj + (c mod Tj)` (all rows — the
+//!   "column sharing characteristic"),
+//! * kernel `K^(m,n)` → group `(m mod Tm, n mod Tn)`, with each synapse
+//!   broadcast to all PEs of the group (the "block sharing
+//!   characteristic" exploited by IPDR).
+//!
+//! These formulas *are* the RA/RS dataflow: Relax Alignment appears as
+//! the residue-based column assignment (overlapping neurons land on the
+//! same column regardless of which output row consumes them), and Relax
+//! Synchronization as the fact that different rows consume a column's
+//! broadcast in different cycles.
+
+use flexsim_dataflow::Unroll;
+
+/// The operand/output assignment induced by an unrolling.
+///
+/// # Example
+///
+/// ```
+/// use flexflow::mapping::Mapping;
+/// use flexsim_dataflow::Unroll;
+///
+/// // The paper's C1 example: <Tm=2, Tn=1, Tr=1, Tc=2, Ti=1, Tj=4>.
+/// let map = Mapping::new(Unroll::new(2, 1, 1, 2, 1, 4));
+/// // O^(0)_(r,c) maps to row (c mod 2) — "Output neuron O(r,c) is
+/// // mapped to PE Row(c mod 2)" for the first output map.
+/// assert_eq!(map.output_row(0, 0, 0), 0);
+/// assert_eq!(map.output_row(0, 0, 1), 1);
+/// assert_eq!(map.output_row(1, 0, 0), 2);
+/// // I_(r,c) goes to column (c mod 4).
+/// assert_eq!(map.input_col(0, 0, 5), 1);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mapping {
+    u: Unroll,
+}
+
+impl Mapping {
+    /// Creates the mapping for `u`.
+    pub fn new(u: Unroll) -> Self {
+        Mapping { u }
+    }
+
+    /// The unrolling behind this mapping.
+    pub fn unroll(&self) -> Unroll {
+        self.u
+    }
+
+    /// Logical group of kernel `K^(m,n)`: `(m mod Tm, n mod Tn)`.
+    pub fn kernel_group(&self, m: usize, n: usize) -> (usize, usize) {
+        (m % self.u.tm, n % self.u.tn)
+    }
+
+    /// PE row of output neuron `O^(m)_(r,c)`.
+    pub fn output_row(&self, m: usize, r: usize, c: usize) -> usize {
+        (m % self.u.tm) * self.u.tr * self.u.tc + (r % self.u.tr) * self.u.tc + (c % self.u.tc)
+    }
+
+    /// PE column of input neuron `I^(n)_(r,c)` (shared by all rows).
+    pub fn input_col(&self, n: usize, r: usize, c: usize) -> usize {
+        (n % self.u.tn) * self.u.ti * self.u.tj + (r % self.u.ti) * self.u.tj + (c % self.u.tj)
+    }
+
+    /// PE column serving operand `(n, i, j)` of an output at `(r, c)`:
+    /// the column holding input neuron `I^(n)_(r·stride+i, c·stride+j)`.
+    pub fn operand_col(&self, n: usize, r: usize, c: usize, i: usize, j: usize, stride: usize) -> usize {
+        self.input_col(n, r * stride + i, c * stride + j)
+    }
+
+    /// Number of PE rows occupied (`Tm·Tr·Tc`).
+    pub fn rows_used(&self) -> usize {
+        self.u.rows_used()
+    }
+
+    /// Number of PE columns occupied (`Tn·Ti·Tj`).
+    pub fn cols_used(&self) -> usize {
+        self.u.cols_used()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn rows_within_a_tile_are_distinct() {
+        // Every output neuron of one tile must own its own PE row.
+        let u = Unroll::new(2, 2, 2, 2, 1, 2);
+        let map = Mapping::new(u);
+        let mut seen = HashSet::new();
+        for dm in 0..u.tm {
+            for dr in 0..u.tr {
+                for dc in 0..u.tc {
+                    assert!(seen.insert(map.output_row(dm, dr, dc)));
+                }
+            }
+        }
+        assert_eq!(seen.len(), u.rows_used());
+        assert!(seen.iter().all(|&r| r < u.rows_used()));
+    }
+
+    #[test]
+    fn operands_of_one_cycle_cover_all_columns_once() {
+        // RA's guarantee: for any output position (r, c) and chunk
+        // origin, the Tn·Ti·Tj operands land on Tn·Ti·Tj *distinct*
+        // columns — every PE of the row works every cycle.
+        let u = Unroll::new(1, 2, 1, 3, 2, 2);
+        let map = Mapping::new(u);
+        for (r, c) in [(0usize, 0usize), (3, 1), (7, 5)] {
+            let mut seen = HashSet::new();
+            for dn in 0..u.tn {
+                for di in 0..u.ti {
+                    for dj in 0..u.tj {
+                        assert!(
+                            seen.insert(map.operand_col(dn, r, c, di, dj, 1)),
+                            "column collision at output ({r},{c})"
+                        );
+                    }
+                }
+            }
+            assert_eq!(seen.len(), u.cols_used());
+        }
+    }
+
+    #[test]
+    fn overlapping_neurons_share_a_column() {
+        // The paper's RA example: neurons overlapping between PE rows
+        // land on the same column, so one vertical-bus broadcast serves
+        // both rows. I_(0,1) is operand j=1 for output (0,0) and operand
+        // j=0 for output (0,1).
+        let u = Unroll::new(2, 1, 1, 2, 1, 4);
+        let map = Mapping::new(u);
+        let col_a = map.operand_col(0, 0, 0, 0, 1, 1); // I(0, 1) for O(0,0)
+        let col_b = map.operand_col(0, 0, 1, 0, 0, 1); // I(0, 1) for O(0,1)
+        assert_eq!(col_a, col_b);
+        assert_eq!(col_a, map.input_col(0, 0, 1));
+    }
+
+    #[test]
+    fn kernel_groups_tile_the_array() {
+        let u = Unroll::new(2, 3, 1, 1, 1, 1);
+        let map = Mapping::new(u);
+        assert_eq!(map.kernel_group(0, 0), (0, 0));
+        assert_eq!(map.kernel_group(5, 7), (1, 1));
+        assert_eq!(map.kernel_group(2, 3), (0, 0));
+    }
+
+    #[test]
+    fn paper_c1_column_assignment() {
+        // Section 4.3: for C1, "Input neuron I_(r,c) forwarded to
+        // PE(1:2, c mod 4)".
+        let map = Mapping::new(Unroll::new(2, 1, 1, 2, 1, 4));
+        for c in 0..11 {
+            assert_eq!(map.input_col(0, 0, c), c % 4);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! The FlexFlow processing element (Section 4.1, Fig. 7a).
+//!
+//! A PE owns a 16-bit multiplier, an adder (contributed to its row's
+//! adder tree), a neuron local store, a kernel local store, and a
+//! controller (the [`crate::fsm`] pair). There are *no* operand
+//! interfaces to neighbour PEs — operands arrive only over the vertical
+//! and horizontal common data buses into the local stores.
+
+use crate::local_store::LocalStore;
+use flexsim_model::{Acc32, Fx16};
+
+/// One processing element.
+///
+/// # Example
+///
+/// ```
+/// use flexflow::pe::Pe;
+/// use flexsim_model::Fx16;
+///
+/// let mut pe = Pe::new();
+/// pe.load_neuron(0, Fx16::from_f64(2.0));
+/// pe.load_kernel(0, Fx16::from_f64(0.5));
+/// let product = pe.multiply(0, 0);
+/// assert_eq!(product.to_fx16().to_f64(), 1.0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Pe {
+    neuron_store: LocalStore,
+    kernel_store: LocalStore,
+}
+
+impl Pe {
+    /// Creates a PE with full-size (256 B + 256 B) local stores.
+    pub fn new() -> Self {
+        Pe {
+            neuron_store: LocalStore::full(),
+            kernel_store: LocalStore::full(),
+        }
+    }
+
+    /// Writes a neuron into the neuron local store (a vertical-CDB
+    /// delivery).
+    pub fn load_neuron(&mut self, addr: usize, value: Fx16) {
+        self.neuron_store.write(addr, value);
+    }
+
+    /// Writes a synapse into the kernel local store (a horizontal-CDB
+    /// delivery, possibly an IPDR replica).
+    pub fn load_kernel(&mut self, addr: usize, value: Fx16) {
+        self.kernel_store.write(addr, value);
+    }
+
+    /// One datapath step: reads both stores and multiplies
+    /// (full-precision product handed to the row adder tree).
+    pub fn multiply(&mut self, neuron_addr: usize, kernel_addr: usize) -> Acc32 {
+        let x = self.neuron_store.read(neuron_addr);
+        let w = self.kernel_store.read(kernel_addr);
+        x.widening_mul(w)
+    }
+
+    /// Borrows the neuron store (for counters/inspection).
+    pub fn neuron_store(&self) -> &LocalStore {
+        &self.neuron_store
+    }
+
+    /// Borrows the kernel store.
+    pub fn kernel_store(&self) -> &LocalStore {
+        &self.kernel_store
+    }
+
+    /// Total local-store reads across both stores.
+    pub fn store_reads(&self) -> u64 {
+        self.neuron_store.reads() + self.kernel_store.reads()
+    }
+
+    /// Total local-store writes across both stores.
+    pub fn store_writes(&self) -> u64 {
+        self.neuron_store.writes() + self.kernel_store.writes()
+    }
+
+    /// Resets the store counters.
+    pub fn reset_counters(&mut self) {
+        self.neuron_store.reset_counters();
+        self.kernel_store.reset_counters();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiply_reads_both_stores() {
+        let mut pe = Pe::new();
+        pe.load_neuron(5, Fx16::from_f64(-1.5));
+        pe.load_kernel(9, Fx16::from_f64(2.0));
+        let p = pe.multiply(5, 9);
+        assert_eq!(p.to_f64(), -3.0);
+        assert_eq!(pe.store_reads(), 2);
+        assert_eq!(pe.store_writes(), 2);
+    }
+
+    #[test]
+    fn stores_are_independent() {
+        let mut pe = Pe::new();
+        pe.load_neuron(0, Fx16::ONE);
+        pe.load_kernel(0, Fx16::from_f64(3.0));
+        assert_eq!(pe.multiply(0, 0).to_fx16().to_f64(), 3.0);
+    }
+
+    #[test]
+    fn counters_reset() {
+        let mut pe = Pe::new();
+        pe.load_neuron(0, Fx16::ONE);
+        pe.reset_counters();
+        assert_eq!(pe.store_writes(), 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! The 1-D pooling unit (Section 4 overview, Fig. 6).
+//!
+//! "The pooling unit is a series of lightweight ALUs, subsampling the
+//! immediate convolution results to reduce data transmission." The unit
+//! processes `width` lanes per cycle, each lane reducing one pooling
+//! window per `P²` inputs.
+
+use flexsim_model::layer::PoolLayer;
+use flexsim_model::reference;
+use flexsim_model::Tensor3;
+
+/// The pooling unit: an array of `width` lightweight ALUs.
+///
+/// # Example
+///
+/// ```
+/// use flexflow::pooling::PoolingUnit;
+/// use flexsim_model::{PoolKind, PoolLayer, Tensor3};
+///
+/// let unit = PoolingUnit::new(16);
+/// let layer = PoolLayer::new("P2", PoolKind::Max, 2, 1, 4);
+/// let input: Tensor3 = Tensor3::zeros(1, 4, 4);
+/// let (out, stats) = unit.run(&layer, &input);
+/// assert_eq!(out.rows(), 2);
+/// assert!(stats.cycles > 0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolingUnit {
+    width: usize,
+}
+
+/// Timing/energy statistics of a pooling pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Cycles to subsample the layer.
+    pub cycles: u64,
+    /// ALU operations performed.
+    pub alu_ops: u64,
+    /// Words read (immediate convolution results).
+    pub words_in: u64,
+    /// Words written (subsampled outputs).
+    pub words_out: u64,
+}
+
+impl PoolingUnit {
+    /// Creates a unit of `width` ALUs (FlexFlow pairs a `D`-wide unit
+    /// with its `D×D` convolutional unit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn new(width: usize) -> Self {
+        assert!(width > 0, "pooling unit width must be non-zero");
+        PoolingUnit { width }
+    }
+
+    /// Number of ALU lanes.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Runs a POOL layer, returning the subsampled maps and statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input doesn't match the layer's declared shape.
+    pub fn run(&self, layer: &PoolLayer, input: &Tensor3) -> (Tensor3, PoolStats) {
+        let out = reference::pool(layer, input);
+        let windows = (layer.maps() * layer.output_size() * layer.output_size()) as u64;
+        let ops_per_window = (layer.window() * layer.window() - 1) as u64;
+        let alu_ops = windows * ops_per_window;
+        // `width` lanes, each lane consuming one window element per
+        // cycle: a window takes P² cycles in its lane.
+        let window_cycles = (layer.window() * layer.window()) as u64;
+        let cycles = windows.div_ceil(self.width as u64) * window_cycles;
+        let stats = PoolStats {
+            cycles,
+            alu_ops,
+            words_in: (layer.maps() * layer.input_size() * layer.input_size()) as u64,
+            words_out: windows,
+        };
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsim_model::layer::PoolKind;
+    use flexsim_model::Fx16;
+
+    #[test]
+    fn max_pool_matches_reference() {
+        let unit = PoolingUnit::new(4);
+        let layer = PoolLayer::new("P", PoolKind::Max, 2, 2, 6);
+        let input = Tensor3::from_fn(2, 6, 6, |m, r, c| {
+            Fx16::from_f64((m * 36 + r * 6 + c) as f64 / 64.0)
+        });
+        let (out, _) = unit.run(&layer, &input);
+        assert_eq!(out, reference::pool(&layer, &input));
+    }
+
+    #[test]
+    fn wider_units_are_faster() {
+        let layer = PoolLayer::new("P", PoolKind::Avg, 2, 8, 16);
+        let input: Tensor3 = Tensor3::zeros(8, 16, 16);
+        let (_, s1) = PoolingUnit::new(1).run(&layer, &input);
+        let (_, s16) = PoolingUnit::new(16).run(&layer, &input);
+        assert!(s16.cycles < s1.cycles);
+        assert_eq!(s1.alu_ops, s16.alu_ops);
+    }
+
+    #[test]
+    fn stats_count_words() {
+        let layer = PoolLayer::new("P", PoolKind::Max, 2, 1, 4);
+        let input: Tensor3 = Tensor3::zeros(1, 4, 4);
+        let (_, s) = PoolingUnit::new(16).run(&layer, &input);
+        assert_eq!(s.words_in, 16);
+        assert_eq!(s.words_out, 4);
+        assert_eq!(s.alu_ops, 4 * 3);
+    }
+}

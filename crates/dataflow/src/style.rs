@@ -1,0 +1,230 @@
+//! The eight processing styles of Section 2.2.
+//!
+//! Each axis of parallelism is either *Single* or *Multiple* depending on
+//! whether its loops are unrolled, giving `2³ = 8` styles from `SFSNSS`
+//! (fully sequential) to `MFMNMS` (FlexFlow's comprehensive style). The
+//! paper's Table 2 places prior architectures in exactly three of them.
+
+use crate::unroll::Unroll;
+use std::fmt;
+
+/// One axis of a processing style: single or multiple.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Degree {
+    /// The corresponding loops are not unrolled (factor 1).
+    Single,
+    /// At least one corresponding loop is unrolled (factor > 1).
+    Multiple,
+}
+
+impl Degree {
+    fn letter(self) -> char {
+        match self {
+            Degree::Single => 'S',
+            Degree::Multiple => 'M',
+        }
+    }
+}
+
+/// A processing style: the Single/Multiple classification of feature-map,
+/// neuron, and synapse parallelism.
+///
+/// # Example
+///
+/// ```
+/// use flexsim_dataflow::{Style, Unroll};
+///
+/// // A systolic engine unrolls only the synapse loops.
+/// let systolic = Style::from_unroll(&Unroll::new(1, 1, 1, 1, 3, 3));
+/// assert_eq!(systolic.to_string(), "SFSNMS");
+/// assert!(systolic.has_synapse_parallelism());
+/// assert!(!systolic.has_neuron_parallelism());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Style {
+    /// Feature-map axis (`m`/`n` loops).
+    pub feature_map: Degree,
+    /// Neuron axis (`r`/`c` loops).
+    pub neuron: Degree,
+    /// Synapse axis (`i`/`j` loops).
+    pub synapse: Degree,
+}
+
+impl Style {
+    /// Classifies an unrolling factor set.
+    pub fn from_unroll(u: &Unroll) -> Style {
+        let degree = |unrolled: bool| {
+            if unrolled {
+                Degree::Multiple
+            } else {
+                Degree::Single
+            }
+        };
+        Style {
+            feature_map: degree(u.tm > 1 || u.tn > 1),
+            neuron: degree(u.tr > 1 || u.tc > 1),
+            synapse: degree(u.ti > 1 || u.tj > 1),
+        }
+    }
+
+    /// All eight styles, in the paper's enumeration order.
+    pub fn all() -> [Style; 8] {
+        let mut out = [Style {
+            feature_map: Degree::Single,
+            neuron: Degree::Single,
+            synapse: Degree::Single,
+        }; 8];
+        let degrees = [Degree::Single, Degree::Multiple];
+        let mut idx = 0;
+        for &f in &degrees {
+            for &n in &degrees {
+                for &s in &degrees {
+                    out[idx] = Style {
+                        feature_map: f,
+                        neuron: n,
+                        synapse: s,
+                    };
+                    idx += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// True when feature-map parallelism (FP) is exploited.
+    pub fn has_feature_map_parallelism(&self) -> bool {
+        self.feature_map == Degree::Multiple
+    }
+
+    /// True when neuron parallelism (NP) is exploited.
+    pub fn has_neuron_parallelism(&self) -> bool {
+        self.neuron == Degree::Multiple
+    }
+
+    /// True when synapse parallelism (SP) is exploited.
+    pub fn has_synapse_parallelism(&self) -> bool {
+        self.synapse == Degree::Multiple
+    }
+
+    /// Number of parallelism types exploited (0–3).
+    pub fn parallelism_count(&self) -> usize {
+        [self.feature_map, self.neuron, self.synapse]
+            .iter()
+            .filter(|&&d| d == Degree::Multiple)
+            .count()
+    }
+
+    /// The style of the Systolic baseline (Table 2).
+    pub fn systolic() -> Style {
+        "SFSNMS".parse().expect("constant style")
+    }
+
+    /// The style of the 2D-Mapping baseline (Table 2).
+    pub fn mapping2d() -> Style {
+        "SFMNSS".parse().expect("constant style")
+    }
+
+    /// The style of the Tiling baseline (Table 2).
+    pub fn tiling() -> Style {
+        "MFSNSS".parse().expect("constant style")
+    }
+
+    /// FlexFlow's comprehensive style.
+    pub fn flexflow() -> Style {
+        "MFMNMS".parse().expect("constant style")
+    }
+}
+
+impl fmt::Display for Style {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}F{}N{}S",
+            self.feature_map.letter(),
+            self.neuron.letter(),
+            self.synapse.letter()
+        )
+    }
+}
+
+/// Error parsing a [`Style`] from its six-letter name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseStyleError(String);
+
+impl fmt::Display for ParseStyleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid processing style name: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseStyleError {}
+
+impl std::str::FromStr for Style {
+    type Err = ParseStyleError;
+
+    /// Parses names like `"MFSNMS"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bytes = s.as_bytes();
+        let degree = |b: u8| match b {
+            b'S' => Some(Degree::Single),
+            b'M' => Some(Degree::Multiple),
+            _ => None,
+        };
+        if bytes.len() == 6 && bytes[1] == b'F' && bytes[3] == b'N' && bytes[5] == b'S' {
+            if let (Some(f), Some(n), Some(sy)) = (degree(bytes[0]), degree(bytes[2]), degree(bytes[4]))
+            {
+                return Ok(Style {
+                    feature_map: f,
+                    neuron: n,
+                    synapse: sy,
+                });
+            }
+        }
+        Err(ParseStyleError(s.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_distinct_styles() {
+        let all = Style::all();
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn table2_styles() {
+        assert_eq!(Style::systolic().to_string(), "SFSNMS");
+        assert_eq!(Style::mapping2d().to_string(), "SFMNSS");
+        assert_eq!(Style::tiling().to_string(), "MFSNSS");
+        assert_eq!(Style::flexflow().to_string(), "MFMNMS");
+        assert_eq!(Style::flexflow().parallelism_count(), 3);
+    }
+
+    #[test]
+    fn classification_from_unroll() {
+        // Tiling: only feature-map loops unrolled.
+        let s = Style::from_unroll(&Unroll::new(16, 16, 1, 1, 1, 1));
+        assert_eq!(s, Style::tiling());
+        // Scalar engine: SFSNSS.
+        let s = Style::from_unroll(&Unroll::scalar());
+        assert_eq!(s.parallelism_count(), 0);
+        assert_eq!(s.to_string(), "SFSNSS");
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for style in Style::all() {
+            let name = style.to_string();
+            assert_eq!(name.parse::<Style>().unwrap(), style);
+        }
+        assert!("XFSNMS".parse::<Style>().is_err());
+        assert!("SFSN".parse::<Style>().is_err());
+    }
+}

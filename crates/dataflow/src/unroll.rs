@@ -1,0 +1,176 @@
+//! The unrolling factor set `⟨Tm, Tn, Tr, Tc, Ti, Tj⟩`.
+
+use flexsim_model::ConvLayer;
+use std::fmt;
+
+/// Unrolling factors for the six CONV loops (paper Section 2.2, Fig. 4).
+///
+/// * `tm`, `tn` — feature-map loops `m`, `n` (FP degree),
+/// * `tr`, `tc` — neuron loops `r`, `c` (NP degree),
+/// * `ti`, `tj` — synapse loops `i`, `j` (SP degree).
+///
+/// On FlexFlow's `D×D` engine, an unrolling occupies
+/// `tm·tr·tc` PE **rows** (one output neuron per row) and
+/// `tn·ti·tj` PE **columns** within each row (one input operand per PE),
+/// which is Constraint (1)'s pair of `≤ D` bounds.
+///
+/// # Example
+///
+/// ```
+/// use flexsim_dataflow::Unroll;
+///
+/// // The paper's Fig. 8 factors for its example C1 layer.
+/// let u = Unroll::new(2, 1, 1, 2, 1, 4);
+/// assert_eq!(u.rows_used(), 4);
+/// assert_eq!(u.cols_used(), 4);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Unroll {
+    /// Output feature-map factor `Tm`.
+    pub tm: usize,
+    /// Input feature-map factor `Tn`.
+    pub tn: usize,
+    /// Neuron-row factor `Tr`.
+    pub tr: usize,
+    /// Neuron-column factor `Tc`.
+    pub tc: usize,
+    /// Synapse-row factor `Ti`.
+    pub ti: usize,
+    /// Synapse-column factor `Tj`.
+    pub tj: usize,
+}
+
+impl Unroll {
+    /// Creates an unrolling factor set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any factor is zero (Constraint (1) requires `0 < T`).
+    pub fn new(tm: usize, tn: usize, tr: usize, tc: usize, ti: usize, tj: usize) -> Self {
+        assert!(
+            tm > 0 && tn > 0 && tr > 0 && tc > 0 && ti > 0 && tj > 0,
+            "unrolling factors must be positive"
+        );
+        Unroll {
+            tm,
+            tn,
+            tr,
+            tc,
+            ti,
+            tj,
+        }
+    }
+
+    /// The fully sequential unrolling (every factor 1).
+    pub fn scalar() -> Self {
+        Unroll::new(1, 1, 1, 1, 1, 1)
+    }
+
+    /// PE rows occupied on FlexFlow: `Tm · Tr · Tc`.
+    pub fn rows_used(&self) -> usize {
+        self.tm * self.tr * self.tc
+    }
+
+    /// PEs occupied within each row on FlexFlow: `Tn · Ti · Tj`.
+    pub fn cols_used(&self) -> usize {
+        self.tn * self.ti * self.tj
+    }
+
+    /// Total parallel MACs per cycle under this unrolling.
+    pub fn parallel_macs(&self) -> usize {
+        self.rows_used() * self.cols_used()
+    }
+
+    /// Checks the paper's Constraint (1) for `layer` on a `d×d` engine,
+    /// with an optional bound `max_rc` on `Tr`/`Tc` from the successor
+    /// coupling (`Tr, Tc ≤ P·K'`).
+    pub fn satisfies(&self, layer: &ConvLayer, d: usize, max_rc: Option<usize>) -> bool {
+        let rc_bound = max_rc.unwrap_or(usize::MAX);
+        self.tm <= layer.m()
+            && self.tn <= layer.n()
+            && self.ti <= layer.k()
+            && self.tj <= layer.k()
+            && self.tr <= layer.s().min(rc_bound)
+            && self.tc <= layer.s().min(rc_bound)
+            && self.cols_used() <= d
+            && self.rows_used() <= d
+    }
+
+    /// Clamps every factor to the layer's natural bounds
+    /// (`Tm ≤ M`, `Tn ≤ N`, `Tr,Tc ≤ S`, `Ti,Tj ≤ K`).
+    pub fn clamped_to(&self, layer: &ConvLayer) -> Unroll {
+        Unroll {
+            tm: self.tm.min(layer.m()),
+            tn: self.tn.min(layer.n()),
+            tr: self.tr.min(layer.s()),
+            tc: self.tc.min(layer.s()),
+            ti: self.ti.min(layer.k()),
+            tj: self.tj.min(layer.k()),
+        }
+    }
+}
+
+impl fmt::Display for Unroll {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "<Tm={}, Tn={}, Tr={}, Tc={}, Ti={}, Tj={}>",
+            self.tm, self.tn, self.tr, self.tc, self.ti, self.tj
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fig8_c1_occupancy() {
+        // C1 of the Section 4 example on a 4x4 engine:
+        // <Tm=2, Tr=1, Tc=2, Tn=1, Ti=1, Tj=4> fully occupies 4x4.
+        let u = Unroll::new(2, 1, 1, 2, 1, 4);
+        assert_eq!(u.rows_used(), 4);
+        assert_eq!(u.cols_used(), 4);
+        assert_eq!(u.parallel_macs(), 16);
+    }
+
+    #[test]
+    fn paper_fig8_c2_occupancy() {
+        // C2: <Tm=2, Tr=1, Tc=2, Tn=2, Ti=1, Tj=2> also fills 4x4.
+        let u = Unroll::new(2, 2, 1, 2, 1, 2);
+        assert_eq!(u.rows_used(), 4);
+        assert_eq!(u.cols_used(), 4);
+    }
+
+    #[test]
+    fn satisfies_checks_all_bounds() {
+        let layer = ConvLayer::new("C", 2, 1, 8, 4);
+        let d = 4;
+        assert!(Unroll::new(2, 1, 1, 2, 1, 4).satisfies(&layer, d, None));
+        // Ti exceeds K.
+        assert!(!Unroll::new(1, 1, 1, 1, 5, 1).satisfies(&layer, d, None));
+        // Row occupancy exceeds D.
+        assert!(!Unroll::new(2, 1, 2, 2, 1, 1).satisfies(&layer, d, None));
+        // Coupling bound on Tr/Tc.
+        assert!(!Unroll::new(1, 1, 1, 2, 1, 1).satisfies(&layer, d, Some(1)));
+    }
+
+    #[test]
+    fn clamp_respects_layer_shape() {
+        let layer = ConvLayer::new("C", 2, 3, 4, 2);
+        let u = Unroll::new(10, 10, 10, 10, 10, 10).clamped_to(&layer);
+        assert_eq!(u, Unroll::new(2, 3, 4, 4, 2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_factor_rejected() {
+        let _ = Unroll::new(0, 1, 1, 1, 1, 1);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let u = Unroll::scalar();
+        assert_eq!(u.to_string(), "<Tm=1, Tn=1, Tr=1, Tc=1, Ti=1, Tj=1>");
+    }
+}

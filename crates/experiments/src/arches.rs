@@ -1,0 +1,78 @@
+//! Factories for the four evaluated architectures at the paper's
+//! configurations (Section 6.1.1) and at the Fig. 19 scales.
+
+use flexflow::FlexFlow;
+use flexsim_arch::Accelerator;
+use flexsim_baselines::{Mapping2d, Systolic, TilingArray};
+use flexsim_model::Network;
+
+/// The four architecture names in the paper's presentation order.
+pub const ARCH_NAMES: [&str; 4] = ["Systolic", "2D-Mapping", "Tiling", "FlexFlow"];
+
+/// The Systolic configuration for a workload: 7×(6×6) arrays, except
+/// AlexNet which uses 11×11 arrays (Section 6.1.1).
+pub fn systolic_for(net: &Network) -> Systolic {
+    if net.name() == "AlexNet" {
+        Systolic::alexnet_config()
+    } else {
+        Systolic::dc_cnn()
+    }
+}
+
+/// All four architectures at the paper's ~256-PE scale, configured for
+/// `net`, in [`ARCH_NAMES`] order.
+pub fn paper_scale(net: &Network) -> Vec<Box<dyn Accelerator>> {
+    vec![
+        Box::new(systolic_for(net)),
+        Box::new(Mapping2d::shidiannao()),
+        Box::new(TilingArray::diannao()),
+        Box::new(FlexFlow::paper_config()),
+    ]
+}
+
+/// All four architectures scaled to a `d×d`-equivalent engine
+/// (Fig. 19). The systolic geometry follows the workload kernel (11×11
+/// arrays for AlexNet).
+pub fn at_scale(net: &Network, d: usize) -> Vec<Box<dyn Accelerator>> {
+    let array_k = if net.name() == "AlexNet" { 11 } else { 6 };
+    vec![
+        Box::new(Systolic::scaled_to(array_k, d * d)),
+        Box::new(Mapping2d::new(d, d)),
+        Box::new(TilingArray::new(d, d)),
+        Box::new(FlexFlow::new(d)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsim_model::workloads;
+
+    #[test]
+    fn paper_scale_is_about_256_pes() {
+        for acc in paper_scale(&workloads::lenet5()) {
+            let pes = acc.pe_count();
+            assert!((240..=260).contains(&pes), "{}: {pes}", acc.name());
+        }
+    }
+
+    #[test]
+    fn alexnet_gets_11x11_systolic() {
+        let sys = systolic_for(&workloads::alexnet());
+        assert_eq!(sys.array_k(), 11);
+        // 2 arrays keep the scale near 256.
+        assert_eq!(sys.pe_count(), 242);
+    }
+
+    #[test]
+    fn scaling_covers_fig19_range() {
+        for d in [8usize, 16, 32, 64] {
+            for acc in at_scale(&workloads::alexnet(), d) {
+                assert!(acc.pe_count() > 0);
+                // One 11x11 systolic array (121 PEs) is the minimum engine
+                // even when the budget is 8x8.
+                assert!(acc.pe_count() <= (d * d).max(121));
+            }
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Extension experiments beyond the paper's figures.
+//!
+//! * [`roofline`] — carries Fig. 17/Table 7's data-reuse story to its
+//!   system-level consequence: with a DDR3-class DRAM interface, which
+//!   architectures are memory-bound at the paper's 1 GHz clock?
+//! * [`batching`] — weight amortization across a batch of inferences:
+//!   the fix for the small-net memory roof [`roofline`] exposes;
+//! * [`routing_share`] — the Section 6.2.5 routing-network share trend
+//!   (the paper quotes 28.34 % / 25.97 % / 21.32 % for 16×16 / 32×32 /
+//!   64×64), measured on our area model.
+
+use crate::arches;
+use crate::report::{fmt_f, pct, ExperimentResult, Table};
+use flexflow::FlexFlow;
+use flexsim_arch::bandwidth::DramInterface;
+use flexsim_arch::dram::{network_traffic, network_traffic_fused};
+use flexsim_arch::Accelerator;
+use flexsim_model::workloads;
+
+/// Runs the roofline extension.
+pub fn roofline() -> ExperimentResult {
+    let dram = DramInterface::ddr3_style();
+    let mut table = Table::new([
+        "workload",
+        "arch",
+        "compute GOPS",
+        "roofline GOPS",
+        "achievable GOPS",
+        "bound",
+    ]);
+    for net in workloads::all() {
+        // DRAM traffic depends on buffer capacity, shared by all four
+        // engines (Table 5) — the architectures differ in the compute
+        // side.
+        let traffic = network_traffic(&net, 16 * 1024, 16 * 1024);
+        for mut acc in arches::paper_scale(&net) {
+            let s = acc.run_network(&net);
+            let point = dram.cap(s.gops(), traffic, net.conv_macs());
+            table.push_row([
+                net.name().to_owned(),
+                acc.name().to_owned(),
+                fmt_f(point.compute_gops, 0),
+                if point.roofline_gops.is_finite() {
+                    fmt_f(point.roofline_gops, 0)
+                } else {
+                    "inf".to_owned()
+                },
+                fmt_f(point.achievable_gops, 0),
+                if point.memory_bound { "memory" } else { "compute" }.to_owned(),
+            ]);
+        }
+    }
+    ExperimentResult {
+        id: "ext_roofline".into(),
+        title: "Extension: DRAM roofline at DDR3-class bandwidth (6.4 GB/s)".into(),
+        notes: vec![
+            "All engines share the Table 5 buffers, so per-frame DRAM \
+             traffic is common across architectures; the bound column shows \
+             whose compute throughput exceeds the memory roof."
+                .into(),
+            "Finding: on the big nets (AlexNet) the roof is high enough that \
+             FlexFlow's 496 GOPS is realizable, while on the small nets the \
+             arithmetic intensity of a *single inference* is so low that \
+             every engine faster than ~150-200 GOPS hits the same DRAM roof \
+             — deploying the paper's speedups on small CNNs requires \
+             batching or persistent on-chip weights (they fit: LeNet-5's \
+             weights are ~26 KB)."
+                .into(),
+        ],
+        table,
+    }
+}
+
+/// Runs the batching extension: FlexFlow's achievable GOPS vs. batch
+/// size under the DDR3-class roofline.
+pub fn batching() -> ExperimentResult {
+    let dram = DramInterface::ddr3_style();
+    let mut table = Table::new([
+        "workload",
+        "batch",
+        "compute GOPS",
+        "roofline GOPS",
+        "achievable GOPS",
+        "bound",
+    ]);
+    for net in [workloads::lenet5(), workloads::pv(), workloads::alexnet()] {
+        let mut ff = FlexFlow::paper_config();
+        let compute = ff.run_network(&net).gops();
+        for batch in [1u64, 4, 16, 64] {
+            // Fused-chain traffic: FlexFlow's ping-pong neuron buffers
+            // keep fitting intermediates on chip.
+            let traffic = network_traffic_fused(&net, 16 * 1024, 16 * 1024, batch);
+            let point = dram.cap(compute, traffic, net.conv_macs() * batch);
+            table.push_row([
+                net.name().to_owned(),
+                batch.to_string(),
+                fmt_f(point.compute_gops, 0),
+                fmt_f(point.roofline_gops, 0),
+                fmt_f(point.achievable_gops, 0),
+                if point.memory_bound { "memory" } else { "compute" }.to_owned(),
+            ]);
+        }
+    }
+    ExperimentResult {
+        id: "ext_batching".into(),
+        title: "Extension: batched inference lifts the small-net memory roof".into(),
+        notes: vec![
+            "With the engine's own ping-pong buffers keeping intermediates \
+             on chip (layer fusion) and weights amortized across the batch, \
+             the small workloads become compute-bound within a few frames, \
+             making the paper's speedups deployable."
+                .into(),
+        ],
+        table,
+    }
+}
+
+/// Runs the routing-share extension (Section 6.2.5's quoted trend).
+pub fn routing_share() -> ExperimentResult {
+    let mut table = Table::new([
+        "scale",
+        "interconnect mm2",
+        "total mm2",
+        "share %",
+        "paper power-share %",
+    ]);
+    for (d, paper) in crate::paper::ROUTING_POWER_SHARE {
+        let ff = FlexFlow::new(d);
+        let area = ff.area();
+        table.push_row([
+            format!("{d}x{d}"),
+            fmt_f(area.interconnect_mm2, 2),
+            fmt_f(area.total_mm2(), 2),
+            pct(area.interconnect_fraction()),
+            fmt_f(paper, 2),
+        ]);
+    }
+    ExperimentResult {
+        id: "ext_routing_share".into(),
+        title: "Extension: FlexFlow interconnect share vs. engine scale (Sec. 6.2.5)"
+            .into(),
+        notes: vec![
+            "The paper quotes the routing network's *power* share; we measure \
+             the area share of the same CDB fabric. Both decline with scale \
+             because the buses are an affine (backbone + per-PE tap) cost."
+                .into(),
+        ],
+        table,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_flexflow_is_compute_bound() {
+        // The big-net case the paper's reuse story enables: FlexFlow's
+        // ~500 GOPS on AlexNet fits under the DDR3 roof.
+        let r = roofline();
+        let row = r
+            .table
+            .rows()
+            .iter()
+            .find(|row| row[0] == "AlexNet" && row[1] == "FlexFlow")
+            .unwrap()
+            .clone();
+        assert_eq!(row[5], "compute");
+        let compute: f64 = row[2].parse().unwrap();
+        let achievable: f64 = row[4].parse().unwrap();
+        assert!((compute - achievable).abs() < 1.0);
+    }
+
+    #[test]
+    fn small_nets_share_a_memory_roof_at_single_frame() {
+        // Low single-inference arithmetic intensity: on every small net
+        // the fastest engines (FlexFlow included) hit the same roof —
+        // the slow ones (Tiling) stay compute-bound below it.
+        let r = roofline();
+        for wl in ["PV", "FR", "LeNet-5", "HG"] {
+            let ff = r
+                .table
+                .rows()
+                .iter()
+                .find(|row| row[0] == wl && row[1] == "FlexFlow")
+                .unwrap()
+                .clone();
+            assert_eq!(ff[5], "memory", "{wl}");
+            let tiling = r
+                .table
+                .rows()
+                .iter()
+                .find(|row| row[0] == wl && row[1] == "Tiling")
+                .unwrap()
+                .clone();
+            assert_eq!(tiling[5], "compute", "{wl}");
+        }
+    }
+
+    #[test]
+    fn batching_lifts_the_memory_roof() {
+        let r = batching();
+        let roof_at = |wl: &str, b: &str| -> f64 {
+            r.table
+                .rows()
+                .iter()
+                .find(|row| row[0] == wl && row[1] == b)
+                .unwrap()[3]
+                .parse()
+                .unwrap()
+        };
+        // With fusion, LeNet-5 squeaks past the roof even at batch 1
+        // (within ~10% of compute) and batching gives real headroom.
+        let compute = 424.0;
+        assert!(roof_at("LeNet-5", "1") > 0.9 * compute);
+        assert!(roof_at("LeNet-5", "16") > 1.5 * compute);
+        // AlexNet's roof is batch-independent (intermediates too big to
+        // fuse, weights dominated by activations).
+        assert!((roof_at("AlexNet", "1") - roof_at("AlexNet", "64")).abs() < 1.0);
+        // Roofline is monotone nondecreasing in batch.
+        for wl in ["LeNet-5", "PV", "AlexNet"] {
+            let roofs: Vec<f64> = r
+                .table
+                .rows()
+                .iter()
+                .filter(|row| row[0] == wl)
+                .map(|row| row[3].parse().unwrap())
+                .collect();
+            for pair in roofs.windows(2) {
+                assert!(pair[1] >= pair[0] - 1e-9, "{wl}");
+            }
+        }
+    }
+
+    #[test]
+    fn routing_share_declines_like_the_paper() {
+        let r = routing_share();
+        let shares: Vec<f64> = r
+            .table
+            .rows()
+            .iter()
+            .map(|row| row[3].parse().unwrap())
+            .collect();
+        assert_eq!(shares.len(), 3);
+        assert!(shares[0] > shares[1] && shares[1] > shares[2]);
+        // Same ballpark as the quoted power shares (15-30%).
+        for s in shares {
+            assert!((10.0..32.0).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Figure 15 — computing resource utilization, four architectures ×
+//! six workloads.
+
+use crate::arches;
+use crate::report::{pct, ExperimentResult, Table};
+use flexsim_model::workloads;
+
+/// Runs the experiment.
+pub fn run() -> ExperimentResult {
+    let mut table = Table::new([
+        "workload",
+        "Systolic %",
+        "2D-Mapping %",
+        "Tiling %",
+        "FlexFlow %",
+    ]);
+    for net in workloads::all() {
+        let mut row = vec![net.name().to_owned()];
+        for mut acc in arches::paper_scale(&net) {
+            let s = acc.run_network(&net);
+            row.push(pct(s.utilization()));
+        }
+        table.push_row(row);
+    }
+    ExperimentResult {
+        id: "fig15".into(),
+        title: "Computing resource utilization for different baselines".into(),
+        notes: vec![
+            "Paper (bars): FlexFlow >80% everywhere; baselines mostly <40%, \
+             volatile across workloads; Tiling high only on AlexNet/VGG \
+             (feature-map counts are multiples of 16)."
+                .into(),
+        ],
+        table,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(r: &ExperimentResult, wl: &str, arch: &str) -> f64 {
+        r.table.cell(wl, arch).unwrap().parse().unwrap()
+    }
+
+    #[test]
+    fn flexflow_leads_every_workload() {
+        let r = run();
+        for row in r.table.rows() {
+            let ff: f64 = row[4].parse().unwrap();
+            for c in 1..=3 {
+                let other: f64 = row[c].parse().unwrap();
+                assert!(
+                    ff > other,
+                    "{}: FlexFlow {ff}% vs {} {other}%",
+                    row[0],
+                    r.table.headers()[c]
+                );
+            }
+            assert!(ff > 70.0, "{}: FlexFlow only {ff}%", row[0]);
+        }
+    }
+
+    #[test]
+    fn tiling_recovers_on_alexnet_and_vgg() {
+        // The paper's crossover: Tiling is near-useless on the small
+        // nets but competitive on AlexNet/VGG.
+        let r = run();
+        let small = col(&r, "LeNet-5", "Tiling %");
+        let alex = col(&r, "AlexNet", "Tiling %");
+        let vgg = col(&r, "VGG-11", "Tiling %");
+        assert!(alex > 3.0 * small);
+        assert!(vgg > 3.0 * small);
+        assert!(alex > 50.0 && vgg > 60.0);
+    }
+
+    #[test]
+    fn baselines_are_volatile() {
+        // Per-architecture spread across workloads exceeds 25 points for
+        // at least two baselines (the "volatile" observation).
+        let r = run();
+        let mut volatile = 0;
+        for c in 1..=3 {
+            let vals: Vec<f64> = r
+                .table
+                .rows()
+                .iter()
+                .map(|row| row[c].parse().unwrap())
+                .collect();
+            let max = vals.iter().cloned().fold(f64::MIN, f64::max);
+            let min = vals.iter().cloned().fold(f64::MAX, f64::min);
+            if max - min > 25.0 {
+                volatile += 1;
+            }
+        }
+        assert!(volatile >= 2);
+    }
+}

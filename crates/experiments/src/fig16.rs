@@ -1,0 +1,91 @@
+//! Figure 16 — performance (GOPS at 1 GHz), four architectures × six
+//! workloads.
+
+use crate::arches;
+use crate::report::{fmt_f, ExperimentResult, Table};
+use flexsim_model::workloads;
+
+/// Runs the experiment.
+pub fn run() -> ExperimentResult {
+    let mut table = Table::new([
+        "workload",
+        "Systolic",
+        "2D-Mapping",
+        "Tiling",
+        "FlexFlow",
+        "speedup vs best baseline",
+    ]);
+    for net in workloads::all() {
+        let mut gops = Vec::new();
+        for mut acc in arches::paper_scale(&net) {
+            gops.push(acc.run_network(&net).gops());
+        }
+        let best_baseline = gops[..3].iter().cloned().fold(f64::MIN, f64::max);
+        let mut row = vec![net.name().to_owned()];
+        row.extend(gops.iter().map(|g| fmt_f(*g, 1)));
+        row.push(format!("{:.2}x", gops[3] / best_baseline));
+        table.push_row(row);
+    }
+    ExperimentResult {
+        id: "fig16".into(),
+        title: "Performance for different baselines (GOPS @ 1 GHz)".into(),
+        notes: vec![
+            "Paper: FlexFlow constantly above 420 GOPS; >2x over Systolic and \
+             2D-Mapping, up to 10x over Tiling."
+                .into(),
+        ],
+        table,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::claims;
+
+    #[test]
+    fn flexflow_above_420_gops_on_most_workloads() {
+        let r = run();
+        let mut above = 0;
+        for row in r.table.rows() {
+            let ff: f64 = row[4].parse().unwrap();
+            assert!(ff > 350.0, "{}: {ff} GOPS", row[0]);
+            if ff > claims::FLEXFLOW_MIN_GOPS {
+                above += 1;
+            }
+        }
+        assert!(above >= 4, "only {above}/6 workloads above 420 GOPS");
+    }
+
+    #[test]
+    fn flexflow_wins_every_workload() {
+        let r = run();
+        for row in r.table.rows() {
+            let ff: f64 = row[4].parse().unwrap();
+            for c in 1..=3 {
+                let other: f64 = row[c].parse().unwrap();
+                assert!(ff > other, "{}: col {c}", row[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn speedups_land_in_the_abstracts_band() {
+        // "2-10x performance speedup": FlexFlow vs *each* baseline stays
+        // within (or above 1.5x of) that band somewhere, and vs Tiling
+        // reaches large factors on small nets.
+        let r = run();
+        let lenet = r
+            .table
+            .rows()
+            .iter()
+            .find(|row| row[0] == "LeNet-5")
+            .unwrap()
+            .clone();
+        let ff: f64 = lenet[4].parse().unwrap();
+        let tiling: f64 = lenet[3].parse().unwrap();
+        assert!(ff / tiling > 5.0, "FlexFlow/Tiling on LeNet = {:.1}", ff / tiling);
+        let sys: f64 = lenet[1].parse().unwrap();
+        assert!(ff / sys > 1.8, "FlexFlow/Systolic on LeNet = {:.1}", ff / sys);
+    }
+}

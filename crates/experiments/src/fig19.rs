@@ -1,0 +1,119 @@
+//! Figure 19 — scalability on AlexNet: utilization (a), power (b), and
+//! chip area (c) as the engine scales from 8×8 to 64×64 PEs.
+
+use crate::arches;
+use crate::report::{fmt_f, pct, ExperimentResult, Table};
+use flexsim_model::workloads;
+
+/// The Fig. 19 engine scales (side of the PE square).
+pub const SCALES: [usize; 4] = [8, 16, 32, 64];
+
+/// Runs the experiment.
+pub fn run() -> ExperimentResult {
+    let net = workloads::alexnet();
+    let mut table = Table::new([
+        "scale",
+        "metric",
+        "Systolic",
+        "2D-Mapping",
+        "Tiling",
+        "FlexFlow",
+    ]);
+    for d in SCALES {
+        let mut util = Vec::new();
+        let mut power = Vec::new();
+        let mut area = Vec::new();
+        for mut acc in arches::at_scale(&net, d) {
+            let s = acc.run_network(&net);
+            util.push(pct(s.utilization()));
+            power.push(fmt_f(s.power_w(), 2));
+            area.push(fmt_f(acc.area().total_mm2(), 2));
+        }
+        let scale = format!("{d}x{d}");
+        let mut row = vec![scale.clone(), "utilization %".to_owned()];
+        row.extend(util);
+        table.push_row(row);
+        let mut row = vec![scale.clone(), "power W".to_owned()];
+        row.extend(power);
+        table.push_row(row);
+        let mut row = vec![scale, "area mm2".to_owned()];
+        row.extend(area);
+        table.push_row(row);
+    }
+    ExperimentResult {
+        id: "fig19".into(),
+        title: "Scalability on AlexNet (utilization, power, area vs. scale)".into(),
+        notes: vec![
+            "Paper: baselines' utilization drops drastically with scale while \
+             FlexFlow stays high; FlexFlow's area grows slower than \
+             2D-Mapping/Tiling thanks to the simplified interconnect."
+                .into(),
+        ],
+        table,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metric(r: &ExperimentResult, scale: &str, metric: &str, col: usize) -> f64 {
+        r.table
+            .rows()
+            .iter()
+            .find(|row| row[0] == scale && row[1] == metric)
+            .unwrap()[col]
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn flexflow_utilization_stays_high_with_scale() {
+        let r = run();
+        let at8 = metric(&r, "8x8", "utilization %", 5);
+        let at64 = metric(&r, "64x64", "utilization %", 5);
+        assert!(at8 > 70.0 && at64 > 55.0, "8x8 {at8}%, 64x64 {at64}%");
+        // And the drop is modest compared to the baselines.
+        for col in 2..=4 {
+            let b8 = metric(&r, "8x8", "utilization %", col);
+            let b64 = metric(&r, "64x64", "utilization %", col);
+            if b8 > 1.0 {
+                let base_drop = b64 / b8;
+                let ff_drop = at64 / at8;
+                assert!(
+                    ff_drop > base_drop || b64 < at64,
+                    "col {col}: baseline holds up better than FlexFlow"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_utilization_collapses_at_64() {
+        // "the computing resource utilization for the former three
+        // baselines drops drastically".
+        let r = run();
+        let m2d = metric(&r, "64x64", "utilization %", 3);
+        assert!(m2d < 30.0, "2D-Mapping at 64x64: {m2d}%");
+    }
+
+    #[test]
+    fn flexflow_area_grows_slower_than_mesh_and_tree() {
+        let r = run();
+        let growth = |col: usize| {
+            metric(&r, "64x64", "area mm2", col) / metric(&r, "8x8", "area mm2", col)
+        };
+        assert!(growth(5) < growth(3), "FlexFlow vs 2D-Mapping");
+        assert!(growth(5) < growth(4), "FlexFlow vs Tiling");
+    }
+
+    #[test]
+    fn power_grows_with_scale_for_flexflow() {
+        // Fig. 19b: FlexFlow's power grows near-linearly in PE count
+        // (it actually uses the added PEs).
+        let r = run();
+        let p8 = metric(&r, "8x8", "power W", 5);
+        let p64 = metric(&r, "64x64", "power W", 5);
+        assert!(p64 > 10.0 * p8, "power {p8} -> {p64}");
+    }
+}

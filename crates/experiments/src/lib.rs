@@ -1,0 +1,92 @@
+//! # flexsim-experiments — regenerating the FlexFlow (HPCA'17)
+//! evaluation
+//!
+//! One module per table/figure of the paper's Section 6, each exposing
+//! `run() -> ExperimentResult`. The `flexsim` binary (`src/main.rs`)
+//! drives them:
+//!
+//! ```text
+//! cargo run -p flexsim-experiments --release -- all
+//! cargo run -p flexsim-experiments --release -- fig15 table06
+//! ```
+//!
+//! Paper-reported values (where the paper prints numbers rather than
+//! bars) live in [`paper`] and are shown side by side with measured
+//! values.
+
+#![deny(missing_docs)]
+
+pub mod ablations;
+pub mod extensions;
+pub mod arches;
+pub mod fig01;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod paper;
+pub mod report;
+pub mod table03;
+pub mod table04;
+pub mod table06;
+pub mod table07;
+
+pub use report::{ExperimentResult, Table};
+
+/// Runs every experiment in paper order.
+pub fn run_all() -> Vec<ExperimentResult> {
+    vec![
+        fig01::run(),
+        table03::run(),
+        table04::run(),
+        fig15::run(),
+        fig16::run(),
+        fig17::run(),
+        fig18::run(),
+        table06::run(),
+        fig19::run(),
+        table07::run(),
+        ablations::styles(),
+        ablations::local_store(),
+        ablations::coupling(),
+        ablations::rc_bound(),
+        extensions::roofline(),
+        extensions::batching(),
+        extensions::routing_share(),
+    ]
+}
+
+/// Looks up an experiment by id (e.g. `"fig15"`, `"table06"`).
+pub fn run_by_id(id: &str) -> Option<ExperimentResult> {
+    match id {
+        "fig01" | "fig1" => Some(fig01::run()),
+        "table03" | "table3" => Some(table03::run()),
+        "table04" | "table4" => Some(table04::run()),
+        "fig15" => Some(fig15::run()),
+        "fig16" => Some(fig16::run()),
+        "fig17" => Some(fig17::run()),
+        "fig18" => Some(fig18::run()),
+        "table06" | "table6" => Some(table06::run()),
+        "fig19" => Some(fig19::run()),
+        "table07" | "table7" => Some(table07::run()),
+        "ablation_styles" => Some(ablations::styles()),
+        "ablation_store" => Some(ablations::local_store()),
+        "ablation_coupling" => Some(ablations::coupling()),
+        "ablation_rc_bound" => Some(ablations::rc_bound()),
+        "ext_roofline" => Some(extensions::roofline()),
+        "ext_batching" => Some(extensions::batching()),
+        "ext_routing_share" => Some(extensions::routing_share()),
+        _ => None,
+    }
+}
+
+/// All experiment ids, in paper order.
+pub fn experiment_ids() -> &'static [&'static str] {
+    &[
+        "fig01", "table03", "table04", "fig15", "fig16", "fig17", "fig18", "table06", "fig19",
+        "table07", "ablation_styles", "ablation_store", "ablation_coupling",
+        "ablation_rc_bound", "ext_roofline",
+        "ext_batching", "ext_routing_share",
+    ]
+}

@@ -1,0 +1,95 @@
+//! `flexsim` — CLI driver for the FlexFlow (HPCA'17) evaluation
+//! experiments.
+//!
+//! ```text
+//! flexsim all              # every table/figure, paper order
+//! flexsim fig15 table06    # selected experiments
+//! flexsim --json all       # machine-readable output
+//! flexsim --out DIR all    # also write one .txt + .json per experiment
+//! flexsim --list           # available experiment ids
+//! ```
+
+use flexsim_experiments::{experiment_ids, run_all, run_by_id};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let mut skip_next = false;
+    let ids: Vec<&String> = args
+        .iter()
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if a.as_str() == "--out" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
+        .collect();
+
+    if args.iter().any(|a| a == "--list") {
+        for id in experiment_ids() {
+            println!("{id}");
+        }
+        return;
+    }
+    let results = if ids.is_empty() || ids.iter().any(|a| a.as_str() == "all") {
+        run_all()
+    } else {
+        let mut results = Vec::new();
+        for id in ids {
+            match run_by_id(id) {
+                Some(r) => results.push(r),
+                None => {
+                    eprintln!(
+                        "unknown experiment {id:?}; available: {}",
+                        experiment_ids().join(", ")
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        results
+    };
+    if let Some(dir) = out_dir {
+        write_out(&dir, &results);
+    }
+    emit(results, json);
+}
+
+fn write_out(dir: &str, results: &[flexsim_experiments::ExperimentResult]) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {dir}: {e}");
+        std::process::exit(1);
+    }
+    for r in results {
+        let txt = format!("{dir}/{}.txt", r.id);
+        let json = format!("{dir}/{}.json", r.id);
+        if let Err(e) = std::fs::write(&txt, r.to_string())
+            .and_then(|_| std::fs::write(&json, r.to_json()))
+        {
+            eprintln!("cannot write {txt}/{json}: {e}");
+            std::process::exit(1);
+        }
+    }
+    eprintln!("wrote {} experiments to {dir}/", results.len());
+}
+
+fn emit(results: Vec<flexsim_experiments::ExperimentResult>, json: bool) {
+    if json {
+        let blobs: Vec<String> = results.iter().map(|r| r.to_json()).collect();
+        println!("[{}]", blobs.join(",\n"));
+    } else {
+        for r in results {
+            println!("{r}");
+        }
+    }
+}

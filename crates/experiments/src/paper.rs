@@ -1,0 +1,141 @@
+//! Values the paper reports numerically, for side-by-side comparison.
+//!
+//! Only numbers the paper *prints* are transcribed here; bar-chart
+//! figures (15–18) carry no numeric labels, so their comparisons are
+//! qualitative (orderings, bounds, factors quoted in the text) and
+//! recorded in `EXPERIMENTS.md` instead.
+
+/// Chip areas at the 256-PE scale, mm² (Section 6.2.1), in the order
+/// Systolic, 2D-Mapping, Tiling, FlexFlow.
+pub const AREAS_MM2: [(&str, f64); 4] = [
+    ("Systolic", 3.52),
+    ("2D-Mapping", 3.46),
+    ("Tiling", 3.21),
+    ("FlexFlow", 3.89),
+];
+
+/// Table 3: hardware utilization (%) for three architectures across
+/// four workloads: `(workload, direction, systolic, mapping2d, tiling)`.
+pub const TABLE3: [(&str, &str, f64, f64, f64); 8] = [
+    ("PV", "C3 on C1-opt", 25.0, 19.0, 75.0),
+    ("PV", "C1 on C3-opt", 100.0, 56.0, 8.3),
+    ("FR", "C3 on C1-opt", 80.0, 12.7, 100.0),
+    ("FR", "C1 on C3-opt", 39.0, 87.0, 6.2),
+    ("LeNet-5", "C3 on C1-opt", 100.0, 12.7, 88.0),
+    ("LeNet-5", "C1 on C3-opt", 100.0, 87.0, 6.2),
+    ("HG", "C3 on C1-opt", 80.0, 100.0, 11.0),
+    ("HG", "C1 on C3-opt", 39.0, 100.0, 8.3),
+];
+
+/// Table 4: the paper's unrolling factors per workload/layer:
+/// `(workload, layer, [tm, tn, tr, tc, ti, tj])`.
+pub const TABLE4: [(&str, &str, [usize; 6]); 8] = [
+    ("PV", "C1", [8, 1, 1, 2, 2, 6]),
+    ("PV", "C3", [3, 8, 1, 5, 1, 2]),
+    ("FR", "C1", [4, 1, 1, 4, 3, 15]),
+    ("FR", "C3", [16, 4, 1, 1, 1, 4]),
+    ("LeNet-5", "C1", [3, 1, 1, 5, 3, 5]),
+    ("LeNet-5", "C3", [16, 3, 1, 1, 1, 5]),
+    ("HG", "C1", [3, 1, 1, 5, 3, 5]),
+    ("HG", "C3", [4, 2, 1, 4, 2, 4]),
+];
+
+/// Table 6: FlexFlow power breakdown (mW):
+/// `(workload, p_nein, p_neout, p_kerin, p_com)`.
+pub const TABLE6_MW: [(&str, f64, f64, f64, f64); 6] = [
+    ("PV", 48.0, 66.0, 15.0, 711.0),
+    ("FR", 61.0, 75.0, 25.0, 847.0),
+    ("LeNet-5", 49.0, 72.0, 28.0, 779.0),
+    ("HG", 54.0, 94.0, 79.0, 900.0),
+    ("AlexNet", 58.0, 75.0, 27.0, 958.0),
+    ("VGG-11", 50.0, 86.0, 23.0, 860.0),
+];
+
+/// Table 7: accelerator comparison. `None` = the paper printed "NA".
+#[derive(Clone, Copy, Debug)]
+pub struct AcceleratorSpecRow {
+    /// Accelerator name.
+    pub name: &'static str,
+    /// Process node.
+    pub process: &'static str,
+    /// Number of PEs.
+    pub pes: u32,
+    /// Local store per PE, bytes.
+    pub local_store_b: Option<u32>,
+    /// On-chip buffer size, KB.
+    pub buffer_kb: u32,
+    /// Chip area, mm².
+    pub area_mm2: f64,
+    /// DRAM accesses per operation.
+    pub dram_acc_per_op: Option<f64>,
+}
+
+/// The three Table 7 rows.
+pub const TABLE7: [AcceleratorSpecRow; 3] = [
+    AcceleratorSpecRow {
+        name: "DianNao",
+        process: "65nm",
+        pes: 256,
+        local_store_b: None,
+        buffer_kb: 36,
+        area_mm2: 3.02,
+        dram_acc_per_op: None,
+    },
+    AcceleratorSpecRow {
+        name: "Eyeriss",
+        process: "65nm",
+        pes: 168,
+        local_store_b: Some(512),
+        buffer_kb: 108,
+        area_mm2: 16.0,
+        dram_acc_per_op: Some(0.006),
+    },
+    AcceleratorSpecRow {
+        name: "FlexFlow",
+        process: "65nm",
+        pes: 256,
+        local_store_b: Some(512),
+        buffer_kb: 64,
+        area_mm2: 3.89,
+        dram_acc_per_op: Some(0.0049),
+    },
+];
+
+/// Routing-network power share vs. engine scale (Section 6.2.5):
+/// `(D, percent)`.
+pub const ROUTING_POWER_SHARE: [(usize, f64); 3] =
+    [(16, 28.34), (32, 25.97), (64, 21.32)];
+
+/// Textual claims used as quantitative checks.
+pub mod claims {
+    /// "FlexFlow obtains over 80% resource utilization across all
+    /// workloads" (Fig. 15 commentary).
+    pub const FLEXFLOW_MIN_UTILIZATION: f64 = 0.80;
+    /// "FlexFlow can constantly acquire over 420 GOPs performance with
+    /// 1 GHz working frequency" (Section 6.2.3).
+    pub const FLEXFLOW_MIN_GOPS: f64 = 420.0;
+    /// "2-10x performance speedup ... compared with three
+    /// state-of-the-art accelerator architectures" (abstract).
+    pub const SPEEDUP_RANGE: (f64, f64) = (2.0, 10.0);
+    /// "2.5-10x power efficiency improvement" (abstract).
+    pub const EFFICIENCY_RANGE: (f64, f64) = (2.5, 10.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transcriptions_are_consistent() {
+        assert_eq!(TABLE3.len(), 8);
+        assert_eq!(TABLE4.len(), 8);
+        assert_eq!(TABLE6_MW.len(), 6);
+        // Table 6's Pcom dominates every row (>75% of the total).
+        for (wl, nein, neout, ker, com) in TABLE6_MW {
+            let total = nein + neout + ker + com;
+            assert!(com / total > 0.75, "{wl}");
+        }
+        // Table 7's FlexFlow row matches the Section 6.2.1 area.
+        assert_eq!(TABLE7[2].area_mm2, AREAS_MM2[3].1);
+    }
+}

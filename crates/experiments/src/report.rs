@@ -1,0 +1,192 @@
+//! Result containers and ASCII table rendering.
+
+use serde::Serialize;
+use std::fmt;
+
+/// A rendered experiment: identifier, caption, commentary, and a table.
+#[derive(Clone, Debug, Serialize)]
+pub struct ExperimentResult {
+    /// Short id (`"fig15"`).
+    pub id: String,
+    /// Caption (what the paper's table/figure shows).
+    pub title: String,
+    /// Free-form notes (methodology, deviations).
+    pub notes: Vec<String>,
+    /// The data.
+    pub table: Table,
+}
+
+impl ExperimentResult {
+    /// Serializes to pretty JSON (for post-processing).
+    ///
+    /// # Panics
+    ///
+    /// Never panics in practice; the types are always serializable.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("experiment results are serializable")
+    }
+}
+
+impl fmt::Display for ExperimentResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        write!(f, "{}", self.table)?;
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A simple rectangular table.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width doesn't match the headers.
+    pub fn push_row<S: Into<String>>(&mut self, row: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Looks up a cell by row predicate and column name.
+    pub fn cell(&self, row_key: &str, column: &str) -> Option<&str> {
+        let col = self.headers.iter().position(|h| h == column)?;
+        self.rows
+            .iter()
+            .find(|r| r.first().map(String::as_str) == Some(row_key))
+            .and_then(|r| r.get(col))
+            .map(String::as_str)
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, cell) in cells.iter().enumerate() {
+                write!(f, " {cell:>width$} |", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{}|", "-".repeat(w + 2))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with `digits` decimals.
+pub fn fmt_f(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Formats a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}", v * 100.0)
+}
+
+/// Formats a large count with engineering suffixes (K/M/G).
+pub fn eng(v: f64) -> String {
+    let (scaled, suffix) = if v >= 1e9 {
+        (v / 1e9, "G")
+    } else if v >= 1e6 {
+        (v / 1e6, "M")
+    } else if v >= 1e3 {
+        (v / 1e3, "K")
+    } else {
+        (v, "")
+    };
+    format!("{scaled:.2}{suffix}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["arch", "GOPS"]);
+        t.push_row(["FlexFlow", "450.0"]);
+        t.push_row(["Tiling", "42.0"]);
+        let s = t.to_string();
+        assert!(s.contains("FlexFlow"));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn cell_lookup() {
+        let mut t = Table::new(["arch", "GOPS"]);
+        t.push_row(["FlexFlow", "450.0"]);
+        assert_eq!(t.cell("FlexFlow", "GOPS"), Some("450.0"));
+        assert_eq!(t.cell("FlexFlow", "watts"), None);
+        assert_eq!(t.cell("Eyeriss", "GOPS"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_row_rejected() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["only one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.756), "75.6");
+        assert_eq!(eng(1_500_000.0), "1.50M");
+        assert_eq!(eng(12.0), "12.00");
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+    }
+
+    #[test]
+    fn json_round_trips_structurally() {
+        let mut t = Table::new(["k"]);
+        t.push_row(["v"]);
+        let r = ExperimentResult {
+            id: "x".into(),
+            title: "t".into(),
+            notes: vec!["n".into()],
+            table: t,
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"id\": \"x\""));
+    }
+}

@@ -1,0 +1,131 @@
+//! Table 3 — cross-layer hardware utilization of the three baselines.
+//!
+//! Each architecture is parameterized ("-opt") for one layer of a
+//! workload and then runs the other layer; the table reports the
+//! utilization of the mismatched run normalized to the matched run
+//! ("The utilization of 'C1 on C1-opt' is normalized to 100%").
+
+use crate::report::{pct, ExperimentResult, Table};
+use flexsim_arch::Accelerator;
+use flexsim_baselines::{Mapping2d, Systolic, TilingArray};
+use flexsim_model::{ConvLayer, Network};
+
+fn workloads4() -> Vec<Network> {
+    vec![
+        flexsim_model::workloads::pv(),
+        flexsim_model::workloads::fr(),
+        flexsim_model::workloads::lenet5(),
+        flexsim_model::workloads::hg(),
+    ]
+}
+
+/// Utilization of `run` on an engine optimized for `opt`, normalized to
+/// `run` on its *own* optimal engine ("The utilization of 'C1 on
+/// C1-opt' is normalized to 100%").
+fn normalized_util(
+    make: &dyn Fn(&ConvLayer) -> Box<dyn Accelerator>,
+    opt: &ConvLayer,
+    run: &ConvLayer,
+) -> f64 {
+    let mismatched = make(opt).run_conv(run).utilization();
+    let matched = make(run).run_conv(run).utilization();
+    if matched == 0.0 {
+        return 0.0;
+    }
+    (mismatched / matched).min(1.0)
+}
+
+/// Runs the experiment.
+pub fn run() -> ExperimentResult {
+    let sys = |l: &ConvLayer| -> Box<dyn Accelerator> { Box::new(Systolic::new(l.k(), 7)) };
+    let m2d = |l: &ConvLayer| -> Box<dyn Accelerator> { Box::new(Mapping2d::new(l.s(), l.s())) };
+    let til =
+        |l: &ConvLayer| -> Box<dyn Accelerator> { Box::new(TilingArray::new(l.m(), l.n())) };
+
+    let mut table = Table::new([
+        "workload",
+        "direction",
+        "Systolic %",
+        "2D-Mapping %",
+        "Tiling %",
+        "paper (Sys/2D/Til)",
+    ]);
+    for net in workloads4() {
+        let c1 = net.conv_layer("C1").expect("C1 exists").clone();
+        let c3 = net.conv_layer("C3").expect("C3 exists").clone();
+        for (direction, opt, run_l) in
+            [("C3 on C1-opt", &c1, &c3), ("C1 on C3-opt", &c3, &c1)]
+        {
+            let paper_row = crate::paper::TABLE3
+                .iter()
+                .find(|(wl, dir, _, _, _)| *wl == net.name() && *dir == direction)
+                .expect("paper row");
+            table.push_row([
+                net.name().to_owned(),
+                direction.to_owned(),
+                pct(normalized_util(&sys, opt, run_l)),
+                pct(normalized_util(&m2d, opt, run_l)),
+                pct(normalized_util(&til, opt, run_l)),
+                format!("{}/{}/{}", paper_row.2, paper_row.3, paper_row.4),
+            ]);
+        }
+    }
+    ExperimentResult {
+        id: "table03".into(),
+        title: "Cross-layer hardware utilization of three typical architectures".into(),
+        notes: vec![
+            "Our numbers use consistent ceiling-based PE-cycle accounting; the \
+             paper's table contains a few internally inconsistent entries \
+             (see DESIGN.md §4)."
+                .into(),
+        ],
+        table,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_all_eight_rows() {
+        assert_eq!(run().table.rows().len(), 8);
+    }
+
+    #[test]
+    fn tiling_pv_c1_on_c3_opt_matches_paper() {
+        // The cleanest analytic entry: 8/(ceil(8/12)*12 * ceil(1/8)*8)
+        // = 8.3%.
+        let r = run();
+        let rows = r.table.rows();
+        let row = rows
+            .iter()
+            .find(|row| row[0] == "PV" && row[1] == "C1 on C3-opt")
+            .unwrap();
+        let tiling: f64 = row[4].parse().unwrap();
+        assert!((tiling - 8.3).abs() < 0.5, "got {tiling}");
+    }
+
+    #[test]
+    fn mismatched_runs_mostly_underutilize() {
+        // The table's whole point: cross-layer utilization collapses for
+        // most (workload, architecture) combinations.
+        let r = run();
+        let mut below_60 = 0;
+        let mut total = 0;
+        for row in r.table.rows() {
+            for cell in &row[2..=4] {
+                let v: f64 = cell.parse().unwrap();
+                assert!(v <= 100.0 + 1e-6);
+                total += 1;
+                if v < 60.0 {
+                    below_60 += 1;
+                }
+            }
+        }
+        assert!(
+            below_60 * 2 >= total,
+            "most cross-layer entries should fall below 60% ({below_60}/{total})"
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Table 4 — unrolling factors chosen for a 16×16 FlexFlow.
+//!
+//! Our planner (the Section 5 compiler) reproduces the paper's factor
+//! selection problem: maximize utilization under Constraint (1) plus the
+//! IADP chain coupling. Factor *sets* may differ from the paper's on
+//! ties; the comparison is the achieved utilization.
+
+use crate::report::{pct, ExperimentResult, Table};
+use flexsim_dataflow::search::plan_network;
+use flexsim_dataflow::utilization::total_utilization;
+use flexsim_dataflow::Unroll;
+use flexsim_model::{workloads, Network};
+
+fn nets() -> Vec<Network> {
+    vec![
+        workloads::pv(),
+        workloads::fr(),
+        workloads::lenet5(),
+        workloads::hg(),
+    ]
+}
+
+/// Runs the experiment.
+pub fn run() -> ExperimentResult {
+    let d = 16;
+    let mut table = Table::new([
+        "workload",
+        "layer",
+        "ours <Tm,Tn,Tr,Tc,Ti,Tj>",
+        "ours Ut %",
+        "paper <Tm,Tn,Tr,Tc,Ti,Tj>",
+        "paper Ut %",
+    ]);
+    for net in nets() {
+        let plan = plan_network(&net, d);
+        for (layer, choice) in net.conv_layers().zip(&plan) {
+            // Only C1/C3 appear in the paper's table.
+            let paper = crate::paper::TABLE4
+                .iter()
+                .find(|(wl, ln, _)| *wl == net.name() && *ln == layer.name());
+            let Some((_, _, pf)) = paper else { continue };
+            let ours = choice.unroll;
+            let paper_u = Unroll::new(pf[0], pf[1], pf[2], pf[3], pf[4], pf[5]);
+            // Evaluate the paper's factors under Eq. 2/3, clamped to the
+            // layer bounds where the printed row is infeasible (FR C1).
+            let paper_clamped = paper_u.clamped_to(layer);
+            let paper_ut = if paper_clamped.cols_used() <= d && paper_clamped.rows_used() <= d
+            {
+                pct(total_utilization(layer, &paper_clamped, d)).to_string()
+            } else {
+                "infeasible".to_owned()
+            };
+            table.push_row([
+                net.name().to_owned(),
+                layer.name().to_owned(),
+                format!(
+                    "{},{},{},{},{},{}",
+                    ours.tm, ours.tn, ours.tr, ours.tc, ours.ti, ours.tj
+                ),
+                pct(choice.total_utilization()),
+                format!("{},{},{},{},{},{}", pf[0], pf[1], pf[2], pf[3], pf[4], pf[5]),
+                paper_ut,
+            ]);
+        }
+    }
+    ExperimentResult {
+        id: "table04".into(),
+        title: "Unrolling factors for four workloads (16x16 FlexFlow)".into(),
+        notes: vec![
+            "Ties in Ut admit multiple factor sets; ours minimize total \
+             workload cycles under the same constraints."
+                .into(),
+            "The paper's FR C1 row (Ti=3, Tj=15) occupies 45 PEs/row and \
+             violates its own <=D bound; it is evaluated clamped."
+                .into(),
+        ],
+        table,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_the_papers_eight_rows() {
+        assert_eq!(run().table.rows().len(), 8);
+    }
+
+    #[test]
+    fn our_utilization_at_least_matches_paper_factors() {
+        // Wherever the paper's factors are feasible, our planner must do
+        // at least as well on that layer (up to coupling trade-offs
+        // elsewhere, allow a small tolerance).
+        let r = run();
+        for row in r.table.rows() {
+            if row[5] == "infeasible" {
+                continue;
+            }
+            let ours: f64 = row[3].parse().unwrap();
+            let paper: f64 = row[5].parse().unwrap();
+            assert!(
+                ours >= paper - 16.0,
+                "{}/{}: ours {ours}% far below paper {paper}%",
+                row[0],
+                row[1]
+            );
+        }
+    }
+
+    #[test]
+    fn planned_utilization_is_high() {
+        let r = run();
+        for row in r.table.rows() {
+            let ours: f64 = row[3].parse().unwrap();
+            assert!(ours > 55.0, "{}/{}: {ours}%", row[0], row[1]);
+        }
+    }
+}

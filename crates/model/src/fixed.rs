@@ -1,0 +1,396 @@
+//! 16-bit fixed-point arithmetic (Q7.8) and the 32-bit MAC accumulator.
+//!
+//! The FlexFlow paper evaluates all four architectures with a 16-bit
+//! fixed-point data type ("All architectures use 16-bit fixed point data
+//! type", Section 6.1.1). We use the common Q7.8 format: 1 sign bit,
+//! 7 integer bits, 8 fractional bits. Multiplications produce a Q15.16
+//! (i32) product which is accumulated at full precision in an [`Acc32`]
+//! and rounded back to [`Fx16`] once per output neuron — exactly what the
+//! per-PE multiplier/adder pair of each modeled architecture does.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// Number of fractional bits in [`Fx16`].
+pub const FRAC_BITS: u32 = 8;
+
+/// Scale factor (`2^FRAC_BITS`) between real values and raw [`Fx16`] words.
+pub const SCALE: f64 = (1 << FRAC_BITS) as f64;
+
+/// A 16-bit Q7.8 fixed-point number.
+///
+/// This is the datapath word of every simulated architecture: feature-map
+/// neurons, kernel synapses, and final (rounded) output neurons are all
+/// `Fx16`. Arithmetic saturates rather than wraps, matching the saturating
+/// behaviour of fixed-point DSP datapaths.
+///
+/// # Example
+///
+/// ```
+/// use flexsim_model::Fx16;
+///
+/// let a = Fx16::from_f64(1.5);
+/// let b = Fx16::from_f64(-0.25);
+/// assert_eq!((a + b).to_f64(), 1.25);
+/// assert_eq!((a * b).to_f64(), -0.375);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fx16(i16);
+
+impl Fx16 {
+    /// The additive identity.
+    pub const ZERO: Fx16 = Fx16(0);
+    /// The multiplicative identity (1.0 in Q7.8).
+    pub const ONE: Fx16 = Fx16(1 << FRAC_BITS);
+    /// Largest representable value (~127.996).
+    pub const MAX: Fx16 = Fx16(i16::MAX);
+    /// Smallest representable value (-128.0).
+    pub const MIN: Fx16 = Fx16(i16::MIN);
+
+    /// Creates a value from its raw Q7.8 bit pattern.
+    #[inline]
+    pub const fn from_raw(raw: i16) -> Self {
+        Fx16(raw)
+    }
+
+    /// Returns the raw Q7.8 bit pattern.
+    #[inline]
+    pub const fn raw(self) -> i16 {
+        self.0
+    }
+
+    /// Converts a real number to Q7.8, rounding to nearest and saturating.
+    #[inline]
+    pub fn from_f64(v: f64) -> Self {
+        let scaled = (v * SCALE).round();
+        Fx16(scaled.clamp(i16::MIN as f64, i16::MAX as f64) as i16)
+    }
+
+    /// Converts back to a real number (exact).
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / SCALE
+    }
+
+    /// Saturating addition, as performed by a PE's adder.
+    #[inline]
+    pub fn saturating_add(self, rhs: Fx16) -> Fx16 {
+        Fx16(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Fx16) -> Fx16 {
+        Fx16(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Full-precision product of two Q7.8 words: a Q15.16 accumulator term.
+    ///
+    /// This is what a PE's 16×16 multiplier produces before accumulation;
+    /// no precision is lost.
+    #[inline]
+    pub fn widening_mul(self, rhs: Fx16) -> Acc32 {
+        Acc32(self.0 as i32 * rhs.0 as i32)
+    }
+
+    /// Returns the larger of two values (used by max-pooling ALUs).
+    #[inline]
+    pub fn max(self, rhs: Fx16) -> Fx16 {
+        if self.0 >= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// Rectified linear unit: `max(self, 0)`.
+    #[inline]
+    pub fn relu(self) -> Fx16 {
+        if self.0 < 0 {
+            Fx16::ZERO
+        } else {
+            self
+        }
+    }
+}
+
+impl fmt::Debug for Fx16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fx16({})", self.to_f64())
+    }
+}
+
+impl fmt::Display for Fx16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+impl From<i16> for Fx16 {
+    /// Interprets the integer as a *whole* number (not a raw bit pattern),
+    /// saturating at the Q7.8 range.
+    fn from(v: i16) -> Self {
+        Fx16((v as i32).saturating_mul(1 << FRAC_BITS).clamp(i16::MIN as i32, i16::MAX as i32) as i16)
+    }
+}
+
+impl Add for Fx16 {
+    type Output = Fx16;
+    #[inline]
+    fn add(self, rhs: Fx16) -> Fx16 {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign for Fx16 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Fx16) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Fx16 {
+    type Output = Fx16;
+    #[inline]
+    fn sub(self, rhs: Fx16) -> Fx16 {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl Neg for Fx16 {
+    type Output = Fx16;
+    #[inline]
+    fn neg(self) -> Fx16 {
+        Fx16(self.0.saturating_neg())
+    }
+}
+
+impl Mul for Fx16 {
+    type Output = Fx16;
+    /// Rounded, saturating Q7.8 multiplication.
+    #[inline]
+    fn mul(self, rhs: Fx16) -> Fx16 {
+        self.widening_mul(rhs).to_fx16()
+    }
+}
+
+impl Sum for Fx16 {
+    fn sum<I: Iterator<Item = Fx16>>(iter: I) -> Fx16 {
+        iter.fold(Fx16::ZERO, |a, b| a + b)
+    }
+}
+
+/// A 32-bit Q15.16 accumulator for multiply-accumulate chains.
+///
+/// Each PE in every modeled architecture keeps partial results at this
+/// precision (the "register temporarily stores partial result" of the
+/// paper's PE descriptions) and rounds to [`Fx16`] only when an output
+/// neuron is complete.
+///
+/// # Example
+///
+/// ```
+/// use flexsim_model::{Acc32, Fx16};
+///
+/// let mut acc = Acc32::ZERO;
+/// acc.mac(Fx16::from_f64(0.5), Fx16::from_f64(0.5));
+/// acc.mac(Fx16::from_f64(2.0), Fx16::from_f64(3.0));
+/// assert_eq!(acc.to_fx16().to_f64(), 6.25);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Acc32(i32);
+
+impl Acc32 {
+    /// The zero accumulator.
+    pub const ZERO: Acc32 = Acc32(0);
+
+    /// Creates an accumulator from its raw Q15.16 bit pattern.
+    #[inline]
+    pub const fn from_raw(raw: i32) -> Self {
+        Acc32(raw)
+    }
+
+    /// Returns the raw Q15.16 bit pattern.
+    #[inline]
+    pub const fn raw(self) -> i32 {
+        self.0
+    }
+
+    /// Widens a Q7.8 value to the accumulator format (shift left by 8).
+    #[inline]
+    pub fn from_fx16(v: Fx16) -> Self {
+        Acc32((v.raw() as i32) << FRAC_BITS)
+    }
+
+    /// Multiply-accumulate: `self += a * b` at full precision (saturating).
+    #[inline]
+    pub fn mac(&mut self, a: Fx16, b: Fx16) {
+        self.0 = self.0.saturating_add(a.raw() as i32 * b.raw() as i32);
+    }
+
+    /// Saturating accumulator addition (adder-tree node).
+    #[inline]
+    pub fn saturating_add(self, rhs: Acc32) -> Acc32 {
+        Acc32(self.0.saturating_add(rhs.0))
+    }
+
+    /// Rounds (to nearest, ties away from zero) and saturates to Q7.8.
+    #[inline]
+    pub fn to_fx16(self) -> Fx16 {
+        let half = 1i64 << (FRAC_BITS - 1);
+        let offset = if self.0 >= 0 { half } else { -half };
+        // Truncating division after the half offset = round-to-nearest,
+        // ties away from zero (symmetric for negatives).
+        let rounded = (self.0 as i64 + offset) / (1i64 << FRAC_BITS);
+        Fx16::from_raw(rounded.clamp(i16::MIN as i64, i16::MAX as i64) as i16)
+    }
+
+    /// Converts to a real number (exact).
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / (SCALE * SCALE)
+    }
+}
+
+impl fmt::Debug for Acc32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Acc32({})", self.to_f64())
+    }
+}
+
+impl fmt::Display for Acc32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+impl Add for Acc32 {
+    type Output = Acc32;
+    #[inline]
+    fn add(self, rhs: Acc32) -> Acc32 {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign for Acc32 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Acc32) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for Acc32 {
+    fn sum<I: Iterator<Item = Acc32>>(iter: I) -> Acc32 {
+        iter.fold(Acc32::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<Fx16> for Acc32 {
+    fn from(v: Fx16) -> Self {
+        Acc32::from_fx16(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_one_round_trip() {
+        assert_eq!(Fx16::ZERO.to_f64(), 0.0);
+        assert_eq!(Fx16::ONE.to_f64(), 1.0);
+        assert_eq!(Fx16::from_f64(1.0), Fx16::ONE);
+    }
+
+    #[test]
+    fn quantization_granularity() {
+        // Q7.8 resolves 1/256.
+        let eps = Fx16::from_raw(1);
+        assert_eq!(eps.to_f64(), 1.0 / 256.0);
+        assert_eq!(Fx16::from_f64(1.0 / 512.0), eps); // rounds up
+        assert_eq!(Fx16::from_f64(1.0 / 1024.0), Fx16::ZERO); // rounds down
+    }
+
+    #[test]
+    fn addition_saturates() {
+        assert_eq!(Fx16::MAX + Fx16::ONE, Fx16::MAX);
+        assert_eq!(Fx16::MIN - Fx16::ONE, Fx16::MIN);
+        assert_eq!(Fx16::MIN.saturating_sub(Fx16::MAX), Fx16::MIN);
+    }
+
+    #[test]
+    fn multiplication_rounds_to_nearest() {
+        let a = Fx16::from_f64(0.5);
+        let b = Fx16::from_raw(1); // 1/256
+        // 0.5 * 1/256 = 1/512 -> rounds to 1/256 (ties away from zero).
+        assert_eq!(a * b, Fx16::from_raw(1));
+        let c = Fx16::from_f64(-0.5);
+        assert_eq!(c * b, Fx16::from_raw(-1));
+    }
+
+    #[test]
+    fn multiplication_saturates() {
+        let big = Fx16::from_f64(100.0);
+        assert_eq!(big * big, Fx16::MAX);
+        assert_eq!(big * -big, Fx16::MIN);
+    }
+
+    #[test]
+    fn widening_mul_is_exact() {
+        let a = Fx16::from_f64(1.5);
+        let b = Fx16::from_f64(-2.25);
+        assert_eq!(a.widening_mul(b).to_f64(), -3.375);
+    }
+
+    #[test]
+    fn accumulator_mac_chain() {
+        let mut acc = Acc32::ZERO;
+        for _ in 0..1000 {
+            acc.mac(Fx16::from_f64(0.125), Fx16::from_f64(0.25));
+        }
+        assert!((acc.to_f64() - 31.25).abs() < 1e-9);
+        // 31.25 is representable in Q7.8 exactly.
+        assert_eq!(acc.to_fx16().to_f64(), 31.25);
+    }
+
+    #[test]
+    fn accumulator_saturates_on_overflow() {
+        let mut acc = Acc32::from_raw(i32::MAX);
+        acc.mac(Fx16::MAX, Fx16::MAX);
+        assert_eq!(acc.raw(), i32::MAX);
+        assert_eq!(acc.to_fx16(), Fx16::MAX);
+    }
+
+    #[test]
+    fn negative_rounding_is_symmetric() {
+        let acc = Acc32::from_raw(-128); // -0.5 * 2^-8 in Q15.16
+        assert_eq!(acc.to_fx16(), Fx16::from_raw(-1));
+        let acc = Acc32::from_raw(-127);
+        assert_eq!(acc.to_fx16(), Fx16::ZERO);
+        let acc = Acc32::from_raw(127);
+        assert_eq!(acc.to_fx16(), Fx16::ZERO);
+        let acc = Acc32::from_raw(128);
+        assert_eq!(acc.to_fx16(), Fx16::from_raw(1));
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(Fx16::from_f64(-3.0).relu(), Fx16::ZERO);
+        assert_eq!(Fx16::from_f64(3.0).relu(), Fx16::from_f64(3.0));
+    }
+
+    #[test]
+    fn from_whole_integer() {
+        assert_eq!(Fx16::from(3i16).to_f64(), 3.0);
+        assert_eq!(Fx16::from(1000i16), Fx16::MAX); // saturates
+    }
+
+    #[test]
+    fn sum_iterators() {
+        let v = vec![Fx16::ONE; 5];
+        assert_eq!(v.into_iter().sum::<Fx16>().to_f64(), 5.0);
+        let a = vec![Acc32::from_fx16(Fx16::ONE); 4];
+        assert_eq!(a.into_iter().sum::<Acc32>().to_fx16().to_f64(), 4.0);
+    }
+}

@@ -1,0 +1,517 @@
+//! CNN layer model: CONV / POOL / FC layers with the paper's shape
+//! parameters.
+//!
+//! A CONV layer is characterized by the paper's four object-related
+//! parameters (Section 2.1): `M` output feature maps, `N` input feature
+//! maps, output feature-map size `S` (side length), and kernel size `K`
+//! (side length). We additionally carry the stride and the input
+//! feature-map size so a layer is simulatable standalone (Table 1 lists
+//! some layer chains — e.g. FR and HG — whose printed sizes do not follow
+//! from a stride-1 valid convolution plus 2×2 pooling, so the input size is
+//! explicit rather than derived).
+
+use std::fmt;
+
+/// The activation applied after a layer's accumulation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Activation {
+    /// No activation (identity) — used when validating simulators
+    /// bit-exactly against the reference.
+    #[default]
+    None,
+    /// Rectified linear unit.
+    Relu,
+}
+
+/// A convolutional layer (`CONV` in the paper's Figure 2).
+///
+/// # Example
+///
+/// ```
+/// use flexsim_model::ConvLayer;
+///
+/// // LeNet-5 C1: 1×6@5×5 kernels, 6@28×28 outputs from a 32×32 input.
+/// let c1 = ConvLayer::new("C1", 6, 1, 28, 5).with_input_size(32);
+/// assert_eq!(c1.macs(), 6 * 28 * 28 * 25);
+/// assert_eq!(c1.ops(), 2 * c1.macs());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ConvLayer {
+    name: String,
+    m: usize,
+    n: usize,
+    s: usize,
+    k: usize,
+    stride: usize,
+    s_in: usize,
+    activation: Activation,
+}
+
+impl ConvLayer {
+    /// Creates a stride-1 CONV layer.
+    ///
+    /// * `m` — number of output feature maps (`M`),
+    /// * `n` — number of input feature maps (`N`),
+    /// * `s` — output feature-map side length (`S`),
+    /// * `k` — kernel side length (`K`).
+    ///
+    /// The input size defaults to the valid-convolution size
+    /// `S + K - 1`; override it with [`ConvLayer::with_input_size`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of `m`, `n`, `s`, `k` is zero.
+    pub fn new(name: impl Into<String>, m: usize, n: usize, s: usize, k: usize) -> Self {
+        assert!(m > 0 && n > 0 && s > 0 && k > 0, "layer parameters must be non-zero");
+        ConvLayer {
+            name: name.into(),
+            m,
+            n,
+            s,
+            k,
+            stride: 1,
+            s_in: s + k - 1,
+            activation: Activation::None,
+        }
+    }
+
+    /// Sets the convolution stride, recomputing the default input size
+    /// (`S·stride + K − stride`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    pub fn with_stride(mut self, stride: usize) -> Self {
+        assert!(stride > 0, "stride must be non-zero");
+        self.stride = stride;
+        self.s_in = self.s * stride + self.k - stride;
+        self
+    }
+
+    /// Overrides the input feature-map side length (used when the printed
+    /// workload table implies padding or a non-standard subsampling chain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s_in < k` (no full convolution window would fit).
+    pub fn with_input_size(mut self, s_in: usize) -> Self {
+        assert!(s_in >= self.k, "input size must fit at least one kernel window");
+        self.s_in = s_in;
+        self
+    }
+
+    /// Sets the post-accumulation activation.
+    pub fn with_activation(mut self, activation: Activation) -> Self {
+        self.activation = activation;
+        self
+    }
+
+    /// Layer name (e.g. `"C3"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of output feature maps (`M`).
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Number of input feature maps (`N`).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Output feature-map side length (`S`).
+    #[inline]
+    pub fn s(&self) -> usize {
+        self.s
+    }
+
+    /// Kernel side length (`K`).
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Convolution stride.
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Input feature-map side length.
+    #[inline]
+    pub fn input_size(&self) -> usize {
+        self.s_in
+    }
+
+    /// Post-accumulation activation.
+    #[inline]
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Returns `true` if the declared input size covers every convolution
+    /// window without padding (valid convolution).
+    pub fn is_valid_convolution(&self) -> bool {
+        self.s_in >= (self.s - 1) * self.stride + self.k
+    }
+
+    /// Number of multiply-accumulate operations in this layer:
+    /// `M · S² · N · K²`.
+    pub fn macs(&self) -> u64 {
+        self.m as u64 * self.s as u64 * self.s as u64 * self.n as u64 * self.k as u64 * self.k as u64
+    }
+
+    /// Number of arithmetic operations (2 per MAC), the paper's
+    /// GOP accounting unit.
+    pub fn ops(&self) -> u64 {
+        2 * self.macs()
+    }
+
+    /// Number of input neurons (`N` maps of the input size squared).
+    pub fn input_neurons(&self) -> u64 {
+        self.n as u64 * self.s_in as u64 * self.s_in as u64
+    }
+
+    /// Number of output neurons (`M · S²`).
+    pub fn output_neurons(&self) -> u64 {
+        self.m as u64 * self.s as u64 * self.s as u64
+    }
+
+    /// Number of synapses (`M · N · K²`).
+    pub fn synapses(&self) -> u64 {
+        self.m as u64 * self.n as u64 * self.k as u64 * self.k as u64
+    }
+}
+
+impl fmt::Display for ConvLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}x{}@{}x{} -> {}@{}x{}",
+            self.name, self.n, self.m, self.k, self.k, self.m, self.s, self.s
+        )
+    }
+}
+
+/// The reduction a pooling layer performs on each window.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum PoolKind {
+    /// Maximum over the window.
+    #[default]
+    Max,
+    /// Arithmetic mean over the window (rounded to Q7.8).
+    Avg,
+}
+
+/// A pooling (subsampling) layer (`POOL` in the paper's Figure 2).
+///
+/// # Example
+///
+/// ```
+/// use flexsim_model::{PoolKind, PoolLayer};
+///
+/// let p = PoolLayer::new("P2", PoolKind::Max, 2, 6, 28);
+/// assert_eq!(p.output_size(), 14);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PoolLayer {
+    name: String,
+    kind: PoolKind,
+    window: usize,
+    maps: usize,
+    s_in: usize,
+}
+
+impl PoolLayer {
+    /// Creates a non-overlapping pooling layer with window (and stride)
+    /// `window`, applied to `maps` feature maps of side `s_in`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or exceeds `s_in`, or `maps` is zero.
+    pub fn new(name: impl Into<String>, kind: PoolKind, window: usize, maps: usize, s_in: usize) -> Self {
+        assert!(window > 0 && maps > 0 && s_in >= window, "invalid pooling shape");
+        PoolLayer {
+            name: name.into(),
+            kind,
+            window,
+            maps,
+            s_in,
+        }
+    }
+
+    /// Layer name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The reduction kind.
+    #[inline]
+    pub fn kind(&self) -> PoolKind {
+        self.kind
+    }
+
+    /// Pooling window side length (`P`), also the stride.
+    #[inline]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Number of feature maps passed through.
+    #[inline]
+    pub fn maps(&self) -> usize {
+        self.maps
+    }
+
+    /// Input feature-map side length.
+    #[inline]
+    pub fn input_size(&self) -> usize {
+        self.s_in
+    }
+
+    /// Output feature-map side length (`⌊s_in / window⌋`).
+    #[inline]
+    pub fn output_size(&self) -> usize {
+        self.s_in / self.window
+    }
+
+    /// Comparison/addition operations performed (window² − 1 per output).
+    pub fn ops(&self) -> u64 {
+        let per_out = (self.window * self.window - 1) as u64;
+        self.maps as u64 * (self.output_size() as u64).pow(2) * per_out
+    }
+}
+
+impl fmt::Display for PoolLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:?} {}x{} on {}@{}x{}",
+            self.name, self.kind, self.window, self.window, self.maps, self.s_in, self.s_in
+        )
+    }
+}
+
+/// A fully-connected classifier layer (`FC` in the paper's Figure 2).
+///
+/// FC layers are simulated as degenerate convolutions (`S = 1`, `K = 1`,
+/// one input map per input activation); the paper's evaluation focuses on
+/// CONV layers, which take "more than 90% of the computation volume".
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct FcLayer {
+    name: String,
+    inputs: usize,
+    outputs: usize,
+    activation: Activation,
+}
+
+impl FcLayer {
+    /// Creates a fully-connected layer of `inputs → outputs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(name: impl Into<String>, inputs: usize, outputs: usize) -> Self {
+        assert!(inputs > 0 && outputs > 0, "FC dimensions must be non-zero");
+        FcLayer {
+            name: name.into(),
+            inputs,
+            outputs,
+            activation: Activation::None,
+        }
+    }
+
+    /// Sets the post-accumulation activation.
+    pub fn with_activation(mut self, activation: Activation) -> Self {
+        self.activation = activation;
+        self
+    }
+
+    /// Layer name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of input activations.
+    #[inline]
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of output activations.
+    #[inline]
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    /// Post-accumulation activation.
+    #[inline]
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Number of multiply-accumulates (`inputs · outputs`).
+    pub fn macs(&self) -> u64 {
+        self.inputs as u64 * self.outputs as u64
+    }
+
+    /// Views this FC layer as an equivalent 1×1 convolution
+    /// (`N = inputs`, `M = outputs`, `S = K = 1`).
+    pub fn as_conv(&self) -> ConvLayer {
+        ConvLayer::new(self.name.clone(), self.outputs, self.inputs, 1, 1)
+            .with_activation(self.activation)
+    }
+}
+
+impl fmt::Display for FcLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: FC {} -> {}", self.name, self.inputs, self.outputs)
+    }
+}
+
+/// Any layer of a CNN.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Layer {
+    /// A convolutional layer.
+    Conv(ConvLayer),
+    /// A pooling layer.
+    Pool(PoolLayer),
+    /// A fully-connected layer.
+    Fc(FcLayer),
+}
+
+impl Layer {
+    /// The layer's name.
+    pub fn name(&self) -> &str {
+        match self {
+            Layer::Conv(l) => l.name(),
+            Layer::Pool(l) => l.name(),
+            Layer::Fc(l) => l.name(),
+        }
+    }
+
+    /// Arithmetic operations in this layer (the paper's GOP accounting).
+    pub fn ops(&self) -> u64 {
+        match self {
+            Layer::Conv(l) => l.ops(),
+            Layer::Pool(l) => l.ops(),
+            Layer::Fc(l) => 2 * l.macs(),
+        }
+    }
+
+    /// Borrows the CONV layer if this is one.
+    pub fn as_conv(&self) -> Option<&ConvLayer> {
+        match self {
+            Layer::Conv(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Borrows the POOL layer if this is one.
+    pub fn as_pool(&self) -> Option<&PoolLayer> {
+        match self {
+            Layer::Pool(l) => Some(l),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Layer::Conv(l) => l.fmt(f),
+            Layer::Pool(l) => l.fmt(f),
+            Layer::Fc(l) => l.fmt(f),
+        }
+    }
+}
+
+impl From<ConvLayer> for Layer {
+    fn from(l: ConvLayer) -> Self {
+        Layer::Conv(l)
+    }
+}
+
+impl From<PoolLayer> for Layer {
+    fn from(l: PoolLayer) -> Self {
+        Layer::Pool(l)
+    }
+}
+
+impl From<FcLayer> for Layer {
+    fn from(l: FcLayer) -> Self {
+        Layer::Fc(l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_layer_defaults() {
+        let l = ConvLayer::new("C1", 6, 1, 28, 5);
+        assert_eq!(l.input_size(), 32);
+        assert_eq!(l.stride(), 1);
+        assert!(l.is_valid_convolution());
+        assert_eq!(l.macs(), 6 * 28 * 28 * 25);
+        assert_eq!(l.input_neurons(), 32 * 32);
+        assert_eq!(l.output_neurons(), 6 * 28 * 28);
+        assert_eq!(l.synapses(), 6 * 25);
+    }
+
+    #[test]
+    fn strided_conv_input_size() {
+        // AlexNet C1: stride 4, K=11, S=55 -> effective input 227.
+        let l = ConvLayer::new("C1", 48, 3, 55, 11).with_stride(4);
+        assert_eq!(l.input_size(), 227);
+        assert!(l.is_valid_convolution());
+    }
+
+    #[test]
+    fn padded_conv_detected() {
+        // AlexNet C3 prints a 27x27 output with K=5 on 27x27 input (pad 2).
+        let l = ConvLayer::new("C3", 128, 48, 27, 5).with_input_size(27);
+        assert!(!l.is_valid_convolution());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_maps_rejected() {
+        let _ = ConvLayer::new("bad", 0, 1, 4, 3);
+    }
+
+    #[test]
+    fn pool_output_size_floors() {
+        let p = PoolLayer::new("P", PoolKind::Max, 2, 8, 45);
+        assert_eq!(p.output_size(), 22);
+        assert_eq!(p.ops(), 8 * 22 * 22 * 3);
+    }
+
+    #[test]
+    fn fc_as_conv_is_1x1() {
+        let fc = FcLayer::new("F6", 120, 84);
+        let conv = fc.as_conv();
+        assert_eq!((conv.m(), conv.n(), conv.s(), conv.k()), (84, 120, 1, 1));
+        assert_eq!(conv.macs(), fc.macs());
+    }
+
+    #[test]
+    fn layer_enum_dispatch() {
+        let l: Layer = ConvLayer::new("C1", 2, 1, 4, 3).into();
+        assert_eq!(l.name(), "C1");
+        assert!(l.as_conv().is_some());
+        assert!(l.as_pool().is_none());
+        assert_eq!(l.ops(), 2 * 2 * 16 * 9);
+    }
+
+    #[test]
+    fn display_formats() {
+        let l = ConvLayer::new("C3", 16, 6, 10, 5);
+        assert_eq!(l.to_string(), "C3: 6x16@5x5 -> 16@10x10");
+    }
+}

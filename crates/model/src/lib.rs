@@ -1,0 +1,46 @@
+//! # flexsim-model — CNN workload substrate
+//!
+//! This crate provides everything the accelerator simulators in this
+//! workspace consume: 16-bit fixed-point arithmetic ([`fixed::Fx16`]),
+//! dense tensors ([`tensor::Tensor2`], [`tensor::Tensor3`]), a CNN layer
+//! and network model ([`layer`], [`network`]), the six practical workloads
+//! of the FlexFlow paper's Table 1 ([`workloads`]), and bit-exact golden
+//! reference operators ([`mod@reference`]) against which every simulator is
+//! validated.
+//!
+//! The paper (FlexFlow, HPCA 2017) characterizes a CONV layer by four
+//! object-related parameters — `M` output feature maps, `N` input feature
+//! maps, output feature-map size `S`, and kernel size `K` — and all types
+//! here follow that vocabulary.
+//!
+//! ## Example
+//!
+//! ```
+//! use flexsim_model::workloads;
+//! use flexsim_model::reference;
+//!
+//! let net = workloads::lenet5();
+//! assert_eq!(net.conv_layers().count(), 2);
+//! let c1 = net.conv_layers().next().unwrap();
+//! assert_eq!((c1.m(), c1.n(), c1.s(), c1.k()), (6, 1, 28, 5));
+//!
+//! // Run the golden reference on random data.
+//! let (input, kernels) = reference::random_layer_data(c1, 42);
+//! let out = reference::conv(c1, &input, &kernels);
+//! assert_eq!(out.maps(), 6);
+//! assert_eq!(out.rows(), 28);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod fixed;
+pub mod layer;
+pub mod network;
+pub mod reference;
+pub mod tensor;
+pub mod workloads;
+
+pub use fixed::{Acc32, Fx16};
+pub use layer::{Activation, ConvLayer, FcLayer, Layer, PoolKind, PoolLayer};
+pub use network::Network;
+pub use tensor::{Tensor2, Tensor3};

@@ -1,0 +1,206 @@
+//! Whole-network model: an ordered sequence of layers plus the metadata
+//! the FlexFlow compiler needs (inter-layer coupling for the IADP
+//! constraint of Section 5).
+
+use crate::layer::{ConvLayer, Layer, PoolLayer};
+use std::fmt;
+
+/// A CNN workload: a named, ordered sequence of layers.
+///
+/// # Example
+///
+/// ```
+/// use flexsim_model::{ConvLayer, Network};
+///
+/// let net = Network::builder("tiny")
+///     .conv(ConvLayer::new("C1", 2, 1, 8, 4))
+///     .conv(ConvLayer::new("C2", 2, 2, 4, 2).with_input_size(8))
+///     .build();
+/// assert_eq!(net.conv_layers().count(), 2);
+/// assert!(net.total_ops() > 0);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Network {
+    name: String,
+    layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Starts building a network with the given name.
+    pub fn builder(name: impl Into<String>) -> NetworkBuilder {
+        NetworkBuilder {
+            name: name.into(),
+            layers: Vec::new(),
+        }
+    }
+
+    /// The workload's name (e.g. `"LeNet-5"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All layers in execution order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Iterates over only the CONV layers, in order.
+    pub fn conv_layers(&self) -> impl Iterator<Item = &ConvLayer> {
+        self.layers.iter().filter_map(Layer::as_conv)
+    }
+
+    /// Finds a CONV layer by name.
+    pub fn conv_layer(&self, name: &str) -> Option<&ConvLayer> {
+        self.conv_layers().find(|l| l.name() == name)
+    }
+
+    /// Total arithmetic operations across all layers.
+    pub fn total_ops(&self) -> u64 {
+        self.layers.iter().map(Layer::ops).sum()
+    }
+
+    /// Total MACs across CONV layers only (the paper's evaluation unit).
+    pub fn conv_macs(&self) -> u64 {
+        self.conv_layers().map(ConvLayer::macs).sum()
+    }
+
+    /// For the CONV layer at `layers()[index]`, returns the *next* CONV
+    /// layer and the pooling window `P` between them (1 when no POOL layer
+    /// intervenes). This drives the Section 5 coupling constraint
+    /// `0 < Tr, Tc ≤ P · K'`.
+    ///
+    /// Returns `None` for the last CONV layer (its `Tr`/`Tc` are
+    /// unconstrained by successors).
+    pub fn successor_coupling(&self, index: usize) -> Option<SuccessorCoupling<'_>> {
+        let mut pool_window = 1usize;
+        for layer in self.layers.get(index + 1..)? {
+            match layer {
+                Layer::Pool(p) => pool_window *= p.window(),
+                Layer::Conv(c) => {
+                    return Some(SuccessorCoupling {
+                        next_conv: c,
+                        pool_window,
+                    })
+                }
+                Layer::Fc(_) => return None,
+            }
+        }
+        None
+    }
+
+    /// Indices (into [`Network::layers`]) of the CONV layers, in order.
+    pub fn conv_indices(&self) -> Vec<usize> {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.as_conv().is_some())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} ({} layers):", self.name, self.layers.len())?;
+        for l in &self.layers {
+            writeln!(f, "  {l}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The next CONV layer and the intervening pooling factor, for the
+/// Section 5 coupling constraint.
+#[derive(Clone, Copy, Debug)]
+pub struct SuccessorCoupling<'a> {
+    /// The next CONV layer in the network.
+    pub next_conv: &'a ConvLayer,
+    /// The product of pooling windows between the two CONV layers
+    /// (`P` in the paper; 1 if they are adjacent).
+    pub pool_window: usize,
+}
+
+/// Incremental builder for [`Network`].
+#[derive(Debug)]
+pub struct NetworkBuilder {
+    name: String,
+    layers: Vec<Layer>,
+}
+
+impl NetworkBuilder {
+    /// Appends a CONV layer.
+    pub fn conv(mut self, layer: ConvLayer) -> Self {
+        self.layers.push(Layer::Conv(layer));
+        self
+    }
+
+    /// Appends a POOL layer.
+    pub fn pool(mut self, layer: PoolLayer) -> Self {
+        self.layers.push(Layer::Pool(layer));
+        self
+    }
+
+    /// Appends any layer.
+    pub fn layer(mut self, layer: impl Into<Layer>) -> Self {
+        self.layers.push(layer.into());
+        self
+    }
+
+    /// Finishes the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has no layers.
+    pub fn build(self) -> Network {
+        assert!(!self.layers.is_empty(), "network must have at least one layer");
+        Network {
+            name: self.name,
+            layers: self.layers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::PoolKind;
+
+    fn toy() -> Network {
+        Network::builder("toy")
+            .conv(ConvLayer::new("C1", 2, 1, 8, 4))
+            .pool(PoolLayer::new("P1", PoolKind::Max, 2, 2, 8))
+            .conv(ConvLayer::new("C2", 2, 2, 4, 2).with_input_size(4))
+            .build()
+    }
+
+    #[test]
+    fn conv_layer_lookup() {
+        let net = toy();
+        assert_eq!(net.conv_layer("C2").unwrap().k(), 2);
+        assert!(net.conv_layer("C9").is_none());
+        assert_eq!(net.conv_indices(), vec![0, 2]);
+    }
+
+    #[test]
+    fn successor_coupling_sees_through_pool() {
+        let net = toy();
+        let c = net.successor_coupling(0).unwrap();
+        assert_eq!(c.next_conv.name(), "C2");
+        assert_eq!(c.pool_window, 2);
+        assert!(net.successor_coupling(2).is_none());
+    }
+
+    #[test]
+    fn total_ops_sums_layers() {
+        let net = toy();
+        let conv_ops: u64 = net.conv_layers().map(|l| l.ops()).sum();
+        assert!(net.total_ops() > conv_ops); // pooling adds ops
+        assert_eq!(net.conv_macs(), 2 * 64 * 16 + 2 * 16 * 2 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_network_rejected() {
+        let _ = Network::builder("empty").build();
+    }
+}

@@ -1,0 +1,279 @@
+//! Golden reference operators.
+//!
+//! These implement the paper's Figure 3 pseudo-code directly (the deep
+//! nested loop over `m, n, r, c, i, j`) with no unrolling, tiling, or
+//! scheduling — every architecture simulator in the workspace must match
+//! them bit-exactly on valid-convolution layers.
+
+use crate::fixed::{Acc32, Fx16};
+use crate::layer::{Activation, ConvLayer, FcLayer, PoolKind, PoolLayer};
+use crate::tensor::{KernelSet, Tensor3};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Computes a CONV layer exactly as the paper's Figure 3 nested loop.
+///
+/// # Panics
+///
+/// Panics if the layer is not a valid convolution
+/// ([`ConvLayer::is_valid_convolution`]) or the tensors don't match the
+/// layer's declared shape.
+///
+/// # Example
+///
+/// ```
+/// use flexsim_model::{reference, ConvLayer};
+///
+/// let layer = ConvLayer::new("C", 2, 1, 3, 2);
+/// let (input, kernels) = reference::random_layer_data(&layer, 7);
+/// let out = reference::conv(&layer, &input, &kernels);
+/// assert_eq!((out.maps(), out.rows(), out.cols()), (2, 3, 3));
+/// ```
+pub fn conv(layer: &ConvLayer, input: &Tensor3, kernels: &KernelSet) -> Tensor3 {
+    check_conv_shapes(layer, input, kernels);
+    let (m, n, s, k, stride) = (layer.m(), layer.n(), layer.s(), layer.k(), layer.stride());
+    let mut out = Tensor3::zeros(m, s, s);
+    for om in 0..m {
+        for r in 0..s {
+            for c in 0..s {
+                let mut acc = Acc32::ZERO;
+                for inm in 0..n {
+                    for i in 0..k {
+                        for j in 0..k {
+                            acc.mac(
+                                kernels[(om, inm, i, j)],
+                                input[(inm, r * stride + i, c * stride + j)],
+                            );
+                        }
+                    }
+                }
+                out[(om, r, c)] = apply_activation(acc.to_fx16(), layer.activation());
+            }
+        }
+    }
+    out
+}
+
+/// Computes a POOL layer (non-overlapping window = stride).
+///
+/// # Panics
+///
+/// Panics if the input tensor doesn't match the layer's declared shape.
+pub fn pool(layer: &PoolLayer, input: &Tensor3) -> Tensor3 {
+    assert_eq!(input.maps(), layer.maps(), "pool input map count mismatch");
+    assert_eq!(input.rows(), layer.input_size(), "pool input size mismatch");
+    let (w, out_s) = (layer.window(), layer.output_size());
+    let mut out = Tensor3::zeros(layer.maps(), out_s, out_s);
+    for m in 0..layer.maps() {
+        for r in 0..out_s {
+            for c in 0..out_s {
+                out[(m, r, c)] = match layer.kind() {
+                    PoolKind::Max => {
+                        let mut best = input[(m, r * w, c * w)];
+                        for i in 0..w {
+                            for j in 0..w {
+                                best = best.max(input[(m, r * w + i, c * w + j)]);
+                            }
+                        }
+                        best
+                    }
+                    PoolKind::Avg => {
+                        let mut acc = Acc32::ZERO;
+                        let inv = Fx16::from_f64(1.0 / (w * w) as f64);
+                        for i in 0..w {
+                            for j in 0..w {
+                                acc.mac(input[(m, r * w + i, c * w + j)], inv);
+                            }
+                        }
+                        acc.to_fx16()
+                    }
+                };
+            }
+        }
+    }
+    out
+}
+
+/// Computes an FC layer: `out[o] = act(Σ_i w[o][i] · in[i])`.
+///
+/// # Panics
+///
+/// Panics if `input.len() != layer.inputs()` or
+/// `weights.len() != layer.outputs() * layer.inputs()`.
+pub fn fc(layer: &FcLayer, input: &[Fx16], weights: &[Fx16]) -> Vec<Fx16> {
+    assert_eq!(input.len(), layer.inputs(), "fc input length mismatch");
+    assert_eq!(
+        weights.len(),
+        layer.inputs() * layer.outputs(),
+        "fc weight length mismatch"
+    );
+    (0..layer.outputs())
+        .map(|o| {
+            let mut acc = Acc32::ZERO;
+            for (i, &x) in input.iter().enumerate() {
+                acc.mac(weights[o * layer.inputs() + i], x);
+            }
+            apply_activation(acc.to_fx16(), layer.activation())
+        })
+        .collect()
+}
+
+/// Applies an activation to a rounded output neuron.
+pub fn apply_activation(v: Fx16, activation: Activation) -> Fx16 {
+    match activation {
+        Activation::None => v,
+        Activation::Relu => v.relu(),
+    }
+}
+
+/// Generates deterministic pseudorandom input and kernel tensors for a
+/// CONV layer. Values are small (|v| ≤ 2) so Q7.8 accumulation over
+/// realistic kernel sizes stays far from saturation and comparisons stay
+/// bit-meaningful.
+pub fn random_layer_data(layer: &ConvLayer, seed: u64) -> (Tensor3, KernelSet) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let s_in = layer.input_size();
+    let input = Tensor3::from_fn(layer.n(), s_in, s_in, |_, _, _| small_random(&mut rng));
+    let kernels = KernelSet::from_fn(layer.m(), layer.n(), layer.k(), |_, _, _, _| {
+        small_random(&mut rng)
+    });
+    (input, kernels)
+}
+
+fn small_random(rng: &mut StdRng) -> Fx16 {
+    // Raw Q7.8 in [-512, 512] -> values in [-2.0, 2.0].
+    Fx16::from_raw(rng.random_range(-512i16..=512i16))
+}
+
+fn check_conv_shapes(layer: &ConvLayer, input: &Tensor3, kernels: &KernelSet) {
+    assert!(
+        layer.is_valid_convolution(),
+        "reference conv models valid convolutions only (layer {} declares a padded/short input)",
+        layer.name()
+    );
+    assert_eq!(input.maps(), layer.n(), "input map count mismatch");
+    assert!(
+        input.rows() >= (layer.s() - 1) * layer.stride() + layer.k(),
+        "input too small for declared output size"
+    );
+    assert_eq!(input.rows(), input.cols(), "feature maps must be square");
+    assert_eq!(kernels.m(), layer.m(), "kernel M mismatch");
+    assert_eq!(kernels.n(), layer.n(), "kernel N mismatch");
+    assert_eq!(kernels.k(), layer.k(), "kernel K mismatch");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::ConvLayer;
+
+    #[test]
+    fn identity_kernel_copies_input() {
+        // 1x1 kernel of value 1.0 => output == input window.
+        let layer = ConvLayer::new("id", 1, 1, 4, 1);
+        let input = Tensor3::from_fn(1, 4, 4, |_, r, c| Fx16::from_f64((r * 4 + c) as f64 / 8.0));
+        let mut kernels = KernelSet::zeros(1, 1, 1);
+        kernels[(0, 0, 0, 0)] = Fx16::ONE;
+        let out = conv(&layer, &input, &kernels);
+        for r in 0..4 {
+            for c in 0..4 {
+                assert_eq!(out[(0, r, c)], input[(0, r, c)]);
+            }
+        }
+    }
+
+    #[test]
+    fn box_kernel_sums_window() {
+        let layer = ConvLayer::new("box", 1, 1, 2, 2);
+        let input = Tensor3::from_fn(1, 3, 3, |_, r, c| Fx16::from_f64((r * 3 + c) as f64 / 4.0));
+        let kernels = KernelSet::from_fn(1, 1, 2, |_, _, _, _| Fx16::ONE);
+        let out = conv(&layer, &input, &kernels);
+        // window at (0,0): (0 + 1 + 3 + 4)/4 = 2.0
+        assert_eq!(out[(0, 0, 0)].to_f64(), 2.0);
+        // window at (1,1): (4 + 5 + 7 + 8)/4 = 6.0
+        assert_eq!(out[(0, 1, 1)].to_f64(), 6.0);
+    }
+
+    #[test]
+    fn multi_map_accumulates_across_inputs() {
+        let layer = ConvLayer::new("mm", 1, 3, 2, 1);
+        let input = Tensor3::from_fn(3, 2, 2, |m, _, _| Fx16::from_f64(m as f64 + 1.0));
+        let kernels = KernelSet::from_fn(1, 3, 1, |_, _, _, _| Fx16::ONE);
+        let out = conv(&layer, &input, &kernels);
+        assert_eq!(out[(0, 0, 0)].to_f64(), 6.0); // 1+2+3
+    }
+
+    #[test]
+    fn strided_conv_skips_pixels() {
+        let layer = ConvLayer::new("st", 1, 1, 2, 1).with_stride(2);
+        let input = Tensor3::from_fn(1, 3, 3, |_, r, c| Fx16::from_f64((r * 3 + c) as f64 / 8.0));
+        let mut kernels = KernelSet::zeros(1, 1, 1);
+        kernels[(0, 0, 0, 0)] = Fx16::ONE;
+        let out = conv(&layer, &input, &kernels);
+        assert_eq!(out[(0, 1, 1)], input[(0, 2, 2)]);
+    }
+
+    #[test]
+    fn relu_activation_applied() {
+        let layer = ConvLayer::new("a", 1, 1, 1, 1).with_activation(Activation::Relu);
+        let input = Tensor3::from_fn(1, 1, 1, |_, _, _| Fx16::from_f64(1.0));
+        let mut kernels = KernelSet::zeros(1, 1, 1);
+        kernels[(0, 0, 0, 0)] = Fx16::from_f64(-1.0);
+        let out = conv(&layer, &input, &kernels);
+        assert_eq!(out[(0, 0, 0)], Fx16::ZERO);
+    }
+
+    #[test]
+    fn max_pool_picks_maximum() {
+        let p = PoolLayer::new("p", PoolKind::Max, 2, 1, 4);
+        let input = Tensor3::from_fn(1, 4, 4, |_, r, c| Fx16::from_f64((r * 4 + c) as f64 / 8.0));
+        let out = pool(&p, &input);
+        assert_eq!(out[(0, 0, 0)], input[(0, 1, 1)]);
+        assert_eq!(out[(0, 1, 1)], input[(0, 3, 3)]);
+    }
+
+    #[test]
+    fn avg_pool_averages() {
+        let p = PoolLayer::new("p", PoolKind::Avg, 2, 1, 2);
+        let input = Tensor3::from_fn(1, 2, 2, |_, r, c| Fx16::from_f64((r * 2 + c) as f64));
+        let out = pool(&p, &input);
+        assert_eq!(out[(0, 0, 0)].to_f64(), 1.5);
+    }
+
+    #[test]
+    fn fc_matches_manual_dot_product() {
+        let layer = FcLayer::new("f", 3, 2);
+        let input = vec![Fx16::from_f64(1.0), Fx16::from_f64(2.0), Fx16::from_f64(3.0)];
+        let weights = vec![
+            Fx16::from_f64(0.5),
+            Fx16::from_f64(0.5),
+            Fx16::from_f64(0.5),
+            Fx16::from_f64(-1.0),
+            Fx16::from_f64(0.0),
+            Fx16::from_f64(1.0),
+        ];
+        let out = fc(&layer, &input, &weights);
+        assert_eq!(out[0].to_f64(), 3.0);
+        assert_eq!(out[1].to_f64(), 2.0);
+    }
+
+    #[test]
+    fn random_data_is_deterministic() {
+        let layer = ConvLayer::new("r", 2, 2, 4, 3);
+        let (a1, k1) = random_layer_data(&layer, 99);
+        let (a2, k2) = random_layer_data(&layer, 99);
+        assert_eq!(a1, a2);
+        assert_eq!(k1, k2);
+        let (a3, _) = random_layer_data(&layer, 100);
+        assert_ne!(a1, a3);
+    }
+
+    #[test]
+    #[should_panic(expected = "valid convolutions only")]
+    fn padded_layer_rejected() {
+        let layer = ConvLayer::new("pad", 1, 1, 4, 3).with_input_size(4);
+        let input = Tensor3::zeros(1, 4, 4);
+        let kernels = KernelSet::zeros(1, 1, 3);
+        let _ = conv(&layer, &input, &kernels);
+    }
+}

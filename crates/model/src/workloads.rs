@@ -1,0 +1,233 @@
+//! The six practical CNN workloads of the paper's Table 1, plus the small
+//! demonstration layers of Section 4.
+//!
+//! Layer parameters are transcribed directly from Table 1. Where the
+//! printed sizes imply padding or a non-standard subsampling chain (FR C3,
+//! HG C3, AlexNet's padded layers), the input size is set explicitly and
+//! [`ConvLayer::is_valid_convolution`] reports `false`; such layers are
+//! evaluated analytically but not run through the bit-exact functional
+//! simulators (which model valid convolutions only).
+//!
+//! One transcription note: Table 1 prints VGG-11's C9 as kernels
+//! `512×512@3×3` but layer size `128@21×21`; the kernel specification is
+//! authoritative here (M = 512), as the adjacent layers require.
+
+use crate::layer::{ConvLayer, FcLayer, PoolKind, PoolLayer};
+use crate::network::Network;
+
+/// PV — pedestrian and vehicle recognition \[28\].
+pub fn pv() -> Network {
+    Network::builder("PV")
+        .conv(ConvLayer::new("C1", 8, 1, 45, 6).with_input_size(50))
+        .pool(PoolLayer::new("P2", PoolKind::Max, 2, 8, 45))
+        .conv(ConvLayer::new("C3", 12, 8, 20, 3).with_input_size(22))
+        .pool(PoolLayer::new("P4", PoolKind::Max, 2, 12, 20))
+        .conv(ConvLayer::new("C5", 16, 12, 8, 3).with_input_size(10))
+        .conv(ConvLayer::new("C6", 10, 16, 6, 3).with_input_size(8))
+        .conv(ConvLayer::new("C7", 6, 10, 4, 3).with_input_size(6))
+        .build()
+}
+
+/// FR — face recognition \[5\].
+pub fn fr() -> Network {
+    Network::builder("FR")
+        .conv(ConvLayer::new("C1", 4, 1, 28, 5).with_input_size(32))
+        .pool(PoolLayer::new("P2", PoolKind::Max, 2, 4, 28))
+        .conv(ConvLayer::new("C3", 16, 4, 10, 4).with_input_size(13))
+        .build()
+}
+
+/// LeNet-5 — handwriting recognition \[16\].
+pub fn lenet5() -> Network {
+    Network::builder("LeNet-5")
+        .conv(ConvLayer::new("C1", 6, 1, 28, 5).with_input_size(32))
+        .pool(PoolLayer::new("P2", PoolKind::Max, 2, 6, 28))
+        .conv(ConvLayer::new("C3", 16, 6, 10, 5).with_input_size(14))
+        .build()
+}
+
+/// LeNet-5 including its classifier stage: the Table 1 CONV layers plus
+/// the classic F5/F6/output fully-connected layers (400→120→84→10).
+/// The whole chain is shape-consistent, so it runs end-to-end through
+/// the functional engine (FC layers execute as 1×1 convolutions).
+pub fn lenet5_full() -> Network {
+    Network::builder("LeNet-5-full")
+        .conv(ConvLayer::new("C1", 6, 1, 28, 5).with_input_size(32))
+        .pool(PoolLayer::new("P2", PoolKind::Max, 2, 6, 28))
+        .conv(ConvLayer::new("C3", 16, 6, 10, 5).with_input_size(14))
+        .pool(PoolLayer::new("P4", PoolKind::Max, 2, 16, 10))
+        .layer(FcLayer::new("F5", 400, 120))
+        .layer(FcLayer::new("F6", 120, 84))
+        .layer(FcLayer::new("F7", 84, 10))
+        .build()
+}
+
+/// HG — hand-gesture recognition \[17\].
+pub fn hg() -> Network {
+    Network::builder("HG")
+        .conv(ConvLayer::new("C1", 6, 1, 24, 5).with_input_size(28))
+        .pool(PoolLayer::new("P2", PoolKind::Max, 2, 6, 24))
+        .conv(ConvLayer::new("C3", 12, 6, 8, 4).with_input_size(11))
+        .build()
+}
+
+/// AlexNet \[13\] — Table 1 lists one of the two identical layer-parts
+/// (except C5, which reads both parts' 256 input maps).
+pub fn alexnet() -> Network {
+    Network::builder("AlexNet")
+        .conv(
+            ConvLayer::new("C1", 48, 3, 55, 11)
+                .with_stride(4)
+                .with_input_size(227),
+        )
+        .pool(PoolLayer::new("P2", PoolKind::Max, 2, 48, 55))
+        .conv(ConvLayer::new("C3", 128, 48, 27, 5).with_input_size(27))
+        .pool(PoolLayer::new("P4", PoolKind::Max, 2, 128, 27))
+        .conv(ConvLayer::new("C5", 192, 256, 13, 3).with_input_size(13))
+        .conv(ConvLayer::new("C6", 192, 192, 13, 3).with_input_size(13))
+        .conv(ConvLayer::new("C7", 128, 192, 13, 3).with_input_size(13))
+        .build()
+}
+
+/// VGG-11 \[25\] — the eight CONV layers of Table 1 (sizes there follow a
+/// valid-convolution + 2×2-pooling chain exactly).
+pub fn vgg11() -> Network {
+    Network::builder("VGG-11")
+        .conv(ConvLayer::new("C1", 64, 3, 222, 3).with_input_size(224))
+        .pool(PoolLayer::new("P2", PoolKind::Max, 2, 64, 222))
+        .conv(ConvLayer::new("C3", 128, 64, 109, 3).with_input_size(111))
+        .pool(PoolLayer::new("P4", PoolKind::Max, 2, 128, 109))
+        .conv(ConvLayer::new("C5", 256, 128, 52, 3).with_input_size(54))
+        .conv(ConvLayer::new("C6", 256, 256, 50, 3).with_input_size(52))
+        .pool(PoolLayer::new("P7", PoolKind::Max, 2, 256, 50))
+        .conv(ConvLayer::new("C8", 512, 256, 23, 3).with_input_size(25))
+        .conv(ConvLayer::new("C9", 512, 512, 21, 3).with_input_size(23))
+        .pool(PoolLayer::new("P10", PoolKind::Max, 2, 512, 21))
+        .conv(ConvLayer::new("C11", 512, 512, 8, 3).with_input_size(10))
+        .conv(ConvLayer::new("C12", 512, 512, 6, 3).with_input_size(8))
+        .build()
+}
+
+/// All six workloads of Table 1, in the paper's order.
+pub fn all() -> Vec<Network> {
+    vec![pv(), fr(), lenet5(), hg(), alexnet(), vgg11()]
+}
+
+/// The small two-layer demonstration of Section 4: "a small scale 4×4-PE
+/// convolutional unit processing two CONV layers C1 (M=2, N=1, S=8, K=4)
+/// and C2 (M=2, N=2, S=4, K=2)".
+pub fn paper_example() -> Network {
+    Network::builder("Section4-example")
+        .conv(ConvLayer::new("C1", 2, 1, 8, 4))
+        .conv(ConvLayer::new("C2", 2, 2, 4, 2))
+        .build()
+}
+
+/// A small network whose layer shapes chain exactly (CONV → POOL → CONV),
+/// used by end-to-end engine tests and examples.
+pub fn chained_toy() -> Network {
+    Network::builder("chained-toy")
+        .conv(ConvLayer::new("C1", 4, 1, 12, 3).with_input_size(14))
+        .pool(PoolLayer::new("P2", PoolKind::Max, 2, 4, 12))
+        .conv(ConvLayer::new("C2", 6, 4, 4, 3).with_input_size(6))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_layer_counts() {
+        assert_eq!(pv().conv_layers().count(), 5);
+        assert_eq!(fr().conv_layers().count(), 2);
+        assert_eq!(lenet5().conv_layers().count(), 2);
+        assert_eq!(hg().conv_layers().count(), 2);
+        assert_eq!(alexnet().conv_layers().count(), 5);
+        assert_eq!(vgg11().conv_layers().count(), 8);
+        assert_eq!(all().len(), 6);
+    }
+
+    #[test]
+    fn lenet5_matches_table1() {
+        let net = lenet5();
+        let c1 = net.conv_layer("C1").unwrap();
+        assert_eq!((c1.m(), c1.n(), c1.s(), c1.k()), (6, 1, 28, 5));
+        let c3 = net.conv_layer("C3").unwrap();
+        assert_eq!((c3.m(), c3.n(), c3.s(), c3.k()), (16, 6, 10, 5));
+        // Pool-bridged chain is exactly consistent for LeNet-5.
+        assert_eq!(c3.input_size(), 14);
+        assert!(c3.is_valid_convolution());
+    }
+
+    #[test]
+    fn alexnet_c5_reads_both_halves() {
+        let net = alexnet();
+        assert_eq!(net.conv_layer("C5").unwrap().n(), 256);
+    }
+
+    #[test]
+    fn vgg_chain_is_valid() {
+        for l in vgg11().conv_layers() {
+            assert!(l.is_valid_convolution(), "{} not valid", l.name());
+        }
+    }
+
+    #[test]
+    fn pv_chain_is_valid() {
+        for l in pv().conv_layers() {
+            assert!(l.is_valid_convolution(), "{} not valid", l.name());
+        }
+    }
+
+    #[test]
+    fn successor_coupling_pv() {
+        let net = pv();
+        // C1 is layer index 0; next conv is C3 behind one 2x2 pool.
+        let c = net.successor_coupling(0).unwrap();
+        assert_eq!(c.next_conv.name(), "C3");
+        assert_eq!(c.pool_window, 2);
+        // C5 -> C6 directly (no pool).
+        let idx = net.conv_indices()[2];
+        let c = net.successor_coupling(idx).unwrap();
+        assert_eq!(c.next_conv.name(), "C6");
+        assert_eq!(c.pool_window, 1);
+    }
+
+    #[test]
+    fn workload_macs_are_plausible() {
+        // AlexNet (half) should dwarf LeNet-5 by orders of magnitude.
+        assert!(alexnet().conv_macs() > 100 * lenet5().conv_macs());
+        assert!(vgg11().conv_macs() > alexnet().conv_macs());
+    }
+
+    #[test]
+    fn paper_example_shapes() {
+        let net = paper_example();
+        let c1 = net.conv_layer("C1").unwrap();
+        assert_eq!((c1.m(), c1.n(), c1.s(), c1.k()), (2, 1, 8, 4));
+        let c2 = net.conv_layer("C2").unwrap();
+        assert_eq!((c2.m(), c2.n(), c2.s(), c2.k()), (2, 2, 4, 2));
+    }
+
+    #[test]
+    fn lenet5_full_chains_exactly() {
+        let net = lenet5_full();
+        // C3 out 16@10x10 -> pool -> 16@5x5 = 400 = F5 inputs.
+        let c3 = net.conv_layer("C3").unwrap();
+        assert_eq!(c3.s(), 10);
+        let fc = net
+            .layers()
+            .iter()
+            .filter_map(|l| match l {
+                crate::layer::Layer::Fc(f) => Some(f),
+                _ => None,
+            })
+            .collect::<Vec<_>>();
+        assert_eq!(fc.len(), 3);
+        assert_eq!(fc[0].inputs(), 16 * 5 * 5);
+        assert_eq!(fc[0].outputs(), fc[1].inputs());
+        assert_eq!(fc[2].outputs(), 10);
+        assert!(net.total_ops() > lenet5().total_ops());
+    }
+}

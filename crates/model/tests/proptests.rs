@@ -1,0 +1,122 @@
+//! Property-based tests of the CNN substrate.
+
+use flexsim_model::tensor::KernelSet;
+use flexsim_model::{reference, Acc32, ConvLayer, Fx16, PoolKind, PoolLayer, Tensor3};
+use proptest::prelude::*;
+
+fn small_fx() -> impl Strategy<Value = Fx16> {
+    // |v| <= 1.0 so accumulations over small kernels stay far from
+    // saturation and exact linearity holds.
+    (-256i16..=256).prop_map(Fx16::from_raw)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Q7.8 round trip: from_f64(to_f64(x)) == x for every bit pattern.
+    #[test]
+    fn fixed_point_round_trip(raw in any::<i16>()) {
+        let v = Fx16::from_raw(raw);
+        prop_assert_eq!(Fx16::from_f64(v.to_f64()), v);
+    }
+
+    /// Saturating addition is commutative with zero as identity.
+    #[test]
+    fn fixed_add_commutative(a in any::<i16>(), b in any::<i16>()) {
+        let (fa, fb) = (Fx16::from_raw(a), Fx16::from_raw(b));
+        prop_assert_eq!(fa + fb, fb + fa);
+        prop_assert_eq!(fa + Fx16::ZERO, fa);
+    }
+
+    /// Widening multiplication is exact: to_f64 of the product equals
+    /// the float product.
+    #[test]
+    fn widening_mul_exact(a in -1000i16..=1000, b in -1000i16..=1000) {
+        let (fa, fb) = (Fx16::from_raw(a), Fx16::from_raw(b));
+        let p = fa.widening_mul(fb);
+        prop_assert!((p.to_f64() - fa.to_f64() * fb.to_f64()).abs() < 1e-12);
+    }
+
+    /// MAC accumulation order doesn't matter at full precision.
+    #[test]
+    fn mac_order_independent(values in prop::collection::vec((small_fx(), small_fx()), 1..20)) {
+        let mut fwd = Acc32::ZERO;
+        for &(a, b) in &values {
+            fwd.mac(a, b);
+        }
+        let mut rev = Acc32::ZERO;
+        for &(a, b) in values.iter().rev() {
+            rev.mac(a, b);
+        }
+        prop_assert_eq!(fwd, rev);
+    }
+
+    /// Convolution is linear in the input at full precision: doubling
+    /// every input neuron doubles every output (small values, no
+    /// saturation, weights with |w| <= 1 and doubling keeps |acc| far
+    /// from the Q7.8 limit).
+    #[test]
+    fn conv_scales_linearly(seed in 0u64..1000) {
+        let layer = ConvLayer::new("C", 2, 2, 4, 3);
+        let (input, kernels) = reference::random_layer_data(&layer, seed);
+        // Divide inputs by 8 to guarantee headroom, then double.
+        let small = Tensor3::from_fn(2, 6, 6, |m, r, c| {
+            Fx16::from_raw(input[(m, r, c)].raw() / 8)
+        });
+        let doubled = Tensor3::from_fn(2, 6, 6, |m, r, c| {
+            Fx16::from_raw(small[(m, r, c)].raw() * 2)
+        });
+        let kernels_small = KernelSet::from_fn(2, 2, 3, |m, n, i, j| {
+            Fx16::from_raw(kernels[(m, n, i, j)].raw() / 4)
+        });
+        let out1 = reference::conv(&layer, &small, &kernels_small);
+        let out2 = reference::conv(&layer, &doubled, &kernels_small);
+        for m in 0..2 {
+            for r in 0..4 {
+                for c in 0..4 {
+                    let a = out1[(m, r, c)].to_f64();
+                    let b = out2[(m, r, c)].to_f64();
+                    // Up to one rounding step per output.
+                    prop_assert!((b - 2.0 * a).abs() <= 3.0 / 256.0);
+                }
+            }
+        }
+    }
+
+    /// Max-pool outputs are elements of the input window (idempotence
+    /// of max) and avg-pool outputs never exceed the max.
+    #[test]
+    fn pooling_invariants(seed in 0u64..1000) {
+        let layer = ConvLayer::new("C", 2, 1, 6, 1);
+        let (input, _) = reference::random_layer_data(&layer, seed);
+        let maxp = PoolLayer::new("P", PoolKind::Max, 2, 1, 6);
+        let avgp = PoolLayer::new("P", PoolKind::Avg, 2, 1, 6);
+        let mx = reference::pool(&maxp, &input);
+        let av = reference::pool(&avgp, &input);
+        for r in 0..3 {
+            for c in 0..3 {
+                let mut window: Vec<Fx16> = Vec::new();
+                for i in 0..2 {
+                    for j in 0..2 {
+                        window.push(input[(0, 2 * r + i, 2 * c + j)]);
+                    }
+                }
+                prop_assert!(window.contains(&mx[(0, r, c)]));
+                prop_assert!(av[(0, r, c)] <= mx[(0, r, c)]);
+            }
+        }
+    }
+
+    /// Layer op counts are consistent: macs * 2 == ops, and the nested
+    /// sums factorize.
+    #[test]
+    fn layer_op_accounting(m in 1usize..8, n in 1usize..8, s in 1usize..12, k in 1usize..6) {
+        let layer = ConvLayer::new("C", m, n, s, k);
+        prop_assert_eq!(layer.ops(), 2 * layer.macs());
+        prop_assert_eq!(
+            layer.macs(),
+            layer.output_neurons() * (n * k * k) as u64
+        );
+        prop_assert_eq!(layer.synapses(), (m * n * k * k) as u64);
+    }
+}

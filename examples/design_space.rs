@@ -1,0 +1,102 @@
+//! Design-space exploration for one CONV layer: sweep unrolling factors
+//! on a 16×16 FlexFlow and show how the complementary-parallelism mix
+//! changes utilization, traffic, and cycles — the paper's Section 4.2
+//! story, quantified.
+//!
+//! ```text
+//! cargo run --release --example design_space [M N S K]
+//! ```
+
+use flexflow::analytic::schedule_default;
+use flexflow::FlexFlow;
+use flexsim_dataflow::search::best_unroll;
+use flexsim_dataflow::utilization::total_utilization;
+use flexsim_dataflow::{Style, Unroll};
+use flexsim_model::ConvLayer;
+
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let layer = if args.len() == 4 {
+        ConvLayer::new("custom", args[0], args[1], args[2], args[3])
+    } else {
+        // LeNet-5 C3 by default.
+        ConvLayer::new("C3", 16, 6, 10, 5).with_input_size(14)
+    };
+    let d = 16;
+    println!("layer: {layer}  (engine {d}x{d})\n");
+
+    // Representative single-parallelism and mixed mappings.
+    let candidates: Vec<(&str, Unroll)> = vec![
+        ("scalar (no parallelism)", Unroll::scalar()),
+        (
+            "pure SP (synapse)",
+            Unroll::new(1, 1, 1, 1, layer.k().min(4), layer.k().min(4)),
+        ),
+        (
+            "pure NP (neuron)",
+            Unroll::new(1, 1, layer.s().min(4), layer.s().min(4), 1, 1),
+        ),
+        (
+            "pure FP (feature map)",
+            Unroll::new(layer.m().min(16), layer.n().min(16), 1, 1, 1, 1),
+        ),
+        ("planned (complementary mix)", best_unroll(&layer, d, None).unroll),
+    ];
+
+    println!(
+        "{:<28} {:<8} {:>7} {:>10} {:>12} {:>10}",
+        "mapping", "style", "Ut %", "cycles", "traffic", "GOPS"
+    );
+    let ff = FlexFlow::paper_config();
+    for (name, u) in candidates {
+        if u.rows_used() > d || u.cols_used() > d {
+            continue;
+        }
+        let style = Style::from_unroll(&u);
+        let sch = schedule_default(&layer, u, d);
+        let result = ff.run_conv_with(&layer, u);
+        println!(
+            "{:<28} {:<8} {:>7.1} {:>10} {:>12} {:>10.1}",
+            name,
+            style.to_string(),
+            total_utilization(&layer, &u, d) * 100.0,
+            sch.cycles,
+            sch.traffic.total(),
+            result.gops(),
+        );
+    }
+
+    // Exhaustive sweep: how much of the space is any good?
+    let mut all = Vec::new();
+    for tm in 1..=layer.m().min(d) {
+        for tn in 1..=layer.n().min(d) {
+            for tr in 1..=layer.s().min(d) {
+                for tc in 1..=layer.s().min(d) {
+                    for ti in 1..=layer.k().min(d) {
+                        for tj in 1..=layer.k().min(d) {
+                            let u = Unroll::new(tm, tn, tr, tc, ti, tj);
+                            if u.rows_used() <= d && u.cols_used() <= d {
+                                all.push(total_utilization(&layer, &u, d));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    all.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    let over80 = all.iter().filter(|&&u| u > 0.8).count();
+    println!(
+        "\nswept {} feasible factor sets: best Ut {:.1}%, median {:.1}%, {} ({:.1}%) exceed 80%",
+        all.len(),
+        all[0] * 100.0,
+        all[all.len() / 2] * 100.0,
+        over80,
+        over80 as f64 / all.len() as f64 * 100.0
+    );
+    println!("(the flexible dataflow matters: only a thin slice of the space is efficient,");
+    println!(" and it moves from layer to layer — exactly the paper's motivation)");
+}

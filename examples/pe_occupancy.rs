@@ -1,0 +1,48 @@
+//! PE-occupancy visualization: time-resolved utilization sparklines for
+//! every layer of a workload, under the planned factors and under
+//! deliberately bad single-parallelism mappings — Fig. 15's bars, but
+//! you can see *where* the PEs go idle.
+//!
+//! ```text
+//! cargo run --release --example pe_occupancy [workload]
+//! ```
+
+use flexflow::trace::trace_layer;
+use flexsim_dataflow::search::{best_unroll_where, plan_network};
+use flexsim_dataflow::{Style, Unroll};
+use flexsim_model::workloads;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "LeNet-5".into());
+    let net = workloads::all()
+        .into_iter()
+        .find(|n| n.name().eq_ignore_ascii_case(&name))
+        .unwrap_or_else(workloads::lenet5);
+    let d = 16;
+    println!("{} on a {d}x{d} FlexFlow — per-cycle PE occupancy\n", net.name());
+
+    let plan = plan_network(&net, d);
+    let idxs = net.conv_indices();
+    for (pos, (layer, choice)) in net.conv_layers().zip(&plan).enumerate() {
+        let bound = net
+            .successor_coupling(idxs[pos])
+            .map(|c| c.pool_window * c.next_conv.k());
+        println!("{layer}");
+        let planned = trace_layer(layer, choice.unroll, d);
+        println!("  planned {:<24} {planned}", choice.unroll.to_string());
+        for (label, style) in [
+            ("SP-only (Systolic-like)", Style::systolic()),
+            ("NP-only (2D-Map-like)", Style::mapping2d()),
+            ("FP-only (Tiling-like)", Style::tiling()),
+        ] {
+            let restricted = best_unroll_where(layer, d, bound, |u| {
+                Style::from_unroll(u) == style || *u == Unroll::scalar()
+            })
+            .expect("scalar is always admissible");
+            let t = trace_layer(layer, restricted.unroll, d);
+            println!("  {label:<32} {t}");
+        }
+        println!();
+    }
+    println!("(each character is a time bucket; height = mean busy PEs out of {})", d * d);
+}

@@ -1,0 +1,51 @@
+//! Workload showdown: run all six Table 1 workloads on all four
+//! architectures and print the paper's core comparison (utilization,
+//! GOPS, data volume, power efficiency) in one screen.
+//!
+//! ```text
+//! cargo run --release --example workload_showdown
+//! ```
+
+use flexflow::FlexFlow;
+use flexsim_arch::Accelerator;
+use flexsim_baselines::{Mapping2d, Systolic, TilingArray};
+use flexsim_model::{workloads, Network};
+
+fn engines_for(net: &Network) -> Vec<Box<dyn Accelerator>> {
+    let systolic: Systolic = if net.name() == "AlexNet" {
+        Systolic::alexnet_config()
+    } else {
+        Systolic::dc_cnn()
+    };
+    vec![
+        Box::new(systolic),
+        Box::new(Mapping2d::shidiannao()),
+        Box::new(TilingArray::diannao()),
+        Box::new(FlexFlow::paper_config()),
+    ]
+}
+
+fn main() {
+    println!(
+        "{:<10} {:<12} {:>8} {:>9} {:>12} {:>10} {:>9}",
+        "workload", "arch", "util %", "GOPS", "words", "GOPS/W", "energy uJ"
+    );
+    for net in workloads::all() {
+        for mut acc in engines_for(&net) {
+            let s = acc.run_network(&net);
+            println!(
+                "{:<10} {:<12} {:>8.1} {:>9.1} {:>12} {:>10.0} {:>9.1}",
+                net.name(),
+                acc.name(),
+                s.utilization() * 100.0,
+                s.gops(),
+                s.traffic().total(),
+                s.efficiency_gops_per_w(),
+                s.energy_j() * 1e6,
+            );
+        }
+        println!();
+    }
+    println!("(paper: FlexFlow >80% utilization, >420 GOPS, least data volume,");
+    println!(" best GOPS/W on every workload — see EXPERIMENTS.md for the full comparison)");
+}

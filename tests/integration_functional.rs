@@ -1,0 +1,151 @@
+//! Cross-architecture functional equivalence.
+//!
+//! All four simulated architectures — Systolic, 2D-Mapping, Tiling, and
+//! FlexFlow — execute real 16-bit fixed-point convolutions following
+//! their own dataflows. On every (valid-convolution) layer they must
+//! produce *bit-identical* outputs to the golden reference and therefore
+//! to each other: the architectures differ in schedule, not semantics.
+
+use flexflow::array::PeArray;
+use flexsim_baselines::{Mapping2d, Systolic, TilingArray};
+use flexsim_dataflow::search::best_unroll;
+use flexsim_model::{reference, workloads, ConvLayer};
+
+/// Layers exercised by the equivalence suite: every functional-path
+/// layer of the four small Table 1 workloads plus the Section 4 demo.
+fn functional_layers() -> Vec<ConvLayer> {
+    let mut layers = Vec::new();
+    for net in [
+        workloads::pv(),
+        workloads::fr(),
+        workloads::lenet5(),
+        workloads::hg(),
+        workloads::paper_example(),
+    ] {
+        for l in net.conv_layers() {
+            if l.is_valid_convolution() && l.k() <= 6 {
+                layers.push(l.clone());
+            }
+        }
+    }
+    assert!(layers.len() >= 8, "expected a rich layer set");
+    layers
+}
+
+#[test]
+fn all_architectures_agree_with_the_reference() {
+    for (i, layer) in functional_layers().iter().enumerate() {
+        let (input, kernels) = reference::random_layer_data(layer, 1000 + i as u64);
+        let want = reference::conv(layer, &input, &kernels);
+
+        let sys = Systolic::dc_cnn();
+        assert_eq!(
+            sys.forward(layer, &input, &kernels),
+            want,
+            "Systolic mismatch on {}",
+            layer.name()
+        );
+
+        let m2d = Mapping2d::shidiannao();
+        assert_eq!(
+            m2d.forward(layer, &input, &kernels),
+            want,
+            "2D-Mapping mismatch on {}",
+            layer.name()
+        );
+
+        let til = TilingArray::diannao();
+        assert_eq!(
+            til.forward(layer, &input, &kernels),
+            want,
+            "Tiling mismatch on {}",
+            layer.name()
+        );
+
+        let choice = best_unroll(layer, 16, None);
+        let mut array = PeArray::new(16);
+        let report = array.run_layer(layer, choice.unroll, &input, &kernels);
+        assert_eq!(report.output, want, "FlexFlow mismatch on {}", layer.name());
+        assert_eq!(report.macs, layer.macs());
+    }
+}
+
+#[test]
+fn flexflow_agrees_under_many_unrollings() {
+    // The same layer under very different parallelism mixes (pure NP,
+    // pure SP-ish, pure FP, and blends) always computes the same thing.
+    let layer = ConvLayer::new("C", 4, 3, 10, 3);
+    let (input, kernels) = reference::random_layer_data(&layer, 77);
+    let want = reference::conv(&layer, &input, &kernels);
+    let unrolls = [
+        flexsim_dataflow::Unroll::new(1, 1, 4, 4, 1, 1), // NP
+        flexsim_dataflow::Unroll::new(1, 1, 1, 1, 3, 3), // SP
+        flexsim_dataflow::Unroll::new(4, 3, 1, 1, 1, 1), // FP
+        flexsim_dataflow::Unroll::new(2, 3, 1, 2, 1, 3), // blend
+        flexsim_dataflow::Unroll::new(4, 1, 2, 2, 3, 1), // blend
+    ];
+    for u in unrolls {
+        let mut array = PeArray::new(16);
+        let report = array.run_layer(&layer, u, &input, &kernels);
+        assert_eq!(report.output, want, "mismatch under {u}");
+    }
+}
+
+#[test]
+fn functional_and_analytic_flexflow_cycles_agree() {
+    for (i, layer) in functional_layers().iter().enumerate() {
+        let choice = best_unroll(layer, 16, None);
+        let sch = flexflow::analytic::schedule_default(layer, choice.unroll, 16);
+        let (input, kernels) = reference::random_layer_data(layer, 2000 + i as u64);
+        let mut array = PeArray::new(16);
+        let report = array.run_layer(layer, choice.unroll, &input, &kernels);
+        assert_eq!(
+            report.cycles,
+            sch.cycles,
+            "{}: functional vs analytic cycles",
+            layer.name()
+        );
+    }
+}
+
+#[test]
+fn functional_traffic_tracks_analytic_model() {
+    // For resident workloads, the lazy-load functional counters equal
+    // the closed-form traffic model; for segmented ones they stay within
+    // a modest factor (the analytic model is the planner's estimate).
+    for (i, layer) in functional_layers().iter().enumerate() {
+        let choice = best_unroll(layer, 16, None);
+        let sch = flexflow::analytic::schedule_default(layer, choice.unroll, 16);
+        let (input, kernels) = reference::random_layer_data(layer, 3000 + i as u64);
+        let mut array = PeArray::new(16);
+        let report = array.run_layer(layer, choice.unroll, &input, &kernels);
+        let ratio = report.vertical_bus_words as f64 / sch.traffic.neuron_in as f64;
+        assert!(
+            (0.5..=1.5).contains(&ratio),
+            "{}: functional neuron traffic {}x the analytic model",
+            layer.name(),
+            ratio
+        );
+    }
+}
+
+#[test]
+fn quantization_matches_across_seeds() {
+    // Different data, same shapes: equivalence is not an artifact of one
+    // lucky seed.
+    let layer = ConvLayer::new("C", 3, 2, 8, 4);
+    for seed in [1u64, 99, 4096, 123_456] {
+        let (input, kernels) = reference::random_layer_data(&layer, seed);
+        let want = reference::conv(&layer, &input, &kernels);
+        assert_eq!(
+            Systolic::dc_cnn().forward(&layer, &input, &kernels),
+            want,
+            "seed {seed}"
+        );
+        assert_eq!(
+            TilingArray::diannao().forward(&layer, &input, &kernels),
+            want,
+            "seed {seed}"
+        );
+    }
+}
