@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Local CI gate — the exact checks .github/workflows/ci.yml runs.
+#
+# Everything is offline: the workspace has zero external dependencies
+# (crates/testkit replaces rand/proptest/serde/criterion), so a plain
+# toolchain is all that's needed. --offline makes any accidental
+# reintroduction of a registry dependency fail loudly here rather
+# than flake in a sandboxed environment.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo build --release (offline)"
+cargo build --release --offline
+
+echo "==> cargo test (offline)"
+cargo test -q --offline
+
+echo "CI OK"

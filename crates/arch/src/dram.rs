@@ -283,7 +283,10 @@ mod tests {
 
     #[test]
     fn traffic_adds() {
-        let a = DramTraffic { reads: 3, writes: 4 };
+        let a = DramTraffic {
+            reads: 3,
+            writes: 4,
+        };
         let b = a + a;
         assert_eq!(b.total(), 14);
         assert!((b.per_op(7) - 1.0).abs() < 1e-12);
@@ -330,7 +333,10 @@ mod tests {
         assert!(fused.total() < unfused.total());
         let c1 = net.conv_layer("C1").unwrap();
         let c3 = net.conv_layer("C3").unwrap();
-        assert_eq!(fused.reads, c1.input_neurons() + c1.synapses() + c3.synapses());
+        assert_eq!(
+            fused.reads,
+            c1.input_neurons() + c1.synapses() + c3.synapses()
+        );
         assert_eq!(fused.writes, c3.output_neurons());
     }
 

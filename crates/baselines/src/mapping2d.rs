@@ -119,7 +119,11 @@ impl Mapping2d {
         input: &Tensor3,
         kernels: &KernelSet,
     ) -> (Tensor3, Mapping2dStats) {
-        assert_eq!(layer.stride(), 1, "functional 2D-mapping model requires stride 1");
+        assert_eq!(
+            layer.stride(),
+            1,
+            "functional 2D-mapping model requires stride 1"
+        );
         assert!(layer.is_valid_convolution(), "padded layers not supported");
         let (m, n, s, k) = (layer.m(), layer.n(), layer.s(), layer.k());
         let mut out = Tensor3::zeros(m, s, s);
@@ -135,9 +139,8 @@ impl Mapping2d {
                         // Operand registers: window[r][c] holds the
                         // neuron PE (r, c) multiplies this cycle.
                         // Initial fill for (i=0, j=0).
-                        let mut window = Tensor2::from_fn(tr, tc, |r, c| {
-                            input[(inm, r0 + r, c0 + c)]
-                        });
+                        let mut window =
+                            Tensor2::from_fn(tr, tc, |r, c| input[(inm, r0 + r, c0 + c)]);
                         stats.injected_words += (tr * tc) as u64;
                         let mut j = 0usize;
                         for i in 0..k {
@@ -161,8 +164,7 @@ impl Mapping2d {
                                             for c in (1..tc).rev() {
                                                 window[(r, c)] = window[(r, c - 1)];
                                             }
-                                            window[(r, 0)] =
-                                                input[(inm, r0 + r + i, c0 + j)];
+                                            window[(r, 0)] = input[(inm, r0 + r + i, c0 + j)];
                                         }
                                     }
                                     stats.fifo_shifts += (tr * (tc - 1)) as u64;
@@ -293,7 +295,14 @@ impl Accelerator for Mapping2d {
     fn run_conv(&mut self, layer: &ConvLayer) -> LayerResult {
         let outcome = self.analyze(layer);
         let area = self.area().total_mm2();
-        finish(self.name(), layer, self.pe_count(), outcome, &self.energy, area)
+        finish(
+            self.name(),
+            layer,
+            self.pe_count(),
+            outcome,
+            &self.energy,
+            area,
+        )
     }
 
     fn area(&self) -> AreaBreakdown {
@@ -338,7 +347,10 @@ mod tests {
         let (input, kernels) = flexsim_model::reference::random_layer_data(&layer, 77);
         let m2d = Mapping2d::new(8, 8);
         let (out, stats) = m2d.forward_with_stats(&layer, &input, &kernels);
-        assert_eq!(out, flexsim_model::reference::conv(&layer, &input, &kernels));
+        assert_eq!(
+            out,
+            flexsim_model::reference::conv(&layer, &input, &kernels)
+        );
         let (tr, tc, k) = (8u64, 8u64, 4u64);
         let per_pass = tr * tc + k * (k - 1) * tr + (k - 1) * tc;
         assert_eq!(stats.injected_words, 2 * 3 * per_pass);

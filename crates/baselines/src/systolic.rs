@@ -54,7 +54,10 @@ impl Systolic {
     ///
     /// Panics if either parameter is zero.
     pub fn new(array_k: usize, num_arrays: usize) -> Self {
-        assert!(array_k > 0 && num_arrays > 0, "engine dimensions must be non-zero");
+        assert!(
+            array_k > 0 && num_arrays > 0,
+            "engine dimensions must be non-zero"
+        );
         Systolic {
             array_k,
             num_arrays,
@@ -116,7 +119,11 @@ impl Systolic {
             layer.k() <= self.array_k,
             "functional systolic model requires K <= array size"
         );
-        assert_eq!(layer.stride(), 1, "functional systolic model requires stride 1");
+        assert_eq!(
+            layer.stride(),
+            1,
+            "functional systolic model requires stride 1"
+        );
         assert!(layer.is_valid_convolution(), "padded layers not supported");
         let (m, n, s) = (layer.m(), layer.n(), layer.s());
         let mut out = Tensor3::zeros(m, s, s);
@@ -273,7 +280,14 @@ impl Accelerator for Systolic {
     fn run_conv(&mut self, layer: &ConvLayer) -> LayerResult {
         let outcome = self.analyze(layer);
         let area = self.area().total_mm2();
-        finish(self.name(), layer, self.pe_count(), outcome, &self.energy, area)
+        finish(
+            self.name(),
+            layer,
+            self.pe_count(),
+            outcome,
+            &self.energy,
+            area,
+        )
     }
 
     fn area(&self) -> AreaBreakdown {

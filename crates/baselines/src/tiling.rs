@@ -114,8 +114,7 @@ impl TilingArray {
                         }
                     }
                     for (pe, acc) in accs.iter().enumerate() {
-                        out[(m0 + pe, r, c)] =
-                            apply_activation(acc.to_fx16(), layer.activation());
+                        out[(m0 + pe, r, c)] = apply_activation(acc.to_fx16(), layer.activation());
                     }
                 }
             }
@@ -189,7 +188,14 @@ impl Accelerator for TilingArray {
     fn run_conv(&mut self, layer: &ConvLayer) -> LayerResult {
         let outcome = self.analyze(layer);
         let area = self.area().total_mm2();
-        finish(self.name(), layer, self.pe_count(), outcome, &self.energy, area)
+        finish(
+            self.name(),
+            layer,
+            self.pe_count(),
+            outcome,
+            &self.energy,
+            area,
+        )
     }
 
     fn area(&self) -> AreaBreakdown {

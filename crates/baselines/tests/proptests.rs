@@ -1,70 +1,105 @@
-//! Property-based functional equivalence for the baseline simulators.
+//! Property-based functional equivalence for the baseline simulators
+//! (flexsim-testkit harness).
 
 use flexsim_baselines::{Mapping2d, Systolic, TilingArray};
 use flexsim_model::{reference, ConvLayer};
-use proptest::prelude::*;
+use flexsim_testkit::prop;
+use flexsim_testkit::{prop_assert, prop_assert_eq};
 
-fn small_layer() -> impl Strategy<Value = ConvLayer> {
-    (1usize..=4, 1usize..=3, 2usize..=7, 1usize..=5)
-        .prop_map(|(m, n, s, k)| ConvLayer::new("prop", m, n, s, k))
+const CASES: u32 = 48;
+
+/// Raw `(m, n, s, k)` parameters for a small random CONV layer.
+fn small_layer_params() -> (
+    std::ops::RangeInclusive<usize>,
+    std::ops::RangeInclusive<usize>,
+    std::ops::RangeInclusive<usize>,
+    std::ops::RangeInclusive<usize>,
+) {
+    (1..=4, 1..=3, 2..=7, 1..=5)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn small_layer((m, n, s, k): (usize, usize, usize, usize)) -> ConvLayer {
+    ConvLayer::new("prop", m, n, s, k)
+}
 
-    /// The systolic pipeline is bit-exact on arbitrary small layers.
-    #[test]
-    fn systolic_always_bit_exact(layer in small_layer(), seed in 0u64..10_000) {
-        let (input, kernels) = reference::random_layer_data(&layer, seed);
-        let got = Systolic::dc_cnn().forward(&layer, &input, &kernels);
-        prop_assert_eq!(got, reference::conv(&layer, &input, &kernels));
-    }
+#[test]
+fn systolic_always_bit_exact() {
+    // The systolic pipeline is bit-exact on arbitrary small layers.
+    prop::check(
+        "systolic_always_bit_exact",
+        CASES,
+        (small_layer_params(), 0u64..=9_999),
+        |&(params, seed)| {
+            let layer = small_layer(params);
+            let (input, kernels) = reference::random_layer_data(&layer, seed);
+            let got = Systolic::dc_cnn().forward(&layer, &input, &kernels);
+            prop_assert_eq!(got, reference::conv(&layer, &input, &kernels));
+            Ok(())
+        },
+    );
+}
 
-    /// The 2D-mapping shift schedule is bit-exact under arbitrary array
-    /// geometries (including arrays smaller and larger than the map).
-    #[test]
-    fn mapping2d_always_bit_exact(
-        layer in small_layer(),
-        tr in 1usize..=8,
-        tc in 1usize..=8,
-        seed in 0u64..10_000,
-    ) {
-        let (input, kernels) = reference::random_layer_data(&layer, seed);
-        let got = Mapping2d::new(tr, tc).forward(&layer, &input, &kernels);
-        prop_assert_eq!(got, reference::conv(&layer, &input, &kernels));
-    }
+#[test]
+fn mapping2d_always_bit_exact() {
+    // The 2D-mapping shift schedule is bit-exact under arbitrary array
+    // geometries (including arrays smaller and larger than the map).
+    prop::check(
+        "mapping2d_always_bit_exact",
+        CASES,
+        (small_layer_params(), 1usize..=8, 1usize..=8, 0u64..=9_999),
+        |&(params, tr, tc, seed)| {
+            let layer = small_layer(params);
+            let (input, kernels) = reference::random_layer_data(&layer, seed);
+            let got = Mapping2d::new(tr, tc).forward(&layer, &input, &kernels);
+            prop_assert_eq!(got, reference::conv(&layer, &input, &kernels));
+            Ok(())
+        },
+    );
+}
 
-    /// The tiling adder-tree schedule is bit-exact under arbitrary
-    /// (Tm, Tn) splits.
-    #[test]
-    fn tiling_always_bit_exact(
-        layer in small_layer(),
-        tm in 1usize..=8,
-        tn in 1usize..=8,
-        seed in 0u64..10_000,
-    ) {
-        let (input, kernels) = reference::random_layer_data(&layer, seed);
-        let got = TilingArray::new(tm, tn).forward(&layer, &input, &kernels);
-        prop_assert_eq!(got, reference::conv(&layer, &input, &kernels));
-    }
+#[test]
+fn tiling_always_bit_exact() {
+    // The tiling adder-tree schedule is bit-exact under arbitrary
+    // (Tm, Tn) splits.
+    prop::check(
+        "tiling_always_bit_exact",
+        CASES,
+        (small_layer_params(), 1usize..=8, 1usize..=8, 0u64..=9_999),
+        |&(params, tm, tn, seed)| {
+            let layer = small_layer(params);
+            let (input, kernels) = reference::random_layer_data(&layer, seed);
+            let got = TilingArray::new(tm, tn).forward(&layer, &input, &kernels);
+            prop_assert_eq!(got, reference::conv(&layer, &input, &kernels));
+            Ok(())
+        },
+    );
+}
 
-    /// Analytic invariants common to all three baselines: useful MACs
-    /// equal the layer's, cycles bound them, utilization in (0, 1].
-    #[test]
-    fn analytic_invariants(layer in small_layer()) {
-        use flexsim_arch::Accelerator;
-        let engines: Vec<Box<dyn Accelerator>> = vec![
-            Box::new(Systolic::dc_cnn()),
-            Box::new(Mapping2d::shidiannao()),
-            Box::new(TilingArray::diannao()),
-        ];
-        for mut acc in engines {
-            let r = acc.run_conv(&layer);
-            prop_assert_eq!(r.macs, layer.macs(), "{}", acc.name());
-            prop_assert!(r.cycles > 0);
-            let u = r.utilization();
-            prop_assert!(u > 0.0 && u <= 1.0, "{}: {}", acc.name(), u);
-            prop_assert!(r.traffic.total() > 0);
-        }
-    }
+#[test]
+fn analytic_invariants() {
+    // Analytic invariants common to all three baselines: useful MACs
+    // equal the layer's, cycles bound them, utilization in (0, 1].
+    prop::check(
+        "analytic_invariants",
+        CASES,
+        small_layer_params(),
+        |&params| {
+            use flexsim_arch::Accelerator;
+            let layer = small_layer(params);
+            let engines: Vec<Box<dyn Accelerator>> = vec![
+                Box::new(Systolic::dc_cnn()),
+                Box::new(Mapping2d::shidiannao()),
+                Box::new(TilingArray::diannao()),
+            ];
+            for mut acc in engines {
+                let r = acc.run_conv(&layer);
+                prop_assert_eq!(r.macs, layer.macs(), "{}", acc.name());
+                prop_assert!(r.cycles > 0, "{}", acc.name());
+                let u = r.utilization();
+                prop_assert!(u > 0.0 && u <= 1.0, "{}: {}", acc.name(), u);
+                prop_assert!(r.traffic.total() > 0, "{}", acc.name());
+            }
+            Ok(())
+        },
+    );
 }

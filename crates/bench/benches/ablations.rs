@@ -1,18 +1,23 @@
-//! Criterion bench regenerating the three ablation studies (not paper
+//! Micro-bench (flexsim-testkit runner) regenerating the three ablation studies (not paper
 //! figures; they quantify the paper's design claims — see
 //! `flexsim_experiments::ablations`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use flexsim_testkit::bench::{Harness, Mode};
 use std::hint::black_box;
 use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
-    eprintln!("{}", flexsim_experiments::ablations::styles());
-    eprintln!("{}", flexsim_experiments::ablations::local_store());
-    eprintln!("{}", flexsim_experiments::ablations::coupling());
-    eprintln!("{}", flexsim_experiments::ablations::rc_bound());
+fn bench(c: &mut Harness) {
+    // Print the regenerated ablation tables once per measured run.
+    if c.mode() == Mode::Measure {
+        eprintln!("{}", flexsim_experiments::ablations::styles());
+        eprintln!("{}", flexsim_experiments::ablations::local_store());
+        eprintln!("{}", flexsim_experiments::ablations::coupling());
+        eprintln!("{}", flexsim_experiments::ablations::rc_bound());
+    }
     let mut group = c.benchmark_group("ablations");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     group.bench_function("styles", |b| {
         b.iter(|| black_box(flexsim_experiments::ablations::styles()))
     });
@@ -28,5 +33,4 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+flexsim_testkit::bench_main!(bench);

@@ -1,20 +1,23 @@
-//! Criterion bench regenerating the paper's fig15 — prints the
+//! Micro-bench (flexsim-testkit runner) regenerating the paper's fig15 — prints the
 //! table once, then measures the cost of regenerating it.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use flexsim_testkit::bench::{Harness, Mode};
 use std::hint::black_box;
 use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
-    // Print the regenerated table/figure data once per bench run.
-    eprintln!("{}", flexsim_experiments::fig15::run());
+fn bench(c: &mut Harness) {
+    // Print the regenerated table/figure data once per measured run.
+    if c.mode() == Mode::Measure {
+        eprintln!("{}", flexsim_experiments::fig15::run());
+    }
     let mut group = c.benchmark_group("fig15_utilization");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     group.bench_function("regenerate", |b| {
         b.iter(|| black_box(flexsim_experiments::fig15::run()))
     });
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+flexsim_testkit::bench_main!(bench);

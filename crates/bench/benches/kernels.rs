@@ -4,23 +4,25 @@
 //! schedule. These gate the cost of the repository's own machinery (not
 //! a paper figure).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use flexflow::analytic::schedule_default;
 use flexflow::array::PeArray;
 use flexsim_baselines::{Mapping2d, Systolic, TilingArray};
 use flexsim_dataflow::search::{best_unroll, plan_network};
 use flexsim_model::{reference, workloads};
+use flexsim_testkit::bench::Harness;
 use std::hint::black_box;
 use std::time::Duration;
 
-fn bench(c: &mut Criterion) {
+fn bench(c: &mut Harness) {
     let net = workloads::lenet5();
     let c1 = net.conv_layer("C1").unwrap().clone();
     let (input, kernels) = reference::random_layer_data(&c1, 1);
     let choice = best_unroll(&c1, 16, None);
 
     let mut group = c.benchmark_group("kernels");
-    group.sample_size(20).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(5));
 
     group.bench_function("reference_conv_lenet_c1", |b| {
         b.iter(|| black_box(reference::conv(&c1, &input, &kernels)))
@@ -64,5 +66,4 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+flexsim_testkit::bench_main!(bench);

@@ -99,7 +99,10 @@ impl Schedule {
 /// Panics if `d` or `store_words` is zero, or `u` violates the engine
 /// occupancy bounds (`Tn·Ti·Tj ≤ d`, `Tm·Tr·Tc ≤ d`).
 pub fn schedule(layer: &ConvLayer, u: Unroll, d: usize, store_words: usize) -> Schedule {
-    assert!(d > 0 && store_words > 0, "engine parameters must be non-zero");
+    assert!(
+        d > 0 && store_words > 0,
+        "engine parameters must be non-zero"
+    );
     assert!(
         u.cols_used() <= d && u.rows_used() <= d,
         "unrolling exceeds the {d}x{d} engine"

@@ -32,6 +32,11 @@ pub struct FunctionalReport {
     pub output: Tensor3,
     /// Engine cycles (compute + per-segment writeback).
     pub cycles: u64,
+    /// PE-active compute steps: cycles in which the engine issued a
+    /// tile of MACs (total cycles minus pipeline fill and segment
+    /// stalls). `macs / (compute_steps · D²)` is the simulated
+    /// occupancy the unrolling model's `Ut` predicts.
+    pub compute_steps: u64,
     /// MACs executed.
     pub macs: u64,
     /// Words broadcast on the vertical (neuron) buses.
@@ -149,8 +154,7 @@ impl PeArray {
         let (m, n, s, k) = (layer.m(), layer.n(), layer.s(), layer.k());
         let stride = layer.stride();
         let s_in = layer.input_size();
-        let kernels_persist =
-            sch.m_groups.saturating_mul(sch.chunks) <= STORE_WORDS as u64;
+        let kernels_persist = sch.m_groups.saturating_mul(sch.chunks) <= STORE_WORDS as u64;
 
         for st in self.pes.iter_mut() {
             st.clear_neurons();
@@ -205,9 +209,8 @@ impl PeArray {
                                         for dc in 0..tc_eff {
                                             let (om, r, c) = (m0 + dm, r0 + dr, c0 + dc);
                                             let row = mapping.output_row(om, r, c);
-                                            let mut products = Vec::with_capacity(
-                                                tn_eff * ti_eff * tj_eff,
-                                            );
+                                            let mut products =
+                                                Vec::with_capacity(tn_eff * ti_eff * tj_eff);
                                             let mut cols_seen: HashSet<usize> = HashSet::new();
                                             for dn in 0..tn_eff {
                                                 for di in 0..ti_eff {
@@ -222,34 +225,22 @@ impl PeArray {
                                                             cols_seen.insert(col),
                                                             "column conflict in one cycle"
                                                         );
-                                                        let (ir, ic) = (
-                                                            r * stride + i,
-                                                            c * stride + j,
-                                                        );
-                                                        let nid = ((inm * s_in + ir) * s_in
-                                                            + ic)
-                                                            as u64;
-                                                        let kid = (((om * n + inm) * k + i) * k
-                                                            + j)
+                                                        let (ir, ic) =
+                                                            (r * stride + i, c * stride + j);
+                                                        let nid =
+                                                            ((inm * s_in + ir) * s_in + ic) as u64;
+                                                        let kid = (((om * n + inm) * k + i) * k + j)
                                                             as u64;
                                                         let pe_idx = row * self.d + col;
                                                         let st = &mut self.pes[pe_idx];
                                                         // Lazy neuron delivery.
-                                                        let naddr = match st
-                                                            .neuron_addr
-                                                            .get(&nid)
-                                                        {
+                                                        let naddr = match st.neuron_addr.get(&nid) {
                                                             Some(&a) => a,
                                                             None => {
-                                                                if neuron_broadcast.insert(nid)
-                                                                {
-                                                                    fabric
-                                                                        .vertical
-                                                                        .broadcast(col);
+                                                                if neuron_broadcast.insert(nid) {
+                                                                    fabric.vertical.broadcast(col);
                                                                 }
-                                                                if st.neuron_next
-                                                                    >= STORE_WORDS
-                                                                {
+                                                                if st.neuron_next >= STORE_WORDS {
                                                                     st.clear_neurons();
                                                                 }
                                                                 let a = st.neuron_next;
@@ -264,21 +255,15 @@ impl PeArray {
                                                         };
                                                         // Lazy kernel delivery
                                                         // (IPDR replica).
-                                                        let kaddr = match st
-                                                            .kernel_addr
-                                                            .get(&kid)
-                                                        {
+                                                        let kaddr = match st.kernel_addr.get(&kid) {
                                                             Some(&a) => a,
                                                             None => {
-                                                                if kernel_broadcast.insert(kid)
-                                                                {
+                                                                if kernel_broadcast.insert(kid) {
                                                                     fabric
                                                                         .horizontal
                                                                         .broadcast(row);
                                                                 }
-                                                                if st.kernel_next
-                                                                    >= STORE_WORDS
-                                                                {
+                                                                if st.kernel_next >= STORE_WORDS {
                                                                     st.clear_kernels();
                                                                 }
                                                                 let a = st.kernel_next;
@@ -291,17 +276,14 @@ impl PeArray {
                                                                 a
                                                             }
                                                         };
-                                                        products.push(
-                                                            st.pe.multiply(naddr, kaddr),
-                                                        );
+                                                        products.push(st.pe.multiply(naddr, kaddr));
                                                         macs += 1;
                                                     }
                                                 }
                                             }
                                             let red = adder_tree::reduce(&products);
                                             tree_adds += red.adds;
-                                            let acc =
-                                                accs.entry(row).or_insert(Acc32::ZERO);
+                                            let acc = accs.entry(row).or_insert(Acc32::ZERO);
                                             *acc = acc.saturating_add(red.sum);
                                             tree_adds += 1; // row accumulator add
                                         }
@@ -328,14 +310,15 @@ impl PeArray {
             }
         }
 
-        cycles += sch.row_batches * (sch.segments - 1)
-            * crate::analytic::SEGMENT_STALL_CYCLES
+        let compute_steps = cycles;
+        cycles += sch.row_batches * (sch.segments - 1) * crate::analytic::SEGMENT_STALL_CYCLES
             + crate::analytic::PIPELINE_FILL_CYCLES;
         let store_reads: u64 = self.pes.iter().map(|s| s.pe.store_reads()).sum();
         let store_writes: u64 = self.pes.iter().map(|s| s.pe.store_writes()).sum();
         FunctionalReport {
             output: out,
             cycles,
+            compute_steps,
             macs,
             vertical_bus_words: fabric.vertical.total_words(),
             horizontal_bus_words: fabric.horizontal.total_words(),

@@ -225,7 +225,10 @@ mod tests {
         ];
         assert!(Decoder::new(16).decode_stream(&words).is_ok());
         let err = Decoder::new(4).decode_stream(&words).unwrap_err();
-        assert!(matches!(err, DecodeProgramError::OversizedFactors { pc: 0, .. }));
+        assert!(matches!(
+            err,
+            DecodeProgramError::OversizedFactors { pc: 0, .. }
+        ));
     }
 
     #[test]

@@ -108,9 +108,7 @@ impl FlexFlow {
             idle_pe_cycles: (cycles * pe_count as u64).saturating_sub(macs),
             ..Default::default()
         };
-        let energy = self
-            .energy
-            .energy(&events, cycles, self.area().total_mm2());
+        let energy = self.energy.energy(&events, cycles, self.area().total_mm2());
         LayerResult {
             arch: self.name().to_owned(),
             layer: layer.name().to_owned(),
@@ -142,7 +140,11 @@ impl FlexFlow {
         input: Tensor3,
         kernels: &[KernelSet],
     ) -> ExecutionTrace {
-        assert_eq!(program.d(), self.d, "program compiled for a different engine");
+        assert_eq!(
+            program.d(),
+            self.d,
+            "program compiled for a different engine"
+        );
         assert_eq!(
             kernels.len(),
             program.choices().len(),
@@ -173,9 +175,8 @@ impl FlexFlow {
                                 "layer {} flattened input length mismatch",
                                 fc.name()
                             );
-                            let flat = Tensor3::from_fn(flat_len, 1, 1, |m, _, _| {
-                                current.as_slice()[m]
-                            });
+                            let flat =
+                                Tensor3::from_fn(flat_len, 1, 1, |m, _, _| current.as_slice()[m]);
                             (fc.as_conv(), flat)
                         }
                         flexsim_model::Layer::Pool(_) => {
@@ -200,9 +201,7 @@ impl FlexFlow {
                         array.run_layer(&conv, choice.unroll, &conv_input, &kernels[conv_idx]);
                     buffers.input().read_bulk(report.vertical_bus_words);
                     buffers.kernel().read_bulk(report.horizontal_bus_words);
-                    buffers
-                        .output()
-                        .write_bulk(conv.output_neurons());
+                    buffers.output().write_bulk(conv.output_neurons());
                     cycles += report.cycles;
                     steps.push(StepTrace::Conv {
                         layer: conv.name().to_owned(),

@@ -107,14 +107,7 @@ impl Instr {
                 let field = |idx: usize| ((word >> (idx * 7)) & 0x7F) as usize + 1;
                 Ok(Instr::Configure {
                     layer,
-                    unroll: Unroll::new(
-                        field(0),
-                        field(1),
-                        field(2),
-                        field(3),
-                        field(4),
-                        field(5),
-                    ),
+                    unroll: Unroll::new(field(0), field(1), field(2), field(3), field(4), field(5)),
                 })
             }
             OP_LOAD_KERNELS => Ok(Instr::LoadKernels { layer }),

@@ -71,7 +71,15 @@ impl Mapping {
 
     /// PE column serving operand `(n, i, j)` of an output at `(r, c)`:
     /// the column holding input neuron `I^(n)_(r·stride+i, c·stride+j)`.
-    pub fn operand_col(&self, n: usize, r: usize, c: usize, i: usize, j: usize, stride: usize) -> usize {
+    pub fn operand_col(
+        &self,
+        n: usize,
+        r: usize,
+        c: usize,
+        i: usize,
+        j: usize,
+        stride: usize,
+    ) -> usize {
         self.input_col(n, r * stride + i, c * stride + j)
     }
 

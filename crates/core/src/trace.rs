@@ -40,9 +40,7 @@ pub fn trace_layer(layer: &ConvLayer, u: Unroll, d: usize) -> OccupancyTrace {
         u.rows_used() <= d && u.cols_used() <= d,
         "unrolling exceeds the engine"
     );
-    let busy = TileIter::new(layer, u)
-        .map(|t| t.macs() as u32)
-        .collect();
+    let busy = TileIter::new(layer, u).map(|t| t.macs() as u32).collect();
     OccupancyTrace { d, busy }
 }
 
@@ -100,8 +98,8 @@ impl OccupancyTrace {
             .map(|i| {
                 let lo = i * n / width;
                 let hi = (((i + 1) * n).div_ceil(width)).min(n).max(lo + 1);
-                let mean: f64 = self.busy[lo..hi].iter().map(|&b| b as f64).sum::<f64>()
-                    / (hi - lo) as f64;
+                let mean: f64 =
+                    self.busy[lo..hi].iter().map(|&b| b as f64).sum::<f64>() / (hi - lo) as f64;
                 let level = (mean / full * 8.0).round() as usize;
                 LEVELS[level.min(8)]
             })

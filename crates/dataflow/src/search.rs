@@ -84,7 +84,11 @@ fn row_candidates(layer: &ConvLayer, d: usize) -> Vec<(usize, usize, usize)> {
 
 /// Enumerates candidate `(Tm, Tr, Tc)` triples (the inter-row side),
 /// honouring the successor bound `Tr, Tc ≤ rc_bound`.
-fn col_candidates(layer: &ConvLayer, d: usize, rc_bound: Option<usize>) -> Vec<(usize, usize, usize)> {
+fn col_candidates(
+    layer: &ConvLayer,
+    d: usize,
+    rc_bound: Option<usize>,
+) -> Vec<(usize, usize, usize)> {
     let bound = rc_bound.unwrap_or(usize::MAX);
     let s_lim = layer.s().min(bound).min(d);
     let mut out = Vec::new();
@@ -303,11 +307,7 @@ pub fn plan_network(net: &Network, d: usize) -> Vec<LayerChoice> {
             first_row
         } else {
             let (ptm, ptr, ptc) = states[li - 1][chain[li - 1]];
-            (
-                ptm.min(layer.n()),
-                ptr.min(layer.k()),
-                ptc.min(layer.k()),
-            )
+            (ptm.min(layer.n()), ptr.min(layer.k()), ptc.min(layer.k()))
         };
         let u = Unroll::new(tm, tn, tr, tc, ti, tj);
         debug_assert!(
@@ -346,7 +346,12 @@ mod tests {
     fn flexflow_utilization_is_high_across_table1_small_workloads() {
         // Fig. 15's headline: FlexFlow achieves >80% utilization. Check
         // the per-layer optimum on a 16x16 engine.
-        for net in [workloads::pv(), workloads::fr(), workloads::lenet5(), workloads::hg()] {
+        for net in [
+            workloads::pv(),
+            workloads::fr(),
+            workloads::lenet5(),
+            workloads::hg(),
+        ] {
             let plan = plan_network(&net, 16);
             let total_macs: u64 = net.conv_layers().map(|l| l.macs()).sum();
             let total_pe_cycles: u64 = plan.iter().map(|c| c.cycles * 256).sum();
@@ -471,10 +476,9 @@ mod tests {
         let layer = ConvLayer::new("C3", 16, 6, 10, 5);
         let full = best_unroll(&layer, 16, None);
         for style in [Style::systolic(), Style::mapping2d(), Style::tiling()] {
-            let restricted = best_unroll_where(&layer, 16, None, |u| {
-                Style::from_unroll(u) == style
-            })
-            .expect("every single style admits some unrolling");
+            let restricted =
+                best_unroll_where(&layer, 16, None, |u| Style::from_unroll(u) == style)
+                    .expect("every single style admits some unrolling");
             assert!(
                 restricted.total_utilization() <= full.total_utilization() + 1e-12,
                 "{style}: restricted beats the full search"

@@ -171,7 +171,8 @@ impl std::str::FromStr for Style {
             _ => None,
         };
         if bytes.len() == 6 && bytes[1] == b'F' && bytes[3] == b'N' && bytes[5] == b'S' {
-            if let (Some(f), Some(n), Some(sy)) = (degree(bytes[0]), degree(bytes[2]), degree(bytes[4]))
+            if let (Some(f), Some(n), Some(sy)) =
+                (degree(bytes[0]), degree(bytes[2]), degree(bytes[4]))
             {
                 return Ok(Style {
                     feature_map: f,

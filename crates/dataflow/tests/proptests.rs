@@ -1,84 +1,112 @@
-//! Property-based tests of the unrolling model and planner.
+//! Property-based tests of the unrolling model and planner
+//! (flexsim-testkit harness).
 
 use flexsim_dataflow::search::plan_network;
 use flexsim_dataflow::{Style, Unroll};
 use flexsim_model::{ConvLayer, Network, PoolKind, PoolLayer};
-use proptest::prelude::*;
+use flexsim_testkit::prop::{self, bools};
+use flexsim_testkit::{prop_assert, prop_assert_eq};
 
-/// Strategy: a random 2-3 layer network with optional pooling.
-fn small_network() -> impl Strategy<Value = Network> {
-    (
-        1usize..=8,  // c1 maps
-        4usize..=12, // c1 out size
-        1usize..=4,  // c1 kernel
-        1usize..=8,  // c2 maps
-        1usize..=3,  // c2 kernel
-        any::<bool>(),
-    )
-        .prop_map(|(m1, s1, k1, m2, k2, with_pool)| {
-            let mut b = Network::builder("prop")
-                .conv(ConvLayer::new("C1", m1, 1, s1, k1));
-            let s2_in = if with_pool {
-                b = b.pool(PoolLayer::new("P", PoolKind::Max, 2, m1, s1));
-                (s1 / 2).max(k2)
-            } else {
-                s1.max(k2)
-            };
-            let s2 = (s2_in - k2 + 1).max(1);
-            b.conv(
-                ConvLayer::new("C2", m2, m1, s2, k2).with_input_size(s2_in),
-            )
-            .build()
-        })
+const CASES: u32 = 64;
+
+/// Raw parameters for a random 2-3 layer network with optional pooling:
+/// `(c1 maps, c1 out size, c1 kernel, c2 maps, c2 kernel, with_pool)`.
+type NetParams = (usize, usize, usize, usize, usize, bool);
+
+fn net_params() -> (
+    std::ops::RangeInclusive<usize>,
+    std::ops::RangeInclusive<usize>,
+    std::ops::RangeInclusive<usize>,
+    std::ops::RangeInclusive<usize>,
+    std::ops::RangeInclusive<usize>,
+    prop::Bools,
+) {
+    (1..=8, 4..=12, 1..=4, 1..=8, 1..=3, bools())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn small_network((m1, s1, k1, m2, k2, with_pool): NetParams) -> Network {
+    let mut b = Network::builder("prop").conv(ConvLayer::new("C1", m1, 1, s1, k1));
+    let s2_in = if with_pool {
+        b = b.pool(PoolLayer::new("P", PoolKind::Max, 2, m1, s1));
+        (s1 / 2).max(k2)
+    } else {
+        s1.max(k2)
+    };
+    let s2 = (s2_in - k2 + 1).max(1);
+    b.conv(ConvLayer::new("C2", m2, m1, s2, k2).with_input_size(s2_in))
+        .build()
+}
 
-    /// The planner always produces feasible, IADP-coupled factors on
-    /// random networks at several engine scales.
-    #[test]
-    fn planner_feasible_on_random_networks(net in small_network(), d_pow in 2u32..=5) {
-        let d = 2usize.pow(d_pow); // 4..32
-        let plan = plan_network(&net, d);
-        let convs: Vec<&ConvLayer> = net.conv_layers().collect();
-        prop_assert_eq!(plan.len(), convs.len());
-        for (layer, choice) in convs.iter().zip(&plan) {
-            prop_assert!(choice.unroll.rows_used() <= d);
-            prop_assert!(choice.unroll.cols_used() <= d);
-            prop_assert_eq!(choice.unroll, choice.unroll.clamped_to(layer));
-            prop_assert!(choice.total_utilization() > 0.0);
-            prop_assert!(choice.total_utilization() <= 1.0 + 1e-12);
-        }
-        // IADP chain: layer 2's row side equals layer 1's col side
-        // (clamped to layer 2's bounds).
-        let (c1, c2) = (&plan[0].unroll, &plan[1].unroll);
-        prop_assert_eq!(c2.tn, c1.tm.min(convs[1].n()));
-        prop_assert_eq!(c2.ti, c1.tr.min(convs[1].k()));
-        prop_assert_eq!(c2.tj, c1.tc.min(convs[1].k()));
-    }
+#[test]
+fn planner_feasible_on_random_networks() {
+    // The planner always produces feasible, IADP-coupled factors on
+    // random networks at several engine scales.
+    prop::check(
+        "planner_feasible_on_random_networks",
+        CASES,
+        (net_params(), 2u32..=5),
+        |&(params, d_pow)| {
+            let net = small_network(params);
+            let d = 2usize.pow(d_pow); // 4..32
+            let plan = plan_network(&net, d);
+            let convs: Vec<&ConvLayer> = net.conv_layers().collect();
+            prop_assert_eq!(plan.len(), convs.len());
+            for (layer, choice) in convs.iter().zip(&plan) {
+                prop_assert!(choice.unroll.rows_used() <= d);
+                prop_assert!(choice.unroll.cols_used() <= d);
+                prop_assert_eq!(choice.unroll, choice.unroll.clamped_to(layer));
+                prop_assert!(choice.total_utilization() > 0.0);
+                prop_assert!(choice.total_utilization() <= 1.0 + 1e-12);
+            }
+            // IADP chain: layer 2's row side equals layer 1's col side
+            // (clamped to layer 2's bounds).
+            let (c1, c2) = (&plan[0].unroll, &plan[1].unroll);
+            prop_assert_eq!(c2.tn, c1.tm.min(convs[1].n()));
+            prop_assert_eq!(c2.ti, c1.tr.min(convs[1].k()));
+            prop_assert_eq!(c2.tj, c1.tc.min(convs[1].k()));
+            Ok(())
+        },
+    );
+}
 
-    /// Style classification is stable under factor permutations within
-    /// an axis (swapping Ti and Tj never changes the style).
-    #[test]
-    fn style_symmetric_in_axis_swaps(
-        tm in 1usize..=8, tn in 1usize..=8,
-        tr in 1usize..=8, tc in 1usize..=8,
-        ti in 1usize..=8, tj in 1usize..=8,
-    ) {
-        let a = Style::from_unroll(&Unroll::new(tm, tn, tr, tc, ti, tj));
-        let b = Style::from_unroll(&Unroll::new(tn, tm, tc, tr, tj, ti));
-        prop_assert_eq!(a, b);
-    }
+#[test]
+fn style_symmetric_in_axis_swaps() {
+    // Style classification is stable under factor permutations within
+    // an axis (swapping Ti and Tj never changes the style).
+    prop::check(
+        "style_symmetric_in_axis_swaps",
+        CASES,
+        (
+            1usize..=8,
+            1usize..=8,
+            1usize..=8,
+            1usize..=8,
+            1usize..=8,
+            1usize..=8,
+        ),
+        |&(tm, tn, tr, tc, ti, tj)| {
+            let a = Style::from_unroll(&Unroll::new(tm, tn, tr, tc, ti, tj));
+            let b = Style::from_unroll(&Unroll::new(tn, tm, tc, tr, tj, ti));
+            prop_assert_eq!(a, b);
+            Ok(())
+        },
+    );
+}
 
-    /// Bigger engines never lose utilization under the planner on the
-    /// whole-network cycle count (more PEs, never more cycles).
-    #[test]
-    fn bigger_engines_never_slower(net in small_network()) {
-        let cycles = |d: usize| -> u64 {
-            plan_network(&net, d).iter().map(|c| c.cycles).sum()
-        };
-        prop_assert!(cycles(16) <= cycles(8));
-        prop_assert!(cycles(32) <= cycles(16));
-    }
+#[test]
+fn bigger_engines_never_slower() {
+    // Bigger engines never lose utilization under the planner on the
+    // whole-network cycle count (more PEs, never more cycles).
+    prop::check(
+        "bigger_engines_never_slower",
+        CASES,
+        net_params(),
+        |&params| {
+            let net = small_network(params);
+            let cycles = |d: usize| -> u64 { plan_network(&net, d).iter().map(|c| c.cycles).sum() };
+            prop_assert!(cycles(16) <= cycles(8));
+            prop_assert!(cycles(32) <= cycles(16));
+            Ok(())
+        },
+    );
 }

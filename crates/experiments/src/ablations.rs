@@ -69,8 +69,7 @@ pub fn styles() -> ExperimentResult {
     }
     ExperimentResult {
         id: "ablation_styles".into(),
-        title: "Ablation: complementary parallelism vs. single-parallelism styles"
-            .into(),
+        title: "Ablation: complementary parallelism vs. single-parallelism styles".into(),
         notes: vec![
             "All rows run on the same FlexFlow substrate; only the factor \
              search is restricted. The gain column is the utilization the \
@@ -176,8 +175,7 @@ pub fn coupling() -> ExperimentResult {
     }
     ExperimentResult {
         id: "ablation_coupling".into(),
-        title: "Ablation: coupled (DP) factor planning vs. greedy per-layer chain"
-            .into(),
+        title: "Ablation: coupled (DP) factor planning vs. greedy per-layer chain".into(),
         notes: vec![
             "Both planners honour the IADP chain constraint; the DP looks \
              ahead so an early layer's ⟨Tm,Tr,Tc⟩ choice doesn't strand a \
@@ -214,8 +212,7 @@ pub fn rc_bound() -> ExperimentResult {
                 bsum += bounded.total_utilization();
                 usum += unbounded.total_utilization();
                 count += 1.0;
-                worst = worst
-                    .max(unbounded.total_utilization() - bounded.total_utilization());
+                worst = worst.max(unbounded.total_utilization() - bounded.total_utilization());
             }
             table.push_row([
                 format!("{d}x{d}"),

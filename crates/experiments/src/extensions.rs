@@ -46,7 +46,12 @@ pub fn roofline() -> ExperimentResult {
                     "inf".to_owned()
                 },
                 fmt_f(point.achievable_gops, 0),
-                if point.memory_bound { "memory" } else { "compute" }.to_owned(),
+                if point.memory_bound {
+                    "memory"
+                } else {
+                    "compute"
+                }
+                .to_owned(),
             ]);
         }
     }
@@ -97,7 +102,12 @@ pub fn batching() -> ExperimentResult {
                 fmt_f(point.compute_gops, 0),
                 fmt_f(point.roofline_gops, 0),
                 fmt_f(point.achievable_gops, 0),
-                if point.memory_bound { "memory" } else { "compute" }.to_owned(),
+                if point.memory_bound {
+                    "memory"
+                } else {
+                    "compute"
+                }
+                .to_owned(),
             ]);
         }
     }
@@ -137,8 +147,7 @@ pub fn routing_share() -> ExperimentResult {
     }
     ExperimentResult {
         id: "ext_routing_share".into(),
-        title: "Extension: FlexFlow interconnect share vs. engine scale (Sec. 6.2.5)"
-            .into(),
+        title: "Extension: FlexFlow interconnect share vs. engine scale (Sec. 6.2.5)".into(),
         notes: vec![
             "The paper quotes the routing network's *power* share; we measure \
              the area share of the same CDB fabric. Both decline with scale \

@@ -68,7 +68,13 @@ mod tests {
         // LeNet-5 has few feature maps; Tiling starves (Fig. 1's lowest
         // bar in our reading and Table 3's 6-8% entries).
         let r = run();
-        let ratio = |name: &str| -> f64 { r.table.cell(name, "achievable/nominal %").unwrap().parse().unwrap() };
+        let ratio = |name: &str| -> f64 {
+            r.table
+                .cell(name, "achievable/nominal %")
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
         assert!(ratio("Tiling") < ratio("Systolic"));
         assert!(ratio("Tiling") < ratio("2D-Mapping"));
         assert!(ratio("Tiling") < 12.0);

@@ -84,8 +84,16 @@ mod tests {
             .clone();
         let ff: f64 = lenet[4].parse().unwrap();
         let tiling: f64 = lenet[3].parse().unwrap();
-        assert!(ff / tiling > 5.0, "FlexFlow/Tiling on LeNet = {:.1}", ff / tiling);
+        assert!(
+            ff / tiling > 5.0,
+            "FlexFlow/Tiling on LeNet = {:.1}",
+            ff / tiling
+        );
         let sys: f64 = lenet[1].parse().unwrap();
-        assert!(ff / sys > 1.8, "FlexFlow/Systolic on LeNet = {:.1}", ff / sys);
+        assert!(
+            ff / sys > 1.8,
+            "FlexFlow/Systolic on LeNet = {:.1}",
+            ff / sys
+        );
     }
 }

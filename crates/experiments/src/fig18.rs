@@ -38,12 +38,10 @@ pub fn run() -> ExperimentResult {
     ExperimentResult {
         id: "fig18".into(),
         title: "Power efficiency (a), energy (b), and power (c)".into(),
-        notes: vec![
-            "Paper: FlexFlow has the highest efficiency (1.5-2.5x over \
+        notes: vec!["Paper: FlexFlow has the highest efficiency (1.5-2.5x over \
              Systolic/2D-Mapping, up to 10x over Tiling) and the lowest \
              energy, while drawing the highest raw power (utilization!)."
-                .into(),
-        ],
+            .into()],
         table,
     }
 }

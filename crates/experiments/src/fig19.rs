@@ -100,9 +100,8 @@ mod tests {
     #[test]
     fn flexflow_area_grows_slower_than_mesh_and_tree() {
         let r = run();
-        let growth = |col: usize| {
-            metric(&r, "64x64", "area mm2", col) / metric(&r, "8x8", "area mm2", col)
-        };
+        let growth =
+            |col: usize| metric(&r, "64x64", "area mm2", col) / metric(&r, "8x8", "area mm2", col);
         assert!(growth(5) < growth(3), "FlexFlow vs 2D-Mapping");
         assert!(growth(5) < growth(4), "FlexFlow vs Tiling");
     }

@@ -17,8 +17,8 @@
 #![deny(missing_docs)]
 
 pub mod ablations;
-pub mod extensions;
 pub mod arches;
+pub mod extensions;
 pub mod fig01;
 pub mod fig15;
 pub mod fig16;
@@ -84,9 +84,22 @@ pub fn run_by_id(id: &str) -> Option<ExperimentResult> {
 /// All experiment ids, in paper order.
 pub fn experiment_ids() -> &'static [&'static str] {
     &[
-        "fig01", "table03", "table04", "fig15", "fig16", "fig17", "fig18", "table06", "fig19",
-        "table07", "ablation_styles", "ablation_store", "ablation_coupling",
-        "ablation_rc_bound", "ext_roofline",
-        "ext_batching", "ext_routing_share",
+        "fig01",
+        "table03",
+        "table04",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "table06",
+        "fig19",
+        "table07",
+        "ablation_styles",
+        "ablation_store",
+        "ablation_coupling",
+        "ablation_rc_bound",
+        "ext_roofline",
+        "ext_batching",
+        "ext_routing_share",
     ]
 }

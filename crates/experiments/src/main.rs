@@ -73,8 +73,8 @@ fn write_out(dir: &str, results: &[flexsim_experiments::ExperimentResult]) {
     for r in results {
         let txt = format!("{dir}/{}.txt", r.id);
         let json = format!("{dir}/{}.json", r.id);
-        if let Err(e) = std::fs::write(&txt, r.to_string())
-            .and_then(|_| std::fs::write(&json, r.to_json()))
+        if let Err(e) =
+            std::fs::write(&txt, r.to_string()).and_then(|_| std::fs::write(&json, r.to_json()))
         {
             eprintln!("cannot write {txt}/{json}: {e}");
             std::process::exit(1);

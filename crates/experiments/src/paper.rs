@@ -103,8 +103,7 @@ pub const TABLE7: [AcceleratorSpecRow; 3] = [
 
 /// Routing-network power share vs. engine scale (Section 6.2.5):
 /// `(D, percent)`.
-pub const ROUTING_POWER_SHARE: [(usize, f64); 3] =
-    [(16, 28.34), (32, 25.97), (64, 21.32)];
+pub const ROUTING_POWER_SHARE: [(usize, f64); 3] = [(16, 28.34), (32, 25.97), (64, 21.32)];
 
 /// Textual claims used as quantitative checks.
 pub mod claims {

@@ -1,10 +1,10 @@
 //! Result containers and ASCII table rendering.
 
-use serde::Serialize;
+use flexsim_testkit::json::Json;
 use std::fmt;
 
 /// A rendered experiment: identifier, caption, commentary, and a table.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ExperimentResult {
     /// Short id (`"fig15"`).
     pub id: String,
@@ -17,13 +17,26 @@ pub struct ExperimentResult {
 }
 
 impl ExperimentResult {
-    /// Serializes to pretty JSON (for post-processing).
-    ///
-    /// # Panics
-    ///
-    /// Never panics in practice; the types are always serializable.
+    /// Serializes to pretty JSON (for post-processing). The emission is
+    /// byte-stable — field and key order are fixed — so committed
+    /// results files diff cleanly across runs.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("experiment results are serializable")
+        Json::obj([
+            ("id", Json::str(&self.id)),
+            ("title", Json::str(&self.title)),
+            ("notes", Json::str_arr(&self.notes)),
+            (
+                "table",
+                Json::obj([
+                    ("headers", Json::str_arr(self.table.headers())),
+                    (
+                        "rows",
+                        Json::arr(self.table.rows().iter().map(|r| Json::str_arr(r))),
+                    ),
+                ]),
+            ),
+        ])
+        .pretty()
     }
 }
 
@@ -39,7 +52,7 @@ impl fmt::Display for ExperimentResult {
 }
 
 /// A simple rectangular table.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Table {
     headers: Vec<String>,
     rows: Vec<Vec<String>>,
@@ -188,5 +201,8 @@ mod tests {
         };
         let j = r.to_json();
         assert!(j.contains("\"id\": \"x\""));
+        // Byte-stable pretty layout (two-space indent, fixed key order).
+        let want = "{\n  \"id\": \"x\",\n  \"title\": \"t\",\n  \"notes\": [\n    \"n\"\n  ],\n  \"table\": {\n    \"headers\": [\n      \"k\"\n    ],\n    \"rows\": [\n      [\n        \"v\"\n      ]\n    ]\n  }\n}";
+        assert_eq!(j, want);
     }
 }

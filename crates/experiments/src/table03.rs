@@ -39,8 +39,7 @@ fn normalized_util(
 pub fn run() -> ExperimentResult {
     let sys = |l: &ConvLayer| -> Box<dyn Accelerator> { Box::new(Systolic::new(l.k(), 7)) };
     let m2d = |l: &ConvLayer| -> Box<dyn Accelerator> { Box::new(Mapping2d::new(l.s(), l.s())) };
-    let til =
-        |l: &ConvLayer| -> Box<dyn Accelerator> { Box::new(TilingArray::new(l.m(), l.n())) };
+    let til = |l: &ConvLayer| -> Box<dyn Accelerator> { Box::new(TilingArray::new(l.m(), l.n())) };
 
     let mut table = Table::new([
         "workload",
@@ -53,9 +52,7 @@ pub fn run() -> ExperimentResult {
     for net in workloads4() {
         let c1 = net.conv_layer("C1").expect("C1 exists").clone();
         let c3 = net.conv_layer("C3").expect("C3 exists").clone();
-        for (direction, opt, run_l) in
-            [("C3 on C1-opt", &c1, &c3), ("C1 on C3-opt", &c3, &c1)]
-        {
+        for (direction, opt, run_l) in [("C3 on C1-opt", &c1, &c3), ("C1 on C3-opt", &c3, &c1)] {
             let paper_row = crate::paper::TABLE3
                 .iter()
                 .find(|(wl, dir, _, _, _)| *wl == net.name() && *dir == direction)

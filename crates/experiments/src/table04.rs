@@ -44,8 +44,7 @@ pub fn run() -> ExperimentResult {
             // Evaluate the paper's factors under Eq. 2/3, clamped to the
             // layer bounds where the printed row is infeasible (FR C1).
             let paper_clamped = paper_u.clamped_to(layer);
-            let paper_ut = if paper_clamped.cols_used() <= d && paper_clamped.rows_used() <= d
-            {
+            let paper_ut = if paper_clamped.cols_used() <= d && paper_clamped.rows_used() <= d {
                 pct(total_utilization(layer, &paper_clamped, d)).to_string()
             } else {
                 "infeasible".to_owned()
@@ -58,7 +57,10 @@ pub fn run() -> ExperimentResult {
                     ours.tm, ours.tn, ours.tr, ours.tc, ours.ti, ours.tj
                 ),
                 pct(choice.total_utilization()),
-                format!("{},{},{},{},{},{}", pf[0], pf[1], pf[2], pf[3], pf[4], pf[5]),
+                format!(
+                    "{},{},{},{},{},{}",
+                    pf[0], pf[1], pf[2], pf[3], pf[4], pf[5]
+                ),
                 paper_ut,
             ]);
         }

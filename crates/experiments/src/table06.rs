@@ -44,11 +44,9 @@ pub fn run() -> ExperimentResult {
     ExperimentResult {
         id: "table06".into(),
         title: "FlexFlow power breakdown by component".into(),
-        notes: vec![
-            "Shape target: buffers take <20% of the power budget; the \
+        notes: vec!["Shape target: buffers take <20% of the power budget; the \
              computing engine (PEs + local stores) dominates."
-                .into(),
-        ],
+            .into()],
         table,
     }
 }
@@ -85,7 +83,12 @@ mod tests {
                 let cell = &row[col];
                 let open = cell.find('(').unwrap();
                 let pct: f64 = cell[open + 1..cell.len() - 1].parse().unwrap();
-                assert!(pct < 20.0, "{}: {} = {pct}%", row[0], r.table.headers()[col]);
+                assert!(
+                    pct < 20.0,
+                    "{}: {} = {pct}%",
+                    row[0],
+                    r.table.headers()[col]
+                );
             }
         }
     }

@@ -34,8 +34,7 @@ pub fn run() -> ExperimentResult {
                 .map_or("NA".to_owned(), |b| format!("{b}B")),
             row.buffer_kb.to_string(),
             fmt_f(row.area_mm2, 2),
-            row.dram_acc_per_op
-                .map_or("NA".to_owned(), |v| fmt_f(v, 4)),
+            row.dram_acc_per_op.map_or("NA".to_owned(), |v| fmt_f(v, 4)),
         ]);
     }
     let ff = FlexFlow::paper_config();
@@ -80,7 +79,12 @@ mod tests {
     #[test]
     fn measured_area_close_to_paper() {
         let r = run();
-        let ours: f64 = r.table.cell("FlexFlow (ours)", "area mm2").unwrap().parse().unwrap();
+        let ours: f64 = r
+            .table
+            .cell("FlexFlow (ours)", "area mm2")
+            .unwrap()
+            .parse()
+            .unwrap();
         assert!((ours - 3.89).abs() / 3.89 < 0.05);
     }
 

@@ -131,7 +131,11 @@ impl From<i16> for Fx16 {
     /// Interprets the integer as a *whole* number (not a raw bit pattern),
     /// saturating at the Q7.8 range.
     fn from(v: i16) -> Self {
-        Fx16((v as i32).saturating_mul(1 << FRAC_BITS).clamp(i16::MIN as i32, i16::MAX as i32) as i16)
+        Fx16(
+            (v as i32)
+                .saturating_mul(1 << FRAC_BITS)
+                .clamp(i16::MIN as i32, i16::MAX as i32) as i16,
+        )
     }
 }
 
@@ -323,7 +327,7 @@ mod tests {
     fn multiplication_rounds_to_nearest() {
         let a = Fx16::from_f64(0.5);
         let b = Fx16::from_raw(1); // 1/256
-        // 0.5 * 1/256 = 1/512 -> rounds to 1/256 (ties away from zero).
+                                   // 0.5 * 1/256 = 1/512 -> rounds to 1/256 (ties away from zero).
         assert_eq!(a * b, Fx16::from_raw(1));
         let c = Fx16::from_f64(-0.5);
         assert_eq!(c * b, Fx16::from_raw(-1));

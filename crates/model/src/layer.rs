@@ -62,7 +62,10 @@ impl ConvLayer {
     ///
     /// Panics if any of `m`, `n`, `s`, `k` is zero.
     pub fn new(name: impl Into<String>, m: usize, n: usize, s: usize, k: usize) -> Self {
-        assert!(m > 0 && n > 0 && s > 0 && k > 0, "layer parameters must be non-zero");
+        assert!(
+            m > 0 && n > 0 && s > 0 && k > 0,
+            "layer parameters must be non-zero"
+        );
         ConvLayer {
             name: name.into(),
             m,
@@ -95,7 +98,10 @@ impl ConvLayer {
     ///
     /// Panics if `s_in < k` (no full convolution window would fit).
     pub fn with_input_size(mut self, s_in: usize) -> Self {
-        assert!(s_in >= self.k, "input size must fit at least one kernel window");
+        assert!(
+            s_in >= self.k,
+            "input size must fit at least one kernel window"
+        );
         self.s_in = s_in;
         self
     }
@@ -162,7 +168,12 @@ impl ConvLayer {
     /// Number of multiply-accumulate operations in this layer:
     /// `M · S² · N · K²`.
     pub fn macs(&self) -> u64 {
-        self.m as u64 * self.s as u64 * self.s as u64 * self.n as u64 * self.k as u64 * self.k as u64
+        self.m as u64
+            * self.s as u64
+            * self.s as u64
+            * self.n as u64
+            * self.k as u64
+            * self.k as u64
     }
 
     /// Number of arithmetic operations (2 per MAC), the paper's
@@ -233,8 +244,17 @@ impl PoolLayer {
     /// # Panics
     ///
     /// Panics if `window` is zero or exceeds `s_in`, or `maps` is zero.
-    pub fn new(name: impl Into<String>, kind: PoolKind, window: usize, maps: usize, s_in: usize) -> Self {
-        assert!(window > 0 && maps > 0 && s_in >= window, "invalid pooling shape");
+    pub fn new(
+        name: impl Into<String>,
+        kind: PoolKind,
+        window: usize,
+        maps: usize,
+        s_in: usize,
+    ) -> Self {
+        assert!(
+            window > 0 && maps > 0 && s_in >= window,
+            "invalid pooling shape"
+        );
         PoolLayer {
             name: name.into(),
             kind,

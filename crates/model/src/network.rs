@@ -152,7 +152,10 @@ impl NetworkBuilder {
     ///
     /// Panics if the network has no layers.
     pub fn build(self) -> Network {
-        assert!(!self.layers.is_empty(), "network must have at least one layer");
+        assert!(
+            !self.layers.is_empty(),
+            "network must have at least one layer"
+        );
         Network {
             name: self.name,
             layers: self.layers,

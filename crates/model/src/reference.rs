@@ -8,8 +8,7 @@
 use crate::fixed::{Acc32, Fx16};
 use crate::layer::{Activation, ConvLayer, FcLayer, PoolKind, PoolLayer};
 use crate::tensor::{KernelSet, Tensor3};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use flexsim_testkit::rng::SplitMix64;
 
 /// Computes a CONV layer exactly as the paper's Figure 3 nested loop.
 ///
@@ -131,7 +130,7 @@ pub fn apply_activation(v: Fx16, activation: Activation) -> Fx16 {
 /// realistic kernel sizes stays far from saturation and comparisons stay
 /// bit-meaningful.
 pub fn random_layer_data(layer: &ConvLayer, seed: u64) -> (Tensor3, KernelSet) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let s_in = layer.input_size();
     let input = Tensor3::from_fn(layer.n(), s_in, s_in, |_, _, _| small_random(&mut rng));
     let kernels = KernelSet::from_fn(layer.m(), layer.n(), layer.k(), |_, _, _, _| {
@@ -140,9 +139,9 @@ pub fn random_layer_data(layer: &ConvLayer, seed: u64) -> (Tensor3, KernelSet) {
     (input, kernels)
 }
 
-fn small_random(rng: &mut StdRng) -> Fx16 {
+fn small_random(rng: &mut SplitMix64) -> Fx16 {
     // Raw Q7.8 in [-512, 512] -> values in [-2.0, 2.0].
-    Fx16::from_raw(rng.random_range(-512i16..=512i16))
+    Fx16::from_raw(rng.gen_range(-512i16..=512))
 }
 
 fn check_conv_shapes(layer: &ConvLayer, input: &Tensor3, kernels: &KernelSet) {
@@ -243,7 +242,11 @@ mod tests {
     #[test]
     fn fc_matches_manual_dot_product() {
         let layer = FcLayer::new("f", 3, 2);
-        let input = vec![Fx16::from_f64(1.0), Fx16::from_f64(2.0), Fx16::from_f64(3.0)];
+        let input = vec![
+            Fx16::from_f64(1.0),
+            Fx16::from_f64(2.0),
+            Fx16::from_f64(3.0),
+        ];
         let weights = vec![
             Fx16::from_f64(0.5),
             Fx16::from_f64(0.5),

@@ -322,7 +322,10 @@ impl<T: Copy + Default> KernelSet<T> {
     ///
     /// Panics if any dimension is zero.
     pub fn zeros(m: usize, n: usize, k: usize) -> Self {
-        assert!(m > 0 && n > 0 && k > 0, "kernel dimensions must be non-zero");
+        assert!(
+            m > 0 && n > 0 && k > 0,
+            "kernel dimensions must be non-zero"
+        );
         KernelSet {
             m,
             n,
@@ -340,7 +343,10 @@ impl<T: Copy> KernelSet<T> {
         k: usize,
         mut f: impl FnMut(usize, usize, usize, usize) -> T,
     ) -> Self {
-        assert!(m > 0 && n > 0 && k > 0, "kernel dimensions must be non-zero");
+        assert!(
+            m > 0 && n > 0 && k > 0,
+            "kernel dimensions must be non-zero"
+        );
         let mut data = Vec::with_capacity(m * n * k * k);
         for om in 0..m {
             for inm in 0..n {
@@ -462,7 +468,9 @@ mod tests {
 
     #[test]
     fn kernel_set_indexing_matches_paper_notation() {
-        let k = KernelSet::from_fn(3, 2, 2, |m, n, i, j| (m * 1000 + n * 100 + i * 10 + j) as i32);
+        let k = KernelSet::from_fn(3, 2, 2, |m, n, i, j| {
+            (m * 1000 + n * 100 + i * 10 + j) as i32
+        });
         // K^(2,1)_(1,0)
         assert_eq!(k[(2, 1, 1, 0)], 2110);
         assert_eq!(k.kernel_slice(2, 1), &[2100, 2101, 2110, 2111]);

@@ -1,62 +1,97 @@
-//! Property-based tests of the CNN substrate.
+//! Property-based tests of the CNN substrate (flexsim-testkit harness).
 
 use flexsim_model::tensor::KernelSet;
 use flexsim_model::{reference, Acc32, ConvLayer, Fx16, PoolKind, PoolLayer, Tensor3};
-use proptest::prelude::*;
+use flexsim_testkit::prop::{self, vec_of};
+use flexsim_testkit::{prop_assert, prop_assert_eq};
 
-fn small_fx() -> impl Strategy<Value = Fx16> {
-    // |v| <= 1.0 so accumulations over small kernels stay far from
-    // saturation and exact linearity holds.
-    (-256i16..=256).prop_map(Fx16::from_raw)
+const CASES: u32 = 96;
+
+/// Raw words for |v| <= 1.0 so accumulations over small kernels stay
+/// far from saturation and exact linearity holds.
+const SMALL_RAW: std::ops::RangeInclusive<i16> = -256i16..=256;
+
+#[test]
+fn fixed_point_round_trip() {
+    // Q7.8 round trip: from_f64(to_f64(x)) == x for every bit pattern.
+    prop::check(
+        "fixed_point_round_trip",
+        CASES,
+        i16::MIN..=i16::MAX,
+        |&raw| {
+            let v = Fx16::from_raw(raw);
+            prop_assert_eq!(Fx16::from_f64(v.to_f64()), v);
+            Ok(())
+        },
+    );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+#[test]
+fn fixed_add_commutative() {
+    // Saturating addition is commutative with zero as identity.
+    prop::check(
+        "fixed_add_commutative",
+        CASES,
+        (i16::MIN..=i16::MAX, i16::MIN..=i16::MAX),
+        |&(a, b)| {
+            let (fa, fb) = (Fx16::from_raw(a), Fx16::from_raw(b));
+            prop_assert_eq!(fa + fb, fb + fa);
+            prop_assert_eq!(fa + Fx16::ZERO, fa);
+            Ok(())
+        },
+    );
+}
 
-    /// Q7.8 round trip: from_f64(to_f64(x)) == x for every bit pattern.
-    #[test]
-    fn fixed_point_round_trip(raw in any::<i16>()) {
-        let v = Fx16::from_raw(raw);
-        prop_assert_eq!(Fx16::from_f64(v.to_f64()), v);
-    }
+#[test]
+fn widening_mul_exact() {
+    // Widening multiplication is exact: to_f64 of the product equals
+    // the float product.
+    prop::check(
+        "widening_mul_exact",
+        CASES,
+        (-1000i16..=1000, -1000i16..=1000),
+        |&(a, b)| {
+            let (fa, fb) = (Fx16::from_raw(a), Fx16::from_raw(b));
+            let p = fa.widening_mul(fb);
+            prop_assert!((p.to_f64() - fa.to_f64() * fb.to_f64()).abs() < 1e-12);
+            Ok(())
+        },
+    );
+}
 
-    /// Saturating addition is commutative with zero as identity.
-    #[test]
-    fn fixed_add_commutative(a in any::<i16>(), b in any::<i16>()) {
-        let (fa, fb) = (Fx16::from_raw(a), Fx16::from_raw(b));
-        prop_assert_eq!(fa + fb, fb + fa);
-        prop_assert_eq!(fa + Fx16::ZERO, fa);
-    }
+#[test]
+fn mac_order_independent() {
+    // MAC accumulation order doesn't matter at full precision.
+    prop::check(
+        "mac_order_independent",
+        CASES,
+        vec_of((SMALL_RAW, SMALL_RAW), 1..=19),
+        |values| {
+            let pairs: Vec<(Fx16, Fx16)> = values
+                .iter()
+                .map(|&(a, b)| (Fx16::from_raw(a), Fx16::from_raw(b)))
+                .collect();
+            let mut fwd = Acc32::ZERO;
+            for &(a, b) in &pairs {
+                fwd.mac(a, b);
+            }
+            let mut rev = Acc32::ZERO;
+            for &(a, b) in pairs.iter().rev() {
+                rev.mac(a, b);
+            }
+            prop_assert_eq!(fwd, rev);
+            Ok(())
+        },
+    );
+}
 
-    /// Widening multiplication is exact: to_f64 of the product equals
-    /// the float product.
-    #[test]
-    fn widening_mul_exact(a in -1000i16..=1000, b in -1000i16..=1000) {
-        let (fa, fb) = (Fx16::from_raw(a), Fx16::from_raw(b));
-        let p = fa.widening_mul(fb);
-        prop_assert!((p.to_f64() - fa.to_f64() * fb.to_f64()).abs() < 1e-12);
-    }
-
-    /// MAC accumulation order doesn't matter at full precision.
-    #[test]
-    fn mac_order_independent(values in prop::collection::vec((small_fx(), small_fx()), 1..20)) {
-        let mut fwd = Acc32::ZERO;
-        for &(a, b) in &values {
-            fwd.mac(a, b);
-        }
-        let mut rev = Acc32::ZERO;
-        for &(a, b) in values.iter().rev() {
-            rev.mac(a, b);
-        }
-        prop_assert_eq!(fwd, rev);
-    }
-
-    /// Convolution is linear in the input at full precision: doubling
-    /// every input neuron doubles every output (small values, no
-    /// saturation, weights with |w| <= 1 and doubling keeps |acc| far
-    /// from the Q7.8 limit).
-    #[test]
-    fn conv_scales_linearly(seed in 0u64..1000) {
+#[test]
+fn conv_scales_linearly() {
+    // Convolution is linear in the input at full precision: doubling
+    // every input neuron doubles every output (small values, no
+    // saturation, weights with |w| <= 1 and doubling keeps |acc| far
+    // from the Q7.8 limit).
+    prop::check("conv_scales_linearly", CASES, 0u64..=999, |&seed| {
         let layer = ConvLayer::new("C", 2, 2, 4, 3);
         let (input, kernels) = reference::random_layer_data(&layer, seed);
         // Divide inputs by 8 to guarantee headroom, then double.
@@ -77,16 +112,19 @@ proptest! {
                     let a = out1[(m, r, c)].to_f64();
                     let b = out2[(m, r, c)].to_f64();
                     // Up to one rounding step per output.
-                    prop_assert!((b - 2.0 * a).abs() <= 3.0 / 256.0);
+                    prop_assert!((b - 2.0 * a).abs() <= 3.0 / 256.0, "at ({m},{r},{c})");
                 }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Max-pool outputs are elements of the input window (idempotence
-    /// of max) and avg-pool outputs never exceed the max.
-    #[test]
-    fn pooling_invariants(seed in 0u64..1000) {
+#[test]
+fn pooling_invariants() {
+    // Max-pool outputs are elements of the input window (idempotence
+    // of max) and avg-pool outputs never exceed the max.
+    prop::check("pooling_invariants", CASES, 0u64..=999, |&seed| {
         let layer = ConvLayer::new("C", 2, 1, 6, 1);
         let (input, _) = reference::random_layer_data(&layer, seed);
         let maxp = PoolLayer::new("P", PoolKind::Max, 2, 1, 6);
@@ -101,22 +139,28 @@ proptest! {
                         window.push(input[(0, 2 * r + i, 2 * c + j)]);
                     }
                 }
-                prop_assert!(window.contains(&mx[(0, r, c)]));
-                prop_assert!(av[(0, r, c)] <= mx[(0, r, c)]);
+                prop_assert!(window.contains(&mx[(0, r, c)]), "max at ({r},{c})");
+                prop_assert!(av[(0, r, c)] <= mx[(0, r, c)], "avg at ({r},{c})");
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Layer op counts are consistent: macs * 2 == ops, and the nested
-    /// sums factorize.
-    #[test]
-    fn layer_op_accounting(m in 1usize..8, n in 1usize..8, s in 1usize..12, k in 1usize..6) {
-        let layer = ConvLayer::new("C", m, n, s, k);
-        prop_assert_eq!(layer.ops(), 2 * layer.macs());
-        prop_assert_eq!(
-            layer.macs(),
-            layer.output_neurons() * (n * k * k) as u64
-        );
-        prop_assert_eq!(layer.synapses(), (m * n * k * k) as u64);
-    }
+#[test]
+fn layer_op_accounting() {
+    // Layer op counts are consistent: macs * 2 == ops, and the nested
+    // sums factorize.
+    prop::check(
+        "layer_op_accounting",
+        CASES,
+        (1usize..=7, 1usize..=7, 1usize..=11, 1usize..=5),
+        |&(m, n, s, k)| {
+            let layer = ConvLayer::new("C", m, n, s, k);
+            prop_assert_eq!(layer.ops(), 2 * layer.macs());
+            prop_assert_eq!(layer.macs(), layer.output_neurons() * (n * k * k) as u64);
+            prop_assert_eq!(layer.synapses(), (m * n * k * k) as u64);
+            Ok(())
+        },
+    );
 }

@@ -1,0 +1,287 @@
+//! A `std::time::Instant` micro-bench runner.
+//!
+//! Replaces `criterion` for the workspace's bench targets while keeping
+//! the cargo protocol they rely on:
+//!
+//! - `cargo bench` passes `--bench` to a `harness = false` target — the
+//!   runner then warms up, measures `sample_size` timed samples of
+//!   roughly `measurement_time / sample_size` each, and prints
+//!   min/median/mean per benchmark.
+//! - `cargo test` runs the same binary **without** `--bench` — the
+//!   runner executes every benchmark body exactly once as a smoke test
+//!   and prints nothing but a pass marker, keeping `cargo test -q`
+//!   fast while still compiling and exercising every bench path.
+//!
+//! Any other positional argument is a substring filter on
+//! `"group/benchmark"` names, as with criterion.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use flexsim_testkit::bench::Harness;
+//!
+//! fn bench(c: &mut Harness) {
+//!     let mut group = c.benchmark_group("demo");
+//!     group.sample_size(20);
+//!     group.bench_function("add", |b| b.iter(|| std::hint::black_box(1 + 1)));
+//!     group.finish();
+//! }
+//!
+//! flexsim_testkit::bench_main!(bench);
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Expands to a `fn main()` that drives the given bench functions
+/// through a [`Harness`] built from the process arguments.
+#[macro_export]
+macro_rules! bench_main {
+    ($($f:path),+ $(,)?) => {
+        fn main() {
+            let mut harness = $crate::bench::Harness::from_args();
+            $( $f(&mut harness); )+
+            harness.finish();
+        }
+    };
+}
+
+/// How the runner was invoked.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Full measurement (`--bench` present; `cargo bench`).
+    Measure,
+    /// One iteration per benchmark (`cargo test` smoke run).
+    Smoke,
+}
+
+/// Top-level bench driver; one per bench binary.
+pub struct Harness {
+    mode: Mode,
+    filter: Option<String>,
+    ran: usize,
+}
+
+impl Harness {
+    /// Builds a harness from the process arguments (cargo protocol).
+    pub fn from_args() -> Self {
+        let mut mode = Mode::Smoke;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => mode = Mode::Measure,
+                // Flags cargo/libtest may forward; ignore rather than
+                // misread them as filters.
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_owned()),
+            }
+        }
+        Harness {
+            mode,
+            filter,
+            ran: 0,
+        }
+    }
+
+    /// Builds a harness with an explicit mode (for tests).
+    pub fn with_mode(mode: Mode) -> Self {
+        Harness {
+            mode,
+            filter: None,
+            ran: 0,
+        }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            harness: self,
+            name: name.to_owned(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+
+    /// Prints the run summary.
+    pub fn finish(self) {
+        match self.mode {
+            Mode::Smoke => println!("bench smoke-run ok ({} benchmarks executed once)", self.ran),
+            Mode::Measure => println!("{} benchmarks measured", self.ran),
+        }
+    }
+
+    /// The active mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+}
+
+/// A named group of benchmarks sharing sampling parameters.
+pub struct Group<'a> {
+    harness: &'a mut Harness,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Group<'_> {
+    /// Sets the number of timed samples per benchmark (measure mode).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark (measure mode).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark. The closure receives a [`Bencher`] and must
+    /// call [`Bencher::iter`] with the routine to measure.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, name);
+        if let Some(filter) = &self.harness.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            mode: self.harness.mode,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            report: None,
+        };
+        f(&mut b);
+        self.harness.ran += 1;
+        match (self.harness.mode, b.report) {
+            (Mode::Measure, Some(r)) => println!("{full}\n{r}"),
+            (Mode::Measure, None) => println!("{full}: no iter() call"),
+            (Mode::Smoke, _) => {}
+        }
+    }
+
+    /// Closes the group (parity with the criterion API; no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark body; measures the routine given to
+/// [`Bencher::iter`].
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    measurement_time: Duration,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Measures (or, in smoke mode, simply runs once) the routine.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        if self.mode == Mode::Smoke {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Calibrate: how many iterations fit one sample slot?
+        let slot = self.measurement_time.max(Duration::from_millis(100)) / self.sample_size as u32;
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (slot.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        self.report = Some(Report {
+            min,
+            median,
+            mean,
+            samples: samples.len(),
+            iters,
+        });
+    }
+}
+
+/// Per-benchmark timing summary (nanoseconds per iteration).
+#[derive(Clone, Copy, Debug)]
+struct Report {
+    min: f64,
+    median: f64,
+    mean: f64,
+    samples: usize,
+    iters: u64,
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "                        time: [{} {} {}]  ({} samples × {} iters; min median mean)",
+            fmt_ns(self.min),
+            fmt_ns(self.median),
+            fmt_ns(self.mean),
+            self.samples,
+            self.iters
+        )
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit, criterion-style.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_each_routine_once() {
+        let mut h = Harness::with_mode(Mode::Smoke);
+        let count = std::cell::Cell::new(0u32);
+        let mut g = h.benchmark_group("g");
+        g.bench_function("a", |b| b.iter(|| count.set(count.get() + 1)));
+        g.bench_function("b", |b| b.iter(|| count.set(count.get() + 1)));
+        g.finish();
+        assert_eq!(count.get(), 2);
+        assert_eq!(h.ran, 2);
+    }
+
+    #[test]
+    fn measure_mode_collects_samples() {
+        let mut h = Harness::with_mode(Mode::Measure);
+        let mut g = h.benchmark_group("g");
+        g.sample_size(3).measurement_time(Duration::from_millis(30));
+        let mut observed = None;
+        g.bench_function("spin", |b| {
+            b.iter(|| std::hint::black_box((0..100u64).sum::<u64>()));
+            observed = b.report;
+        });
+        let r = observed.expect("measure mode must produce a report");
+        assert_eq!(r.samples, 3);
+        assert!(r.min <= r.median && r.median > 0.0);
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert_eq!(fmt_ns(12.0), "12.00 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.500 µs");
+        assert_eq!(fmt_ns(2_000_000.0), "2.000 ms");
+        assert_eq!(fmt_ns(3.2e9), "3.200 s");
+    }
+}

@@ -1,0 +1,290 @@
+//! A tiny JSON value type and byte-stable pretty emitter.
+//!
+//! Replaces `serde`/`serde_json` for the experiment reports. Object
+//! keys keep insertion order (no hashing), the pretty format matches
+//! `serde_json::to_string_pretty` (two-space indent, `"key": value`,
+//! no trailing newline), and emission is fully deterministic — so
+//! committed results files diff cleanly run to run.
+//!
+//! # Example
+//!
+//! ```
+//! use flexsim_testkit::json::Json;
+//!
+//! let doc = Json::obj([
+//!     ("id", Json::str("fig15")),
+//!     ("rows", Json::arr([Json::from(1i64), Json::from(2i64)])),
+//! ]);
+//! assert_eq!(doc.pretty(), "{\n  \"id\": \"fig15\",\n  \"rows\": [\n    1,\n    2\n  ]\n}");
+//! ```
+
+use std::fmt::Write as _;
+
+/// A JSON document.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An integer (emitted without decimal point).
+    Int(i64),
+    /// A float (emitted via Rust's shortest-roundtrip `{}` formatting).
+    Float(f64),
+    /// A string (escaped on emission).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys keep insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Builds an array from an iterator of values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array of strings (the common report row shape).
+    pub fn str_arr<S: AsRef<str>>(items: impl IntoIterator<Item = S>) -> Json {
+        Json::Arr(items.into_iter().map(|s| Json::str(s.as_ref())).collect())
+    }
+
+    /// Pretty-prints with two-space indentation.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0, true);
+        out
+    }
+
+    /// Compact single-line form.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0, false);
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize, pretty: bool) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Float(f) => {
+                if f.is_finite() {
+                    // Shortest round-trip; force a decimal point so the
+                    // value reads back as a float.
+                    let s = format!("{f}");
+                    out.push_str(&s);
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    // JSON has no Inf/NaN; emit null like serde_json.
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                write_seq(out, depth, pretty, '[', ']', items.iter(), |out, v, d| {
+                    v.write(out, d, pretty)
+                })
+            }
+            Json::Obj(pairs) => write_seq(
+                out,
+                depth,
+                pretty,
+                '{',
+                '}',
+                pairs.iter(),
+                |out, (k, v), d| {
+                    write_escaped(out, k);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    v.write(out, d, pretty);
+                },
+            ),
+        }
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        i64::try_from(v).map_or(Json::Float(v as f64), Json::Int)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::from(v as u64)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Float(v)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::str(v)
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+fn write_seq<T>(
+    out: &mut String,
+    depth: usize,
+    pretty: bool,
+    open: char,
+    close: char,
+    items: impl ExactSizeIterator<Item = T>,
+    mut emit: impl FnMut(&mut String, T, usize),
+) {
+    out.push(open);
+    let n = items.len();
+    if n == 0 {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if pretty {
+            out.push('\n');
+            indent(out, depth + 1);
+        }
+        emit(out, item, depth + 1);
+        if i + 1 < n {
+            out.push(',');
+        }
+    }
+    if pretty {
+        out.push('\n');
+        indent(out, depth);
+    }
+    out.push(close);
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serde_json_pretty_layout() {
+        let doc = Json::obj([
+            ("id", Json::str("x")),
+            ("notes", Json::str_arr(["n"])),
+            (
+                "table",
+                Json::obj([
+                    ("headers", Json::str_arr(["k"])),
+                    ("rows", Json::arr([Json::str_arr(["v"])])),
+                ]),
+            ),
+        ]);
+        let want = r#"{
+  "id": "x",
+  "notes": [
+    "n"
+  ],
+  "table": {
+    "headers": [
+      "k"
+    ],
+    "rows": [
+      [
+        "v"
+      ]
+    ]
+  }
+}"#;
+        assert_eq!(doc.pretty(), want);
+    }
+
+    #[test]
+    fn empty_containers_are_inline() {
+        assert_eq!(Json::arr([]).pretty(), "[]");
+        assert_eq!(Json::obj::<String>([]).pretty(), "{}");
+    }
+
+    #[test]
+    fn escaping_covers_controls_and_quotes() {
+        assert_eq!(Json::str("a\"b\\c\nd").compact(), r#""a\"b\\c\nd""#);
+        assert_eq!(Json::str("\u{01}").compact(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_round_trip_textually() {
+        assert_eq!(Json::Int(-7).compact(), "-7");
+        assert_eq!(Json::Float(1.5).compact(), "1.5");
+        assert_eq!(Json::Float(2.0).compact(), "2.0");
+        assert_eq!(Json::Float(f64::NAN).compact(), "null");
+        // u64 values beyond i64 fall back to Float and keep a decimal
+        // point so they read back as floats.
+        assert_eq!(Json::from(u64::MAX).compact(), "18446744073709552000.0");
+    }
+
+    #[test]
+    fn emission_is_byte_stable() {
+        let build = || Json::obj([("b", Json::from(2i64)), ("a", Json::from(1i64))]).pretty();
+        // Insertion order, not key order — and identical across calls.
+        assert_eq!(build(), "{\n  \"b\": 2,\n  \"a\": 1\n}");
+        assert_eq!(build(), build());
+    }
+}

@@ -43,7 +43,10 @@ fn main() {
             "pure FP (feature map)",
             Unroll::new(layer.m().min(16), layer.n().min(16), 1, 1, 1, 1),
         ),
-        ("planned (complementary mix)", best_unroll(&layer, d, None).unroll),
+        (
+            "planned (complementary mix)",
+            best_unroll(&layer, d, None).unroll,
+        ),
     ];
 
     println!(

@@ -19,7 +19,10 @@ fn main() {
         .find(|n| n.name().eq_ignore_ascii_case(&name))
         .unwrap_or_else(workloads::lenet5);
     let d = 16;
-    println!("{} on a {d}x{d} FlexFlow — per-cycle PE occupancy\n", net.name());
+    println!(
+        "{} on a {d}x{d} FlexFlow — per-cycle PE occupancy\n",
+        net.name()
+    );
 
     let plan = plan_network(&net, d);
     let idxs = net.conv_indices();
@@ -44,5 +47,8 @@ fn main() {
         }
         println!();
     }
-    println!("(each character is a time bucket; height = mean busy PEs out of {})", d * d);
+    println!(
+        "(each character is a time bucket; height = mean busy PEs out of {})",
+        d * d
+    );
 }

@@ -33,10 +33,18 @@ fn main() {
     println!("-- functional execution --");
     for step in &trace.steps {
         match step {
-            flexflow::engine::StepTrace::Conv { layer, cycles, macs } => {
+            flexflow::engine::StepTrace::Conv {
+                layer,
+                cycles,
+                macs,
+            } => {
                 println!("  conv {layer}: {cycles} cycles, {macs} MACs");
             }
-            flexflow::engine::StepTrace::Pool { layer, cycles, alu_ops } => {
+            flexflow::engine::StepTrace::Pool {
+                layer,
+                cycles,
+                alu_ops,
+            } => {
                 println!("  pool {layer}: {cycles} cycles, {alu_ops} ALU ops");
             }
         }

@@ -84,8 +84,7 @@ fn execution_cycles_match_per_layer_schedules() {
 
     let mut want_conv_cycles = 0u64;
     for (layer, choice) in net.conv_layers().zip(program.choices()) {
-        want_conv_cycles +=
-            flexflow::analytic::schedule_default(layer, choice.unroll, 8).cycles;
+        want_conv_cycles += flexflow::analytic::schedule_default(layer, choice.unroll, 8).cycles;
     }
     let got_conv_cycles: u64 = trace
         .steps
@@ -122,8 +121,16 @@ fn plans_differ_across_engine_scales() {
         assert!(s.unroll.rows_used() <= 8 && s.unroll.cols_used() <= 8);
         assert!(l.unroll.rows_used() <= 32 && l.unroll.cols_used() <= 32);
     }
-    let small_par: usize = small.choices().iter().map(|c| c.unroll.parallel_macs()).sum();
-    let large_par: usize = large.choices().iter().map(|c| c.unroll.parallel_macs()).sum();
+    let small_par: usize = small
+        .choices()
+        .iter()
+        .map(|c| c.unroll.parallel_macs())
+        .sum();
+    let large_par: usize = large
+        .choices()
+        .iter()
+        .map(|c| c.unroll.parallel_macs())
+        .sum();
     assert!(large_par > small_par);
 }
 

@@ -1,0 +1,230 @@
+//! Differential verification: randomized cross-architecture equivalence.
+//!
+//! The paper's core claim rests on the four simulators — FlexFlow,
+//! Systolic, 2D-Mapping, and Tiling — being functionally equivalent to
+//! the golden Figure 3 reference convolution. This suite generates
+//! randomized layer configurations with the testkit PRNG, runs every
+//! architecture on *identical* 16-bit fixed-point operands, and asserts:
+//!
+//! 1. **bit-exact output equality** against the reference,
+//! 2. **MAC conservation** — the counted MACs equal the analytic
+//!    `Nof·Nkx·Nky·Nif·R·C` product,
+//! 3. **utilization sanity** — every utilization is in `(0, 1]`,
+//! 4. **cycle lower bound** — no engine finishes faster than its
+//!    compute bound `⌈MACs / PEs⌉`.
+//!
+//! Determinism: every case derives from `BASE_SEED`, and each failure
+//! message names the offending case seed, so any mismatch reproduces
+//! exactly. Override the case count with `FLEXSIM_DIFF_CASES`.
+
+use flexflow::array::PeArray;
+use flexsim_arch::Accelerator;
+use flexsim_baselines::{Mapping2d, Systolic, TilingArray};
+use flexsim_dataflow::search::best_unroll;
+use flexsim_dataflow::Unroll;
+use flexsim_model::tensor::KernelSet;
+use flexsim_model::{reference, ConvLayer, Tensor3};
+use flexsim_testkit::SplitMix64;
+
+const BASE_SEED: u64 = 0xF1EF_F10D;
+const DEFAULT_CASES: u32 = 64;
+const D: usize = 16;
+
+fn cases() -> u32 {
+    std::env::var("FLEXSIM_DIFF_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_CASES)
+}
+
+/// A randomized valid-convolution layer. Stride is forced to 1 when
+/// `all_arches` is set (the functional Systolic and 2D-Mapping models
+/// are stride-1 machines, like their silicon counterparts).
+fn random_layer(rng: &mut SplitMix64, all_arches: bool) -> ConvLayer {
+    let m = rng.gen_range(1usize..=5);
+    let n = rng.gen_range(1usize..=4);
+    let s = rng.gen_range(2usize..=8);
+    let k = rng.gen_range(1usize..=4);
+    let stride = if all_arches {
+        1
+    } else {
+        rng.gen_range(1usize..=2)
+    };
+    ConvLayer::new(format!("D{m}x{n}x{s}x{k}s{stride}"), m, n, s, k).with_stride(stride)
+}
+
+/// A random feasible unrolling for `layer` on a D×D engine.
+fn random_unroll(rng: &mut SplitMix64, layer: &ConvLayer, d: usize) -> Unroll {
+    loop {
+        let u = Unroll::new(
+            rng.gen_range(1usize..=layer.m()),
+            rng.gen_range(1usize..=layer.n()),
+            rng.gen_range(1usize..=layer.s()),
+            rng.gen_range(1usize..=layer.s()),
+            rng.gen_range(1usize..=layer.k()),
+            rng.gen_range(1usize..=layer.k()),
+        );
+        if u.rows_used() <= d && u.cols_used() <= d {
+            return u;
+        }
+    }
+}
+
+/// The paper's analytic MAC count: `Nof·Nkx·Nky·Nif·R·C`.
+fn analytic_macs(layer: &ConvLayer) -> u64 {
+    (layer.m() * layer.k() * layer.k() * layer.n() * layer.s() * layer.s()) as u64
+}
+
+struct Case {
+    seed: u64,
+    layer: ConvLayer,
+    input: Tensor3,
+    kernels: KernelSet,
+    want: Tensor3,
+}
+
+/// Generates the deterministic case list shared by the tests below.
+fn case_list(tag: u64, all_arches: bool) -> Vec<Case> {
+    let mut master = SplitMix64::new(BASE_SEED ^ tag);
+    (0..cases())
+        .map(|_| {
+            let (seed, mut rng) = master.split();
+            let layer = random_layer(&mut rng, all_arches);
+            let (input, kernels) = reference::random_layer_data(&layer, rng.next_u64());
+            let want = reference::conv(&layer, &input, &kernels);
+            Case {
+                seed,
+                layer,
+                input,
+                kernels,
+                want,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn all_four_architectures_bit_exact_on_randomized_layers() {
+    for case in case_list(0x01, true) {
+        let Case {
+            seed,
+            layer,
+            input,
+            kernels,
+            want,
+        } = case;
+        let ctx = |arch: &str| format!("{arch} on {} (case seed {seed})", layer.name());
+
+        assert_eq!(
+            Systolic::dc_cnn().forward(&layer, &input, &kernels),
+            want,
+            "{}",
+            ctx("Systolic")
+        );
+        assert_eq!(
+            Mapping2d::shidiannao().forward(&layer, &input, &kernels),
+            want,
+            "{}",
+            ctx("2D-Mapping")
+        );
+        assert_eq!(
+            TilingArray::diannao().forward(&layer, &input, &kernels),
+            want,
+            "{}",
+            ctx("Tiling")
+        );
+
+        // FlexFlow under both the compiler's choice and a random
+        // feasible unrolling: the schedule must never change semantics.
+        let mut rng = SplitMix64::new(seed ^ 0xA5A5);
+        for u in [
+            best_unroll(&layer, D, None).unroll,
+            random_unroll(&mut rng, &layer, D),
+        ] {
+            let mut array = PeArray::new(D);
+            let report = array.run_layer(&layer, u, &input, &kernels);
+            assert_eq!(report.output, want, "{} unroll {u}", ctx("FlexFlow"));
+            assert_eq!(report.macs, analytic_macs(&layer), "{}", ctx("FlexFlow"));
+            assert!(
+                report.cycles >= analytic_macs(&layer).div_ceil((D * D) as u64),
+                "{}: {} cycles beats the compute bound",
+                ctx("FlexFlow"),
+                report.cycles
+            );
+        }
+    }
+}
+
+#[test]
+fn strided_layers_bit_exact_where_supported() {
+    // Tiling and FlexFlow model strided convolutions functionally; they
+    // must agree with the reference there too.
+    for case in case_list(0x02, false) {
+        let Case {
+            seed,
+            layer,
+            input,
+            kernels,
+            want,
+        } = case;
+        assert_eq!(
+            TilingArray::diannao().forward(&layer, &input, &kernels),
+            want,
+            "Tiling on {} (case seed {seed})",
+            layer.name()
+        );
+        let u = best_unroll(&layer, D, None).unroll;
+        let mut array = PeArray::new(D);
+        let report = array.run_layer(&layer, u, &input, &kernels);
+        assert_eq!(
+            report.output,
+            want,
+            "FlexFlow on {} (case seed {seed})",
+            layer.name()
+        );
+    }
+}
+
+#[test]
+fn analytic_invariants_hold_on_randomized_layers() {
+    // The Accelerator-level (cycle/energy/traffic) models obey MAC
+    // conservation, the utilization ceiling, and the compute lower
+    // bound on every randomized layer.
+    for case in case_list(0x03, true) {
+        let Case { seed, layer, .. } = case;
+        let engines: Vec<Box<dyn Accelerator>> = vec![
+            Box::new(Systolic::dc_cnn()),
+            Box::new(Mapping2d::shidiannao()),
+            Box::new(TilingArray::diannao()),
+            Box::new(flexflow::FlexFlow::paper_config()),
+        ];
+        for mut acc in engines {
+            let r = acc.run_conv(&layer);
+            let name = acc.name().to_owned();
+            let ctx = format!("{name} on {} (case seed {seed})", layer.name());
+            assert_eq!(r.macs, analytic_macs(&layer), "{ctx}: MAC conservation");
+            let u = r.utilization();
+            assert!(u > 0.0 && u <= 1.0, "{ctx}: utilization {u} outside (0, 1]");
+            assert!(
+                r.cycles >= r.macs.div_ceil(acc.pe_count() as u64),
+                "{ctx}: {} cycles beats the compute bound",
+                r.cycles
+            );
+        }
+    }
+}
+
+#[test]
+fn differential_suite_is_deterministic() {
+    // Same seeds → byte-identical case lists: a failure seed printed on
+    // one machine reproduces on any other.
+    let a = case_list(0x01, true);
+    let b = case_list(0x01, true);
+    assert_eq!(a.len(), b.len());
+    assert!(a.len() as u32 >= DEFAULT_CASES.min(cases()));
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.seed, y.seed);
+        assert_eq!(x.layer.name(), y.layer.name());
+        assert_eq!(x.want, y.want);
+    }
+}

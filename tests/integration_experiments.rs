@@ -22,7 +22,11 @@ fn abstract_speedup_claims_hold_in_shape() {
         let ff = gops[3];
         let best = gops[..3].iter().cloned().fold(f64::MIN, f64::max);
         let worst = gops[..3].iter().cloned().fold(f64::MAX, f64::min);
-        assert!(ff > best, "{}: FlexFlow {ff:.0} <= best baseline {best:.0}", net.name());
+        assert!(
+            ff > best,
+            "{}: FlexFlow {ff:.0} <= best baseline {best:.0}",
+            net.name()
+        );
         min_vs_best = min_vs_best.min(ff / best);
         max_vs_worst = max_vs_worst.max(ff / worst);
     }
@@ -136,6 +140,9 @@ fn dram_acc_per_op_beats_eyeriss_baseline() {
     let net = workloads::alexnet();
     let t = flexsim_arch::dram::network_traffic(&net, 16 * 1024, 16 * 1024);
     let per_op = t.per_op(net.conv_macs());
-    assert!(per_op < 0.006 * 1.6, "acc/op {per_op:.4} too far above Eyeriss");
+    assert!(
+        per_op < 0.006 * 1.6,
+        "acc/op {per_op:.4} too far above Eyeriss"
+    );
     assert!(per_op > 0.002, "acc/op {per_op:.4} implausibly low");
 }

@@ -1,0 +1,187 @@
+//! Property tests of the unrolling compiler: the factor search's
+//! choices must *cover* every loop bound without waste, and its
+//! predicted utilization `Ut` must match what the cycle-level FlexFlow
+//! simulator actually achieves during PE-active cycles.
+
+use flexflow::array::PeArray;
+use flexsim_dataflow::search::{best_unroll, plan_network};
+use flexsim_dataflow::utilization::{ceil_div, tile_count, total_utilization};
+use flexsim_dataflow::{TileIter, Unroll};
+use flexsim_model::{reference, ConvLayer, Network, PoolKind, PoolLayer};
+use flexsim_testkit::prop::{self, option_of};
+use flexsim_testkit::{prop_assert, prop_assert_eq};
+
+const CASES: u32 = 64;
+const D: usize = 16;
+
+/// Raw `(m, n, s, k)` parameters for a small random CONV layer.
+fn small_layer_params() -> (
+    std::ops::RangeInclusive<usize>,
+    std::ops::RangeInclusive<usize>,
+    std::ops::RangeInclusive<usize>,
+    std::ops::RangeInclusive<usize>,
+) {
+    (1..=6, 1..=5, 2..=9, 1..=5)
+}
+
+fn small_layer((m, n, s, k): (usize, usize, usize, usize)) -> ConvLayer {
+    ConvLayer::new(format!("U{m}x{n}x{s}x{k}"), m, n, s, k)
+}
+
+/// Asserts one factor divides-or-covers its loop bound: it never
+/// exceeds the bound, and the last tile of the `⌈bound/factor⌉` walk is
+/// non-empty (no fully wasted tile).
+fn assert_covers(factor: usize, bound: usize, what: &str) -> Result<(), String> {
+    prop_assert!(factor >= 1, "{what}: zero factor");
+    prop_assert!(
+        factor <= bound,
+        "{what}: factor {factor} exceeds loop bound {bound}"
+    );
+    let tiles = ceil_div(bound, factor);
+    prop_assert!(
+        factor * (tiles - 1) < bound,
+        "{what}: last of {tiles} tiles is empty (factor {factor}, bound {bound})"
+    );
+    Ok(())
+}
+
+fn assert_unroll_covers(u: &Unroll, layer: &ConvLayer) -> Result<(), String> {
+    assert_covers(u.tm, layer.m(), "Tm")?;
+    assert_covers(u.tn, layer.n(), "Tn")?;
+    assert_covers(u.tr, layer.s(), "Tr")?;
+    assert_covers(u.tc, layer.s(), "Tc")?;
+    assert_covers(u.ti, layer.k(), "Ti")?;
+    assert_covers(u.tj, layer.k(), "Tj")?;
+    Ok(())
+}
+
+#[test]
+fn search_factors_divide_or_cover_loop_bounds() {
+    // best_unroll never picks a factor that overshoots its bound or
+    // schedules an empty trailing tile, under any R·C bound.
+    prop::check(
+        "search_factors_divide_or_cover_loop_bounds",
+        CASES,
+        (small_layer_params(), option_of(1usize..=8)),
+        |&(lp, rc_bound)| {
+            let layer = small_layer(lp);
+            let choice = best_unroll(&layer, D, rc_bound);
+            assert_unroll_covers(&choice.unroll, &layer)?;
+            // Coverage also means the tile walk reproduces the exact
+            // MAC total — no work dropped, none invented.
+            let walked: u64 = TileIter::new(&layer, choice.unroll).map(|t| t.macs()).sum();
+            prop_assert_eq!(walked, layer.macs());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn planner_factors_divide_or_cover_across_networks() {
+    // The whole-network planner (with IADP coupling) obeys the same
+    // coverage discipline on every layer it plans.
+    prop::check(
+        "planner_factors_divide_or_cover_across_networks",
+        CASES,
+        (1usize..=8, 4usize..=12, 1usize..=4, 1usize..=8, 1usize..=3),
+        |&(m1, s1, k1, m2, k2)| {
+            let s2_in = (s1 / 2).max(k2);
+            let s2 = (s2_in - k2 + 1).max(1);
+            let net = Network::builder("prop")
+                .conv(ConvLayer::new("C1", m1, 1, s1, k1))
+                .pool(PoolLayer::new("P", PoolKind::Max, 2, m1, s1))
+                .conv(ConvLayer::new("C2", m2, m1, s2, k2).with_input_size(s2_in))
+                .build();
+            for (layer, choice) in net.conv_layers().zip(plan_network(&net, D)) {
+                assert_unroll_covers(&choice.unroll, layer)?;
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn predicted_utilization_matches_simulated_pe_active_cycles() {
+    // The model's Ut (Eqs. 2-4) must equal the *simulated* occupancy:
+    // executed MACs over PE-active compute steps times D² — measured by
+    // the cycle-level array, not the analytic schedule.
+    prop::check(
+        "predicted_utilization_matches_simulated_pe_active_cycles",
+        CASES,
+        (small_layer_params(), 0u64..=9_999),
+        |&(lp, seed)| {
+            let layer = small_layer(lp);
+            let choice = best_unroll(&layer, D, None);
+            let (input, kernels) = reference::random_layer_data(&layer, seed);
+            let mut array = PeArray::new(D);
+            let report = array.run_layer(&layer, choice.unroll, &input, &kernels);
+
+            prop_assert_eq!(report.compute_steps, tile_count(&layer, &choice.unroll));
+            let simulated = report.macs as f64 / (report.compute_steps as f64 * (D * D) as f64);
+            let predicted = total_utilization(&layer, &choice.unroll, D);
+            prop_assert!(
+                (simulated - predicted).abs() < 1e-9,
+                "{}: predicted Ut {predicted} vs simulated {simulated}",
+                layer.name()
+            );
+            // The search's own bookkeeping agrees with both.
+            prop_assert!((choice.total_utilization() - predicted).abs() < 1e-9);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn utilization_prediction_holds_under_arbitrary_feasible_unrollings() {
+    // Not just the search's picks: any feasible unrolling's predicted
+    // Ut matches the simulated PE-active occupancy (folding six raw
+    // factor draws into the loop bounds as 1 + (raw-1) % bound).
+    let f = || 1usize..=8;
+    prop::check(
+        "utilization_prediction_holds_under_arbitrary_feasible_unrollings",
+        CASES,
+        prop::filter(
+            (
+                small_layer_params(),
+                (f(), f(), f(), f(), f(), f()),
+                0u64..=9_999,
+            ),
+            |&(lp, (rm, rn, rr, rc, ri, rj), _)| {
+                let layer = small_layer(lp);
+                let fold = |raw: usize, bound: usize| 1 + (raw - 1) % bound;
+                let u = Unroll::new(
+                    fold(rm, layer.m()),
+                    fold(rn, layer.n()),
+                    fold(rr, layer.s()),
+                    fold(rc, layer.s()),
+                    fold(ri, layer.k()),
+                    fold(rj, layer.k()),
+                );
+                u.rows_used() <= D && u.cols_used() <= D
+            },
+        ),
+        |&(lp, (rm, rn, rr, rc, ri, rj), seed)| {
+            let layer = small_layer(lp);
+            let fold = |raw: usize, bound: usize| 1 + (raw - 1) % bound;
+            let u = Unroll::new(
+                fold(rm, layer.m()),
+                fold(rn, layer.n()),
+                fold(rr, layer.s()),
+                fold(rc, layer.s()),
+                fold(ri, layer.k()),
+                fold(rj, layer.k()),
+            );
+            let (input, kernels) = reference::random_layer_data(&layer, seed);
+            let mut array = PeArray::new(D);
+            let report = array.run_layer(&layer, u, &input, &kernels);
+            let simulated = report.macs as f64 / (report.compute_steps as f64 * (D * D) as f64);
+            let predicted = total_utilization(&layer, &u, D);
+            prop_assert!(
+                (simulated - predicted).abs() < 1e-9,
+                "{} under {u}: predicted {predicted} vs simulated {simulated}",
+                layer.name()
+            );
+            Ok(())
+        },
+    );
+}
