@@ -12,6 +12,9 @@ cd "$(dirname "$0")"
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
+echo "==> cargo clippy (offline, warnings are errors)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
 echo "==> cargo build --release (offline)"
 cargo build --release --offline
 

@@ -3,6 +3,8 @@
 use crate::area::AreaBreakdown;
 use crate::stats::{LayerResult, RunSummary};
 use flexsim_model::{ConvLayer, Network};
+use flexsim_obs::cycles::SinkHandle;
+use flexsim_obs::span;
 
 /// A simulated CNN accelerator.
 ///
@@ -39,11 +41,21 @@ pub trait Accelerator {
     /// Estimated chip area.
     fn area(&self) -> AreaBreakdown;
 
+    /// Attaches a cycle-domain event sink; subsequent `run_conv` calls
+    /// emit tile/pass/stall/buffer events into it. The default
+    /// implementation ignores the sink, so architectures without
+    /// cycle-level instrumentation remain valid.
+    fn attach_sink(&mut self, _sink: SinkHandle) {}
+
     /// Simulates every CONV layer of a workload in order.
     fn run_network(&mut self, net: &Network) -> RunSummary {
+        let _workload = span("workload", format!("{}/{}", self.name(), net.name()));
         let layers = net
             .conv_layers()
-            .map(|l| self.run_conv(l))
+            .map(|l| {
+                let _layer = span("layer", format!("{}/{}", self.name(), l.name()));
+                self.run_conv(l)
+            })
             .collect::<Vec<_>>();
         RunSummary {
             arch: self.name().to_owned(),

@@ -21,6 +21,7 @@ use flexsim_arch::Accelerator;
 use flexsim_model::reference::apply_activation;
 use flexsim_model::tensor::KernelSet;
 use flexsim_model::{Acc32, ConvLayer, Tensor2, Tensor3};
+use flexsim_obs::cycles::{Coalescer, CycleEventKind, LayerCtx, SinkHandle};
 
 /// Operand-movement statistics from the explicit shift simulation.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -51,6 +52,7 @@ pub struct Mapping2d {
     tr: usize,
     tc: usize,
     energy: EnergyModel,
+    sink: SinkHandle,
 }
 
 impl Mapping2d {
@@ -65,6 +67,7 @@ impl Mapping2d {
             tr,
             tc,
             energy: EnergyModel::tsmc65(),
+            sink: SinkHandle::none(),
         }
     }
 
@@ -270,6 +273,40 @@ impl Mapping2d {
         }
     }
 
+    /// Emits the layer's cycle-domain timeline: one step per spatial
+    /// tile — a `Fill` for the initial window load, then one merged
+    /// `Pass` covering the tile's `M·N·K²` compute cycles with the
+    /// clamped `Tr·Tc` occupancy. Totals are exact against
+    /// [`Self::analyze`].
+    fn emit_cycle_events(&self, layer: &ConvLayer, total_cycles: u64) {
+        let (m, n, s, k) = (layer.m(), layer.n(), layer.s(), layer.k());
+        let row_tiles = cdiv(s, self.tr);
+        let col_tiles = cdiv(s, self.tc);
+        let pass_cycles = (m * n * k * k) as u64;
+        self.sink.begin_layer(&LayerCtx::new(
+            self.name(),
+            layer.name(),
+            self.pe_count() as u32,
+        ));
+        let mut co = Coalescer::new(&self.sink, (row_tiles * col_tiles) as u64);
+        for rt in 0..row_tiles {
+            let tr_eff = self.tr.min(s - rt * self.tr) as u64;
+            for ct in 0..col_tiles {
+                let tc_eff = self.tc.min(s - ct * self.tc) as u64;
+                co.push(CycleEventKind::Fill, self.tc as u64, 0);
+                co.push(
+                    CycleEventKind::Pass,
+                    pass_cycles,
+                    tr_eff * tc_eff * pass_cycles,
+                );
+                co.step();
+            }
+        }
+        let total = co.finish();
+        debug_assert_eq!(total, total_cycles, "trace cycles diverge from analyze");
+        self.sink.end_layer();
+    }
+
     fn area_spec(&self) -> AreaSpec {
         AreaSpec {
             pe_count: self.pe_count(),
@@ -294,6 +331,9 @@ impl Accelerator for Mapping2d {
 
     fn run_conv(&mut self, layer: &ConvLayer) -> LayerResult {
         let outcome = self.analyze(layer);
+        if self.sink.enabled() {
+            self.emit_cycle_events(layer, outcome.cycles);
+        }
         let area = self.area().total_mm2();
         finish(
             self.name(),
@@ -303,6 +343,10 @@ impl Accelerator for Mapping2d {
             &self.energy,
             area,
         )
+    }
+
+    fn attach_sink(&mut self, sink: SinkHandle) {
+        self.sink = sink;
     }
 
     fn area(&self) -> AreaBreakdown {

@@ -24,6 +24,7 @@ use flexsim_arch::Accelerator;
 use flexsim_model::reference::apply_activation;
 use flexsim_model::tensor::KernelSet;
 use flexsim_model::{Acc32, ConvLayer, Tensor2, Tensor3};
+use flexsim_obs::cycles::{Coalescer, CycleEventKind, LayerCtx, SinkHandle};
 
 /// The Systolic baseline simulator.
 ///
@@ -44,6 +45,7 @@ pub struct Systolic {
     array_k: usize,
     num_arrays: usize,
     energy: EnergyModel,
+    sink: SinkHandle,
 }
 
 impl Systolic {
@@ -62,6 +64,7 @@ impl Systolic {
             array_k,
             num_arrays,
             energy: EnergyModel::tsmc65(),
+            sink: SinkHandle::none(),
         }
     }
 
@@ -255,6 +258,38 @@ impl Systolic {
         }
     }
 
+    /// Emits the layer's cycle-domain timeline: one `(m-group, input
+    /// map)` step per coalescer tick — sub-kernel passes merged — with
+    /// the pipeline fill/drain as `Fill` and the streaming window as
+    /// `Pass`. Cycle and MAC totals are exact against [`Self::analyze`].
+    fn emit_cycle_events(&self, layer: &ConvLayer, total_cycles: u64) {
+        let (m, n, k, s) = (layer.m(), layer.n(), layer.k(), layer.s());
+        let w = layer.input_size();
+        let ak = self.array_k;
+        let pk = (cdiv(k, ak) * cdiv(k, ak)) as u64;
+        let fill = self.chain_len(w) as u64;
+        let stream = (w * w) as u64;
+        let m_groups = cdiv(m, self.num_arrays);
+        self.sink.begin_layer(&LayerCtx::new(
+            self.name(),
+            layer.name(),
+            self.pe_count() as u32,
+        ));
+        let mut co = Coalescer::new(&self.sink, (m_groups * n) as u64);
+        for gi in 0..m_groups {
+            let arrays_active = self.num_arrays.min(m - gi * self.num_arrays) as u64;
+            let pass_macs = arrays_active * (s * s * k * k) as u64;
+            for _ in 0..n {
+                co.push(CycleEventKind::Fill, pk * fill, 0);
+                co.push(CycleEventKind::Pass, pk * stream, pass_macs);
+                co.step();
+            }
+        }
+        let total = co.finish();
+        debug_assert_eq!(total, total_cycles, "trace cycles diverge from analyze");
+        self.sink.end_layer();
+    }
+
     fn area_spec(&self) -> AreaSpec {
         let w_provisioned = 64; // provisioned FIFO depth per row crossing
         AreaSpec {
@@ -279,6 +314,9 @@ impl Accelerator for Systolic {
 
     fn run_conv(&mut self, layer: &ConvLayer) -> LayerResult {
         let outcome = self.analyze(layer);
+        if self.sink.enabled() {
+            self.emit_cycle_events(layer, outcome.cycles);
+        }
         let area = self.area().total_mm2();
         finish(
             self.name(),
@@ -288,6 +326,10 @@ impl Accelerator for Systolic {
             &self.energy,
             area,
         )
+    }
+
+    fn attach_sink(&mut self, sink: SinkHandle) {
+        self.sink = sink;
     }
 
     fn area(&self) -> AreaBreakdown {

@@ -20,6 +20,7 @@ use flexsim_arch::Accelerator;
 use flexsim_model::reference::apply_activation;
 use flexsim_model::tensor::KernelSet;
 use flexsim_model::{Acc32, ConvLayer, Tensor3};
+use flexsim_obs::cycles::{Coalescer, CycleEventKind, LayerCtx, SinkHandle};
 
 /// The Tiling baseline simulator.
 ///
@@ -41,6 +42,7 @@ pub struct TilingArray {
     tm: usize,
     tn: usize,
     energy: EnergyModel,
+    sink: SinkHandle,
 }
 
 impl TilingArray {
@@ -55,6 +57,7 @@ impl TilingArray {
             tm,
             tn,
             energy: EnergyModel::tsmc65(),
+            sink: SinkHandle::none(),
         }
     }
 
@@ -164,6 +167,38 @@ impl TilingArray {
         }
     }
 
+    /// Emits the layer's cycle-domain timeline: one `Pass` per
+    /// `(m-tile, n-tile)` step, its MACs the clamped lane product —
+    /// exactly the analytic schedule, so trace totals match
+    /// [`Self::analyze`].
+    fn emit_cycle_events(&self, layer: &ConvLayer, total_cycles: u64) {
+        let (m, n, s, k) = (layer.m(), layer.n(), layer.s(), layer.k());
+        let m_tiles = cdiv(m, self.tm);
+        let n_tiles = cdiv(n, self.tn);
+        let pass_cycles = (s * s * k * k) as u64;
+        self.sink.begin_layer(&LayerCtx::new(
+            self.name(),
+            layer.name(),
+            self.pe_count() as u32,
+        ));
+        let mut co = Coalescer::new(&self.sink, (m_tiles * n_tiles) as u64);
+        for mt in 0..m_tiles {
+            let tm_eff = self.tm.min(m - mt * self.tm) as u64;
+            for nt in 0..n_tiles {
+                let tn_eff = self.tn.min(n - nt * self.tn) as u64;
+                co.push(
+                    CycleEventKind::Pass,
+                    pass_cycles,
+                    tm_eff * tn_eff * pass_cycles,
+                );
+                co.step();
+            }
+        }
+        let total = co.finish();
+        debug_assert_eq!(total, total_cycles, "trace cycles diverge from analyze");
+        self.sink.end_layer();
+    }
+
     fn area_spec(&self) -> AreaSpec {
         AreaSpec {
             pe_count: self.pe_count(),
@@ -187,6 +222,9 @@ impl Accelerator for TilingArray {
 
     fn run_conv(&mut self, layer: &ConvLayer) -> LayerResult {
         let outcome = self.analyze(layer);
+        if self.sink.enabled() {
+            self.emit_cycle_events(layer, outcome.cycles);
+        }
         let area = self.area().total_mm2();
         finish(
             self.name(),
@@ -196,6 +234,10 @@ impl Accelerator for TilingArray {
             &self.energy,
             area,
         )
+    }
+
+    fn attach_sink(&mut self, sink: SinkHandle) {
+        self.sink = sink;
     }
 
     fn area(&self) -> AreaBreakdown {

@@ -8,7 +8,7 @@
 //! real data through the cycle-stepped [`crate::array`] simulator and the
 //! pooling unit, layer by layer through the ping-pong buffers.
 
-use crate::analytic::{schedule_default, Schedule};
+use crate::analytic::{schedule_default, Schedule, PIPELINE_FILL_CYCLES, SEGMENT_STALL_CYCLES};
 use crate::array::PeArray;
 use crate::buffers::BufferSet;
 use crate::compiler::Program;
@@ -17,12 +17,14 @@ use crate::pooling::{PoolStats, PoolingUnit};
 use flexsim_arch::area::{AreaBreakdown, AreaModel, AreaSpec, InterconnectStyle};
 use flexsim_arch::dram::conv_layer_traffic;
 use flexsim_arch::energy::EnergyModel;
-use flexsim_arch::stats::{EventCounts, LayerResult, RunSummary};
+use flexsim_arch::stats::{mirror_layer, EventCounts, LayerResult, RunSummary};
 use flexsim_arch::Accelerator;
 use flexsim_dataflow::search::{best_unroll, plan_network};
-use flexsim_dataflow::Unroll;
+use flexsim_dataflow::{TileIter, Unroll};
 use flexsim_model::tensor::KernelSet;
 use flexsim_model::{ConvLayer, Network, Tensor3};
+use flexsim_obs::cycles::{Coalescer, CycleEventKind, LayerCtx, SinkHandle};
+use flexsim_obs::span;
 
 /// The FlexFlow accelerator simulator.
 ///
@@ -41,6 +43,7 @@ use flexsim_model::{ConvLayer, Network, Tensor3};
 pub struct FlexFlow {
     d: usize,
     energy: EnergyModel,
+    sink: SinkHandle,
 }
 
 impl FlexFlow {
@@ -54,6 +57,7 @@ impl FlexFlow {
         FlexFlow {
             d,
             energy: EnergyModel::tsmc65(),
+            sink: SinkHandle::none(),
         }
     }
 
@@ -81,7 +85,48 @@ impl FlexFlow {
         self.result_from_schedule(layer, &sch)
     }
 
+    /// Emits the layer's cycle-domain timeline into the attached sink:
+    /// one pipeline fill, one pass per row-batch (MACs attributed from
+    /// the tiled schedule), and the per-batch partial-sum spill stalls.
+    /// Coalesced so long layers stay bounded; cycle and MAC totals are
+    /// exact against the analytic schedule.
+    fn emit_cycle_events(&self, layer: &ConvLayer, sch: &Schedule) {
+        self.sink.begin_layer(&LayerCtx::new(
+            self.name(),
+            layer.name(),
+            self.pe_count() as u32,
+        ));
+        let mut co = Coalescer::new(&self.sink, sch.row_batches);
+        let mut tiles = TileIter::new(layer, sch.unroll);
+        for batch in 0..sch.row_batches {
+            if batch == 0 {
+                co.push(CycleEventKind::Fill, PIPELINE_FILL_CYCLES, 0);
+            }
+            let batch_macs: u64 = tiles
+                .by_ref()
+                .take(sch.chunks as usize)
+                .map(|t| t.macs())
+                .sum();
+            co.push(CycleEventKind::Pass, sch.chunks, batch_macs);
+            if sch.segments > 1 {
+                co.push(
+                    CycleEventKind::Spill,
+                    (sch.segments - 1) * SEGMENT_STALL_CYCLES,
+                    0,
+                );
+            }
+            co.step();
+        }
+        let total = co.finish();
+        debug_assert_eq!(total, sch.cycles, "trace cycles diverge from schedule");
+        self.sink.end_layer();
+    }
+
     fn result_from_schedule(&self, layer: &ConvLayer, sch: &Schedule) -> LayerResult {
+        let _engine = span("engine", format!("{}/{}", self.name(), layer.name()));
+        if self.sink.enabled() {
+            self.emit_cycle_events(layer, sch);
+        }
         let pe_count = self.pe_count();
         let u = sch.unroll;
         let k = layer.k();
@@ -109,7 +154,7 @@ impl FlexFlow {
             ..Default::default()
         };
         let energy = self.energy.energy(&events, cycles, self.area().total_mm2());
-        LayerResult {
+        let result = LayerResult {
             arch: self.name().to_owned(),
             layer: layer.name().to_owned(),
             pe_count,
@@ -119,7 +164,9 @@ impl FlexFlow {
             events,
             traffic: sch.traffic,
             energy,
-        }
+        };
+        mirror_layer(&result);
+        result
     }
 
     /// Functionally executes a compiled program on real data.
@@ -259,14 +306,22 @@ impl Accelerator for FlexFlow {
         self.run_conv_with(layer, choice.unroll)
     }
 
+    fn attach_sink(&mut self, sink: SinkHandle) {
+        self.sink = sink;
+    }
+
     fn run_network(&mut self, net: &Network) -> RunSummary {
+        let _workload = span("workload", format!("{}/{}", self.name(), net.name()));
         // Unlike the default, plan the whole network jointly (IADP
         // coupling) before simulating.
         let plan = plan_network(net, self.d);
         let layers = net
             .conv_layers()
             .zip(&plan)
-            .map(|(layer, choice)| self.run_conv_with(layer, choice.unroll))
+            .map(|(layer, choice)| {
+                let _layer = span("layer", format!("{}/{}", self.name(), layer.name()));
+                self.run_conv_with(layer, choice.unroll)
+            })
             .collect();
         RunSummary {
             arch: self.name().to_owned(),
@@ -386,6 +441,35 @@ mod tests {
         assert_eq!(trace.output, want);
         assert_eq!(trace.steps.len(), 3);
         assert!(trace.cycles > 0);
+    }
+
+    #[test]
+    fn cycle_events_reproduce_analytic_totals_exactly() {
+        use flexsim_obs::cycles::{CycleRecorder, SinkHandle};
+        use std::sync::Arc;
+        let rec = Arc::new(CycleRecorder::new());
+        let mut ff = FlexFlow::paper_config();
+        ff.attach_sink(SinkHandle::new(rec.clone()));
+        let s = ff.run_network(&workloads::lenet5());
+        let timelines = rec.take();
+        assert_eq!(timelines.len(), s.layers.len());
+        for (tl, lr) in timelines.iter().zip(&s.layers) {
+            assert_eq!(tl.ctx.arch, "FlexFlow");
+            assert_eq!(tl.ctx.layer, lr.layer);
+            assert_eq!(tl.total_cycles(), lr.cycles, "{}", lr.layer);
+            assert_eq!(tl.macs(), lr.macs, "{}", lr.layer);
+            // Trace-derived utilization equals the analytic one.
+            assert!((tl.occupancy().utilization() - lr.utilization()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn detached_sink_emits_nothing() {
+        let mut ff = FlexFlow::paper_config();
+        let r = ff.run_conv(&ConvLayer::new("C", 8, 4, 8, 3));
+        ff.attach_sink(SinkHandle::none());
+        let r2 = ff.run_conv(&ConvLayer::new("C", 8, 4, 8, 3));
+        assert_eq!(r, r2);
     }
 
     #[test]

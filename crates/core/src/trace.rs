@@ -8,6 +8,7 @@
 
 use flexsim_dataflow::{TileIter, Unroll};
 use flexsim_model::ConvLayer;
+use flexsim_obs::occupancy::OccupancyTimeline;
 use std::fmt;
 
 /// A per-cycle record of busy PEs for one layer under one unrolling.
@@ -108,7 +109,8 @@ impl OccupancyTrace {
 
     /// Occupancy histogram over `buckets` equal occupancy ranges:
     /// element `i` counts cycles with busy fraction in
-    /// `[i/buckets, (i+1)/buckets)` (the last bucket is inclusive).
+    /// `[i/buckets, (i+1)/buckets)`; the last bucket additionally
+    /// includes fraction exactly 1.0.
     ///
     /// # Panics
     ///
@@ -119,10 +121,27 @@ impl OccupancyTrace {
         let full = (self.d * self.d) as f64;
         for &b in &self.busy {
             let frac = b as f64 / full;
-            let idx = ((frac * buckets as f64) as usize).min(buckets - 1);
+            // `frac == 1.0` would index one past the end under the open
+            // interval rule; fold it into the last bucket explicitly.
+            let idx = if frac >= 1.0 {
+                buckets - 1
+            } else {
+                ((frac * buckets as f64) as usize).min(buckets - 1)
+            };
             out[idx] += 1;
         }
         out
+    }
+
+    /// Converts to the architecture-neutral run-length-encoded
+    /// [`OccupancyTimeline`] used by the observability exporters; mean
+    /// utilization is preserved exactly.
+    pub fn to_timeline(&self) -> OccupancyTimeline {
+        let full = (self.d * self.d) as f64;
+        OccupancyTimeline::from_segments(
+            (self.d * self.d) as u32,
+            self.busy.iter().map(|&b| (1u64, b as f64 / full)).collect(),
+        )
     }
 }
 
@@ -173,6 +192,43 @@ mod tests {
         // Both full-ish and clamped cycles exist (40/256 and 20/256
         // busy PEs land in different 1/16 buckets).
         assert!(hist.iter().filter(|&&c| c > 0).count() >= 2);
+    }
+
+    #[test]
+    fn histogram_boundaries_are_exact() {
+        // Full busy: every cycle has frac == 1.0 and must land in the
+        // last bucket rather than fall off the end.
+        let layer = ConvLayer::new("C", 4, 4, 4, 2);
+        let full = trace_layer(&layer, Unroll::new(4, 4, 1, 4, 2, 2), 16);
+        assert!((full.full_cycles_fraction() - 1.0).abs() < 1e-12);
+        let hist = full.histogram(10);
+        assert_eq!(hist[9], full.cycles());
+        assert_eq!(hist[..9].iter().sum::<u64>(), 0);
+        // Single bucket holds everything.
+        assert_eq!(full.histogram(1), vec![full.cycles()]);
+
+        // Zero busy: an empty trace leaves every bucket empty.
+        let empty = OccupancyTrace { d: 4, busy: vec![] };
+        assert_eq!(empty.histogram(3), vec![0, 0, 0]);
+        // All-idle cycles land in bucket 0.
+        let idle = OccupancyTrace {
+            d: 4,
+            busy: vec![0, 0],
+        };
+        assert_eq!(idle.histogram(3), vec![2, 0, 0]);
+        assert_eq!(idle.histogram(1), vec![2]);
+    }
+
+    #[test]
+    fn to_timeline_preserves_utilization() {
+        let layer = ConvLayer::new("C", 3, 1, 5, 2);
+        let trace = trace_layer(&layer, Unroll::new(2, 1, 1, 5, 2, 2), 16);
+        let tl = trace.to_timeline();
+        assert_eq!(tl.cycles(), trace.cycles());
+        assert!((tl.utilization() - trace.utilization()).abs() < 1e-12);
+        assert_eq!(tl.pe_count(), 256);
+        // The RLE form is no longer than the raw per-cycle vector.
+        assert!(tl.segments().len() <= trace.busy_per_cycle().len());
     }
 
     #[test]

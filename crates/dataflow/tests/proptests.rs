@@ -13,14 +13,18 @@ const CASES: u32 = 64;
 /// `(c1 maps, c1 out size, c1 kernel, c2 maps, c2 kernel, with_pool)`.
 type NetParams = (usize, usize, usize, usize, usize, bool);
 
-fn net_params() -> (
+/// Generator tuple mirroring [`NetParams`]: five size ranges plus the
+/// pooling coin-flip.
+type NetParamGens = (
     std::ops::RangeInclusive<usize>,
     std::ops::RangeInclusive<usize>,
     std::ops::RangeInclusive<usize>,
     std::ops::RangeInclusive<usize>,
     std::ops::RangeInclusive<usize>,
     prop::Bools,
-) {
+);
+
+fn net_params() -> NetParamGens {
     (1..=8, 4..=12, 1..=4, 1..=8, 1..=3, bools())
 }
 

@@ -21,26 +21,38 @@ pub fn systolic_for(net: &Network) -> Systolic {
 
 /// All four architectures at the paper's ~256-PE scale, configured for
 /// `net`, in [`ARCH_NAMES`] order.
+///
+/// Each instance is wired to the process-global cycle sink, so a
+/// recorder installed via [`flexsim_obs::cycles::set_global_sink`]
+/// (e.g. by `flexsim --trace`) sees every layer any experiment runs.
 pub fn paper_scale(net: &Network) -> Vec<Box<dyn Accelerator>> {
-    vec![
+    with_global_sink(vec![
         Box::new(systolic_for(net)),
         Box::new(Mapping2d::shidiannao()),
         Box::new(TilingArray::diannao()),
         Box::new(FlexFlow::paper_config()),
-    ]
+    ])
 }
 
 /// All four architectures scaled to a `d×d`-equivalent engine
 /// (Fig. 19). The systolic geometry follows the workload kernel (11×11
-/// arrays for AlexNet).
+/// arrays for AlexNet). Wired to the global cycle sink like
+/// [`paper_scale`].
 pub fn at_scale(net: &Network, d: usize) -> Vec<Box<dyn Accelerator>> {
     let array_k = if net.name() == "AlexNet" { 11 } else { 6 };
-    vec![
+    with_global_sink(vec![
         Box::new(Systolic::scaled_to(array_k, d * d)),
         Box::new(Mapping2d::new(d, d)),
         Box::new(TilingArray::new(d, d)),
         Box::new(FlexFlow::new(d)),
-    ]
+    ])
+}
+
+fn with_global_sink(mut accs: Vec<Box<dyn Accelerator>>) -> Vec<Box<dyn Accelerator>> {
+    for acc in &mut accs {
+        acc.attach_sink(flexsim_obs::cycles::global_handle());
+    }
+    accs
 }
 
 #[cfg(test)]

@@ -1,0 +1,154 @@
+//! Strict command-line parsing for the `flexsim` binary.
+//!
+//! Unlike a scan-and-ignore loop, [`parse`] rejects anything it does
+//! not understand — an unknown `--flag` or a value flag with its
+//! argument missing is an error, not a silent no-op — so typos fail
+//! loudly with the usage text instead of quietly running `all`.
+
+/// Usage text printed on `--help` and on every parse error.
+pub const USAGE: &str = "\
+usage: flexsim [OPTIONS] [EXPERIMENT-ID...]
+
+Runs the FlexFlow (HPCA'17) evaluation experiments. With no ids (or
+with `all`) every experiment runs in paper order.
+
+options:
+  --json          machine-readable JSON on stdout
+  --out DIR       also write one .txt + .json per experiment into DIR
+  --trace FILE    write a Chrome trace-event JSON file (host spans +
+                  cycle-domain timelines + metrics), loadable in
+                  Perfetto or chrome://tracing
+  --metrics       print the metrics-registry dump to stderr after the run
+  --list          list experiment ids and exit
+  --help          show this message
+
+environment:
+  FLEXSIM_LOG     log filter, e.g. `debug` or `span=debug,engine=off`
+";
+
+/// A parsed `flexsim` command line.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Cli {
+    /// Emit machine-readable JSON on stdout.
+    pub json: bool,
+    /// List experiment ids and exit.
+    pub list: bool,
+    /// Show the usage text and exit.
+    pub help: bool,
+    /// Print the metrics-registry dump after the run.
+    pub metrics: bool,
+    /// Write a Chrome trace-event file to this path.
+    pub trace: Option<String>,
+    /// Directory for per-experiment `.txt` + `.json` output.
+    pub out_dir: Option<String>,
+    /// Experiment ids to run; empty means `all`.
+    pub ids: Vec<String>,
+}
+
+/// Parses the argument list (program name already stripped).
+///
+/// # Errors
+///
+/// Returns a one-line message for unknown flags and for `--out` /
+/// `--trace` missing their value (a following argument that itself
+/// looks like a flag does not count as a value).
+pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Cli, String> {
+    let mut cli = Cli::default();
+    let mut iter = args.iter().map(AsRef::as_ref);
+    while let Some(arg) = iter.next() {
+        match arg {
+            "--json" => cli.json = true,
+            "--list" => cli.list = true,
+            "--help" | "-h" => cli.help = true,
+            "--metrics" => cli.metrics = true,
+            "--out" => cli.out_dir = Some(value_of(&mut iter, "--out", "a directory")?),
+            "--trace" => cli.trace = Some(value_of(&mut iter, "--trace", "a file path")?),
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown option {flag:?}"));
+            }
+            id => cli.ids.push(id.to_owned()),
+        }
+    }
+    Ok(cli)
+}
+
+/// Pulls the value for `flag` off the iterator, refusing flag-shaped
+/// arguments so `--out --json` reads as a missing value rather than a
+/// directory literally named `--json`.
+fn value_of<'a>(
+    iter: &mut impl Iterator<Item = &'a str>,
+    flag: &str,
+    what: &str,
+) -> Result<String, String> {
+    match iter.next() {
+        Some(v) if !v.starts_with('-') => Ok(v.to_owned()),
+        _ => Err(format!("{flag} requires {what} argument")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(args: &[&str]) -> Result<Cli, String> {
+        parse(args)
+    }
+
+    #[test]
+    fn flags_and_ids_mix_in_any_order() {
+        let cli = p(&[
+            "--json",
+            "fig15",
+            "--out",
+            "results",
+            "table06",
+            "--metrics",
+        ])
+        .unwrap();
+        assert!(cli.json && cli.metrics && !cli.list && !cli.help);
+        assert_eq!(cli.out_dir.as_deref(), Some("results"));
+        assert_eq!(cli.trace, None);
+        assert_eq!(cli.ids, ["fig15", "table06"]);
+    }
+
+    #[test]
+    fn empty_args_mean_run_all() {
+        let cli = p(&[]).unwrap();
+        assert_eq!(cli, Cli::default());
+        assert!(cli.ids.is_empty());
+    }
+
+    #[test]
+    fn trace_takes_a_path() {
+        let cli = p(&["--trace", "out.json", "all"]).unwrap();
+        assert_eq!(cli.trace.as_deref(), Some("out.json"));
+        assert_eq!(cli.ids, ["all"]);
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        for bad in ["--jsno", "--outdir", "-x", "--trace-file"] {
+            let err = p(&[bad, "all"]).unwrap_err();
+            assert!(err.contains("unknown option"), "{bad}: {err}");
+            assert!(err.contains(bad), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn value_flags_require_their_value() {
+        // At the end of the line…
+        assert!(p(&["--out"]).unwrap_err().contains("--out requires"));
+        assert!(p(&["fig15", "--trace"])
+            .unwrap_err()
+            .contains("--trace requires"));
+        // …and when the next token is itself a flag.
+        assert!(p(&["--out", "--json"]).unwrap_err().contains("--out"));
+        assert!(p(&["--trace", "-h"]).unwrap_err().contains("--trace"));
+    }
+
+    #[test]
+    fn help_short_and_long() {
+        assert!(p(&["-h"]).unwrap().help);
+        assert!(p(&["--help"]).unwrap().help);
+    }
+}

@@ -18,6 +18,7 @@
 
 pub mod ablations;
 pub mod arches;
+pub mod cli;
 pub mod extensions;
 pub mod fig01;
 pub mod fig15;
@@ -26,6 +27,7 @@ pub mod fig17;
 pub mod fig18;
 pub mod fig19;
 pub mod paper;
+pub mod profile;
 pub mod report;
 pub mod table03;
 pub mod table04;
@@ -34,31 +36,22 @@ pub mod table07;
 
 pub use report::{ExperimentResult, Table};
 
-/// Runs every experiment in paper order.
+/// Runs every paper experiment in paper order. The `profile`
+/// diagnostic experiment is opt-in (`flexsim profile`) and not part of
+/// the sweep.
 pub fn run_all() -> Vec<ExperimentResult> {
-    vec![
-        fig01::run(),
-        table03::run(),
-        table04::run(),
-        fig15::run(),
-        fig16::run(),
-        fig17::run(),
-        fig18::run(),
-        table06::run(),
-        fig19::run(),
-        table07::run(),
-        ablations::styles(),
-        ablations::local_store(),
-        ablations::coupling(),
-        ablations::rc_bound(),
-        extensions::roofline(),
-        extensions::batching(),
-        extensions::routing_share(),
-    ]
+    experiment_ids()
+        .iter()
+        .filter(|&&id| id != "profile")
+        .map(|id| run_by_id(id).expect("every listed id resolves"))
+        .collect()
 }
 
-/// Looks up an experiment by id (e.g. `"fig15"`, `"table06"`).
+/// Looks up an experiment by id (e.g. `"fig15"`, `"table06"`). Each
+/// run is wrapped in an `experiment`-category host span so `--trace`
+/// output groups work per experiment.
 pub fn run_by_id(id: &str) -> Option<ExperimentResult> {
+    let _span = flexsim_obs::span::span("experiment", id);
     match id {
         "fig01" | "fig1" => Some(fig01::run()),
         "table03" | "table3" => Some(table03::run()),
@@ -77,6 +70,7 @@ pub fn run_by_id(id: &str) -> Option<ExperimentResult> {
         "ext_roofline" => Some(extensions::roofline()),
         "ext_batching" => Some(extensions::batching()),
         "ext_routing_share" => Some(extensions::routing_share()),
+        "profile" => Some(profile::run()),
         _ => None,
     }
 }
@@ -101,5 +95,6 @@ pub fn experiment_ids() -> &'static [&'static str] {
         "ext_roofline",
         "ext_batching",
         "ext_routing_share",
+        "profile",
     ]
 }

@@ -2,70 +2,97 @@
 //! experiments.
 //!
 //! ```text
-//! flexsim all              # every table/figure, paper order
-//! flexsim fig15 table06    # selected experiments
-//! flexsim --json all       # machine-readable output
-//! flexsim --out DIR all    # also write one .txt + .json per experiment
-//! flexsim --list           # available experiment ids
+//! flexsim all                    # every table/figure, paper order
+//! flexsim fig15 table06          # selected experiments
+//! flexsim --json all             # machine-readable output
+//! flexsim --out DIR all          # also write one .txt + .json each
+//! flexsim --trace out.json fig15 # Chrome trace (Perfetto-loadable)
+//! flexsim --metrics fig15        # dump the metrics registry
+//! flexsim --list                 # available experiment ids
 //! ```
 
-use flexsim_experiments::{experiment_ids, run_all, run_by_id};
+use flexsim_experiments::cli::{self, Cli, USAGE};
+use flexsim_experiments::{experiment_ids, run_all, run_by_id, ExperimentResult};
+use flexsim_obs::cycles::CycleRecorder;
+use flexsim_obs::{chrome, cycles, metrics, span};
+use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let json = args.iter().any(|a| a == "--json");
-    let out_dir = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
-    let mut skip_next = false;
-    let ids: Vec<&String> = args
-        .iter()
-        .filter(|a| {
-            if skip_next {
-                skip_next = false;
-                return false;
-            }
-            if a.as_str() == "--out" {
-                skip_next = true;
-                return false;
-            }
-            !a.starts_with("--")
-        })
-        .collect();
-
-    if args.iter().any(|a| a == "--list") {
+    let cli = match cli::parse(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("flexsim: {msg}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if cli.help {
+        print!("{USAGE}");
+        return;
+    }
+    if cli.list {
         for id in experiment_ids() {
             println!("{id}");
         }
         return;
     }
-    let results = if ids.is_empty() || ids.iter().any(|a| a.as_str() == "all") {
-        run_all()
-    } else {
-        let mut results = Vec::new();
-        for id in ids {
-            match run_by_id(id) {
-                Some(r) => results.push(r),
-                None => {
-                    eprintln!(
-                        "unknown experiment {id:?}; available: {}",
-                        experiment_ids().join(", ")
-                    );
-                    std::process::exit(2);
-                }
-            }
+
+    // Observability: recording host spans and cycle events is opt-in;
+    // without `--trace` both stay disabled and cost nothing.
+    let recorder = cli.trace.as_ref().map(|_| {
+        span::install_recorder();
+        let rec = Arc::new(CycleRecorder::new());
+        cycles::set_global_sink(Some(rec.clone() as Arc<dyn cycles::CycleSink>));
+        rec
+    });
+
+    let results = run(&cli);
+
+    if let (Some(file), Some(rec)) = (&cli.trace, &recorder) {
+        let spans = span::take_records();
+        let timelines = rec.take();
+        let snapshot = metrics::global().snapshot();
+        let trace = chrome::chrome_trace(&spans, &timelines, &snapshot);
+        if let Err(e) = std::fs::write(file, trace.pretty()) {
+            eprintln!("cannot write trace {file}: {e}");
+            std::process::exit(1);
         }
-        results
-    };
-    if let Some(dir) = out_dir {
-        write_out(&dir, &results);
+        eprintln!(
+            "wrote {file}: {} host spans, {} layer timelines",
+            spans.len(),
+            timelines.len()
+        );
     }
-    emit(results, json);
+    if cli.metrics {
+        eprint!("{}", metrics::global().snapshot().dump());
+    }
+    if let Some(dir) = &cli.out_dir {
+        write_out(dir, &results);
+    }
+    emit(results, cli.json);
 }
 
-fn write_out(dir: &str, results: &[flexsim_experiments::ExperimentResult]) {
+fn run(cli: &Cli) -> Vec<ExperimentResult> {
+    if cli.ids.is_empty() || cli.ids.iter().any(|a| a == "all") {
+        return run_all();
+    }
+    let mut results = Vec::new();
+    for id in &cli.ids {
+        match run_by_id(id) {
+            Some(r) => results.push(r),
+            None => {
+                eprintln!(
+                    "unknown experiment {id:?}; available: {}",
+                    experiment_ids().join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    results
+}
+
+fn write_out(dir: &str, results: &[ExperimentResult]) {
     if let Err(e) = std::fs::create_dir_all(dir) {
         eprintln!("cannot create {dir}: {e}");
         std::process::exit(1);
@@ -83,7 +110,7 @@ fn write_out(dir: &str, results: &[flexsim_experiments::ExperimentResult]) {
     eprintln!("wrote {} experiments to {dir}/", results.len());
 }
 
-fn emit(results: Vec<flexsim_experiments::ExperimentResult>, json: bool) {
+fn emit(results: Vec<ExperimentResult>, json: bool) {
     if json {
         let blobs: Vec<String> = results.iter().map(|r| r.to_json()).collect();
         println!("[{}]", blobs.join(",\n"));

@@ -31,7 +31,7 @@ impl ExperimentResult {
                     ("headers", Json::str_arr(self.table.headers())),
                     (
                         "rows",
-                        Json::arr(self.table.rows().iter().map(|r| Json::str_arr(r))),
+                        Json::arr(self.table.rows().iter().map(Json::str_arr)),
                     ),
                 ]),
             ),
@@ -101,10 +101,13 @@ impl Table {
 
 impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        // Width in characters, not bytes: format padding counts chars,
+        // and cells may hold multi-byte sparkline glyphs.
+        let chars = |s: &String| s.chars().count();
+        let mut widths: Vec<usize> = self.headers.iter().map(chars).collect();
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate() {
-                widths[i] = widths[i].max(cell.len());
+                widths[i] = widths[i].max(chars(cell));
             }
         }
         let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {

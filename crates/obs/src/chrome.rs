@@ -1,0 +1,285 @@
+//! Chrome trace-event JSON export (loadable in `chrome://tracing` and
+//! Perfetto).
+//!
+//! One trace document combines both time domains:
+//!
+//! * **pid 0 ("host")** — wall-clock [`SpanRecord`]s from the global
+//!   span recorder, one thread row per OS thread, `ts`/`dur` in real
+//!   microseconds;
+//! * **pid 1+** — one process per simulated architecture, one thread
+//!   row per layer, carrying that layer's [`LayerTimeline`] cycle
+//!   events with the convention **1 µs = 1 simulated cycle**.
+//!
+//! A metrics snapshot rides along under `otherData.metrics` so a single
+//! file captures spans, cycle timelines, and final counters.
+
+use crate::cycles::LayerTimeline;
+use crate::metrics::Snapshot;
+use crate::span::SpanRecord;
+use flexsim_testkit::json::Json;
+
+fn duration_event(
+    name: &str,
+    cat: &str,
+    ts: u64,
+    dur: u64,
+    pid: u64,
+    tid: u64,
+    args: Json,
+) -> Json {
+    Json::obj([
+        ("name", Json::str(name)),
+        ("cat", Json::str(cat)),
+        ("ph", Json::str("X")),
+        ("ts", Json::from(ts)),
+        ("dur", Json::from(dur)),
+        ("pid", Json::from(pid)),
+        ("tid", Json::from(tid)),
+        ("args", args),
+    ])
+}
+
+fn metadata_event(meta: &str, pid: u64, tid: u64, value: &str) -> Json {
+    Json::obj([
+        ("name", Json::str(meta)),
+        ("ph", Json::str("M")),
+        ("pid", Json::from(pid)),
+        ("tid", Json::from(tid)),
+        ("args", Json::obj([("name", Json::str(value))])),
+    ])
+}
+
+/// Renders a metrics snapshot as a JSON object, one
+/// `name{k="v"}`-style key per cell (same keys as
+/// [`Snapshot::dump`]).
+pub fn metrics_json(metrics: &Snapshot) -> Json {
+    Json::obj(metrics.iter().map(|(key, value)| {
+        let mut name = key.name.clone();
+        if !key.labels.is_empty() {
+            name.push('{');
+            for (i, (k, v)) in key.labels.iter().enumerate() {
+                if i > 0 {
+                    name.push(',');
+                }
+                name.push_str(k);
+                name.push_str("=\"");
+                name.push_str(v);
+                name.push('"');
+            }
+            name.push('}');
+        }
+        (name, Json::from(value))
+    }))
+}
+
+/// Builds a complete Chrome trace document from host spans, per-layer
+/// cycle timelines, and a metrics snapshot.
+///
+/// The result is `{"traceEvents": [...], "displayTimeUnit": "ms",
+/// "otherData": {"metrics": {...}}}` — the object form both
+/// `chrome://tracing` and Perfetto accept.
+pub fn chrome_trace(spans: &[SpanRecord], timelines: &[LayerTimeline], metrics: &Snapshot) -> Json {
+    let mut events: Vec<Json> = Vec::new();
+
+    // Host process: one thread row per recorded OS thread.
+    events.push(metadata_event("process_name", 0, 0, "host"));
+    let mut host_tids: Vec<u64> = spans.iter().map(|s| s.tid).collect();
+    host_tids.sort_unstable();
+    host_tids.dedup();
+    for tid in host_tids {
+        events.push(metadata_event(
+            "thread_name",
+            0,
+            tid,
+            &format!("host-{tid}"),
+        ));
+    }
+    for span in spans {
+        events.push(duration_event(
+            &span.name,
+            span.cat,
+            span.start_us,
+            // Zero-duration events render invisibly; clamp to 1 µs.
+            span.dur_us.max(1),
+            0,
+            span.tid,
+            Json::obj([("depth", Json::from(u64::from(span.depth)))]),
+        ));
+    }
+
+    // One process per architecture (first-seen order), one thread row
+    // per layer timeline within it.
+    let mut arch_pids: Vec<String> = Vec::new();
+    let mut layers_in_arch: Vec<u64> = Vec::new();
+    for tl in timelines {
+        let pid_idx = match arch_pids.iter().position(|a| *a == tl.ctx.arch) {
+            Some(i) => i,
+            None => {
+                arch_pids.push(tl.ctx.arch.clone());
+                layers_in_arch.push(0);
+                let pid = arch_pids.len() as u64;
+                events.push(metadata_event(
+                    "process_name",
+                    pid,
+                    0,
+                    &format!("sim:{}", tl.ctx.arch),
+                ));
+                arch_pids.len() - 1
+            }
+        };
+        let pid = pid_idx as u64 + 1;
+        let tid = layers_in_arch[pid_idx];
+        layers_in_arch[pid_idx] += 1;
+        events.push(metadata_event("thread_name", pid, tid, &tl.ctx.layer));
+        for ev in &tl.events {
+            events.push(duration_event(
+                ev.kind.name(),
+                "sim",
+                ev.start_cycle,
+                ev.cycles.max(1),
+                pid,
+                tid,
+                Json::obj([
+                    ("macs", Json::from(ev.macs)),
+                    ("cycles", Json::from(ev.cycles)),
+                    ("pes", Json::from(u64::from(tl.ctx.pe_count))),
+                ]),
+            ));
+        }
+    }
+
+    Json::obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::str("ms")),
+        (
+            "otherData",
+            Json::obj([
+                ("cycle_unit", Json::str("1us = 1 simulated cycle")),
+                ("metrics", metrics_json(metrics)),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycles::{CycleEvent, CycleEventKind, LayerCtx};
+    use crate::metrics::Registry;
+
+    fn field<'a>(doc: &'a Json, name: &str) -> &'a Json {
+        match doc {
+            Json::Obj(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .expect("missing field"),
+            _ => panic!("not an object"),
+        }
+    }
+
+    fn events(doc: &Json) -> &[Json] {
+        match field(doc, "traceEvents") {
+            Json::Arr(items) => items,
+            _ => panic!("traceEvents not an array"),
+        }
+    }
+
+    #[test]
+    fn trace_combines_spans_and_timelines() {
+        let spans = vec![SpanRecord {
+            cat: "workload",
+            name: "LeNet-5".into(),
+            start_us: 10,
+            dur_us: 250,
+            depth: 0,
+            tid: 0,
+        }];
+        let timelines = vec![
+            LayerTimeline {
+                ctx: LayerCtx::new("FlexFlow", "C1", 256),
+                events: vec![CycleEvent::new(CycleEventKind::Pass, 0, 100, 12_800)],
+            },
+            LayerTimeline {
+                ctx: LayerCtx::new("Tiling", "C1", 256),
+                events: vec![CycleEvent::new(CycleEventKind::Pass, 0, 50, 6_400)],
+            },
+        ];
+        let reg = Registry::new();
+        reg.add("sim_cycles", &[("arch", "FlexFlow")], 100);
+        let doc = chrome_trace(&spans, &timelines, &reg.snapshot());
+
+        let evs = events(&doc);
+        // host process_name + host thread_name + 1 span
+        // + 2 × (process_name + thread_name + 1 event).
+        assert_eq!(evs.len(), 9);
+        let phases: Vec<&Json> = evs.iter().map(|e| field(e, "ph")).collect();
+        assert_eq!(phases.iter().filter(|p| ***p == Json::str("X")).count(), 3);
+        // Distinct pids: 0 (host), 1 (FlexFlow), 2 (Tiling).
+        let span_ev = evs
+            .iter()
+            .find(|e| field(e, "name") == &Json::str("LeNet-5"))
+            .unwrap();
+        assert_eq!(field(span_ev, "pid"), &Json::Int(0));
+        assert_eq!(field(span_ev, "ts"), &Json::Int(10));
+        assert_eq!(field(span_ev, "dur"), &Json::Int(250));
+        let tiling_meta = evs
+            .iter()
+            .find(|e| {
+                field(e, "name") == &Json::str("process_name") && field(e, "pid") == &Json::Int(2)
+            })
+            .unwrap();
+        assert_eq!(
+            field(field(tiling_meta, "args"), "name"),
+            &Json::str("sim:Tiling")
+        );
+        // Metrics ride along.
+        let metrics = field(field(&doc, "otherData"), "metrics");
+        assert_eq!(
+            field(metrics, "sim_cycles{arch=\"FlexFlow\"}"),
+            &Json::Int(100)
+        );
+    }
+
+    #[test]
+    fn layers_of_one_arch_share_a_pid_with_distinct_tids() {
+        let timelines = vec![
+            LayerTimeline {
+                ctx: LayerCtx::new("Systolic", "C1", 252),
+                events: vec![CycleEvent::new(CycleEventKind::Fill, 0, 10, 0)],
+            },
+            LayerTimeline {
+                ctx: LayerCtx::new("Systolic", "C3", 252),
+                events: vec![CycleEvent::new(CycleEventKind::Fill, 0, 10, 0)],
+            },
+        ];
+        let doc = chrome_trace(&[], &timelines, &Snapshot::default());
+        let evs = events(&doc);
+        let fills: Vec<&Json> = evs
+            .iter()
+            .filter(|e| field(e, "name") == &Json::str("fill"))
+            .collect();
+        assert_eq!(fills.len(), 2);
+        assert_eq!(field(fills[0], "pid"), field(fills[1], "pid"));
+        assert_ne!(field(fills[0], "tid"), field(fills[1], "tid"));
+    }
+
+    #[test]
+    fn zero_duration_spans_are_clamped_visible() {
+        let spans = vec![SpanRecord {
+            cat: "layer",
+            name: "fast".into(),
+            start_us: 0,
+            dur_us: 0,
+            depth: 0,
+            tid: 0,
+        }];
+        let doc = chrome_trace(&spans, &[], &Snapshot::default());
+        let ev = events(&doc)
+            .iter()
+            .find(|e| field(e, "name") == &Json::str("fast"))
+            .cloned()
+            .unwrap();
+        assert_eq!(field(&ev, "dur"), &Json::Int(1));
+    }
+}

@@ -1,0 +1,186 @@
+//! `FLEXSIM_LOG`-style env filter and leveled stderr logging.
+//!
+//! The filter spec is a comma-separated list of directives, each either
+//! a bare level (setting the default) or `target=level`:
+//!
+//! ```text
+//! FLEXSIM_LOG=info                  # everything at info and above
+//! FLEXSIM_LOG=layer=trace,warn      # trace for `layer`, warn elsewhere
+//! FLEXSIM_LOG=off                   # silence (the default)
+//! ```
+//!
+//! Targets match by prefix, longest directive wins — `engine` matches
+//! both `engine` and `engine/schedule`.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Log verbosity, ordered from most to least severe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable problems.
+    Error,
+    /// Suspicious conditions.
+    Warn,
+    /// High-level progress.
+    Info,
+    /// Span begin/end and per-layer details.
+    Debug,
+    /// Everything, including per-event detail.
+    Trace,
+}
+
+impl Level {
+    /// Parses a level name (case-insensitive). `None` means `off`.
+    pub fn parse(s: &str) -> Option<Option<Level>> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" | "none" => Some(None),
+            "error" => Some(Some(Level::Error)),
+            "warn" | "warning" => Some(Some(Level::Warn)),
+            "info" => Some(Some(Level::Info)),
+            "debug" => Some(Some(Level::Debug)),
+            "trace" => Some(Some(Level::Trace)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A parsed `FLEXSIM_LOG` filter.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Filter {
+    default: Option<Level>,
+    // (target-prefix, level), most specific matched by longest prefix.
+    directives: Vec<(String, Option<Level>)>,
+}
+
+impl Filter {
+    /// Parses a filter spec. Unknown level names and empty directives
+    /// are ignored rather than rejected, so a typo'd env var degrades to
+    /// silence instead of a panic.
+    pub fn parse(spec: &str) -> Filter {
+        let mut filter = Filter::default();
+        for directive in spec.split(',') {
+            let directive = directive.trim();
+            if directive.is_empty() {
+                continue;
+            }
+            match directive.split_once('=') {
+                Some((target, level)) => {
+                    if let Some(level) = Level::parse(level.trim()) {
+                        filter.directives.push((target.trim().to_owned(), level));
+                    }
+                }
+                None => {
+                    if let Some(level) = Level::parse(directive) {
+                        filter.default = level;
+                    }
+                }
+            }
+        }
+        filter
+    }
+
+    /// Whether a message at `level` for `target` passes the filter.
+    pub fn enabled(&self, level: Level, target: &str) -> bool {
+        let mut best: Option<(usize, Option<Level>)> = None;
+        for (prefix, lvl) in &self.directives {
+            if target.starts_with(prefix.as_str())
+                && best.is_none_or(|(len, _)| prefix.len() >= len)
+            {
+                best = Some((prefix.len(), *lvl));
+            }
+        }
+        let effective = best.map_or(self.default, |(_, lvl)| lvl);
+        effective.is_some_and(|max| level <= max)
+    }
+
+    /// True when no directive enables anything.
+    pub fn is_silent(&self) -> bool {
+        self.default.is_none() && self.directives.iter().all(|(_, l)| l.is_none())
+    }
+}
+
+/// The process-wide filter, read once from `FLEXSIM_LOG`.
+pub fn global() -> &'static Filter {
+    static FILTER: OnceLock<Filter> = OnceLock::new();
+    FILTER.get_or_init(|| {
+        std::env::var("FLEXSIM_LOG")
+            .map(|spec| Filter::parse(&spec))
+            .unwrap_or_default()
+    })
+}
+
+/// Whether the global filter passes `level` for `target`.
+pub fn enabled(level: Level, target: &str) -> bool {
+    enabled_in(global(), level, target)
+}
+
+fn enabled_in(filter: &Filter, level: Level, target: &str) -> bool {
+    !filter.is_silent() && filter.enabled(level, target)
+}
+
+/// Logs a line to stderr if the global filter passes.
+pub fn log(level: Level, target: &str, msg: fmt::Arguments<'_>) {
+    if enabled(level, target) {
+        eprintln!("[{level:5} {target}] {msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_level_sets_default() {
+        let f = Filter::parse("info");
+        assert!(f.enabled(Level::Info, "anything"));
+        assert!(f.enabled(Level::Warn, "anything"));
+        assert!(!f.enabled(Level::Debug, "anything"));
+    }
+
+    #[test]
+    fn target_directive_overrides_default() {
+        let f = Filter::parse("layer=trace,warn");
+        assert!(f.enabled(Level::Trace, "layer"));
+        assert!(f.enabled(Level::Trace, "layer/C3"));
+        assert!(!f.enabled(Level::Info, "engine"));
+        assert!(f.enabled(Level::Warn, "engine"));
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let f = Filter::parse("engine=off,engine/schedule=debug");
+        assert!(f.enabled(Level::Debug, "engine/schedule"));
+        assert!(!f.enabled(Level::Error, "engine/other"));
+    }
+
+    #[test]
+    fn off_and_garbage_silence() {
+        assert!(Filter::parse("off").is_silent());
+        assert!(Filter::parse("").is_silent());
+        assert!(Filter::parse("nonsense").is_silent());
+        assert!(!Filter::parse("nonsense,debug").is_silent());
+    }
+
+    #[test]
+    fn level_ordering_and_display() {
+        assert!(Level::Error < Level::Trace);
+        assert_eq!(Level::parse("WARN"), Some(Some(Level::Warn)));
+        assert_eq!(Level::parse("off"), Some(None));
+        assert_eq!(Level::parse("bogus"), None);
+        assert_eq!(Level::Debug.to_string(), "DEBUG");
+    }
+}

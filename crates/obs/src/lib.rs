@@ -1,0 +1,64 @@
+//! # flexsim-obs — observability for the FlexFlow simulators
+//!
+//! A zero-external-dependency observability substrate shared by all four
+//! architecture simulators (FlexFlow, Systolic, 2D-Mapping, Tiling) and
+//! the experiment harness. It separates two time domains:
+//!
+//! * **host time** — wall-clock spans around the simulators themselves
+//!   (experiment → workload → layer → engine pass), for profiling the
+//!   simulator as it grows toward production scale;
+//! * **simulated time** — cycle-domain events (tile passes, pipeline
+//!   fills, partial-sum spills) emitted by the simulators into a
+//!   [`cycles::CycleSink`], for seeing *when inside a layer* a dataflow
+//!   loses PEs or spills partial sums.
+//!
+//! The pieces:
+//!
+//! * [`filter`] — a `FLEXSIM_LOG`-style env filter and leveled stderr
+//!   logging (`FLEXSIM_LOG=debug`, `FLEXSIM_LOG=layer=trace,info`);
+//! * [`span`] — hierarchical host-wall-time spans with an optional
+//!   global recorder (the `flexsim --trace` path);
+//! * [`metrics`] — a labeled counter/gauge registry with
+//!   snapshot-and-diff; the simulators mirror every
+//!   `EventCounts`/`Traffic` field into it so aggregate stats and live
+//!   metrics can never disagree;
+//! * [`cycles`] — the cycle-domain event sink trait (no-op by default,
+//!   so instrumentation costs nothing when disabled), an in-memory
+//!   recorder, and an event coalescer that caps per-layer event counts;
+//! * [`occupancy`] — run-length-encoded per-layer occupancy timelines
+//!   generalizing `flexflow::trace::OccupancyTrace` to any architecture;
+//! * [`chrome`] — Chrome trace-event JSON export (loadable in Perfetto)
+//!   combining host spans, simulated-cycle timelines, and a metrics
+//!   snapshot.
+//!
+//! ## Example
+//!
+//! ```
+//! use flexsim_obs::cycles::{CycleEvent, CycleEventKind, CycleRecorder, LayerCtx, SinkHandle};
+//! use std::sync::Arc;
+//!
+//! let recorder = Arc::new(CycleRecorder::new());
+//! let sink = SinkHandle::new(recorder.clone());
+//! assert!(sink.enabled());
+//! sink.begin_layer(&LayerCtx::new("FlexFlow", "C1", 256));
+//! sink.emit(&CycleEvent::new(CycleEventKind::Pass, 0, 100, 12_800));
+//! sink.end_layer();
+//! let timelines = recorder.take();
+//! assert_eq!(timelines.len(), 1);
+//! assert!((timelines[0].occupancy().utilization() - 0.5).abs() < 1e-12);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod chrome;
+pub mod cycles;
+pub mod filter;
+pub mod metrics;
+pub mod occupancy;
+pub mod span;
+
+pub use cycles::{CycleEvent, CycleEventKind, CycleRecorder, CycleSink, LayerCtx, SinkHandle};
+pub use filter::Level;
+pub use metrics::{Registry, Snapshot};
+pub use occupancy::OccupancyTimeline;
+pub use span::{span, SpanGuard, SpanRecord};

@@ -1,10 +1,13 @@
-//! A tiny JSON value type and byte-stable pretty emitter.
+//! A tiny JSON value type, byte-stable pretty emitter, and parser.
 //!
 //! Replaces `serde`/`serde_json` for the experiment reports. Object
 //! keys keep insertion order (no hashing), the pretty format matches
 //! `serde_json::to_string_pretty` (two-space indent, `"key": value`,
 //! no trailing newline), and emission is fully deterministic — so
-//! committed results files diff cleanly run to run.
+//! committed results files diff cleanly run to run. [`Json::parse`]
+//! reads any standard JSON text back (numbers without `.`/`e` become
+//! [`Json::Int`], everything else [`Json::Float`]), which the
+//! observability tests use to round-trip emitted Chrome traces.
 //!
 //! # Example
 //!
@@ -58,6 +61,37 @@ impl Json {
     /// Builds an array of strings (the common report row shape).
     pub fn str_arr<S: AsRef<str>>(items: impl IntoIterator<Item = S>) -> Json {
         Json::Arr(items.into_iter().map(|s| Json::str(s.as_ref())).collect())
+    }
+
+    /// Parses a JSON document, requiring the whole input to be one
+    /// value (surrounding whitespace allowed).
+    ///
+    /// Numbers lex as [`Json::Int`] when they are plain integers that
+    /// fit an `i64` and as [`Json::Float`] otherwise, matching the
+    /// emitter's split — `parse(v.pretty())` reproduces `v` for any
+    /// finite document.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use flexsim_testkit::json::Json;
+    ///
+    /// let doc = Json::obj([("n", Json::Int(3)), ("ok", Json::Bool(true))]);
+    /// assert_eq!(Json::parse(&doc.pretty()).unwrap(), doc);
+    /// assert!(Json::parse("{broken").is_err());
+    /// ```
+    pub fn parse(text: &str) -> Result<Json, JsonParseError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos < p.bytes.len() {
+            return Err(p.err("trailing characters after the document"));
+        }
+        Ok(value)
     }
 
     /// Pretty-prints with two-space indentation.
@@ -221,6 +255,249 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// A parse failure: what went wrong and the byte offset where.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Byte offset into the input where parsing stopped.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> JsonParseError {
+        JsonParseError {
+            message: message.to_owned(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8, what: &str) -> Result<(), JsonParseError> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonParseError> {
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonParseError> {
+        self.expect(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            if self.eat(b']') {
+                return Ok(Json::Arr(items));
+            }
+            self.expect(b',', "expected ',' or ']' in array")?;
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonParseError> {
+        self.expect(b'{', "expected '{'")?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':', "expected ':' after object key")?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            if self.eat(b'}') {
+                return Ok(Json::Obj(pairs));
+            }
+            self.expect(b',', "expected ',' or '}' in object")?;
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Consume a run of plain (unescaped, non-control) bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            // Safety of from_utf8: the input is a &str and we only
+            // split at ASCII bytes, so every run is valid UTF-8.
+            out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).expect("utf-8 run"));
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0C}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let c = self.unicode_escape()?;
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let chunk = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let s = std::str::from_utf8(chunk).map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, JsonParseError> {
+        let hi = self.hex4()?;
+        // Surrogate pair: \uD800-\uDBFF must be followed by \uDC00-\uDFFF.
+        if (0xD800..0xDC00).contains(&hi) {
+            if !(self.eat(b'\\') && self.eat(b'u')) {
+                return Err(self.err("unpaired surrogate"));
+            }
+            let lo = self.hex4()?;
+            if !(0xDC00..0xE000).contains(&lo) {
+                return Err(self.err("invalid low surrogate"));
+            }
+            let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+            char::from_u32(code).ok_or_else(|| self.err("invalid surrogate pair"))
+        } else {
+            char::from_u32(hi).ok_or_else(|| self.err("unpaired surrogate"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        self.eat(b'-');
+        if !self.digits() {
+            return Err(self.err("expected digits"));
+        }
+        let mut is_float = false;
+        if self.eat(b'.') {
+            is_float = true;
+            if !self.digits() {
+                return Err(self.err("expected digits after '.'"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !self.digits() {
+                return Err(self.err("expected digits in exponent"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| self.err("invalid number"))
+    }
+
+    fn digits(&mut self) -> bool {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        self.pos > start
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,6 +555,80 @@ mod tests {
         // u64 values beyond i64 fall back to Float and keep a decimal
         // point so they read back as floats.
         assert_eq!(Json::from(u64::MAX).compact(), "18446744073709552000.0");
+    }
+
+    #[test]
+    fn parse_round_trips_pretty_and_compact() {
+        let doc = Json::obj([
+            ("id", Json::str("fig15")),
+            ("ok", Json::Bool(true)),
+            ("none", Json::Null),
+            ("n", Json::Int(-42)),
+            ("f", Json::Float(2.5)),
+            (
+                "rows",
+                Json::arr([Json::arr([]), Json::obj::<String>([]), Json::str("a\"b\n")]),
+            ),
+        ]);
+        assert_eq!(Json::parse(&doc.pretty()).unwrap(), doc);
+        assert_eq!(Json::parse(&doc.compact()).unwrap(), doc);
+    }
+
+    #[test]
+    fn parse_number_lexing_matches_the_emitter_split() {
+        assert_eq!(Json::parse("7").unwrap(), Json::Int(7));
+        assert_eq!(Json::parse("-0").unwrap(), Json::Int(0));
+        assert_eq!(Json::parse("7.0").unwrap(), Json::Float(7.0));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Float(1000.0));
+        assert_eq!(Json::parse("-2.5E-1").unwrap(), Json::Float(-0.25));
+        // Integers beyond i64 degrade to Float, like From<u64>.
+        assert_eq!(
+            Json::parse("99999999999999999999").unwrap(),
+            Json::Float(1e20)
+        );
+    }
+
+    #[test]
+    fn parse_string_escapes() {
+        assert_eq!(
+            Json::parse(r#""a\"b\\c\nd\u0041\/""#).unwrap(),
+            Json::str("a\"b\\c\ndA/")
+        );
+        // Surrogate pair → one astral char.
+        assert_eq!(Json::parse(r#""\ud83d\ude00""#).unwrap(), Json::str("😀"));
+        // Raw non-ASCII passes through.
+        assert_eq!(Json::parse("\"héllo\"").unwrap(), Json::str("héllo"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "01x",
+            "-",
+            "1.",
+            "\"\\u12\"",
+            "\"\\ud800\"",
+            "nullx",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted malformed {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_tolerates_whitespace_everywhere() {
+        let doc = Json::parse(" {\n \"a\" : [ 1 ,\t2 ] }\r\n").unwrap();
+        assert_eq!(
+            doc,
+            Json::obj([("a", Json::arr([Json::Int(1), Json::Int(2)]))])
+        );
     }
 
     #[test]

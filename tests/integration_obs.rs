@@ -1,0 +1,211 @@
+//! Observability integration: the metrics registry, the cycle-domain
+//! trace, and the Chrome exporter must all agree with the simulators'
+//! analytic results — and the `flexsim` binary must expose them.
+//!
+//! Tests that touch process-global observability state (the metrics
+//! registry, the span recorder, the global cycle sink) serialize on a
+//! local mutex; the file is its own test binary, so nothing else races.
+
+use flexsim_experiments::arches;
+use flexsim_experiments::run_by_id;
+use flexsim_obs::chrome::chrome_trace;
+use flexsim_obs::cycles::{set_global_sink, CycleRecorder, CycleSink};
+use flexsim_obs::{metrics, span};
+use flexsim_testkit::json::Json;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// ISSUE acceptance: the live metrics registry and the aggregate
+/// `RunSummary` can never disagree — checked field-for-field on every
+/// Table 1 workload × every architecture.
+#[test]
+fn metrics_registry_mirrors_run_summaries_exactly() {
+    let _guard = serial();
+    for net in flexsim_model::workloads::all() {
+        for mut acc in arches::paper_scale(&net) {
+            let before = metrics::global().snapshot();
+            let summary = acc.run_network(&net);
+            let grown = metrics::global().snapshot().diff(&before);
+            let arch = [("arch", acc.name())];
+            let tag = format!("{}/{}", acc.name(), net.name());
+            assert_eq!(
+                grown.total("sim_layers", &arch),
+                summary.layers.len() as u64,
+                "{tag}: sim_layers"
+            );
+            assert_eq!(
+                grown.total("sim_cycles", &arch),
+                summary.cycles(),
+                "{tag}: sim_cycles"
+            );
+            for (field, want) in summary.events().named() {
+                assert_eq!(
+                    grown.total(&format!("sim_events_{field}"), &arch),
+                    want,
+                    "{tag}: sim_events_{field}"
+                );
+            }
+            for (field, want) in summary.traffic().named() {
+                assert_eq!(
+                    grown.total(&format!("sim_traffic_{field}"), &arch),
+                    want,
+                    "{tag}: sim_traffic_{field}"
+                );
+            }
+        }
+    }
+}
+
+/// The Chrome export is parseable by the testkit parser, round-trips
+/// byte-for-byte, and carries host spans plus cycle timelines for all
+/// four architectures.
+#[test]
+fn chrome_trace_round_trips_with_all_architectures() {
+    let _guard = serial();
+    // `install_recorder` resets the buffer, so nothing a prior test
+    // recorded leaks in.
+    span::install_recorder();
+    let rec = Arc::new(CycleRecorder::new());
+    set_global_sink(Some(rec.clone() as Arc<dyn CycleSink>));
+    let result = run_by_id("fig15").expect("fig15 exists");
+    set_global_sink(None);
+    assert_eq!(result.id, "fig15");
+
+    let spans = span::take_records();
+    let timelines = rec.take();
+    assert!(!spans.is_empty(), "no host spans recorded");
+    // fig15 = 6 workloads × 4 architectures, every layer traced.
+    assert!(timelines.len() >= 24, "only {} timelines", timelines.len());
+
+    let doc = chrome_trace(&spans, &timelines, &metrics::global().snapshot());
+    let text = doc.pretty();
+    let parsed = Json::parse(&text).expect("exporter output parses");
+    assert_eq!(parsed, doc, "parse(pretty(doc)) is not identity");
+
+    let events = field(&parsed, "traceEvents").and_then(as_arr).unwrap();
+    // Process-name metadata announces the host and all four simulators.
+    let process_names: Vec<&str> = events
+        .iter()
+        .filter(|e| str_field(e, "ph") == Some("M") && str_field(e, "name") == Some("process_name"))
+        .filter_map(|e| field(e, "args").and_then(|a| as_str(field(a, "name")?)))
+        .collect();
+    assert!(process_names.contains(&"host"), "{process_names:?}");
+    for arch in arches::ARCH_NAMES {
+        let sim = format!("sim:{arch}");
+        assert!(
+            process_names.iter().any(|n| *n == sim),
+            "missing {sim} in {process_names:?}"
+        );
+    }
+    // Host spans (pid 0) include the experiment/workload/layer tiers;
+    // pids 1.. carry the cycle-domain events.
+    let cats: Vec<&str> = events.iter().filter_map(|e| str_field(e, "cat")).collect();
+    for cat in ["experiment", "workload", "layer"] {
+        assert!(cats.contains(&cat), "no {cat} span in {cats:?}");
+    }
+    let sim_events = events
+        .iter()
+        .filter(|e| str_field(e, "ph") == Some("X") && int_field(e, "pid").unwrap_or(0) > 0)
+        .count();
+    assert!(sim_events > 0, "no cycle-domain events exported");
+}
+
+/// ISSUE satellite: unknown flags and missing flag values must fail
+/// with the usage text and a nonzero exit, not be silently ignored.
+#[test]
+fn flexsim_binary_rejects_bad_arguments() {
+    for (args, needle) in [
+        (vec!["--bogus"], "unknown option"),
+        (vec!["--jsno", "all"], "unknown option"),
+        (vec!["--out"], "--out requires"),
+        (vec!["--out", "--json", "fig15"], "--out requires"),
+        (vec!["--trace"], "--trace requires"),
+    ] {
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_flexsim"))
+            .args(&args)
+            .output()
+            .expect("flexsim runs");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(!out.status.success(), "{args:?} should fail");
+        assert_eq!(out.status.code(), Some(2), "{args:?}: {stderr}");
+        assert!(stderr.contains(needle), "{args:?}: {stderr}");
+        assert!(stderr.contains("usage: flexsim"), "{args:?}: {stderr}");
+    }
+}
+
+/// ISSUE acceptance, end to end: `flexsim --trace FILE fig15` writes a
+/// Chrome trace that parses and names all four architectures.
+#[test]
+fn flexsim_trace_flag_writes_loadable_chrome_trace() {
+    let dir = std::env::temp_dir().join(format!("flexsim-obs-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("out.json");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_flexsim"))
+        .args(["--trace", file.to_str().unwrap(), "--metrics", "fig15"])
+        .output()
+        .expect("flexsim runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("layer timelines"), "{stderr}");
+    // `--metrics` dumps the registry, which fig15 populated.
+    assert!(stderr.contains("sim_cycles"), "{stderr}");
+
+    let text = std::fs::read_to_string(&file).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    let parsed = Json::parse(&text).expect("trace file parses");
+    let events = field(&parsed, "traceEvents").and_then(as_arr).unwrap();
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| field(e, "args").and_then(|a| as_str(field(a, "name")?)))
+        .collect();
+    for arch in arches::ARCH_NAMES {
+        let sim = format!("sim:{arch}");
+        assert!(names.iter().any(|n| *n == sim), "missing {sim}");
+    }
+    assert!(
+        events
+            .iter()
+            .any(|e| str_field(e, "cat") == Some("experiment")),
+        "no host experiment span in the written trace"
+    );
+}
+
+fn field<'a>(v: &'a Json, name: &str) -> Option<&'a Json> {
+    match v {
+        Json::Obj(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn as_arr(v: &Json) -> Option<&[Json]> {
+    match v {
+        Json::Arr(items) => Some(items),
+        _ => None,
+    }
+}
+
+fn as_str(v: &Json) -> Option<&str> {
+    match v {
+        Json::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+fn str_field<'a>(v: &'a Json, name: &str) -> Option<&'a str> {
+    field(v, name).and_then(as_str)
+}
+
+fn int_field(v: &Json, name: &str) -> Option<i64> {
+    match field(v, name) {
+        Some(Json::Int(i)) => Some(*i),
+        _ => None,
+    }
+}
