@@ -15,10 +15,19 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (offline, warnings are errors)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> cargo clippy (pedantic subset)"
+cargo clippy --workspace --all-targets --offline -- \
+    -D clippy::needless_pass_by_value \
+    -D clippy::cast_lossless \
+    -D clippy::redundant_closure_for_method_calls
+
 echo "==> cargo build --release (offline)"
 cargo build --release --offline
 
 echo "==> cargo test (offline)"
 cargo test -q --offline
+
+echo "==> flexsim lint (static schedule verification)"
+cargo run -q -p flexsim-experiments --release --offline -- lint > /dev/null
 
 echo "CI OK"

@@ -345,7 +345,10 @@ mod tests {
         let net = workloads::lenet5();
         let b1 = network_traffic_fused(&net, 16 * 1024, 16 * 1024, 1);
         let b8 = network_traffic_fused(&net, 16 * 1024, 16 * 1024, 8);
-        let weights: u64 = net.conv_layers().map(|l| l.synapses()).sum();
+        let weights: u64 = net
+            .conv_layers()
+            .map(flexsim_model::ConvLayer::synapses)
+            .sum();
         assert_eq!(b8.reads, (b1.reads - weights) * 8 + weights);
     }
 

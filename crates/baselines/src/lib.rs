@@ -35,6 +35,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub(crate) mod common;
 pub mod mapping2d;

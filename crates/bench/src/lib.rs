@@ -4,3 +4,5 @@
 //! FlexFlow (HPCA'17) evaluation, plus micro-benchmarks of the
 //! simulation kernels. See the `benches/` directory; run with
 //! `cargo bench --workspace`.
+
+#![forbid(unsafe_code)]

@@ -105,7 +105,7 @@ pub fn schedule(layer: &ConvLayer, u: Unroll, d: usize, store_words: usize) -> S
     );
     assert!(
         u.cols_used() <= d && u.rows_used() <= d,
-        "unrolling exceeds the {d}x{d} engine"
+        "unrolling exceeds the {d}x{d} engine (statically provable: flexcheck FXC06 unroll-bounds)"
     );
     let (m, n, s, k) = (layer.m(), layer.n(), layer.s(), layer.k());
     let stride = layer.stride();

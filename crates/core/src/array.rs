@@ -223,7 +223,8 @@ impl PeArray {
                                                         // column per operand.
                                                         debug_assert!(
                                                             cols_seen.insert(col),
-                                                            "column conflict in one cycle"
+                                                            "column conflict in one cycle \
+                                                             (flexcheck FXC02 cdb-race)"
                                                         );
                                                         let (ir, ic) =
                                                             (r * stride + i, c * stride + j);

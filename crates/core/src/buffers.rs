@@ -55,7 +55,7 @@ impl NeuronLayout {
         assert!(tn > 0 && ti > 0 && tj > 0, "factors must be non-zero");
         assert!(
             tn * ti * tj <= banks,
-            "IADP factor product must fit the physical banks"
+            "IADP factor product must fit the physical banks (statically provable: flexcheck FXC07 bank-conflict)"
         );
         NeuronLayout { tn, ti, tj, banks }
     }
@@ -108,7 +108,7 @@ impl KernelLayout {
         assert!(tm > 0 && tr > 0 && tc > 0, "factors must be non-zero");
         assert!(
             tm * tr * tc <= banks,
-            "IADP factor product must fit the physical banks"
+            "IADP factor product must fit the physical banks (statically provable: flexcheck FXC07 bank-conflict)"
         );
         KernelLayout { tm, tr, tc, banks }
     }

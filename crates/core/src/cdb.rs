@@ -75,6 +75,49 @@ impl fmt::Display for BusBundle {
     }
 }
 
+/// Write-exclusivity guard for one logical step: each bus carries at
+/// most one word per cycle, so two producers claiming the same bus in
+/// one step is a write-write race. The Relax-Alignment mapping makes
+/// clean schedules collision-free by construction; this guard is the
+/// *dynamic* counterpart of the static `flexcheck` rule `FXC02
+/// cdb-race` (rows: `FXC03 adder-tree-port`) and exists so a schedule
+/// that slipped past the linter still dies loudly at the first racy
+/// cycle instead of corrupting operands.
+#[derive(Clone, Debug)]
+pub struct StepClaims {
+    claimed: Vec<bool>,
+}
+
+impl StepClaims {
+    /// A fresh claim set over `count` buses (or adder-tree ports).
+    pub fn new(count: usize) -> Self {
+        StepClaims {
+            claimed: vec![false; count],
+        }
+    }
+
+    /// Claims bus `index` for this step.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if `index` was already claimed this step
+    /// (a write-write race flexcheck rule FXC02/FXC03 proves absent in
+    /// lint-clean schedules). Release builds record the claim silently.
+    pub fn claim(&mut self, index: usize) {
+        debug_assert!(
+            !self.claimed[index],
+            "two producers drive bus {index} in one step \
+             (statically provable: flexcheck FXC02 cdb-race / FXC03 adder-tree-port)"
+        );
+        self.claimed[index] = true;
+    }
+
+    /// Starts the next step: forgets all claims.
+    pub fn next_step(&mut self) {
+        self.claimed.iter_mut().for_each(|c| *c = false);
+    }
+}
+
 /// The full CDB fabric of a `D×D` engine.
 #[derive(Clone, Debug)]
 pub struct CdbFabric {
@@ -121,6 +164,23 @@ mod tests {
         b.broadcast(1);
         b.reset();
         assert_eq!(b.total_words(), 0);
+    }
+
+    #[test]
+    fn step_claims_allow_one_writer_per_bus() {
+        let mut claims = StepClaims::new(4);
+        claims.claim(0);
+        claims.claim(3);
+        claims.next_step();
+        claims.claim(0); // same bus, next step: fine
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "FXC02"))]
+    fn step_claims_catch_a_write_write_race() {
+        let mut claims = StepClaims::new(4);
+        claims.claim(2);
+        claims.claim(2); // release builds record silently
     }
 
     #[test]

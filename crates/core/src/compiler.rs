@@ -22,6 +22,24 @@ pub struct Program {
 }
 
 impl Program {
+    /// Assembles a program from parts, bypassing the compiler. The
+    /// normal route is [`Compiler::compile`]; this exists so verifier
+    /// harnesses (`flexcheck`'s mutation tests) can construct
+    /// deliberately ill-formed programs the compiler would never emit.
+    pub fn from_parts(
+        name: impl Into<String>,
+        d: usize,
+        choices: Vec<LayerChoice>,
+        instrs: Vec<Instr>,
+    ) -> Self {
+        Program {
+            name: name.into(),
+            d,
+            choices,
+            instrs,
+        }
+    }
+
     /// Workload name.
     pub fn name(&self) -> &str {
         &self.name
@@ -114,6 +132,9 @@ impl Compiler {
             let layer_u8 = li as u8;
             match layer {
                 Layer::Conv(_) => {
+                    // Invariant: `plan_network` returns one choice per
+                    // CONV layer in network order (flexcheck FXC05
+                    // cross-checks the pairing on the emitted program).
                     let choice = conv_plan.next().expect("plan covers every CONV layer");
                     instrs.push(Instr::Configure {
                         layer: layer_u8,

@@ -118,7 +118,10 @@ impl FlexFlow {
             co.step();
         }
         let total = co.finish();
-        debug_assert_eq!(total, sch.cycles, "trace cycles diverge from schedule");
+        debug_assert_eq!(
+            total, sch.cycles,
+            "trace cycles diverge from schedule (flexcheck FXC08 util-sanity)"
+        );
         self.sink.end_layer();
     }
 
@@ -227,7 +230,10 @@ impl FlexFlow {
                             (fc.as_conv(), flat)
                         }
                         flexsim_model::Layer::Pool(_) => {
-                            panic!("Conv instruction must target a CONV or FC layer")
+                            panic!(
+                                "Conv instruction must target a CONV or FC layer \
+                                 (statically provable: flexcheck FXC05 isa-protocol)"
+                            )
                         }
                     };
                     let current_shape = (conv_input.maps(), conv_input.rows());
@@ -259,6 +265,8 @@ impl FlexFlow {
                     conv_idx += 1;
                 }
                 Instr::Pool { layer } => {
+                    // Invariant: the compiler only emits Pool for POOL
+                    // layers (statically provable: flexcheck FXC05).
                     let pool = net.layers()[layer as usize]
                         .as_pool()
                         .expect("Pool instruction must target a POOL layer");

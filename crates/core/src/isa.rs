@@ -76,7 +76,7 @@ impl Instr {
                 let f = [
                     unroll.tm, unroll.tn, unroll.tr, unroll.tc, unroll.ti, unroll.tj,
                 ];
-                let mut word = (OP_CONFIGURE << 60) | ((layer as u64) << 52);
+                let mut word = (OP_CONFIGURE << 60) | (u64::from(layer) << 52);
                 for (idx, &v) in f.iter().enumerate() {
                     assert!(
                         (1..=128).contains(&v),
@@ -86,9 +86,9 @@ impl Instr {
                 }
                 word
             }
-            Instr::LoadKernels { layer } => (OP_LOAD_KERNELS << 60) | ((layer as u64) << 52),
-            Instr::Conv { layer } => (OP_CONV << 60) | ((layer as u64) << 52),
-            Instr::Pool { layer } => (OP_POOL << 60) | ((layer as u64) << 52),
+            Instr::LoadKernels { layer } => (OP_LOAD_KERNELS << 60) | (u64::from(layer) << 52),
+            Instr::Conv { layer } => (OP_CONV << 60) | (u64::from(layer) << 52),
+            Instr::Pool { layer } => (OP_POOL << 60) | (u64::from(layer) << 52),
             Instr::SwapBuffers => OP_SWAP << 60,
             Instr::Halt => OP_HALT << 60,
         }

@@ -42,7 +42,8 @@ impl LocalStore {
     pub fn new(words: usize) -> Self {
         assert!(
             words > 0 && words <= STORE_WORDS,
-            "local store capacity must be 1..={STORE_WORDS} words"
+            "local store capacity must be 1..={STORE_WORDS} words \
+             (statically provable: flexcheck FXC01 ls-capacity)"
         );
         LocalStore {
             data: vec![Fx16::ZERO; words],
@@ -67,7 +68,10 @@ impl LocalStore {
     ///
     /// Panics if `addr` is out of range.
     pub fn read(&mut self, addr: usize) -> Fx16 {
-        assert!(addr < self.data.len(), "local store address out of range");
+        assert!(
+            addr < self.data.len(),
+            "local store address out of range (statically provable: flexcheck FXC04 fsm-bounds)"
+        );
         self.reads += 1;
         self.data[addr]
     }
@@ -78,7 +82,10 @@ impl LocalStore {
     ///
     /// Panics if `addr` is out of range.
     pub fn write(&mut self, addr: usize, value: Fx16) {
-        assert!(addr < self.data.len(), "local store address out of range");
+        assert!(
+            addr < self.data.len(),
+            "local store address out of range (statically provable: flexcheck FXC04 fsm-bounds)"
+        );
         self.writes += 1;
         self.data[addr] = value;
     }

@@ -66,7 +66,7 @@ impl OccupancyTrace {
         if self.busy.is_empty() {
             return 0.0;
         }
-        let total: u64 = self.busy.iter().map(|&b| b as u64).sum();
+        let total: u64 = self.busy.iter().map(|&b| u64::from(b)).sum();
         total as f64 / (self.busy.len() as u64 * (self.d * self.d) as u64) as f64
     }
 
@@ -100,7 +100,7 @@ impl OccupancyTrace {
                 let lo = i * n / width;
                 let hi = (((i + 1) * n).div_ceil(width)).min(n).max(lo + 1);
                 let mean: f64 =
-                    self.busy[lo..hi].iter().map(|&b| b as f64).sum::<f64>() / (hi - lo) as f64;
+                    self.busy[lo..hi].iter().map(|&b| f64::from(b)).sum::<f64>() / (hi - lo) as f64;
                 let level = (mean / full * 8.0).round() as usize;
                 LEVELS[level.min(8)]
             })
@@ -120,7 +120,7 @@ impl OccupancyTrace {
         let mut out = vec![0u64; buckets];
         let full = (self.d * self.d) as f64;
         for &b in &self.busy {
-            let frac = b as f64 / full;
+            let frac = f64::from(b) / full;
             // `frac == 1.0` would index one past the end under the open
             // interval rule; fold it into the last bucket explicitly.
             let idx = if frac >= 1.0 {
@@ -140,7 +140,10 @@ impl OccupancyTrace {
         let full = (self.d * self.d) as f64;
         OccupancyTimeline::from_segments(
             (self.d * self.d) as u32,
-            self.busy.iter().map(|&b| (1u64, b as f64 / full)).collect(),
+            self.busy
+                .iter()
+                .map(|&b| (1u64, f64::from(b) / full))
+                .collect(),
         )
     }
 }

@@ -26,6 +26,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod loopnest;
 pub mod search;

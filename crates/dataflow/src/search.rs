@@ -116,6 +116,8 @@ fn col_candidates(
 pub fn best_unroll(layer: &ConvLayer, d: usize, rc_bound: Option<usize>) -> LayerChoice {
     assert!(d > 0, "engine side must be non-zero");
     // Ur and Uc are independent, so optimize the two sides separately.
+    // Invariant: utilizations are ratios of positive finite counts, so
+    // `partial_cmp` below never sees a NaN.
     let best_row = row_candidates(layer, d)
         .into_iter()
         .max_by(|a, b| {
@@ -215,6 +217,7 @@ pub fn plan_network(net: &Network, d: usize) -> Vec<LayerChoice> {
     assert!(!conv_indices.is_empty(), "network has no CONV layers");
     let layers: Vec<&ConvLayer> = conv_indices
         .iter()
+        // Invariant: `conv_indices` only returns indices of CONV layers.
         .map(|&i| net.layers()[i].as_conv().expect("conv index"))
         .collect();
     let rc_bounds: Vec<Option<usize>> = conv_indices
@@ -353,7 +356,7 @@ mod tests {
             workloads::hg(),
         ] {
             let plan = plan_network(&net, 16);
-            let total_macs: u64 = net.conv_layers().map(|l| l.macs()).sum();
+            let total_macs: u64 = net.conv_layers().map(flexsim_model::ConvLayer::macs).sum();
             let total_pe_cycles: u64 = plan.iter().map(|c| c.cycles * 256).sum();
             let util = total_macs as f64 / total_pe_cycles as f64;
             assert!(

@@ -26,6 +26,7 @@ pub fn systolic_for(net: &Network) -> Systolic {
 /// recorder installed via [`flexsim_obs::cycles::set_global_sink`]
 /// (e.g. by `flexsim --trace`) sees every layer any experiment runs.
 pub fn paper_scale(net: &Network) -> Vec<Box<dyn Accelerator>> {
+    crate::lint::gate(net, 16);
     with_global_sink(vec![
         Box::new(systolic_for(net)),
         Box::new(Mapping2d::shidiannao()),
@@ -39,6 +40,7 @@ pub fn paper_scale(net: &Network) -> Vec<Box<dyn Accelerator>> {
 /// arrays for AlexNet). Wired to the global cycle sink like
 /// [`paper_scale`].
 pub fn at_scale(net: &Network, d: usize) -> Vec<Box<dyn Accelerator>> {
+    crate::lint::gate(net, d);
     let array_k = if net.name() == "AlexNet" { 11 } else { 6 };
     with_global_sink(vec![
         Box::new(Systolic::scaled_to(array_k, d * d)),

@@ -8,9 +8,16 @@
 /// Usage text printed on `--help` and on every parse error.
 pub const USAGE: &str = "\
 usage: flexsim [OPTIONS] [EXPERIMENT-ID...]
+       flexsim lint [--json]
 
 Runs the FlexFlow (HPCA'17) evaluation experiments. With no ids (or
 with `all`) every experiment runs in paper order.
+
+`flexsim lint` statically verifies every Table 1 workload on all four
+architectures with the flexcheck rules (FXC01-FXC08: local-store
+capacity, bus races, adder-tree ports, FSM bounds, ISA protocol,
+unroll bounds, bank conflicts, utilization sanity) and exits non-zero
+on any error. The same check also gates every simulation.
 
 options:
   --json          machine-readable JSON on stdout
@@ -19,6 +26,7 @@ options:
                   cycle-domain timelines + metrics), loadable in
                   Perfetto or chrome://tracing
   --metrics       print the metrics-registry dump to stderr after the run
+  --no-lint       skip the static pre-simulation verification gate
   --list          list experiment ids and exit
   --help          show this message
 
@@ -37,6 +45,10 @@ pub struct Cli {
     pub help: bool,
     /// Print the metrics-registry dump after the run.
     pub metrics: bool,
+    /// Run the static verifier sweep instead of any experiment.
+    pub lint: bool,
+    /// Disarm the pre-simulation verification gate.
+    pub no_lint: bool,
     /// Write a Chrome trace-event file to this path.
     pub trace: Option<String>,
     /// Directory for per-experiment `.txt` + `.json` output.
@@ -61,6 +73,8 @@ pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Cli, String> {
             "--list" => cli.list = true,
             "--help" | "-h" => cli.help = true,
             "--metrics" => cli.metrics = true,
+            "--no-lint" => cli.no_lint = true,
+            "lint" => cli.lint = true,
             "--out" => cli.out_dir = Some(value_of(&mut iter, "--out", "a directory")?),
             "--trace" => cli.trace = Some(value_of(&mut iter, "--trace", "a file path")?),
             flag if flag.starts_with('-') => {
@@ -150,5 +164,21 @@ mod tests {
     fn help_short_and_long() {
         assert!(p(&["-h"]).unwrap().help);
         assert!(p(&["--help"]).unwrap().help);
+    }
+
+    #[test]
+    fn lint_is_a_subcommand_not_an_id() {
+        let cli = p(&["lint"]).unwrap();
+        assert!(cli.lint && !cli.no_lint);
+        assert!(cli.ids.is_empty());
+        let cli = p(&["lint", "--json"]).unwrap();
+        assert!(cli.lint && cli.json);
+    }
+
+    #[test]
+    fn no_lint_disarms_the_gate() {
+        let cli = p(&["--no-lint", "fig15"]).unwrap();
+        assert!(cli.no_lint && !cli.lint);
+        assert_eq!(cli.ids, ["fig15"]);
     }
 }

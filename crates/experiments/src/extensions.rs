@@ -89,6 +89,7 @@ pub fn batching() -> ExperimentResult {
         "bound",
     ]);
     for net in [workloads::lenet5(), workloads::pv(), workloads::alexnet()] {
+        crate::lint::gate(&net, 16);
         let mut ff = FlexFlow::paper_config();
         let compute = ff.run_network(&net).gops();
         for batch in [1u64, 4, 16, 64] {

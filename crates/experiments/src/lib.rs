@@ -15,6 +15,7 @@
 //! values.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod ablations;
 pub mod arches;
@@ -26,6 +27,7 @@ pub mod fig16;
 pub mod fig17;
 pub mod fig18;
 pub mod fig19;
+pub mod lint;
 pub mod paper;
 pub mod profile;
 pub mod report;
@@ -43,6 +45,8 @@ pub fn run_all() -> Vec<ExperimentResult> {
     experiment_ids()
         .iter()
         .filter(|&&id| id != "profile")
+        // Invariant: `experiment_ids` and `run_by_id` are maintained
+        // together; a listed id always dispatches.
         .map(|id| run_by_id(id).expect("every listed id resolves"))
         .collect()
 }

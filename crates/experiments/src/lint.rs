@@ -1,0 +1,142 @@
+//! The `flexsim lint` subcommand and the pre-simulation gate.
+//!
+//! `flexsim lint` runs the [`flexcheck`] static verifier over every
+//! Table 1 workload on all four architectures and exits non-zero if any
+//! rule reports an `Error`. Independently, every experiment calls
+//! [`gate`] before simulating a workload: a program that fails the
+//! verifier refuses to simulate (the process aborts with the rendered
+//! diagnostics) unless the user passes `--no-lint`.
+
+use crate::report::{ExperimentResult, Table};
+use flexcheck::{check_network, ArchParams, Severity};
+use flexsim_model::{workloads, Network};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Whether the pre-simulation gate is armed (`--no-lint` disarms it).
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Arms or disarms the pre-simulation gate for this process.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Workload × engine-size pairs that already passed the gate, so a
+/// sweep relints each combination once, not once per experiment.
+fn passed() -> &'static Mutex<HashSet<(String, usize)>> {
+    static PASSED: OnceLock<Mutex<HashSet<(String, usize)>>> = OnceLock::new();
+    PASSED.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+/// The pre-simulation gate: statically verifies the program the
+/// compiler emits for `net` on a `d×d` FlexFlow engine before any
+/// simulation of that workload runs. Results are cached per
+/// `(workload, d)`; `--no-lint` (via [`set_enabled`]) skips the check.
+///
+/// # Panics
+///
+/// Panics with the rendered diagnostics if the verifier reports any
+/// `Error` — refusing to spend minutes simulating a program that is
+/// statically known to violate a hardware invariant.
+pub fn gate(net: &Network, d: usize) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    let key = (net.name().to_owned(), d);
+    // Invariant: the experiments never panic while holding this lock
+    // mid-insert, so the mutex cannot be poisoned by a gate failure
+    // (the panic below happens with the lock released).
+    let mut cache = passed().lock().expect("lint cache lock poisoned");
+    if cache.contains(&key) {
+        return;
+    }
+    let diags = check_network(net, &ArchParams::flexflow(d));
+    if flexcheck::has_errors(&diags) {
+        drop(cache);
+        panic!(
+            "flexcheck: refusing to simulate {} on a {d}x{d} FlexFlow engine:\n{}\
+             (pass --no-lint to simulate anyway)",
+            net.name(),
+            flexcheck::render(&diags)
+        );
+    }
+    cache.insert(key);
+}
+
+/// Runs the full static-verification sweep: every Table 1 workload on
+/// all four Section 6.1.1 architectures. Returns the report and the
+/// number of `Error` diagnostics (the CLI exit status).
+pub fn run() -> (ExperimentResult, usize) {
+    let mut table = Table::new(["workload", "architecture", "errors", "warnings", "findings"]);
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut rendered = String::new();
+    for net in workloads::all() {
+        for arch in ArchParams::paper_suite(net.name()) {
+            let diags = check_network(&net, &arch);
+            let e = diags
+                .iter()
+                .filter(|d| d.severity == Severity::Error)
+                .count();
+            let w = diags
+                .iter()
+                .filter(|d| d.severity == Severity::Warning)
+                .count();
+            errors += e;
+            warnings += w;
+            for d in &diags {
+                rendered.push_str(&format!("{}/{}: {d}\n", net.name(), arch.kind.name()));
+            }
+            table.push_row([
+                net.name().to_owned(),
+                arch.kind.name().to_owned(),
+                e.to_string(),
+                w.to_string(),
+                if diags.is_empty() {
+                    "clean".to_owned()
+                } else {
+                    format!("{} finding(s)", diags.len())
+                },
+            ]);
+        }
+    }
+    let mut notes = vec![if errors == 0 {
+        format!("OK: 0 errors, {warnings} warnings across every workload x architecture")
+    } else {
+        format!("FAIL: {errors} errors, {warnings} warnings")
+    }];
+    if !rendered.is_empty() {
+        notes.extend(rendered.lines().map(str::to_owned));
+    }
+    let result = ExperimentResult {
+        id: "lint".to_owned(),
+        title: "flexcheck: static schedule/mapping verification (8 rules x 4 architectures)"
+            .to_owned(),
+        notes,
+        table,
+    };
+    (result, errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_paper_suite_lints_clean() {
+        let (result, errors) = run();
+        assert_eq!(errors, 0, "{result}");
+    }
+
+    #[test]
+    fn gate_passes_and_caches_clean_workloads() {
+        let net = workloads::lenet5();
+        gate(&net, 16);
+        gate(&net, 16); // second call hits the cache
+        assert!(passed()
+            .lock()
+            .unwrap()
+            .contains(&("LeNet-5".to_owned(), 16)));
+    }
+}

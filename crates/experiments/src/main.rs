@@ -9,7 +9,12 @@
 //! flexsim --trace out.json fig15 # Chrome trace (Perfetto-loadable)
 //! flexsim --metrics fig15        # dump the metrics registry
 //! flexsim --list                 # available experiment ids
+//! flexsim lint                   # static verification sweep
+//! flexsim --no-lint fig15        # skip the pre-simulation gate
 //! ```
+//!
+//! Exit status: 0 on success, 1 when `flexsim lint` finds errors, 2 on
+//! usage or I/O errors.
 
 use flexsim_experiments::cli::{self, Cli, USAGE};
 use flexsim_experiments::{experiment_ids, run_all, run_by_id, ExperimentResult};
@@ -36,6 +41,12 @@ fn main() {
         }
         return;
     }
+    flexsim_experiments::lint::set_enabled(!cli.no_lint);
+    if cli.lint {
+        let (result, errors) = flexsim_experiments::lint::run();
+        emit(vec![result], cli.json);
+        std::process::exit(i32::from(errors > 0));
+    }
 
     // Observability: recording host spans and cycle events is opt-in;
     // without `--trace` both stay disabled and cost nothing.
@@ -55,7 +66,7 @@ fn main() {
         let trace = chrome::chrome_trace(&spans, &timelines, &snapshot);
         if let Err(e) = std::fs::write(file, trace.pretty()) {
             eprintln!("cannot write trace {file}: {e}");
-            std::process::exit(1);
+            std::process::exit(2);
         }
         eprintln!(
             "wrote {file}: {} host spans, {} layer timelines",
@@ -95,7 +106,7 @@ fn run(cli: &Cli) -> Vec<ExperimentResult> {
 fn write_out(dir: &str, results: &[ExperimentResult]) {
     if let Err(e) = std::fs::create_dir_all(dir) {
         eprintln!("cannot create {dir}: {e}");
-        std::process::exit(1);
+        std::process::exit(2);
     }
     for r in results {
         let txt = format!("{dir}/{}.txt", r.id);
@@ -104,7 +115,7 @@ fn write_out(dir: &str, results: &[ExperimentResult]) {
             std::fs::write(&txt, r.to_string()).and_then(|_| std::fs::write(&json, r.to_json()))
         {
             eprintln!("cannot write {txt}/{json}: {e}");
-            std::process::exit(1);
+            std::process::exit(2);
         }
     }
     eprintln!("wrote {} experiments to {dir}/", results.len());
@@ -112,7 +123,7 @@ fn write_out(dir: &str, results: &[ExperimentResult]) {
 
 fn emit(results: Vec<ExperimentResult>, json: bool) {
     if json {
-        let blobs: Vec<String> = results.iter().map(|r| r.to_json()).collect();
+        let blobs: Vec<String> = results.iter().map(ExperimentResult::to_json).collect();
         println!("[{}]", blobs.join(",\n"));
     } else {
         for r in results {

@@ -20,6 +20,7 @@ pub fn run() -> ExperimentResult {
         "paper Pnein/Pneout/Pkerin/Pcom mW",
     ]);
     for net in workloads::all() {
+        crate::lint::gate(&net, 16);
         let mut ff = FlexFlow::paper_config();
         let s = ff.run_network(&net);
         let t = s.time_s();

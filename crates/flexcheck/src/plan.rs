@@ -1,0 +1,202 @@
+//! The static picture of one layer's execution that the rules inspect.
+//!
+//! A [`LayerPlan`] gathers everything the hardware is configured with
+//! for one CONV layer — the *mapping* unroll the compiler planned data
+//! placement for (IADP), the *walk* and *batch* shapes the `Configure`
+//! instruction programs into the sequencer, the closed-form
+//! [`Schedule`], the per-segment resident slice, and the address-FSM
+//! envelope configurations — so each rule can check one consistency
+//! edge of that picture. In a well-formed program all of these derive
+//! from the same `Unroll`; the mutation harness corrupts individual
+//! fields to prove each rule fires on exactly its own invariant.
+
+use crate::diag::{Diagnostic, Location, RuleId};
+use flexflow::analytic::{self, Schedule};
+use flexflow::fsm::FsmConfig;
+use flexsim_dataflow::utilization::ceil_div;
+use flexsim_dataflow::Unroll;
+use flexsim_model::ConvLayer;
+
+/// The operand offsets one logical step walks: `Tn·Ti·Tj` producers on
+/// the vertical (neuron) buses. Programmed by `Configure`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalkShape {
+    /// Input-map offsets per step.
+    pub tn: usize,
+    /// Synapse-row offsets per step.
+    pub ti: usize,
+    /// Synapse-column offsets per step.
+    pub tj: usize,
+}
+
+/// The output offsets one row-batch covers: `Tm·Tr·Tc` adder-tree
+/// (row) ports. Programmed by `Configure`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchShape {
+    /// Output-map offsets per batch.
+    pub tm: usize,
+    /// Neuron-row offsets per batch.
+    pub tr: usize,
+    /// Neuron-column offsets per batch.
+    pub tc: usize,
+}
+
+/// One local store's read-FSM configuration plus its trip envelope.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FsmPlan {
+    /// The four-field FSM configuration (Section 4.4, Fig. 11).
+    pub config: FsmConfig,
+    /// Neuron rows the FSM walks before reset (`S3/JUMP` count + 1).
+    pub rows: usize,
+}
+
+/// The complete static picture of one layer's execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LayerPlan {
+    /// CONV view of the layer (FC layers appear as 1×1 convolutions).
+    pub layer: ConvLayer,
+    /// Index of the layer in the network/program.
+    pub layer_index: usize,
+    /// The unroll the compiler planned data placement (IADP) and the
+    /// residue [`flexflow::mapping::Mapping`] for.
+    pub mapping: Unroll,
+    /// The per-step operand walk the sequencer is programmed with.
+    pub walk: WalkShape,
+    /// The per-batch output coverage the sequencer is programmed with.
+    pub batch: BatchShape,
+    /// The closed-form engine schedule (compiled-for store size).
+    pub schedule: Schedule,
+    /// Per-PE resident operand words per segment
+    /// (`⌈chunks/segments⌉`) — the working set each local store holds.
+    pub slice_words: usize,
+    /// Neuron-store read FSM (overlapping kernel-row-share windows).
+    pub neuron_fsm: FsmPlan,
+    /// Kernel-store read FSM (kernel-slice windows).
+    pub kernel_fsm: FsmPlan,
+}
+
+impl LayerPlan {
+    /// Derives the plan for `layer` compiled with `choice` (the
+    /// planner's unroll) and configured with `instr` (the `Configure`
+    /// instruction's unroll — identical in a well-formed program).
+    ///
+    /// # Errors
+    ///
+    /// Returns the `FXC06` diagnostic when `choice` over-occupies the
+    /// `d×d` engine: no schedule exists, so the capacity/FSM rules have
+    /// nothing to check (rule `FXC06` subsumes them).
+    pub fn derive(
+        layer: &ConvLayer,
+        layer_index: usize,
+        choice: Unroll,
+        instr: Unroll,
+        d: usize,
+        store_words: usize,
+    ) -> Result<LayerPlan, Diagnostic> {
+        if choice.rows_used() > d || choice.cols_used() > d {
+            return Err(Diagnostic::error(
+                RuleId::UnrollBounds,
+                Location::layer(layer.name()),
+                format!(
+                    "unroll {choice} occupies {}x{} PEs on a {d}x{d} engine",
+                    choice.rows_used(),
+                    choice.cols_used()
+                ),
+                format!("reduce the factors until Tm*Tr*Tc <= {d} and Tn*Ti*Tj <= {d}"),
+            ));
+        }
+        let schedule = analytic::schedule(layer, choice, d, store_words);
+        let slice_words = schedule.chunks.div_ceil(schedule.segments) as usize;
+        let k = layer.k();
+        // Per-PE shares of the operand walk: a PE holds every `Tj`-th
+        // synapse column and every `Ti`-th synapse row of its lane.
+        let share_j = ceil_div(k, choice.tj);
+        let share_ij = share_j * ceil_div(k, choice.ti);
+        Ok(LayerPlan {
+            layer: layer.clone(),
+            layer_index,
+            mapping: choice,
+            walk: WalkShape {
+                tn: instr.tn,
+                ti: instr.ti,
+                tj: instr.tj,
+            },
+            batch: BatchShape {
+                tm: instr.tm,
+                tr: instr.tr,
+                tc: instr.tc,
+            },
+            schedule,
+            slice_words,
+            neuron_fsm: fsm_envelope(slice_words, share_j),
+            kernel_fsm: fsm_envelope(slice_words, share_ij),
+        })
+    }
+}
+
+/// The FSM configuration whose overlapping-window walk covers exactly
+/// the resident slice `[0, slice)` with windows of `share` operands:
+/// with step 1 every address is a window start except the last
+/// `share − 1`, so `windows_per_row = slice − window + 1` and the walk's
+/// maximum address is `slice − 1` (see [`crate::rules::max_fsm_addr`]).
+fn fsm_envelope(slice: usize, share: usize) -> FsmPlan {
+    let slice = slice.max(1);
+    let window = share.clamp(1, slice);
+    FsmPlan {
+        config: FsmConfig {
+            step: 1,
+            window,
+            windows_per_row: slice - window + 1,
+            row_stride: slice,
+        },
+        rows: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+    use flexflow::local_store::STORE_WORDS;
+
+    fn layer() -> ConvLayer {
+        ConvLayer::new("C3", 16, 6, 10, 5)
+    }
+
+    #[test]
+    fn well_formed_plan_derives() {
+        let u = Unroll::new(16, 3, 1, 1, 1, 5);
+        let p = LayerPlan::derive(&layer(), 0, u, u, 16, STORE_WORDS).unwrap();
+        assert_eq!(p.slice_words as u64, p.schedule.chunks); // one segment
+        assert_eq!(p.walk.tj, 5);
+        assert_eq!(p.batch.tm, 16);
+        // The neuron FSM's window is the PE's kernel-row share ⌈K/Tj⌉.
+        assert_eq!(p.neuron_fsm.config.window, 1);
+        assert_eq!(
+            p.neuron_fsm.config.windows_per_row,
+            p.slice_words - p.neuron_fsm.config.window + 1
+        );
+    }
+
+    #[test]
+    fn oversized_choice_is_fxc06() {
+        let u = Unroll::new(8, 1, 2, 2, 1, 1); // 32 rows on a 16x16 engine
+        let err = LayerPlan::derive(&layer(), 0, u, u, 16, STORE_WORDS).unwrap_err();
+        assert_eq!(err.rule, RuleId::UnrollBounds);
+        assert_eq!(err.severity, Severity::Error);
+    }
+
+    #[test]
+    fn segmented_layer_slices_to_the_store() {
+        // AlexNet-C5-like: chunks exceed the store, so segments > 1 and
+        // the slice is at most the store.
+        let deep = ConvLayer::new("C5", 192, 256, 13, 3).with_input_size(13);
+        let u = Unroll::new(1, 1, 1, 13, 1, 3);
+        let p = LayerPlan::derive(&deep, 0, u, u, 16, STORE_WORDS).unwrap();
+        assert!(p.schedule.segments > 1);
+        assert!(p.slice_words <= STORE_WORDS);
+        // The FSM envelope tops out exactly at the slice.
+        let cfg = p.neuron_fsm.config;
+        assert_eq!(cfg.windows_per_row + cfg.window - 1, p.slice_words);
+    }
+}

@@ -1,0 +1,657 @@
+//! The static rules.
+//!
+//! Each rule proves one hardware invariant *without stepping the
+//! simulator*, by abstract-interpreting the residue algebra of the
+//! [`flexflow::mapping::Mapping`] (rules 2, 3), the closed-form address
+//! envelope of the [`flexflow::fsm::AddrFsm`] configuration (rule 4),
+//! or the arithmetic identities of the [`flexflow::analytic`] schedule
+//! (rules 1, 8). Rule 5 drives the on-chip [`Decoder`] front-end over
+//! the encoded stream (still static: no engine cycle executes), rule 6
+//! re-checks Constraint (1), and rule 7 checks IADP bank fits for all
+//! four architectures.
+//!
+//! Every rule is *sound relative to the dynamic simulators*: a schedule
+//! that passes a rule cannot trip the corresponding runtime assert (the
+//! mutation harness in `tests/integration_flexcheck.rs` demonstrates
+//! the contrapositive for each rule).
+
+use crate::diag::{Diagnostic, Location, RuleId};
+use crate::params::{ArchKind, ArchParams};
+use crate::plan::LayerPlan;
+use flexflow::analytic::{PIPELINE_FILL_CYCLES, SEGMENT_STALL_CYCLES};
+use flexflow::compiler::Program;
+use flexflow::decoder::{DecodeProgramError, Decoder};
+use flexflow::fsm::FsmConfig;
+use flexflow::isa::Instr;
+use flexflow::local_store::STORE_WORDS;
+use flexsim_dataflow::utilization::ceil_div;
+use flexsim_model::{ConvLayer, Layer, Network};
+use std::collections::HashMap;
+
+/// Closed-form maximum address an [`flexflow::fsm::AddrFsm`] with
+/// `config` emits while walking `rows` neuron rows — the bound rule
+/// `FXC04` proves instead of stepping the FSM:
+/// within a row the last window starts at `(windows_per_row−1)·step`
+/// and ends `(window−1)·step` later; rows advance by `row_stride`.
+///
+/// `tests/proptests.rs` holds this exactly equal to the stepped FSM's
+/// maximum for every configuration.
+pub fn max_fsm_addr(config: &FsmConfig, rows: usize) -> usize {
+    (rows.max(1) - 1) * config.row_stride
+        + (config.windows_per_row - 1 + config.window - 1) * config.step
+}
+
+/// Runs the per-layer rules (`FXC01`–`FXC04`, `FXC06`–`FXC08`) over one
+/// [`LayerPlan`] against the target hardware.
+pub fn check_layer_plan(plan: &LayerPlan, arch: &ArchParams) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let at = || Location::layer(plan.layer.name());
+    let u = plan.mapping;
+
+    // FXC06 — Constraint (1): factors within the layer and the engine.
+    if !u.satisfies(&plan.layer, arch.d, None) {
+        diags.push(Diagnostic::error(
+            RuleId::UnrollBounds,
+            at(),
+            format!(
+                "unroll {u} violates Constraint (1) for {} (M={}, N={}, S={}, K={}) on a {d}x{d} engine",
+                plan.layer.name(),
+                plan.layer.m(),
+                plan.layer.n(),
+                plan.layer.s(),
+                plan.layer.k(),
+                d = arch.d
+            ),
+            "clamp each factor to its loop bound and the engine occupancy",
+        ));
+    }
+
+    // FXC01 — the per-segment resident slice fits the local stores.
+    if plan.slice_words > arch.store_words {
+        diags.push(Diagnostic::error(
+            RuleId::LsCapacity,
+            at(),
+            format!(
+                "per-PE resident slice of {} operand words exceeds the {}-word local store \
+                 (chunks={}, segments={})",
+                plan.slice_words, arch.store_words, plan.schedule.chunks, plan.schedule.segments
+            ),
+            "re-segment the chunk walk for the target store, or enlarge Tn/Ti/Tj",
+        ));
+    }
+
+    // FXC02 — vertical-bus write-write races (column injectivity).
+    diags.extend(rule_cdb_race(plan));
+
+    // FXC03 — adder-tree row-port conflicts (row injectivity).
+    diags.extend(rule_adder_tree_port(plan));
+
+    // FXC04 — FSM address envelope stays inside the resident slice.
+    for (store, fsm) in [("neuron", &plan.neuron_fsm), ("kernel", &plan.kernel_fsm)] {
+        let max = max_fsm_addr(&fsm.config, fsm.rows);
+        if max >= plan.slice_words {
+            diags.push(Diagnostic::error(
+                RuleId::FsmBounds,
+                at(),
+                format!(
+                    "{store}-store FSM (step={}, window={}, windows/row={}, row_stride={}, \
+                     rows={}) reaches address {max} but only {} words are resident",
+                    fsm.config.step,
+                    fsm.config.window,
+                    fsm.config.windows_per_row,
+                    fsm.config.row_stride,
+                    fsm.rows,
+                    plan.slice_words
+                ),
+                "shrink the window walk so (windows/row − 1 + window − 1)·step + \
+                 (rows − 1)·row_stride < resident words",
+            ));
+        }
+    }
+
+    // FXC07 — IADP bank layouts fit the physical buffer banks.
+    for (buffer, used) in [("neuron", u.cols_used()), ("kernel", u.rows_used())] {
+        if used > arch.buffer_banks {
+            diags.push(Diagnostic::error(
+                RuleId::BankConflict,
+                at(),
+                format!(
+                    "IADP {buffer}-buffer layout needs {used} banks but the buffer has {}",
+                    arch.buffer_banks
+                ),
+                "reduce the factor product or add buffer banks",
+            ));
+        }
+    }
+
+    // FXC08 — utilization sanity: the schedule's loop counts, MACs and
+    // cycle total must equal their closed forms.
+    diags.extend(rule_util_sanity(plan));
+
+    diags
+}
+
+/// `FXC02`: abstract interpretation of one logical step. The sequencer
+/// walks `walk.tn × walk.ti × walk.tj` operand offsets per step; each
+/// lands on vertical bus `input_col(n, r·stride+i, c·stride+j)` of the
+/// *mapping* unroll. Sweeping the three residue classes `(n mod Tn,
+/// (r·stride+i₀) mod Ti, (c·stride+j₀) mod Tj)` covers every chunk
+/// origin and output position, so a duplicate bus here is exactly a
+/// write-write race two producers would commit in the same cycle.
+fn rule_cdb_race(plan: &LayerPlan) -> Vec<Diagnostic> {
+    let u = plan.mapping;
+    let w = &plan.walk;
+    let lanes = u.cols_used();
+    for n0 in 0..u.tn {
+        for a in 0..u.ti {
+            for b in 0..u.tj {
+                let mut seen = vec![false; lanes];
+                for dn in 0..w.tn {
+                    for di in 0..w.ti {
+                        for dj in 0..w.tj {
+                            let col = ((n0 + dn) % u.tn) * u.ti * u.tj
+                                + ((a + di) % u.ti) * u.tj
+                                + (b + dj) % u.tj;
+                            if seen[col] {
+                                return vec![Diagnostic::error(
+                                    RuleId::CdbRace,
+                                    Location::layer(plan.layer.name()),
+                                    format!(
+                                        "two producers drive vertical bus {col} in one step: \
+                                         walk <Tn={}, Ti={}, Tj={}> is wider than the mapping's \
+                                         residue classes <Tn={}, Ti={}, Tj={}>",
+                                        w.tn, w.ti, w.tj, u.tn, u.ti, u.tj
+                                    ),
+                                    "program the Configure walk with the same <Tn,Ti,Tj> the \
+                                     mapping was planned for",
+                                )];
+                            }
+                            seen[col] = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Vec::new()
+}
+
+/// `FXC03`: the row-side mirror of [`rule_cdb_race`]. A row-batch
+/// covers `batch.tm × batch.tr × batch.tc` output neurons; each owns PE
+/// row `output_row(m, r, c)` and its adder-tree accumulator port. A
+/// duplicate row within one batch means two reductions contend for one
+/// port in the same cycle.
+fn rule_adder_tree_port(plan: &LayerPlan) -> Vec<Diagnostic> {
+    let u = plan.mapping;
+    let b = &plan.batch;
+    let rows = u.rows_used();
+    for m0 in 0..u.tm {
+        for a in 0..u.tr {
+            for c0 in 0..u.tc {
+                let mut seen = vec![false; rows];
+                for dm in 0..b.tm {
+                    for dr in 0..b.tr {
+                        for dc in 0..b.tc {
+                            let row = ((m0 + dm) % u.tm) * u.tr * u.tc
+                                + ((a + dr) % u.tr) * u.tc
+                                + (c0 + dc) % u.tc;
+                            if seen[row] {
+                                return vec![Diagnostic::error(
+                                    RuleId::AdderTreePort,
+                                    Location::layer(plan.layer.name()),
+                                    format!(
+                                        "two output neurons contend for PE row {row}'s adder-tree \
+                                         port in one batch: batch <Tm={}, Tr={}, Tc={}> vs \
+                                         mapping <Tm={}, Tr={}, Tc={}>",
+                                        b.tm, b.tr, b.tc, u.tm, u.tr, u.tc
+                                    ),
+                                    "program the Configure batch with the same <Tm,Tr,Tc> the \
+                                     mapping was planned for",
+                                )];
+                            }
+                            seen[row] = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Vec::new()
+}
+
+/// `FXC08`: re-derives the schedule's loop counts, MAC total, and cycle
+/// total from the layer shape and checks them against the `Schedule`'s
+/// own claims, including that the claimed MACs are issuable by
+/// `parallel_macs` lanes.
+fn rule_util_sanity(plan: &LayerPlan) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let at = || Location::layer(plan.layer.name());
+    let u = plan.mapping;
+    let l = &plan.layer;
+    let sch = &plan.schedule;
+
+    let chunks = (ceil_div(l.n(), u.tn) * ceil_div(l.k(), u.ti) * ceil_div(l.k(), u.tj)) as u64;
+    let batches = (ceil_div(l.m(), u.tm) * ceil_div(l.s(), u.tr) * ceil_div(l.s(), u.tc)) as u64;
+    if sch.chunks != chunks || sch.row_batches != batches {
+        diags.push(Diagnostic::error(
+            RuleId::UtilSanity,
+            at(),
+            format!(
+                "schedule loop counts diverge from the layer: chunks {} (expected {chunks}), \
+                 row-batches {} (expected {batches})",
+                sch.chunks, sch.row_batches
+            ),
+            "rebuild the schedule from the planned unroll",
+        ));
+    }
+    if sch.macs != l.macs() {
+        diags.push(Diagnostic::error(
+            RuleId::UtilSanity,
+            at(),
+            format!(
+                "schedule claims {} MACs; the layer computes {}",
+                sch.macs,
+                l.macs()
+            ),
+            "every MAC must be issued exactly once",
+        ));
+    }
+    let expected_cycles = batches * chunks
+        + batches * (sch.segments - 1) * SEGMENT_STALL_CYCLES
+        + PIPELINE_FILL_CYCLES;
+    if sch.cycles != expected_cycles {
+        diags.push(Diagnostic::error(
+            RuleId::UtilSanity,
+            at(),
+            format!(
+                "schedule claims {} cycles; batches*chunks + stalls + fill = {expected_cycles}",
+                sch.cycles
+            ),
+            "recompute cycles from the loop counts and segment stalls",
+        ));
+    }
+    let lane_budget = batches * chunks * u.parallel_macs() as u64;
+    if sch.macs > lane_budget {
+        diags.push(Diagnostic::error(
+            RuleId::UtilSanity,
+            at(),
+            format!(
+                "schedule claims {} MACs but {} steps of {} parallel lanes issue at most \
+                 {lane_budget}",
+                sch.macs,
+                batches * chunks,
+                u.parallel_macs()
+            ),
+            "the statically derived parallel MACs bound the schedule's total",
+        ));
+    }
+    diags
+}
+
+/// Full FlexFlow program check: rule `FXC05` over the instruction
+/// stream, then the per-layer rules over every compiled CONV/FC layer.
+///
+/// `net` supplies the layer shapes the `Program`'s choices refer to (a
+/// program stores factor plans by layer name only).
+pub fn check(program: &Program, net: &Network, arch: &ArchParams) -> Vec<Diagnostic> {
+    let mut diags = check_isa(program, net);
+
+    // Pair the k-th Conv instruction with the k-th planned choice and
+    // the network layer it targets, then run the per-layer rules.
+    let layers = net.layers();
+    let mut configured: HashMap<u8, flexsim_dataflow::Unroll> = HashMap::new();
+    let mut conv_idx = 0usize;
+    for instr in program.instrs() {
+        match *instr {
+            Instr::Configure { layer, unroll } => {
+                configured.insert(layer, unroll);
+            }
+            Instr::Conv { layer } => {
+                let view = match layers.get(layer as usize) {
+                    Some(Layer::Conv(c)) => c.clone(),
+                    Some(Layer::Fc(fc)) => fc.as_conv(),
+                    _ => continue, // already reported by check_isa
+                };
+                let Some(choice) = program.choices().get(conv_idx) else {
+                    continue; // count mismatch reported by check_isa
+                };
+                conv_idx += 1;
+                let instr_u = configured.get(&layer).copied().unwrap_or(choice.unroll);
+                match LayerPlan::derive(
+                    &view,
+                    layer as usize,
+                    choice.unroll,
+                    instr_u,
+                    program.d(),
+                    STORE_WORDS,
+                ) {
+                    Ok(plan) => diags.extend(check_layer_plan(&plan, arch)),
+                    Err(diag) => diags.push(diag),
+                }
+            }
+            _ => {}
+        }
+    }
+    diags
+}
+
+/// `FXC05`: ISA invariants. Encode-range and round-trip per
+/// instruction, the on-chip decoder's stream protocol, instruction
+/// targets cross-checked against the network's layer kinds, and
+/// dead-code detection (a `Configure`/plan entry no `Conv` consumes).
+fn check_isa(program: &Program, net: &Network) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let layers = net.layers();
+
+    // Encode range first: Instr::encode panics above 128, so the
+    // round-trip/stream checks only run on encodable programs.
+    let mut encodable = true;
+    for (pc, instr) in program.instrs().iter().enumerate() {
+        if let Instr::Configure { unroll: u, .. } = instr {
+            for f in [u.tm, u.tn, u.tr, u.tc, u.ti, u.tj] {
+                if f > 128 {
+                    encodable = false;
+                    diags.push(Diagnostic::error(
+                        RuleId::IsaProtocol,
+                        Location::pc(pc),
+                        format!("unrolling factor {f} exceeds the ISA's 7-bit field (max 128)"),
+                        "no factor may exceed 128",
+                    ));
+                }
+            }
+        }
+    }
+    if encodable {
+        let words = program.encode();
+        for (pc, (word, instr)) in words.iter().zip(program.instrs()).enumerate() {
+            if Instr::decode(*word).ok().as_ref() != Some(instr) {
+                diags.push(Diagnostic::error(
+                    RuleId::IsaProtocol,
+                    Location::pc(pc),
+                    format!("instruction `{instr}` does not round-trip through the encoder"),
+                    "encoder and decoder must agree on every field",
+                ));
+            }
+        }
+        if let Err(e) = Decoder::new(program.d()).decode_stream(&words) {
+            let pc = match e {
+                DecodeProgramError::BadWord { pc, .. }
+                | DecodeProgramError::OversizedFactors { pc, .. }
+                | DecodeProgramError::ConvWithoutConfigure { pc, .. }
+                | DecodeProgramError::ConvWithoutKernels { pc, .. }
+                | DecodeProgramError::TrailingWords { pc } => Some(pc),
+                DecodeProgramError::MissingHalt => None,
+            };
+            let loc = pc.map_or_else(Location::program, Location::pc);
+            diags.push(Diagnostic::error(
+                RuleId::IsaProtocol,
+                loc,
+                format!("the on-chip decoder rejects the stream: {e}"),
+                "emit Configure/LoadKernels before Conv and terminate with a single Halt",
+            ));
+        }
+    }
+
+    // Targets must exist and match the layer kind the opcode drives.
+    let mut conv_count = 0usize;
+    let mut live_configure: HashMap<u8, usize> = HashMap::new();
+    for (pc, instr) in program.instrs().iter().enumerate() {
+        let (layer, wants_conv) = match *instr {
+            Instr::Configure { layer, .. } => {
+                live_configure.insert(layer, pc);
+                (layer, true)
+            }
+            Instr::LoadKernels { layer } => (layer, true),
+            Instr::Conv { layer } => {
+                conv_count += 1;
+                live_configure.remove(&layer);
+                (layer, true)
+            }
+            Instr::Pool { layer } => (layer, false),
+            Instr::SwapBuffers | Instr::Halt => continue,
+        };
+        match layers.get(layer as usize) {
+            None => diags.push(Diagnostic::error(
+                RuleId::IsaProtocol,
+                Location::pc(pc),
+                format!(
+                    "`{instr}` targets layer L{layer}, but the network has {} layers",
+                    layers.len()
+                ),
+                "layer indices follow network order",
+            )),
+            Some(Layer::Pool(_)) if wants_conv => diags.push(Diagnostic::error(
+                RuleId::IsaProtocol,
+                Location::pc(pc),
+                format!("`{instr}` targets pooling layer L{layer}"),
+                "Configure/LoadKernels/Conv drive CONV or FC layers only",
+            )),
+            Some(Layer::Conv(_) | Layer::Fc(_)) if !wants_conv => {
+                diags.push(Diagnostic::error(
+                    RuleId::IsaProtocol,
+                    Location::pc(pc),
+                    format!("`{instr}` targets non-pooling layer L{layer}"),
+                    "Pool drives pooling layers only",
+                ));
+            }
+            _ => {}
+        }
+    }
+    if conv_count != program.choices().len() {
+        diags.push(Diagnostic::error(
+            RuleId::IsaProtocol,
+            Location::program(),
+            format!(
+                "{} Conv instructions but {} planned layer choices",
+                conv_count,
+                program.choices().len()
+            ),
+            "every planned choice must lower to exactly one Conv",
+        ));
+    }
+    for (layer, pc) in live_configure {
+        diags.push(Diagnostic::warning(
+            RuleId::IsaProtocol,
+            Location::pc(pc),
+            format!("dead code: Configure for L{layer} is never consumed by a Conv"),
+            "remove the configure or add the missing Conv",
+        ));
+    }
+    diags
+}
+
+/// Lints a workload against one architecture. FlexFlow compiles the
+/// network and runs the full 8-rule program check; the baselines run
+/// the geometry and bank rules that apply to their dataflow.
+pub fn check_network(net: &Network, arch: &ArchParams) -> Vec<Diagnostic> {
+    match arch.kind {
+        ArchKind::FlexFlow => {
+            let program = flexflow::Compiler::new(arch.d).compile(net);
+            check(&program, net, arch)
+        }
+        ArchKind::Systolic => check_systolic(net, arch),
+        ArchKind::Mapping2d => check_mapping2d(net, arch),
+        ArchKind::Tiling => check_tiling(net, arch),
+    }
+}
+
+/// CONV views of every layer a program computes on the engine (CONV
+/// layers as-is, FC layers as 1×1 convolutions).
+fn conv_views(net: &Network) -> Vec<ConvLayer> {
+    net.layers()
+        .iter()
+        .filter_map(|l| match l {
+            Layer::Conv(c) => Some(c.clone()),
+            Layer::Fc(fc) => Some(fc.as_conv()),
+            Layer::Pool(_) => None,
+        })
+        .collect()
+}
+
+/// Systolic rules: the kernel must fit the `K×K` array (rule 6's
+/// geometry analogue), row injection must fit the banks (rule 7), and
+/// non-unit strides are flagged for the functional model (warning).
+fn check_systolic(net: &Network, arch: &ArchParams) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for layer in conv_views(net) {
+        if layer.k() > arch.array_k {
+            diags.push(Diagnostic::error(
+                RuleId::UnrollBounds,
+                Location::layer(layer.name()),
+                format!(
+                    "kernel K={} exceeds the {}x{} systolic array",
+                    layer.k(),
+                    arch.array_k,
+                    arch.array_k
+                ),
+                "use an array at least K wide (the paper gives AlexNet 11x11 arrays)",
+            ));
+        }
+        if arch.array_k > arch.buffer_banks {
+            diags.push(Diagnostic::error(
+                RuleId::BankConflict,
+                Location::layer(layer.name()),
+                format!(
+                    "streaming {} kernel rows per cycle needs {} banks, buffer has {}",
+                    arch.array_k, arch.array_k, arch.buffer_banks
+                ),
+                "banks must cover the array side",
+            ));
+        }
+        if layer.stride() != 1 {
+            diags.push(Diagnostic::warning(
+                RuleId::UnrollBounds,
+                Location::layer(layer.name()),
+                format!(
+                    "stride {} is outside the functional systolic model (analytic only)",
+                    layer.stride()
+                ),
+                "the cycle model covers it; bit-exact replay does not",
+            ));
+        }
+    }
+    diags
+}
+
+/// 2D-Mapping rules: per-step edge injection (`max(Tr,Tc)` words) must
+/// fit the banks; non-unit strides are functional-model warnings.
+fn check_mapping2d(net: &Network, arch: &ArchParams) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for layer in conv_views(net) {
+        if arch.d > arch.buffer_banks {
+            diags.push(Diagnostic::error(
+                RuleId::BankConflict,
+                Location::layer(layer.name()),
+                format!(
+                    "injecting a {}-wide tile edge per step needs {} banks, buffer has {}",
+                    arch.d, arch.d, arch.buffer_banks
+                ),
+                "banks must cover the tile edge",
+            ));
+        }
+        if layer.stride() != 1 {
+            diags.push(Diagnostic::warning(
+                RuleId::UnrollBounds,
+                Location::layer(layer.name()),
+                format!(
+                    "stride {} is outside the functional 2D-mapping model (analytic only)",
+                    layer.stride()
+                ),
+                "the cycle model covers it; bit-exact replay does not",
+            ));
+        }
+    }
+    diags
+}
+
+/// Tiling rules: the `Tn` input lanes and `Tm` output lanes streamed
+/// each cycle must fit the neuron-buffer banks.
+fn check_tiling(net: &Network, arch: &ArchParams) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for layer in conv_views(net) {
+        for (what, lanes) in [("input (Tn)", arch.d), ("output (Tm)", arch.d)] {
+            if lanes > arch.buffer_banks {
+                diags.push(Diagnostic::error(
+                    RuleId::BankConflict,
+                    Location::layer(layer.name()),
+                    format!(
+                        "streaming {lanes} {what} lanes per cycle needs {lanes} banks, \
+                         buffer has {}",
+                        arch.buffer_banks
+                    ),
+                    "banks must cover the lane count",
+                ));
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::has_errors;
+    use flexsim_dataflow::Unroll;
+    use flexsim_model::workloads;
+
+    fn plan_for(layer: &ConvLayer, u: Unroll) -> LayerPlan {
+        LayerPlan::derive(layer, 0, u, u, 16, STORE_WORDS).unwrap()
+    }
+
+    #[test]
+    fn paper_c1_plan_is_clean() {
+        let layer = ConvLayer::new("C1", 2, 1, 8, 4);
+        let plan = plan_for(&layer, Unroll::new(2, 1, 1, 2, 1, 4));
+        let diags = check_layer_plan(&plan, &ArchParams::flexflow_paper());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn every_workload_is_clean_on_every_architecture() {
+        for net in workloads::all() {
+            for arch in ArchParams::paper_suite(net.name()) {
+                let diags = check_network(&net, &arch);
+                assert!(
+                    !has_errors(&diags),
+                    "{} on {}: {}",
+                    net.name(),
+                    arch.kind.name(),
+                    crate::diag::render(&diags)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn widened_walk_races_the_bus() {
+        let layer = ConvLayer::new("C1", 4, 2, 12, 5).with_input_size(16);
+        let u = Unroll::new(2, 2, 1, 2, 1, 2);
+        let mut plan = plan_for(&layer, u);
+        plan.walk.tj = 4; // the sequencer walks twice the mapped lanes
+        let diags = check_layer_plan(&plan, &ArchParams::flexflow_paper());
+        assert!(diags.iter().all(|d| d.rule == RuleId::CdbRace), "{diags:?}");
+        assert!(has_errors(&diags));
+    }
+
+    #[test]
+    fn fsm_bound_formula_covers_the_doc_example() {
+        // fsm.rs's doc example: step 1, window 3, 2 windows/row,
+        // rows 8 apart; addresses peak at 3 within a row, 11 across two.
+        let cfg = FsmConfig {
+            step: 1,
+            window: 3,
+            windows_per_row: 2,
+            row_stride: 8,
+        };
+        assert_eq!(max_fsm_addr(&cfg, 1), 3);
+        assert_eq!(max_fsm_addr(&cfg, 2), 11);
+    }
+
+    #[test]
+    fn compiled_lenet_program_passes_full_check() {
+        let net = workloads::lenet5();
+        let program = flexflow::Compiler::new(16).compile(&net);
+        let diags = check(&program, &net, &ArchParams::flexflow_paper());
+        assert!(diags.is_empty(), "{}", crate::diag::render(&diags));
+    }
+}

@@ -1,0 +1,148 @@
+//! Property tests for the static rules.
+//!
+//! Two obligations from the verifier's contract:
+//!
+//! 1. **No false positives** — every *legal* unroll (random factors
+//!    clamped to the layer and the engine the way the search space is
+//!    built) yields a clean [`flexcheck::LayerPlan`]: zero diagnostics
+//!    across all eight rules, at ≥1000 random cases.
+//! 2. **The `FXC04` bound is exact** — the closed-form
+//!    [`flexcheck::max_fsm_addr`] equals the maximum address an actual
+//!    [`AddrFsm`] emits when stepped exhaustively, for every
+//!    configuration.
+
+use flexcheck::{check_layer_plan, max_fsm_addr, ArchParams, LayerPlan};
+use flexflow::fsm::{AddrFsm, FsmConfig};
+use flexflow::local_store::STORE_WORDS;
+use flexsim_dataflow::Unroll;
+use flexsim_model::ConvLayer;
+use flexsim_testkit::{prop, prop_assert, prop_assert_eq};
+
+/// Legalizes random factors the way the planner's search space does:
+/// clamp to the layer's loop bounds, then shed occupancy until the
+/// unroll fits the `d×d` engine (Constraint (1)).
+fn legalize(u: Unroll, layer: &ConvLayer, d: usize) -> Unroll {
+    let mut u = u.clamped_to(layer);
+    while u.rows_used() > d {
+        if u.tm >= u.tr && u.tm >= u.tc {
+            u.tm -= 1;
+        } else if u.tr >= u.tc {
+            u.tr -= 1;
+        } else {
+            u.tc -= 1;
+        }
+    }
+    while u.cols_used() > d {
+        if u.tn >= u.ti && u.tn >= u.tj {
+            u.tn -= 1;
+        } else if u.ti >= u.tj {
+            u.ti -= 1;
+        } else {
+            u.tj -= 1;
+        }
+    }
+    u
+}
+
+#[test]
+fn legal_unrolls_lint_clean() {
+    let arch = ArchParams::flexflow_paper();
+    prop::check(
+        "legal_unrolls_lint_clean",
+        1024,
+        (
+            1usize..=64, // M
+            1usize..=32, // N
+            1usize..=32, // S
+            1usize..=7,  // K
+            1usize..=16, // Tm
+            1usize..=16, // Tn
+            1usize..=16, // Tr
+            1usize..=16, // Tc
+            1usize..=16, // Ti
+            1usize..=16, // Tj
+        ),
+        |&(m, n, s, k, tm, tn, tr, tc, ti, tj)| {
+            let layer = ConvLayer::new("P", m, n, s, k);
+            let u = legalize(Unroll::new(tm, tn, tr, tc, ti, tj), &layer, arch.d);
+            prop_assert!(u.satisfies(&layer, arch.d, None), "legalize broke {u}");
+            let plan = LayerPlan::derive(&layer, 0, u, u, arch.d, STORE_WORDS)
+                .map_err(|d| d.to_string())?;
+            let diags = check_layer_plan(&plan, &arch);
+            prop_assert!(
+                diags.is_empty(),
+                "false positive on {u} for M={m} N={n} S={s} K={k}: {}",
+                flexcheck::render(&diags)
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn fsm_bound_is_exact_against_the_stepped_fsm() {
+    prop::check(
+        "fsm_bound_is_exact",
+        512,
+        (
+            1usize..=4,  // step
+            1usize..=8,  // window
+            1usize..=8,  // windows_per_row
+            1usize..=16, // row_stride
+            1usize..=4,  // rows
+        ),
+        |&(step, window, windows_per_row, row_stride, rows)| {
+            let config = FsmConfig {
+                step,
+                window,
+                windows_per_row,
+                row_stride,
+            };
+            let mut fsm = AddrFsm::new(config);
+            let emissions = rows * windows_per_row * window;
+            let stepped_max = (0..emissions).map(|_| fsm.next_addr()).max().unwrap();
+            prop_assert_eq!(
+                max_fsm_addr(&config, rows),
+                stepped_max,
+                "config {config:?} rows {rows}"
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn derived_fsm_envelopes_cover_exactly_the_resident_slice() {
+    // For every legal plan, both derived FSMs top out at slice − 1:
+    // in bounds (FXC04 passes) and tight (no resident word unread).
+    prop::check(
+        "fsm_envelopes_are_tight",
+        512,
+        (
+            1usize..=64, // M
+            1usize..=32, // N
+            1usize..=32, // S
+            1usize..=7,  // K
+            1usize..=16, // Ti
+            1usize..=16, // Tj
+        ),
+        |&(m, n, s, k, ti, tj)| {
+            let layer = ConvLayer::new("P", m, n, s, k);
+            let u = legalize(Unroll::new(1, 1, 1, 1, ti, tj), &layer, 16);
+            let plan =
+                LayerPlan::derive(&layer, 0, u, u, 16, STORE_WORDS).map_err(|d| d.to_string())?;
+            for fsm in [&plan.neuron_fsm, &plan.kernel_fsm] {
+                prop_assert_eq!(
+                    max_fsm_addr(&fsm.config, fsm.rows),
+                    plan.slice_words - 1,
+                    "envelope not tight for {u} on {}x{}x{}x{}",
+                    m,
+                    n,
+                    s,
+                    k
+                );
+            }
+            Ok(())
+        },
+    );
+}

@@ -64,13 +64,13 @@ impl Fx16 {
     #[inline]
     pub fn from_f64(v: f64) -> Self {
         let scaled = (v * SCALE).round();
-        Fx16(scaled.clamp(i16::MIN as f64, i16::MAX as f64) as i16)
+        Fx16(scaled.clamp(f64::from(i16::MIN), f64::from(i16::MAX)) as i16)
     }
 
     /// Converts back to a real number (exact).
     #[inline]
     pub fn to_f64(self) -> f64 {
-        self.0 as f64 / SCALE
+        f64::from(self.0) / SCALE
     }
 
     /// Saturating addition, as performed by a PE's adder.
@@ -91,7 +91,7 @@ impl Fx16 {
     /// no precision is lost.
     #[inline]
     pub fn widening_mul(self, rhs: Fx16) -> Acc32 {
-        Acc32(self.0 as i32 * rhs.0 as i32)
+        Acc32(i32::from(self.0) * i32::from(rhs.0))
     }
 
     /// Returns the larger of two values (used by max-pooling ALUs).
@@ -132,9 +132,9 @@ impl From<i16> for Fx16 {
     /// saturating at the Q7.8 range.
     fn from(v: i16) -> Self {
         Fx16(
-            (v as i32)
+            i32::from(v)
                 .saturating_mul(1 << FRAC_BITS)
-                .clamp(i16::MIN as i32, i16::MAX as i32) as i16,
+                .clamp(i32::from(i16::MIN), i32::from(i16::MAX)) as i16,
         )
     }
 }
@@ -224,13 +224,15 @@ impl Acc32 {
     /// Widens a Q7.8 value to the accumulator format (shift left by 8).
     #[inline]
     pub fn from_fx16(v: Fx16) -> Self {
-        Acc32((v.raw() as i32) << FRAC_BITS)
+        Acc32(i32::from(v.raw()) << FRAC_BITS)
     }
 
     /// Multiply-accumulate: `self += a * b` at full precision (saturating).
     #[inline]
     pub fn mac(&mut self, a: Fx16, b: Fx16) {
-        self.0 = self.0.saturating_add(a.raw() as i32 * b.raw() as i32);
+        self.0 = self
+            .0
+            .saturating_add(i32::from(a.raw()) * i32::from(b.raw()));
     }
 
     /// Saturating accumulator addition (adder-tree node).
@@ -246,14 +248,14 @@ impl Acc32 {
         let offset = if self.0 >= 0 { half } else { -half };
         // Truncating division after the half offset = round-to-nearest,
         // ties away from zero (symmetric for negatives).
-        let rounded = (self.0 as i64 + offset) / (1i64 << FRAC_BITS);
-        Fx16::from_raw(rounded.clamp(i16::MIN as i64, i16::MAX as i64) as i16)
+        let rounded = (i64::from(self.0) + offset) / (1i64 << FRAC_BITS);
+        Fx16::from_raw(rounded.clamp(i64::from(i16::MIN), i64::from(i16::MAX)) as i16)
     }
 
     /// Converts to a real number (exact).
     #[inline]
     pub fn to_f64(self) -> f64 {
-        self.0 as f64 / (SCALE * SCALE)
+        f64::from(self.0) / (SCALE * SCALE)
     }
 }
 

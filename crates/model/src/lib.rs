@@ -32,6 +32,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod fixed;
 pub mod layer;

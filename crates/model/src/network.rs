@@ -196,7 +196,7 @@ mod tests {
     #[test]
     fn total_ops_sums_layers() {
         let net = toy();
-        let conv_ops: u64 = net.conv_layers().map(|l| l.ops()).sum();
+        let conv_ops: u64 = net.conv_layers().map(ConvLayer::ops).sum();
         assert!(net.total_ops() > conv_ops); // pooling adds ops
         assert_eq!(net.conv_macs(), 2 * 64 * 16 + 2 * 16 * 2 * 4);
     }

@@ -182,7 +182,9 @@ fn global_slot() -> &'static RwLock<Option<Arc<dyn CycleSink>>> {
 /// Installs (or clears, with `None`) the process-wide sink that
 /// accelerator factories hand to freshly built simulators.
 pub fn set_global_sink(sink: Option<Arc<dyn CycleSink>>) {
-    *global_slot().write().unwrap_or_else(|e| e.into_inner()) = sink;
+    *global_slot()
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = sink;
 }
 
 /// A handle to the process-wide sink (unattached if none installed).
@@ -190,7 +192,7 @@ pub fn global_handle() -> SinkHandle {
     SinkHandle(
         global_slot()
             .read()
-            .unwrap_or_else(|e| e.into_inner())
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .clone(),
     )
 }
@@ -222,7 +224,7 @@ impl LayerTimeline {
     /// Builds the run-length-encoded occupancy timeline (gaps between
     /// events count as idle).
     pub fn occupancy(&self) -> OccupancyTimeline {
-        let pe = self.ctx.pe_count.max(1) as f64;
+        let pe = f64::from(self.ctx.pe_count.max(1));
         let mut segments: Vec<(u64, f64)> = Vec::with_capacity(self.events.len());
         let mut cursor = 0u64;
         for ev in &self.events {
@@ -261,7 +263,9 @@ impl CycleRecorder {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, RecorderInner> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Copies out every completed layer timeline.

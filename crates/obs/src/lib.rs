@@ -49,6 +49,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod chrome;
 pub mod cycles;

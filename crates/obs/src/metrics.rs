@@ -65,7 +65,9 @@ impl Registry {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<Key, u64>> {
-        self.cells.lock().unwrap_or_else(|e| e.into_inner())
+        self.cells
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Adds `delta` to the counter `name{labels}` (creating it at 0).

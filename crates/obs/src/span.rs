@@ -54,7 +54,9 @@ fn state() -> &'static Mutex<Option<RecorderState>> {
 }
 
 fn lock_state() -> std::sync::MutexGuard<'static, Option<RecorderState>> {
-    state().lock().unwrap_or_else(|e| e.into_inner())
+    state()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 fn thread_tid() -> u64 {
@@ -160,12 +162,12 @@ impl Drop for SpanGuard {
                     .start
                     .saturating_duration_since(rec.epoch)
                     .as_micros()
-                    .min(u64::MAX as u128) as u64;
+                    .min(u128::from(u64::MAX)) as u64;
                 rec.spans.push(SpanRecord {
                     cat: live.cat,
                     name: live.name,
                     start_us,
-                    dur_us: dur.as_micros().min(u64::MAX as u128) as u64,
+                    dur_us: dur.as_micros().min(u128::from(u64::MAX)) as u64,
                     depth: live.depth,
                     tid: thread_tid(),
                 });
@@ -181,7 +183,8 @@ mod tests {
     // Span tests share the process-global recorder; serialize them.
     fn serial() -> std::sync::MutexGuard<'static, ()> {
         static LOCK: Mutex<()> = Mutex::new(());
-        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     #[test]

@@ -195,7 +195,7 @@ impl Bencher {
             }
             samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
         }
-        samples.sort_by(|a, b| a.total_cmp(b));
+        samples.sort_by(f64::total_cmp);
         let min = samples[0];
         let median = samples[samples.len() / 2];
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;

@@ -18,6 +18,7 @@
 //!
 //! Everything is deterministic by construction: the same seed always
 //! produces the same samples, shrink sequences, and JSON bytes.
+#![forbid(unsafe_code)]
 
 pub mod bench;
 pub mod json;

@@ -113,6 +113,10 @@ macro_rules! prop_assert_eq {
 ///
 /// Panics with a shrunk counterexample, its case seed, and replay
 /// instructions if any case fails.
+// Strategies are deliberately taken by value: call sites pass tuple
+// literals like `(0..=100, 0..=100)` and the harness owns them for the
+// whole run.
+#[allow(clippy::needless_pass_by_value)]
 pub fn check<S: Strategy>(
     name: &str,
     default_cases: u32,
@@ -122,7 +126,7 @@ pub fn check<S: Strategy>(
     if let Some(seed) = env_u64("FLEXSIM_PROP_REPLAY") {
         let value = strategy.generate(&mut SplitMix64::new(seed));
         if let Err(msg) = prop(&value) {
-            report_failure(name, &strategy, &prop, value, msg, seed, 0);
+            report_failure(name, &strategy, &prop, &value, &msg, seed, 0);
         }
         return;
     }
@@ -133,7 +137,7 @@ pub fn check<S: Strategy>(
         let (case_seed, mut rng) = master.split();
         let value = strategy.generate(&mut rng);
         if let Err(msg) = prop(&value) {
-            report_failure(name, &strategy, &prop, value, msg, case_seed, case);
+            report_failure(name, &strategy, &prop, &value, &msg, case_seed, case);
         }
     }
 }
@@ -143,13 +147,13 @@ fn report_failure<S: Strategy>(
     name: &str,
     strategy: &S,
     prop: &impl Fn(&S::Value) -> PropResult,
-    original: S::Value,
-    original_msg: String,
+    original: &S::Value,
+    original_msg: &str,
     case_seed: u64,
     case: u32,
 ) -> ! {
     let mut best = original.clone();
-    let mut best_msg = original_msg.clone();
+    let mut best_msg = original_msg.to_owned();
     let mut evals = 0u32;
     let mut shrunk_steps = 0u32;
     'outer: loop {
@@ -187,7 +191,7 @@ fn env_u64(key: &str) -> Option<u64> {
 pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xCBF2_9CE4_8422_2325u64;
     for &b in bytes {
-        h ^= b as u64;
+        h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }
     h

@@ -131,6 +131,9 @@ pub trait RangeSample: Copy + PartialOrd {
 macro_rules! impl_range_sample_signed {
     ($($t:ty),*) => {$(
         impl RangeSample for $t {
+            // `isize`/`usize` have no `From` into the 128-bit domain,
+            // so the widening casts below must stay `as` casts.
+            #[allow(clippy::cast_lossless)]
             fn sample(rng: &mut SplitMix64, range: RangeInclusive<Self>) -> Self {
                 let (lo, hi) = (*range.start(), *range.end());
                 assert!(lo <= hi, "empty sample range");
@@ -148,6 +151,9 @@ macro_rules! impl_range_sample_signed {
 macro_rules! impl_range_sample_unsigned {
     ($($t:ty),*) => {$(
         impl RangeSample for $t {
+            // `isize`/`usize` have no `From` into the 128-bit domain,
+            // so the widening casts below must stay `as` casts.
+            #[allow(clippy::cast_lossless)]
             fn sample(rng: &mut SplitMix64, range: RangeInclusive<Self>) -> Self {
                 let (lo, hi) = (*range.start(), *range.end());
                 assert!(lo <= hi, "empty sample range");

@@ -1,0 +1,298 @@
+//! Mutation harness for the `flexcheck` static verifier.
+//!
+//! The verifier's contract has two sides, and this suite proves both
+//! per rule:
+//!
+//! * **Static precision** — corrupting exactly one field of a clean
+//!   schedule trips exactly the rule that owns that invariant (every
+//!   reported diagnostic carries that rule's id, and at least one is an
+//!   `Error`).
+//! * **Dynamic soundness** — the same corruption, driven into the
+//!   cycle-level hardware models, is caught at runtime (an assert
+//!   naming the rule, a decoder rejection, or a measured/claimed
+//!   divergence). Statically-clean schedules therefore cannot trip the
+//!   dynamic guards: static ⊆ dynamic.
+//!
+//! Layout: one `fxc0X_static_*` test asserting rule exactness and one
+//! `fxc0X_dynamic_*` test demonstrating the runtime catch, for each of
+//! the eight rules, plus the all-clean sweep.
+
+use flexcheck::{check, check_layer_plan, check_network, has_errors, render};
+use flexcheck::{ArchParams, LayerPlan, RuleId, Severity};
+use flexflow::adder_tree::RowPorts;
+use flexflow::cdb::StepClaims;
+use flexflow::compiler::Program;
+use flexflow::decoder::Decoder;
+use flexflow::fsm::AddrFsm;
+use flexflow::local_store::{LocalStore, STORE_WORDS};
+use flexflow::mapping::Mapping;
+use flexflow::{analytic, array::PeArray, Compiler};
+use flexsim_dataflow::Unroll;
+use flexsim_model::reference;
+use flexsim_model::{workloads, ConvLayer, Fx16};
+
+/// A deep layer whose chunk walk needs 3 segments on the paper store:
+/// `chunks = 96·3·1 = 288`, `slice = 96` resident words per segment.
+fn deep_layer() -> ConvLayer {
+    ConvLayer::new("C5", 16, 96, 8, 3)
+}
+
+fn deep_unroll() -> Unroll {
+    Unroll::new(2, 1, 2, 2, 1, 3) // 8 rows x 3 cols
+}
+
+/// A wide layer/unroll pair occupying 12 PE columns (for the bank
+/// rule): `chunks = 3·3·2 = 18`, single segment.
+fn wide_layer() -> ConvLayer {
+    ConvLayer::new("C3", 16, 6, 10, 5)
+}
+
+fn wide_unroll() -> Unroll {
+    Unroll::new(2, 2, 1, 2, 2, 3) // 4 rows x 12 cols
+}
+
+fn plan(layer: &ConvLayer, u: Unroll) -> LayerPlan {
+    LayerPlan::derive(layer, 0, u, u, 16, STORE_WORDS).expect("clean plan derives")
+}
+
+/// Asserts every diagnostic names `rule` and at least one is an error —
+/// the "trips exactly that rule" obligation.
+fn assert_only(diags: &[flexcheck::Diagnostic], rule: RuleId) {
+    assert!(!diags.is_empty(), "expected {rule} to fire");
+    for d in diags {
+        assert_eq!(d.rule, rule, "foreign rule fired:\n{}", render(diags));
+    }
+    assert!(
+        diags.iter().any(|d| d.severity == Severity::Error),
+        "{rule} fired only below Error:\n{}",
+        render(diags)
+    );
+}
+
+// ---------------------------------------------------------------- clean
+
+#[test]
+fn every_workload_is_error_free_on_all_four_architectures() {
+    for net in workloads::all() {
+        for arch in ArchParams::paper_suite(net.name()) {
+            let diags = check_network(&net, &arch);
+            assert!(
+                !has_errors(&diags),
+                "{} on {}:\n{}",
+                net.name(),
+                arch.kind.name(),
+                render(&diags)
+            );
+        }
+    }
+}
+
+#[test]
+fn flexflow_programs_are_completely_clean() {
+    // On FlexFlow itself not even warnings: the compiler emits no dead
+    // code and every plan is bank/store/bus-safe by construction.
+    for net in workloads::all() {
+        let program = Compiler::new(16).compile(&net);
+        let diags = check(&program, &net, &ArchParams::flexflow_paper());
+        assert!(diags.is_empty(), "{}:\n{}", net.name(), render(&diags));
+    }
+}
+
+#[test]
+fn harness_base_plans_are_clean() {
+    let arch = ArchParams::flexflow_paper();
+    for (layer, u) in [(deep_layer(), deep_unroll()), (wide_layer(), wide_unroll())] {
+        let p = plan(&layer, u);
+        let diags = check_layer_plan(&p, &arch);
+        assert!(diags.is_empty(), "{u}:\n{}", render(&diags));
+    }
+    assert_eq!(plan(&deep_layer(), deep_unroll()).slice_words, 96);
+}
+
+// --------------------------------------------- FXC01 local-store capacity
+
+#[test]
+fn fxc01_static_half_size_store_cannot_hold_the_slice() {
+    // Corruption: the target hardware's store is halved (the ablation
+    // configuration); the 96-word slice no longer fits.
+    let mut arch = ArchParams::flexflow_paper();
+    arch.store_words = 64;
+    let diags = check_layer_plan(&plan(&deep_layer(), deep_unroll()), &arch);
+    assert_only(&diags, RuleId::LsCapacity);
+}
+
+#[test]
+#[should_panic(expected = "address out of range")]
+fn fxc01_dynamic_half_size_store_overflows() {
+    // The same slice streamed into a 64-word store runs off its end.
+    let p = plan(&deep_layer(), deep_unroll());
+    let mut store = LocalStore::new(64);
+    for addr in 0..p.slice_words {
+        store.write(addr, Fx16::ONE);
+    }
+}
+
+// ------------------------------------------------------- FXC02 CDB race
+
+#[test]
+fn fxc02_static_widened_walk_races_the_vertical_buses() {
+    // Corruption: the Configure instruction walks Tj=6 synapse columns
+    // per step while the mapping only spreads 3 residue classes.
+    let mut p = plan(&deep_layer(), deep_unroll());
+    p.walk.tj = 2 * p.mapping.tj;
+    let diags = check_layer_plan(&p, &ArchParams::flexflow_paper());
+    assert_only(&diags, RuleId::CdbRace);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, should_panic(expected = "FXC02"))]
+fn fxc02_dynamic_widened_walk_trips_the_bus_guard() {
+    // Replaying one corrupted step against the hardware's per-cycle
+    // write-exclusivity guard: the 4th..6th synapse-column offsets land
+    // on already-claimed buses.
+    let u = deep_unroll();
+    let mapping = Mapping::new(u);
+    let mut claims = StepClaims::new(u.cols_used());
+    for dn in 0..u.tn {
+        for di in 0..u.ti {
+            for dj in 0..2 * u.tj {
+                claims.claim(mapping.operand_col(dn, 0, 0, di, dj, 1));
+            }
+        }
+    }
+}
+
+// ----------------------------------------------- FXC03 adder-tree ports
+
+#[test]
+fn fxc03_static_widened_batch_contends_for_row_ports() {
+    // Corruption: the Configure batch covers Tc=4 output columns while
+    // the mapping owns 2 residue classes.
+    let mut p = plan(&deep_layer(), deep_unroll());
+    p.batch.tc = 2 * p.mapping.tc;
+    let diags = check_layer_plan(&p, &ArchParams::flexflow_paper());
+    assert_only(&diags, RuleId::AdderTreePort);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, should_panic(expected = "FXC03"))]
+fn fxc03_dynamic_widened_batch_trips_the_port_guard() {
+    let u = deep_unroll();
+    let mapping = Mapping::new(u);
+    let mut ports = RowPorts::new(u.rows_used());
+    let mut output = 0usize;
+    for dm in 0..u.tm {
+        for dr in 0..u.tr {
+            for dc in 0..2 * u.tc {
+                ports.claim(mapping.output_row(dm, dr, dc), output);
+                output += 1;
+            }
+        }
+    }
+}
+
+// --------------------------------------------------- FXC04 FSM bounds
+
+#[test]
+fn fxc04_static_one_extra_window_escapes_the_slice() {
+    // Corruption: one extra window per row pushes the FSM's maximum
+    // address from slice−1 to slice.
+    let mut p = plan(&deep_layer(), deep_unroll());
+    p.neuron_fsm.config.windows_per_row += 1;
+    let diags = check_layer_plan(&p, &ArchParams::flexflow_paper());
+    assert_only(&diags, RuleId::FsmBounds);
+}
+
+#[test]
+#[should_panic(expected = "address out of range")]
+fn fxc04_dynamic_one_extra_window_reads_past_the_slice() {
+    let p = plan(&deep_layer(), deep_unroll());
+    let mut cfg = p.neuron_fsm.config;
+    cfg.windows_per_row += 1;
+    let mut store = LocalStore::new(p.slice_words);
+    let mut fsm = AddrFsm::new(cfg);
+    for _ in 0..cfg.windows_per_row * cfg.window {
+        store.read(fsm.next_addr());
+    }
+}
+
+// ------------------------------------------------- FXC05 ISA protocol
+
+#[test]
+fn fxc05_static_dropped_halt_breaks_the_stream_protocol() {
+    let net = workloads::lenet5();
+    let compiled = Compiler::new(16).compile(&net);
+    let mut instrs = compiled.instrs().to_vec();
+    assert_eq!(instrs.pop(), Some(flexflow::isa::Instr::Halt));
+    let corrupted = Program::from_parts("LeNet-5", 16, compiled.choices().to_vec(), instrs);
+    let diags = check(&corrupted, &net, &ArchParams::flexflow_paper());
+    assert_only(&diags, RuleId::IsaProtocol);
+}
+
+#[test]
+fn fxc05_dynamic_decoder_rejects_the_haltless_stream() {
+    let net = workloads::lenet5();
+    let compiled = Compiler::new(16).compile(&net);
+    let mut words = compiled.encode();
+    words.pop(); // drop the Halt word
+    assert!(Decoder::new(16).decode_stream(&words).is_err());
+}
+
+// ------------------------------------------------ FXC06 unroll bounds
+
+#[test]
+fn fxc06_static_over_occupied_engine_is_rejected_at_derive() {
+    // Corruption: 32 PE rows demanded of a 16x16 engine.
+    let u = Unroll::new(8, 1, 2, 2, 1, 1);
+    let err = LayerPlan::derive(&deep_layer(), 0, u, u, 16, STORE_WORDS).unwrap_err();
+    assert_eq!(err.rule, RuleId::UnrollBounds);
+    assert_eq!(err.severity, Severity::Error);
+}
+
+#[test]
+#[should_panic(expected = "unrolling exceeds")]
+fn fxc06_dynamic_over_occupied_engine_panics_the_scheduler() {
+    let u = Unroll::new(8, 1, 2, 2, 1, 1);
+    analytic::schedule(&deep_layer(), u, 16, STORE_WORDS);
+}
+
+// ------------------------------------------------ FXC07 bank conflicts
+
+#[test]
+fn fxc07_static_halved_banks_cannot_stream_the_iadp_layout() {
+    // Corruption: 8-bank buffers under a 12-column IADP layout.
+    let mut arch = ArchParams::flexflow_paper();
+    arch.buffer_banks = 8;
+    let diags = check_layer_plan(&plan(&wide_layer(), wide_unroll()), &arch);
+    assert_only(&diags, RuleId::BankConflict);
+}
+
+#[test]
+#[should_panic(expected = "fit the physical banks")]
+fn fxc07_dynamic_halved_banks_panic_the_iadp_layout() {
+    let u = wide_unroll();
+    flexflow::buffers::NeuronLayout::new(u.tn, u.ti, u.tj, 8);
+}
+
+// -------------------------------------------- FXC08 utilization sanity
+
+#[test]
+fn fxc08_static_tampered_mac_count_breaks_the_identities() {
+    let mut p = plan(&wide_layer(), wide_unroll());
+    p.schedule.macs += 1;
+    let diags = check_layer_plan(&p, &ArchParams::flexflow_paper());
+    assert_only(&diags, RuleId::UtilSanity);
+}
+
+#[test]
+fn fxc08_dynamic_functional_macs_diverge_from_the_tampered_claim() {
+    // The cycle-stepped array measures the true MAC count; the engine's
+    // schedule-vs-trace asserts would reject the tampered claim.
+    let layer = wide_layer();
+    let u = wide_unroll();
+    let tampered = plan(&layer, u).schedule.macs + 1;
+    let (input, kernels) = reference::random_layer_data(&layer, 7);
+    let report = PeArray::new(16).run_layer(&layer, u, &input, &kernels);
+    assert_eq!(report.macs, layer.macs());
+    assert_ne!(report.macs, tampered);
+}

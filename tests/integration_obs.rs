@@ -16,7 +16,8 @@ use std::sync::{Arc, Mutex, MutexGuard};
 
 fn serial() -> MutexGuard<'static, ()> {
     static LOCK: Mutex<()> = Mutex::new(());
-    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// ISSUE acceptance: the live metrics registry and the aggregate
