@@ -30,4 +30,17 @@ cargo test -q --offline
 echo "==> flexsim lint (static schedule verification)"
 cargo run -q -p flexsim-experiments --release --offline -- lint > /dev/null
 
+echo "==> flexsim --jobs determinism (parallel output byte-identical to serial)"
+FLEXSIM="$(pwd)/target/release/flexsim"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+"$FLEXSIM" --jobs 1 --json all > "$TMP/serial.json"
+"$FLEXSIM" --jobs 2 --json all > "$TMP/jobs2.json"
+cmp "$TMP/serial.json" "$TMP/jobs2.json" \
+    || { echo "FAIL: --jobs 2 output diverged from --jobs 1"; exit 1; }
+
+echo "==> flexsim bench sweep (serial vs parallel wall time)"
+(cd "$TMP" && "$FLEXSIM" bench sweep)
+cat "$TMP/BENCH_pool.json"
+
 echo "CI OK"

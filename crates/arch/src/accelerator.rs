@@ -12,6 +12,12 @@ use flexsim_obs::span;
 /// (`flexsim-baselines`) and for FlexFlow itself (`flexflow`). The
 /// experiment harness drives everything through this trait.
 ///
+/// `Send` is a supertrait: simulators are plain data plus an optional
+/// [`SinkHandle`] (itself `Send + Sync`), and the parallel experiment
+/// scheduler (`flexsim-pool`) moves boxed accelerators into worker
+/// threads. An implementation holding `Rc`/`RefCell` state would be
+/// rejected here at compile time.
+///
 /// # Example
 ///
 /// ```no_run
@@ -23,7 +29,7 @@ use flexsim_obs::span;
 ///     println!("{summary}");
 /// }
 /// ```
-pub trait Accelerator {
+pub trait Accelerator: Send {
     /// Human-readable architecture name (e.g. `"Systolic"`).
     fn name(&self) -> &str;
 
@@ -123,5 +129,11 @@ mod tests {
         let dyn_acc: &mut dyn Accelerator = &mut acc;
         assert_eq!(dyn_acc.name(), "Ideal");
         assert_eq!(dyn_acc.clock_ghz(), 1.0);
+    }
+
+    #[test]
+    fn boxed_accelerators_are_send() {
+        fn assert_send<T: Send + ?Sized>() {}
+        assert_send::<Box<dyn Accelerator>>();
     }
 }

@@ -9,26 +9,62 @@ use std::time::Duration;
 fn bench(c: &mut Harness) {
     // Print the regenerated ablation tables once per measured run.
     if c.mode() == Mode::Measure {
-        eprintln!("{}", flexsim_experiments::ablations::styles());
-        eprintln!("{}", flexsim_experiments::ablations::local_store());
-        eprintln!("{}", flexsim_experiments::ablations::coupling());
-        eprintln!("{}", flexsim_experiments::ablations::rc_bound());
+        eprintln!(
+            "{}",
+            flexsim_experiments::ablations::styles(&flexsim_experiments::ExperimentCtx::serial(
+                "ablation_styles"
+            ))
+        );
+        eprintln!(
+            "{}",
+            flexsim_experiments::ablations::local_store(
+                &flexsim_experiments::ExperimentCtx::serial("ablation_store")
+            )
+        );
+        eprintln!(
+            "{}",
+            flexsim_experiments::ablations::coupling(&flexsim_experiments::ExperimentCtx::serial(
+                "ablation_coupling"
+            ))
+        );
+        eprintln!(
+            "{}",
+            flexsim_experiments::ablations::rc_bound(&flexsim_experiments::ExperimentCtx::serial(
+                "ablation_rc_bound"
+            ))
+        );
     }
     let mut group = c.benchmark_group("ablations");
     group
         .sample_size(10)
         .measurement_time(Duration::from_secs(5));
     group.bench_function("styles", |b| {
-        b.iter(|| black_box(flexsim_experiments::ablations::styles()))
+        b.iter(|| {
+            black_box(flexsim_experiments::ablations::styles(
+                &flexsim_experiments::ExperimentCtx::serial("ablation_styles"),
+            ))
+        })
     });
     group.bench_function("local_store", |b| {
-        b.iter(|| black_box(flexsim_experiments::ablations::local_store()))
+        b.iter(|| {
+            black_box(flexsim_experiments::ablations::local_store(
+                &flexsim_experiments::ExperimentCtx::serial("ablation_store"),
+            ))
+        })
     });
     group.bench_function("coupling", |b| {
-        b.iter(|| black_box(flexsim_experiments::ablations::coupling()))
+        b.iter(|| {
+            black_box(flexsim_experiments::ablations::coupling(
+                &flexsim_experiments::ExperimentCtx::serial("ablation_coupling"),
+            ))
+        })
     });
     group.bench_function("rc_bound", |b| {
-        b.iter(|| black_box(flexsim_experiments::ablations::rc_bound()))
+        b.iter(|| {
+            black_box(flexsim_experiments::ablations::rc_bound(
+                &flexsim_experiments::ExperimentCtx::serial("ablation_rc_bound"),
+            ))
+        })
     });
     group.finish();
 }

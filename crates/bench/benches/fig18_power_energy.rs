@@ -8,14 +8,21 @@ use std::time::Duration;
 fn bench(c: &mut Harness) {
     // Print the regenerated table/figure data once per measured run.
     if c.mode() == Mode::Measure {
-        eprintln!("{}", flexsim_experiments::fig18::run());
+        eprintln!(
+            "{}",
+            flexsim_experiments::fig18::run(&flexsim_experiments::ExperimentCtx::serial("fig18"))
+        );
     }
     let mut group = c.benchmark_group("fig18_power_energy");
     group
         .sample_size(10)
         .measurement_time(Duration::from_secs(5));
     group.bench_function("regenerate", |b| {
-        b.iter(|| black_box(flexsim_experiments::fig18::run()))
+        b.iter(|| {
+            black_box(flexsim_experiments::fig18::run(
+                &flexsim_experiments::ExperimentCtx::serial("fig18"),
+            ))
+        })
     });
     group.finish();
 }

@@ -8,14 +8,21 @@ use std::time::Duration;
 fn bench(c: &mut Harness) {
     // Print the regenerated table/figure data once per measured run.
     if c.mode() == Mode::Measure {
-        eprintln!("{}", flexsim_experiments::fig19::run());
+        eprintln!(
+            "{}",
+            flexsim_experiments::fig19::run(&flexsim_experiments::ExperimentCtx::serial("fig19"))
+        );
     }
     let mut group = c.benchmark_group("fig19_scalability");
     group
         .sample_size(10)
         .measurement_time(Duration::from_secs(5));
     group.bench_function("regenerate", |b| {
-        b.iter(|| black_box(flexsim_experiments::fig19::run()))
+        b.iter(|| {
+            black_box(flexsim_experiments::fig19::run(
+                &flexsim_experiments::ExperimentCtx::serial("fig19"),
+            ))
+        })
     });
     group.finish();
 }

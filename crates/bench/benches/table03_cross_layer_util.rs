@@ -8,14 +8,23 @@ use std::time::Duration;
 fn bench(c: &mut Harness) {
     // Print the regenerated table/figure data once per measured run.
     if c.mode() == Mode::Measure {
-        eprintln!("{}", flexsim_experiments::table03::run());
+        eprintln!(
+            "{}",
+            flexsim_experiments::table03::run(&flexsim_experiments::ExperimentCtx::serial(
+                "table03"
+            ))
+        );
     }
     let mut group = c.benchmark_group("table03_cross_layer_util");
     group
         .sample_size(10)
         .measurement_time(Duration::from_secs(5));
     group.bench_function("regenerate", |b| {
-        b.iter(|| black_box(flexsim_experiments::table03::run()))
+        b.iter(|| {
+            black_box(flexsim_experiments::table03::run(
+                &flexsim_experiments::ExperimentCtx::serial("table03"),
+            ))
+        })
     });
     group.finish();
 }

@@ -13,11 +13,72 @@
 //! * [`rc_bound`] — the Section 5 constraint `Tr, Tc ≤ P·K'`: what the
 //!   IADP pre-layout guarantee costs in raw per-layer utilization.
 
+use crate::experiment::{Experiment, ExperimentCtx};
 use crate::report::{eng, fmt_f, pct, ExperimentResult, Table};
 use flexflow::analytic;
 use flexsim_dataflow::search::{best_unroll, best_unroll_where, plan_network};
 use flexsim_dataflow::{Style, Unroll};
 use flexsim_model::{workloads, Network};
+
+/// Registry entry for the complementary-parallelism ablation.
+pub struct AblationStyles;
+
+impl Experiment for AblationStyles {
+    fn id(&self) -> &'static str {
+        "ablation_styles"
+    }
+    fn title(&self) -> &'static str {
+        "Ablation: complementary parallelism vs. single-parallelism styles"
+    }
+    fn run(&self, ctx: &ExperimentCtx) -> ExperimentResult {
+        styles(ctx)
+    }
+}
+
+/// Registry entry for the local-store capacity ablation.
+pub struct AblationStore;
+
+impl Experiment for AblationStore {
+    fn id(&self) -> &'static str {
+        "ablation_store"
+    }
+    fn title(&self) -> &'static str {
+        "Ablation: per-PE local store capacity (Table 5 uses 128 words)"
+    }
+    fn run(&self, ctx: &ExperimentCtx) -> ExperimentResult {
+        local_store(ctx)
+    }
+}
+
+/// Registry entry for the IADP coupling ablation.
+pub struct AblationCoupling;
+
+impl Experiment for AblationCoupling {
+    fn id(&self) -> &'static str {
+        "ablation_coupling"
+    }
+    fn title(&self) -> &'static str {
+        "Ablation: coupled (DP) factor planning vs. greedy per-layer chain"
+    }
+    fn run(&self, ctx: &ExperimentCtx) -> ExperimentResult {
+        coupling(ctx)
+    }
+}
+
+/// Registry entry for the successor-bound ablation.
+pub struct AblationRcBound;
+
+impl Experiment for AblationRcBound {
+    fn id(&self) -> &'static str {
+        "ablation_rc_bound"
+    }
+    fn title(&self) -> &'static str {
+        "Ablation: the Section 5 successor bound Tr,Tc <= P*K'"
+    }
+    fn run(&self, ctx: &ExperimentCtx) -> ExperimentResult {
+        rc_bound(ctx)
+    }
+}
 
 /// MAC-weighted utilization of a per-layer style-restricted plan.
 fn styled_utilization(net: &Network, d: usize, style: Option<Style>) -> f64 {
@@ -42,8 +103,27 @@ fn styled_utilization(net: &Network, d: usize, style: Option<Style>) -> f64 {
 }
 
 /// Ablation 1: complementary parallelism.
-pub fn styles() -> ExperimentResult {
+pub fn styles(ctx: &ExperimentCtx) -> ExperimentResult {
     let d = 16;
+    let rows = ctx.map(
+        workloads::all(),
+        |net| net.name().to_owned(),
+        move |_tctx, net| {
+            let sp = styled_utilization(&net, d, Some(Style::systolic()));
+            let np = styled_utilization(&net, d, Some(Style::mapping2d()));
+            let fp = styled_utilization(&net, d, Some(Style::tiling()));
+            let full = styled_utilization(&net, d, None);
+            let best_single = sp.max(np).max(fp);
+            [
+                net.name().to_owned(),
+                pct(sp),
+                pct(np),
+                pct(fp),
+                pct(full),
+                format!("{:.2}x", full / best_single),
+            ]
+        },
+    );
     let mut table = Table::new([
         "workload",
         "SP only (SFSNMS) %",
@@ -52,24 +132,12 @@ pub fn styles() -> ExperimentResult {
         "full MFMNMS %",
         "gain vs best single",
     ]);
-    for net in workloads::all() {
-        let sp = styled_utilization(&net, d, Some(Style::systolic()));
-        let np = styled_utilization(&net, d, Some(Style::mapping2d()));
-        let fp = styled_utilization(&net, d, Some(Style::tiling()));
-        let full = styled_utilization(&net, d, None);
-        let best_single = sp.max(np).max(fp);
-        table.push_row([
-            net.name().to_owned(),
-            pct(sp),
-            pct(np),
-            pct(fp),
-            pct(full),
-            format!("{:.2}x", full / best_single),
-        ]);
+    for row in rows {
+        table.push_row(row);
     }
     ExperimentResult {
         id: "ablation_styles".into(),
-        title: "Ablation: complementary parallelism vs. single-parallelism styles".into(),
+        title: AblationStyles.title().into(),
         notes: vec![
             "All rows run on the same FlexFlow substrate; only the factor \
              search is restricted. The gain column is the utilization the \
@@ -81,8 +149,37 @@ pub fn styles() -> ExperimentResult {
 }
 
 /// Ablation 2: local-store capacity.
-pub fn local_store() -> ExperimentResult {
+pub fn local_store(ctx: &ExperimentCtx) -> ExperimentResult {
     let d = 16;
+    let per_net = ctx.map(
+        vec![workloads::alexnet(), workloads::vgg11()],
+        |net| net.name().to_owned(),
+        move |_tctx, net| {
+            let plan = plan_network(&net, d);
+            let mut rows: Vec<[String; 5]> = Vec::new();
+            for words in [16usize, 32, 64, 128, 256] {
+                let mut macs = 0u64;
+                let mut pe_cycles = 0u64;
+                let mut traffic = 0u64;
+                let mut psum = 0u64;
+                for (layer, choice) in net.conv_layers().zip(&plan) {
+                    let sch = analytic::schedule(layer, choice.unroll, d, words);
+                    macs += sch.macs;
+                    pe_cycles += sch.cycles * (d * d) as u64;
+                    traffic += sch.traffic.total();
+                    psum += sch.traffic.psum;
+                }
+                rows.push([
+                    net.name().to_owned(),
+                    words.to_string(),
+                    pct(macs as f64 / pe_cycles as f64),
+                    eng(traffic as f64),
+                    eng(psum as f64),
+                ]);
+            }
+            rows
+        },
+    );
     let mut table = Table::new([
         "workload",
         "store words",
@@ -90,32 +187,12 @@ pub fn local_store() -> ExperimentResult {
         "traffic words",
         "psum words",
     ]);
-    for net in [workloads::alexnet(), workloads::vgg11()] {
-        let plan = plan_network(&net, d);
-        for words in [16usize, 32, 64, 128, 256] {
-            let mut macs = 0u64;
-            let mut pe_cycles = 0u64;
-            let mut traffic = 0u64;
-            let mut psum = 0u64;
-            for (layer, choice) in net.conv_layers().zip(&plan) {
-                let sch = analytic::schedule(layer, choice.unroll, d, words);
-                macs += sch.macs;
-                pe_cycles += sch.cycles * (d * d) as u64;
-                traffic += sch.traffic.total();
-                psum += sch.traffic.psum;
-            }
-            table.push_row([
-                net.name().to_owned(),
-                words.to_string(),
-                pct(macs as f64 / pe_cycles as f64),
-                eng(traffic as f64),
-                eng(psum as f64),
-            ]);
-        }
+    for row in per_net.into_iter().flatten() {
+        table.push_row(row);
     }
     ExperimentResult {
         id: "ablation_store".into(),
-        title: "Ablation: per-PE local store capacity (Table 5 uses 128 words)".into(),
+        title: AblationStore.title().into(),
         notes: vec![
             "Smaller stores force more partial-sum segmentation (Fig. 13f \
              spills) and more operand re-streaming; beyond the deep layers' \
@@ -127,55 +204,62 @@ pub fn local_store() -> ExperimentResult {
 }
 
 /// Ablation 3: IADP network coupling (DP planner vs. greedy chain).
-pub fn coupling() -> ExperimentResult {
+pub fn coupling(ctx: &ExperimentCtx) -> ExperimentResult {
     let d = 16;
+    let rows = ctx.map(
+        workloads::all(),
+        |net| net.name().to_owned(),
+        move |_tctx, net| {
+            let plan = plan_network(&net, d);
+            let planned: u64 = plan.iter().map(|c| c.cycles).sum();
+
+            // Greedy: first layer free, then clamp each layer's row side to
+            // the previous col side.
+            let idxs = net.conv_indices();
+            let mut greedy = 0u64;
+            let mut prev: Option<Unroll> = None;
+            for (pos, layer) in net.conv_layers().enumerate() {
+                let bound = net
+                    .successor_coupling(idxs[pos])
+                    .map(|c| c.pool_window * c.next_conv.k());
+                let mut choice = best_unroll(layer, d, bound);
+                if let Some(p) = prev {
+                    let u = Unroll::new(
+                        choice.unroll.tm,
+                        p.tm.min(layer.n()),
+                        choice.unroll.tr,
+                        choice.unroll.tc,
+                        p.tr.min(layer.k()),
+                        p.tc.min(layer.k()),
+                    );
+                    choice = best_unroll_where(layer, d, bound, |cand| {
+                        cand.tn == u.tn && cand.ti == u.ti && cand.tj == u.tj
+                    })
+                    .unwrap_or(choice);
+                }
+                greedy += choice.cycles;
+                prev = Some(choice.unroll);
+            }
+            [
+                net.name().to_owned(),
+                greedy.to_string(),
+                planned.to_string(),
+                fmt_f((1.0 - planned as f64 / greedy as f64) * 100.0, 1),
+            ]
+        },
+    );
     let mut table = Table::new([
         "workload",
         "greedy cycles",
         "planned cycles",
         "improvement %",
     ]);
-    for net in workloads::all() {
-        let plan = plan_network(&net, d);
-        let planned: u64 = plan.iter().map(|c| c.cycles).sum();
-
-        // Greedy: first layer free, then clamp each layer's row side to
-        // the previous col side.
-        let idxs = net.conv_indices();
-        let mut greedy = 0u64;
-        let mut prev: Option<Unroll> = None;
-        for (pos, layer) in net.conv_layers().enumerate() {
-            let bound = net
-                .successor_coupling(idxs[pos])
-                .map(|c| c.pool_window * c.next_conv.k());
-            let mut choice = best_unroll(layer, d, bound);
-            if let Some(p) = prev {
-                let u = Unroll::new(
-                    choice.unroll.tm,
-                    p.tm.min(layer.n()),
-                    choice.unroll.tr,
-                    choice.unroll.tc,
-                    p.tr.min(layer.k()),
-                    p.tc.min(layer.k()),
-                );
-                choice = best_unroll_where(layer, d, bound, |cand| {
-                    cand.tn == u.tn && cand.ti == u.ti && cand.tj == u.tj
-                })
-                .unwrap_or(choice);
-            }
-            greedy += choice.cycles;
-            prev = Some(choice.unroll);
-        }
-        table.push_row([
-            net.name().to_owned(),
-            greedy.to_string(),
-            planned.to_string(),
-            fmt_f((1.0 - planned as f64 / greedy as f64) * 100.0, 1),
-        ]);
+    for row in rows {
+        table.push_row(row);
     }
     ExperimentResult {
         id: "ablation_coupling".into(),
-        title: "Ablation: coupled (DP) factor planning vs. greedy per-layer chain".into(),
+        title: AblationCoupling.title().into(),
         notes: vec![
             "Both planners honour the IADP chain constraint; the DP looks \
              ahead so an early layer's ⟨Tm,Tr,Tc⟩ choice doesn't strand a \
@@ -187,16 +271,15 @@ pub fn coupling() -> ExperimentResult {
 }
 
 /// Ablation 4: the `Tr, Tc ≤ P·K'` successor constraint.
-pub fn rc_bound() -> ExperimentResult {
-    let mut table = Table::new([
-        "engine",
-        "workload",
-        "mean bounded Ut %",
-        "mean unbounded Ut %",
-        "worst layer cost",
-    ]);
-    for d in [16usize, 32, 64] {
-        for net in workloads::all() {
+pub fn rc_bound(ctx: &ExperimentCtx) -> ExperimentResult {
+    let pairs: Vec<(usize, Network)> = [16usize, 32, 64]
+        .into_iter()
+        .flat_map(|d| workloads::all().into_iter().map(move |net| (d, net)))
+        .collect();
+    let rows = ctx.map(
+        pairs,
+        |(d, net)| format!("{d}x{d}/{}", net.name()),
+        |_tctx, (d, net)| {
             let idxs = net.conv_indices();
             let mut bsum = 0.0;
             let mut usum = 0.0;
@@ -214,18 +297,28 @@ pub fn rc_bound() -> ExperimentResult {
                 count += 1.0;
                 worst = worst.max(unbounded.total_utilization() - bounded.total_utilization());
             }
-            table.push_row([
+            [
                 format!("{d}x{d}"),
                 net.name().to_owned(),
                 pct(bsum / count),
                 pct(usum / count),
                 format!("{:.1} pts", worst * 100.0),
-            ]);
-        }
+            ]
+        },
+    );
+    let mut table = Table::new([
+        "engine",
+        "workload",
+        "mean bounded Ut %",
+        "mean unbounded Ut %",
+        "worst layer cost",
+    ]);
+    for row in rows {
+        table.push_row(row);
     }
     ExperimentResult {
         id: "ablation_rc_bound".into(),
-        title: "Ablation: the Section 5 successor bound Tr,Tc <= P*K'".into(),
+        title: AblationRcBound.title().into(),
         notes: vec![
             "Dropping the bound would let some layers pick bigger spatial \
              factors, but their outputs would land in the wrong IADP layout \
@@ -250,7 +343,7 @@ mod tests {
 
     #[test]
     fn mixing_beats_every_single_style() {
-        let r = styles();
+        let r = styles(&ExperimentCtx::serial("ablation_styles"));
         for row in r.table.rows() {
             let full: f64 = row[4].parse().unwrap();
             for col in 1..=3 {
@@ -277,7 +370,7 @@ mod tests {
 
     #[test]
     fn store_capacity_is_monotone_in_utilization() {
-        let r = local_store();
+        let r = local_store(&ExperimentCtx::serial("ablation_store"));
         for wl in ["AlexNet", "VGG-11"] {
             let utils: Vec<f64> = r
                 .table
@@ -306,7 +399,7 @@ mod tests {
         // The surprising (and checkable) finding: the engine-size
         // constraint dominates P*K' on every workload and scale, so the
         // IADP layout guarantee costs nothing.
-        let r = rc_bound();
+        let r = rc_bound(&ExperimentCtx::serial("ablation_rc_bound"));
         assert_eq!(r.table.rows().len(), 18); // 3 scales x 6 workloads
         for row in r.table.rows() {
             let bounded: f64 = row[2].parse().unwrap();
@@ -323,7 +416,7 @@ mod tests {
 
     #[test]
     fn planned_never_slower_than_greedy() {
-        let r = coupling();
+        let r = coupling(&ExperimentCtx::serial("ablation_coupling"));
         for row in r.table.rows() {
             let greedy: u64 = row[1].parse().unwrap();
             let planned: u64 = row[2].parse().unwrap();

@@ -1,60 +1,207 @@
 //! Factories for the four evaluated architectures at the paper's
-//! configurations (Section 6.1.1) and at the Fig. 19 scales.
+//! configurations (Section 6.1.1) and at the Fig. 19 scales, behind
+//! the [`ArchSet`] builder.
+//!
+//! ```no_run
+//! use flexsim_experiments::arches::ArchSet;
+//! use flexsim_model::workloads;
+//!
+//! let net = workloads::alexnet();
+//! for mut acc in ArchSet::builder().scale(32).build(&net) {
+//!     let _ = acc.run_network(&net);
+//! }
+//! ```
 
 use flexflow::FlexFlow;
 use flexsim_arch::Accelerator;
 use flexsim_baselines::{Mapping2d, Systolic, TilingArray};
 use flexsim_model::Network;
+use flexsim_obs::cycles::SinkHandle;
 
 /// The four architecture names in the paper's presentation order.
 pub const ARCH_NAMES: [&str; 4] = ["Systolic", "2D-Mapping", "Tiling", "FlexFlow"];
 
+/// The paper's evaluation scale: every engine is a ~256-PE,
+/// 16×16-equivalent configuration (Section 6.1.1).
+const PAPER_SCALE: usize = 16;
+
+/// The baseline systolic array side: 6×6 arrays serve every Table 1
+/// workload whose kernels are ≤ 6 wide (the DC-CNN configuration).
+const BASE_ARRAY_K: usize = 6;
+
+/// The systolic array side for `net` — **the builder rule that
+/// replaces the old AlexNet string-compare**: a systolic array must be
+/// at least as wide as the widest convolution kernel it executes
+/// (row-stationary mapping needs `k` columns), so the side is
+/// `max(6, widest conv kernel)`. Among the Table 1 workloads only
+/// AlexNet (11×11 C1 kernels) exceeds the 6×6 default, reproducing
+/// Section 6.1.1's "11×11 arrays for AlexNet" special case without
+/// naming any workload.
+fn systolic_array_k(net: &Network) -> usize {
+    net.conv_layers()
+        .map(flexsim_model::ConvLayer::k)
+        .max()
+        .unwrap_or(BASE_ARRAY_K)
+        .max(BASE_ARRAY_K)
+}
+
+/// The four architectures configured for one workload, in
+/// [`ARCH_NAMES`] order. Build one with [`ArchSet::builder`].
+pub struct ArchSet {
+    accs: Vec<Box<dyn Accelerator>>,
+}
+
+impl ArchSet {
+    /// Starts a builder with the paper defaults: ~256-PE scale, no
+    /// cycle sink, lint gate armed.
+    pub fn builder() -> ArchSetBuilder {
+        ArchSetBuilder {
+            scale: PAPER_SCALE,
+            sink: SinkHandle::none(),
+            lint: true,
+        }
+    }
+
+    /// The configured accelerators, consuming the set.
+    pub fn into_vec(self) -> Vec<Box<dyn Accelerator>> {
+        self.accs
+    }
+
+    /// Number of architectures (always [`ARCH_NAMES`]`.len()`).
+    pub fn len(&self) -> usize {
+        self.accs.len()
+    }
+
+    /// Never true — the set always holds all four architectures.
+    pub fn is_empty(&self) -> bool {
+        self.accs.is_empty()
+    }
+}
+
+impl IntoIterator for ArchSet {
+    type Item = Box<dyn Accelerator>;
+    type IntoIter = std::vec::IntoIter<Box<dyn Accelerator>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.accs.into_iter()
+    }
+}
+
+/// Configures and builds an [`ArchSet`] (see [`ArchSet::builder`]).
+/// Callers choose scale, cycle-sink wiring, and lint gating
+/// explicitly instead of inheriting a process-global sink.
+#[derive(Clone)]
+pub struct ArchSetBuilder {
+    scale: usize,
+    sink: SinkHandle,
+    lint: bool,
+}
+
+impl ArchSetBuilder {
+    /// Engine scale `d` (a `d×d`-equivalent PE budget). Defaults to
+    /// the paper's 16 (~256 PEs).
+    pub fn scale(mut self, d: usize) -> ArchSetBuilder {
+        self.scale = d;
+        self
+    }
+
+    /// Cycle sink every built simulator attaches (default: none).
+    pub fn sink(mut self, sink: SinkHandle) -> ArchSetBuilder {
+        self.sink = sink;
+        self
+    }
+
+    /// Arms or disarms the flexcheck pre-simulation gate for this
+    /// build (default: armed; also subject to the process-wide
+    /// `--no-lint` switch).
+    pub fn lint(mut self, on: bool) -> ArchSetBuilder {
+        self.lint = on;
+        self
+    }
+
+    /// Builds all four architectures for `net`, in [`ARCH_NAMES`]
+    /// order.
+    pub fn build(self, net: &Network) -> ArchSet {
+        if self.lint {
+            crate::lint::gate(net, self.scale);
+        }
+        let accs = (0..ARCH_NAMES.len())
+            .map(|idx| self.make(net, idx))
+            .collect();
+        ArchSet { accs }
+    }
+
+    /// Builds just the architecture at `arch_idx` (an index into
+    /// [`ARCH_NAMES`]) — what per-(workload, architecture) pool tasks
+    /// use so each task constructs only its own simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arch_idx >= ARCH_NAMES.len()`.
+    pub fn build_one(self, net: &Network, arch_idx: usize) -> Box<dyn Accelerator> {
+        assert!(arch_idx < ARCH_NAMES.len(), "arch index {arch_idx}");
+        if self.lint {
+            crate::lint::gate(net, self.scale);
+        }
+        self.make(net, arch_idx)
+    }
+
+    fn make(&self, net: &Network, idx: usize) -> Box<dyn Accelerator> {
+        let d = self.scale;
+        let mut acc: Box<dyn Accelerator> = match idx {
+            0 => Box::new(Systolic::scaled_to(systolic_array_k(net), d * d)),
+            1 => Box::new(Mapping2d::new(d, d)),
+            2 => Box::new(TilingArray::new(d, d)),
+            _ => Box::new(FlexFlow::new(d)),
+        };
+        if self.sink.is_attached() {
+            acc.attach_sink(self.sink.clone());
+        }
+        acc
+    }
+}
+
 /// The Systolic configuration for a workload: 7×(6×6) arrays, except
 /// AlexNet which uses 11×11 arrays (Section 6.1.1).
+#[deprecated(
+    since = "0.1.0",
+    note = "use ArchSet::builder().build_one(net, 0); the AlexNet special case \
+            is now the documented widest-kernel builder rule"
+)]
 pub fn systolic_for(net: &Network) -> Systolic {
-    if net.name() == "AlexNet" {
-        Systolic::alexnet_config()
-    } else {
-        Systolic::dc_cnn()
-    }
+    Systolic::scaled_to(systolic_array_k(net), PAPER_SCALE * PAPER_SCALE)
 }
 
 /// All four architectures at the paper's ~256-PE scale, configured for
-/// `net`, in [`ARCH_NAMES`] order.
-///
-/// Each instance is wired to the process-global cycle sink, so a
-/// recorder installed via [`flexsim_obs::cycles::set_global_sink`]
-/// (e.g. by `flexsim --trace`) sees every layer any experiment runs.
+/// `net`, in [`ARCH_NAMES`] order, wired to the deprecated
+/// process-global cycle sink.
+#[deprecated(
+    since = "0.1.0",
+    note = "use ArchSet::builder().sink(..).build(net); the process-global \
+            sink forbids concurrent sweeps"
+)]
 pub fn paper_scale(net: &Network) -> Vec<Box<dyn Accelerator>> {
-    crate::lint::gate(net, 16);
-    with_global_sink(vec![
-        Box::new(systolic_for(net)),
-        Box::new(Mapping2d::shidiannao()),
-        Box::new(TilingArray::diannao()),
-        Box::new(FlexFlow::paper_config()),
-    ])
+    #[allow(deprecated)] // the shim this wrapper preserves
+    ArchSet::builder()
+        .sink(flexsim_obs::cycles::global_handle())
+        .build(net)
+        .into_vec()
 }
 
 /// All four architectures scaled to a `d×d`-equivalent engine
-/// (Fig. 19). The systolic geometry follows the workload kernel (11×11
-/// arrays for AlexNet). Wired to the global cycle sink like
-/// [`paper_scale`].
+/// (Fig. 19), wired to the deprecated process-global cycle sink.
+#[deprecated(
+    since = "0.1.0",
+    note = "use ArchSet::builder().scale(d).sink(..).build(net); the \
+            process-global sink forbids concurrent sweeps"
+)]
 pub fn at_scale(net: &Network, d: usize) -> Vec<Box<dyn Accelerator>> {
-    crate::lint::gate(net, d);
-    let array_k = if net.name() == "AlexNet" { 11 } else { 6 };
-    with_global_sink(vec![
-        Box::new(Systolic::scaled_to(array_k, d * d)),
-        Box::new(Mapping2d::new(d, d)),
-        Box::new(TilingArray::new(d, d)),
-        Box::new(FlexFlow::new(d)),
-    ])
-}
-
-fn with_global_sink(mut accs: Vec<Box<dyn Accelerator>>) -> Vec<Box<dyn Accelerator>> {
-    for acc in &mut accs {
-        acc.attach_sink(flexsim_obs::cycles::global_handle());
-    }
-    accs
+    #[allow(deprecated)] // the shim this wrapper preserves
+    ArchSet::builder()
+        .scale(d)
+        .sink(flexsim_obs::cycles::global_handle())
+        .build(net)
+        .into_vec()
 }
 
 #[cfg(test)]
@@ -64,29 +211,71 @@ mod tests {
 
     #[test]
     fn paper_scale_is_about_256_pes() {
-        for acc in paper_scale(&workloads::lenet5()) {
+        for acc in ArchSet::builder().build(&workloads::lenet5()) {
             let pes = acc.pe_count();
             assert!((240..=260).contains(&pes), "{}: {pes}", acc.name());
         }
     }
 
     #[test]
-    fn alexnet_gets_11x11_systolic() {
-        let sys = systolic_for(&workloads::alexnet());
-        assert_eq!(sys.array_k(), 11);
-        // 2 arrays keep the scale near 256.
+    fn alexnet_gets_11x11_systolic_via_the_kernel_rule() {
+        // AlexNet's C1 kernels are 11×11 — the widest in Table 1 — so
+        // the widest-kernel rule yields 11×11 arrays (2 of them keep
+        // the scale near 256). Every other workload stays at the 6×6
+        // DC-CNN default.
+        assert_eq!(systolic_array_k(&workloads::alexnet()), 11);
+        let sys = ArchSet::builder().build_one(&workloads::alexnet(), 0);
         assert_eq!(sys.pe_count(), 242);
+        for net in workloads::all() {
+            if net.name() != "AlexNet" {
+                assert_eq!(systolic_array_k(&net), 6, "{}", net.name());
+            }
+        }
     }
 
     #[test]
     fn scaling_covers_fig19_range() {
         for d in [8usize, 16, 32, 64] {
-            for acc in at_scale(&workloads::alexnet(), d) {
+            for acc in ArchSet::builder().scale(d).build(&workloads::alexnet()) {
                 assert!(acc.pe_count() > 0);
                 // One 11x11 systolic array (121 PEs) is the minimum engine
                 // even when the budget is 8x8.
                 assert!(acc.pe_count() <= (d * d).max(121));
             }
         }
+    }
+
+    #[test]
+    fn build_matches_the_deprecated_factories() {
+        // The one-release compatibility contract: the builder and the
+        // deprecated free functions configure identical engines.
+        #[allow(deprecated)]
+        for net in workloads::all() {
+            let new: Vec<(String, usize)> = ArchSet::builder()
+                .build(&net)
+                .into_iter()
+                .map(|a| (a.name().to_owned(), a.pe_count()))
+                .collect();
+            let old: Vec<(String, usize)> = paper_scale(&net)
+                .into_iter()
+                .map(|a| (a.name().to_owned(), a.pe_count()))
+                .collect();
+            assert_eq!(new, old, "{}", net.name());
+        }
+    }
+
+    #[test]
+    fn builder_wires_the_given_sink() {
+        use flexsim_obs::cycles::{CycleRecorder, SinkHandle};
+        use std::sync::Arc;
+        let net = workloads::lenet5();
+        let rec = Arc::new(CycleRecorder::new());
+        let set = ArchSet::builder()
+            .sink(SinkHandle::new(rec.clone()))
+            .build(&net);
+        for mut acc in set {
+            acc.run_network(&net);
+        }
+        assert!(!rec.take().is_empty());
     }
 }

@@ -9,6 +9,7 @@
 pub const USAGE: &str = "\
 usage: flexsim [OPTIONS] [EXPERIMENT-ID...]
        flexsim lint [--json]
+       flexsim bench sweep [--jobs N]
 
 Runs the FlexFlow (HPCA'17) evaluation experiments. With no ids (or
 with `all`) every experiment runs in paper order.
@@ -19,7 +20,13 @@ capacity, bus races, adder-tree ports, FSM bounds, ISA protocol,
 unroll bounds, bank conflicts, utilization sanity) and exits non-zero
 on any error. The same check also gates every simulation.
 
+`flexsim bench sweep` times the full sweep serially and at the given
+`--jobs` level and writes the comparison to BENCH_pool.json.
+
 options:
+  --jobs N        run up to N experiment tasks concurrently (default:
+                  available parallelism; `--jobs 1` is byte-identical
+                  to the historical serial output)
   --json          machine-readable JSON on stdout
   --out DIR       also write one .txt + .json per experiment into DIR
   --trace FILE    write a Chrome trace-event JSON file (host spans +
@@ -47,13 +54,19 @@ pub struct Cli {
     pub metrics: bool,
     /// Run the static verifier sweep instead of any experiment.
     pub lint: bool,
+    /// Run the benchmark subcommand instead of any experiment.
+    pub bench: bool,
     /// Disarm the pre-simulation verification gate.
     pub no_lint: bool,
+    /// Maximum concurrently running experiment tasks (`None` = pick the
+    /// machine's available parallelism).
+    pub jobs: Option<usize>,
     /// Write a Chrome trace-event file to this path.
     pub trace: Option<String>,
     /// Directory for per-experiment `.txt` + `.json` output.
     pub out_dir: Option<String>,
-    /// Experiment ids to run; empty means `all`.
+    /// Experiment ids to run; empty means `all`. For `bench` this holds
+    /// the benchmark name (`sweep`).
     pub ids: Vec<String>,
 }
 
@@ -61,9 +74,10 @@ pub struct Cli {
 ///
 /// # Errors
 ///
-/// Returns a one-line message for unknown flags and for `--out` /
-/// `--trace` missing their value (a following argument that itself
-/// looks like a flag does not count as a value).
+/// Returns a one-line message for unknown flags, for `--out` /
+/// `--trace` / `--jobs` missing their value (a following argument that
+/// itself looks like a flag does not count as a value), and for a
+/// `--jobs` value that is not a positive integer.
 pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Cli, String> {
     let mut cli = Cli::default();
     let mut iter = args.iter().map(AsRef::as_ref);
@@ -75,6 +89,14 @@ pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Cli, String> {
             "--metrics" => cli.metrics = true,
             "--no-lint" => cli.no_lint = true,
             "lint" => cli.lint = true,
+            "bench" => cli.bench = true,
+            "--jobs" => {
+                let v = value_of(&mut iter, "--jobs", "a positive integer")?;
+                match v.parse::<usize>() {
+                    Ok(n) if n > 0 => cli.jobs = Some(n),
+                    _ => return Err(format!("--jobs requires a positive integer, got {v:?}")),
+                }
+            }
             "--out" => cli.out_dir = Some(value_of(&mut iter, "--out", "a directory")?),
             "--trace" => cli.trace = Some(value_of(&mut iter, "--trace", "a file path")?),
             flag if flag.starts_with('-') => {
@@ -140,8 +162,24 @@ mod tests {
     }
 
     #[test]
+    fn jobs_takes_a_positive_integer() {
+        let cli = p(&["--jobs", "4", "all"]).unwrap();
+        assert_eq!(cli.jobs, Some(4));
+        assert_eq!(p(&[]).unwrap().jobs, None);
+    }
+
+    #[test]
+    fn bad_jobs_values_are_rejected() {
+        for bad in ["0", "four", "-2", "1.5"] {
+            let err = p(&["--jobs", bad]).unwrap_err();
+            assert!(err.contains("--jobs requires"), "{bad}: {err}");
+        }
+        assert!(p(&["--jobs"]).unwrap_err().contains("--jobs requires"));
+    }
+
+    #[test]
     fn unknown_flags_are_rejected() {
-        for bad in ["--jsno", "--outdir", "-x", "--trace-file"] {
+        for bad in ["--jsno", "--outdir", "-x", "--trace-file", "--job"] {
             let err = p(&[bad, "all"]).unwrap_err();
             assert!(err.contains("unknown option"), "{bad}: {err}");
             assert!(err.contains(bad), "{bad}: {err}");
@@ -173,6 +211,16 @@ mod tests {
         assert!(cli.ids.is_empty());
         let cli = p(&["lint", "--json"]).unwrap();
         assert!(cli.lint && cli.json);
+    }
+
+    #[test]
+    fn bench_is_a_subcommand_with_a_name() {
+        let cli = p(&["bench", "sweep"]).unwrap();
+        assert!(cli.bench);
+        assert_eq!(cli.ids, ["sweep"]);
+        let cli = p(&["bench", "sweep", "--jobs", "2"]).unwrap();
+        assert!(cli.bench);
+        assert_eq!(cli.jobs, Some(2));
     }
 
     #[test]

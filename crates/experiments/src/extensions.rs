@@ -9,34 +9,79 @@
 //!   (the paper quotes 28.34 % / 25.97 % / 21.32 % for 16×16 / 32×32 /
 //!   64×64), measured on our area model.
 
-use crate::arches;
+use crate::arches::{ArchSet, ARCH_NAMES};
+use crate::experiment::{Experiment, ExperimentCtx};
 use crate::report::{fmt_f, pct, ExperimentResult, Table};
 use flexflow::FlexFlow;
 use flexsim_arch::bandwidth::DramInterface;
 use flexsim_arch::dram::{network_traffic, network_traffic_fused};
 use flexsim_arch::Accelerator;
-use flexsim_model::workloads;
+use flexsim_model::{workloads, Network};
+
+/// Registry entry for the roofline extension.
+pub struct ExtRoofline;
+
+impl Experiment for ExtRoofline {
+    fn id(&self) -> &'static str {
+        "ext_roofline"
+    }
+    fn title(&self) -> &'static str {
+        "Extension: DRAM roofline at DDR3-class bandwidth (6.4 GB/s)"
+    }
+    fn run(&self, ctx: &ExperimentCtx) -> ExperimentResult {
+        roofline(ctx)
+    }
+}
+
+/// Registry entry for the batching extension.
+pub struct ExtBatching;
+
+impl Experiment for ExtBatching {
+    fn id(&self) -> &'static str {
+        "ext_batching"
+    }
+    fn title(&self) -> &'static str {
+        "Extension: batched inference lifts the small-net memory roof"
+    }
+    fn run(&self, ctx: &ExperimentCtx) -> ExperimentResult {
+        batching(ctx)
+    }
+}
+
+/// Registry entry for the routing-share extension.
+pub struct ExtRoutingShare;
+
+impl Experiment for ExtRoutingShare {
+    fn id(&self) -> &'static str {
+        "ext_routing_share"
+    }
+    fn title(&self) -> &'static str {
+        "Extension: FlexFlow interconnect share vs. engine scale (Sec. 6.2.5)"
+    }
+    fn run(&self, ctx: &ExperimentCtx) -> ExperimentResult {
+        routing_share(ctx)
+    }
+}
 
 /// Runs the roofline extension.
-pub fn roofline() -> ExperimentResult {
-    let dram = DramInterface::ddr3_style();
-    let mut table = Table::new([
-        "workload",
-        "arch",
-        "compute GOPS",
-        "roofline GOPS",
-        "achievable GOPS",
-        "bound",
-    ]);
-    for net in workloads::all() {
-        // DRAM traffic depends on buffer capacity, shared by all four
-        // engines (Table 5) — the architectures differ in the compute
-        // side.
-        let traffic = network_traffic(&net, 16 * 1024, 16 * 1024);
-        for mut acc in arches::paper_scale(&net) {
+pub fn roofline(ctx: &ExperimentCtx) -> ExperimentResult {
+    let pairs: Vec<(Network, usize)> = workloads::all()
+        .iter()
+        .flat_map(|net| (0..ARCH_NAMES.len()).map(move |idx| (net.clone(), idx)))
+        .collect();
+    let rows = ctx.map(
+        pairs,
+        |(net, idx)| format!("{}/{}", net.name(), ARCH_NAMES[*idx]),
+        |tctx, (net, idx)| {
+            let dram = DramInterface::ddr3_style();
+            // DRAM traffic depends on buffer capacity, shared by all four
+            // engines (Table 5) — the architectures differ in the compute
+            // side.
+            let traffic = network_traffic(&net, 16 * 1024, 16 * 1024);
+            let mut acc = ArchSet::builder().sink(tctx.sink()).build_one(&net, idx);
             let s = acc.run_network(&net);
             let point = dram.cap(s.gops(), traffic, net.conv_macs());
-            table.push_row([
+            [
                 net.name().to_owned(),
                 acc.name().to_owned(),
                 fmt_f(point.compute_gops, 0),
@@ -52,12 +97,23 @@ pub fn roofline() -> ExperimentResult {
                     "compute"
                 }
                 .to_owned(),
-            ]);
-        }
+            ]
+        },
+    );
+    let mut table = Table::new([
+        "workload",
+        "arch",
+        "compute GOPS",
+        "roofline GOPS",
+        "achievable GOPS",
+        "bound",
+    ]);
+    for row in rows {
+        table.push_row(row);
     }
     ExperimentResult {
         id: "ext_roofline".into(),
-        title: "Extension: DRAM roofline at DDR3-class bandwidth (6.4 GB/s)".into(),
+        title: ExtRoofline.title().into(),
         notes: vec![
             "All engines share the Table 5 buffers, so per-frame DRAM \
              traffic is common across architectures; the bound column shows \
@@ -78,8 +134,39 @@ pub fn roofline() -> ExperimentResult {
 
 /// Runs the batching extension: FlexFlow's achievable GOPS vs. batch
 /// size under the DDR3-class roofline.
-pub fn batching() -> ExperimentResult {
-    let dram = DramInterface::ddr3_style();
+pub fn batching(ctx: &ExperimentCtx) -> ExperimentResult {
+    let per_net = ctx.map(
+        vec![workloads::lenet5(), workloads::pv(), workloads::alexnet()],
+        |net| net.name().to_owned(),
+        |tctx, net| {
+            let dram = DramInterface::ddr3_style();
+            crate::lint::gate(&net, 16);
+            let mut ff = FlexFlow::paper_config();
+            ff.attach_sink(tctx.sink());
+            let compute = ff.run_network(&net).gops();
+            let mut rows: Vec<[String; 6]> = Vec::new();
+            for batch in [1u64, 4, 16, 64] {
+                // Fused-chain traffic: FlexFlow's ping-pong neuron buffers
+                // keep fitting intermediates on chip.
+                let traffic = network_traffic_fused(&net, 16 * 1024, 16 * 1024, batch);
+                let point = dram.cap(compute, traffic, net.conv_macs() * batch);
+                rows.push([
+                    net.name().to_owned(),
+                    batch.to_string(),
+                    fmt_f(point.compute_gops, 0),
+                    fmt_f(point.roofline_gops, 0),
+                    fmt_f(point.achievable_gops, 0),
+                    if point.memory_bound {
+                        "memory"
+                    } else {
+                        "compute"
+                    }
+                    .to_owned(),
+                ]);
+            }
+            rows
+        },
+    );
     let mut table = Table::new([
         "workload",
         "batch",
@@ -88,33 +175,12 @@ pub fn batching() -> ExperimentResult {
         "achievable GOPS",
         "bound",
     ]);
-    for net in [workloads::lenet5(), workloads::pv(), workloads::alexnet()] {
-        crate::lint::gate(&net, 16);
-        let mut ff = FlexFlow::paper_config();
-        let compute = ff.run_network(&net).gops();
-        for batch in [1u64, 4, 16, 64] {
-            // Fused-chain traffic: FlexFlow's ping-pong neuron buffers
-            // keep fitting intermediates on chip.
-            let traffic = network_traffic_fused(&net, 16 * 1024, 16 * 1024, batch);
-            let point = dram.cap(compute, traffic, net.conv_macs() * batch);
-            table.push_row([
-                net.name().to_owned(),
-                batch.to_string(),
-                fmt_f(point.compute_gops, 0),
-                fmt_f(point.roofline_gops, 0),
-                fmt_f(point.achievable_gops, 0),
-                if point.memory_bound {
-                    "memory"
-                } else {
-                    "compute"
-                }
-                .to_owned(),
-            ]);
-        }
+    for row in per_net.into_iter().flatten() {
+        table.push_row(row);
     }
     ExperimentResult {
         id: "ext_batching".into(),
-        title: "Extension: batched inference lifts the small-net memory roof".into(),
+        title: ExtBatching.title().into(),
         notes: vec![
             "With the engine's own ping-pong buffers keeping intermediates \
              on chip (layer fusion) and weights amortized across the batch, \
@@ -127,7 +193,8 @@ pub fn batching() -> ExperimentResult {
 }
 
 /// Runs the routing-share extension (Section 6.2.5's quoted trend).
-pub fn routing_share() -> ExperimentResult {
+/// Purely analytic (area model only), so it stays on the calling thread.
+pub fn routing_share(_ctx: &ExperimentCtx) -> ExperimentResult {
     let mut table = Table::new([
         "scale",
         "interconnect mm2",
@@ -148,7 +215,7 @@ pub fn routing_share() -> ExperimentResult {
     }
     ExperimentResult {
         id: "ext_routing_share".into(),
-        title: "Extension: FlexFlow interconnect share vs. engine scale (Sec. 6.2.5)".into(),
+        title: ExtRoutingShare.title().into(),
         notes: vec![
             "The paper quotes the routing network's *power* share; we measure \
              the area share of the same CDB fabric. Both decline with scale \
@@ -167,7 +234,7 @@ mod tests {
     fn alexnet_flexflow_is_compute_bound() {
         // The big-net case the paper's reuse story enables: FlexFlow's
         // ~500 GOPS on AlexNet fits under the DDR3 roof.
-        let r = roofline();
+        let r = roofline(&ExperimentCtx::serial("ext_roofline"));
         let row = r
             .table
             .rows()
@@ -186,7 +253,7 @@ mod tests {
         // Low single-inference arithmetic intensity: on every small net
         // the fastest engines (FlexFlow included) hit the same roof —
         // the slow ones (Tiling) stay compute-bound below it.
-        let r = roofline();
+        let r = roofline(&ExperimentCtx::serial("ext_roofline"));
         for wl in ["PV", "FR", "LeNet-5", "HG"] {
             let ff = r
                 .table
@@ -209,7 +276,7 @@ mod tests {
 
     #[test]
     fn batching_lifts_the_memory_roof() {
-        let r = batching();
+        let r = batching(&ExperimentCtx::serial("ext_batching"));
         let roof_at = |wl: &str, b: &str| -> f64 {
             r.table
                 .rows()
@@ -244,7 +311,7 @@ mod tests {
 
     #[test]
     fn routing_share_declines_like_the_paper() {
-        let r = routing_share();
+        let r = routing_share(&ExperimentCtx::serial("ext_routing_share"));
         let shares: Vec<f64> = r
             .table
             .rows()

@@ -1,12 +1,66 @@
 //! Figure 15 — computing resource utilization, four architectures ×
 //! six workloads.
 
-use crate::arches;
+use crate::arches::{ArchSet, ARCH_NAMES};
+use crate::experiment::{Experiment, ExperimentCtx};
 use crate::report::{pct, ExperimentResult, Table};
-use flexsim_model::workloads;
+use flexsim_model::{workloads, Network};
+
+/// The registry entry for this experiment.
+pub struct Fig15;
+
+impl Experiment for Fig15 {
+    fn id(&self) -> &'static str {
+        "fig15"
+    }
+    fn title(&self) -> &'static str {
+        "Computing resource utilization for different baselines"
+    }
+    fn run(&self, ctx: &ExperimentCtx) -> ExperimentResult {
+        run(ctx)
+    }
+}
+
+/// Fans every (workload, architecture) pair of the Table 1 × Section
+/// 6.1.1 cross product out across the pool and returns one value per
+/// pair, grouped per workload in [`ARCH_NAMES`] order.
+pub(crate) fn per_pair<T: Send + 'static>(
+    ctx: &ExperimentCtx,
+    measure: impl Fn(&mut dyn flexsim_arch::Accelerator, &Network) -> T + Send + Sync + 'static,
+) -> Vec<(Network, Vec<T>)> {
+    let nets = workloads::all();
+    let pairs: Vec<(Network, usize)> = nets
+        .iter()
+        .flat_map(|net| (0..ARCH_NAMES.len()).map(move |idx| (net.clone(), idx)))
+        .collect();
+    let values = ctx.map(
+        pairs,
+        |(net, idx)| format!("{}/{}", net.name(), ARCH_NAMES[*idx]),
+        move |tctx, (net, idx)| {
+            let mut acc = ArchSet::builder().sink(tctx.sink()).build_one(&net, idx);
+            measure(acc.as_mut(), &net)
+        },
+    );
+    nets.into_iter()
+        .zip(chunk(values, ARCH_NAMES.len()))
+        .collect()
+}
+
+/// Splits `values` into consecutive chunks of `size`.
+fn chunk<T>(values: Vec<T>, size: usize) -> Vec<Vec<T>> {
+    let mut out = Vec::with_capacity(values.len().div_ceil(size.max(1)));
+    let mut it = values.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(size).collect();
+        if chunk.is_empty() {
+            return out;
+        }
+        out.push(chunk);
+    }
+}
 
 /// Runs the experiment.
-pub fn run() -> ExperimentResult {
+pub fn run(ctx: &ExperimentCtx) -> ExperimentResult {
     let mut table = Table::new([
         "workload",
         "Systolic %",
@@ -14,17 +68,14 @@ pub fn run() -> ExperimentResult {
         "Tiling %",
         "FlexFlow %",
     ]);
-    for net in workloads::all() {
+    for (net, utils) in per_pair(ctx, |acc, net| acc.run_network(net).utilization()) {
         let mut row = vec![net.name().to_owned()];
-        for mut acc in arches::paper_scale(&net) {
-            let s = acc.run_network(&net);
-            row.push(pct(s.utilization()));
-        }
+        row.extend(utils.into_iter().map(pct));
         table.push_row(row);
     }
     ExperimentResult {
         id: "fig15".into(),
-        title: "Computing resource utilization for different baselines".into(),
+        title: Fig15.title().into(),
         notes: vec![
             "Paper (bars): FlexFlow >80% everywhere; baselines mostly <40%, \
              volatile across workloads; Tiling high only on AlexNet/VGG \
@@ -43,9 +94,13 @@ mod tests {
         r.table.cell(wl, arch).unwrap().parse().unwrap()
     }
 
+    fn run_serial() -> ExperimentResult {
+        run(&ExperimentCtx::serial("fig15"))
+    }
+
     #[test]
     fn flexflow_leads_every_workload() {
-        let r = run();
+        let r = run_serial();
         for row in r.table.rows() {
             let ff: f64 = row[4].parse().unwrap();
             for c in 1..=3 {
@@ -65,7 +120,7 @@ mod tests {
     fn tiling_recovers_on_alexnet_and_vgg() {
         // The paper's crossover: Tiling is near-useless on the small
         // nets but competitive on AlexNet/VGG.
-        let r = run();
+        let r = run_serial();
         let small = col(&r, "LeNet-5", "Tiling %");
         let alex = col(&r, "AlexNet", "Tiling %");
         let vgg = col(&r, "VGG-11", "Tiling %");
@@ -78,7 +133,7 @@ mod tests {
     fn baselines_are_volatile() {
         // Per-architecture spread across workloads exceeds 25 points for
         // at least two baselines (the "volatile" observation).
-        let r = run();
+        let r = run_serial();
         let mut volatile = 0;
         for c in 1..=3 {
             let vals: Vec<f64> = r
@@ -94,5 +149,19 @@ mod tests {
             }
         }
         assert!(volatile >= 2);
+    }
+
+    #[test]
+    fn parallel_and_serial_runs_are_identical() {
+        let serial = run(&ExperimentCtx::serial("fig15"));
+        let report = crate::experiment::run_suite(
+            &[&Fig15],
+            &crate::experiment::SuiteConfig {
+                jobs: 4,
+                trace: false,
+            },
+        );
+        assert!(report.failures.is_empty());
+        assert_eq!(serial.to_json(), report.results[0].to_json());
     }
 }

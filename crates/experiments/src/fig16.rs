@@ -1,12 +1,27 @@
 //! Figure 16 — performance (GOPS at 1 GHz), four architectures × six
 //! workloads.
 
-use crate::arches;
+use crate::experiment::{Experiment, ExperimentCtx};
+use crate::fig15::per_pair;
 use crate::report::{fmt_f, ExperimentResult, Table};
-use flexsim_model::workloads;
+
+/// The registry entry for this experiment.
+pub struct Fig16;
+
+impl Experiment for Fig16 {
+    fn id(&self) -> &'static str {
+        "fig16"
+    }
+    fn title(&self) -> &'static str {
+        "Performance for different baselines (GOPS @ 1 GHz)"
+    }
+    fn run(&self, ctx: &ExperimentCtx) -> ExperimentResult {
+        run(ctx)
+    }
+}
 
 /// Runs the experiment.
-pub fn run() -> ExperimentResult {
+pub fn run(ctx: &ExperimentCtx) -> ExperimentResult {
     let mut table = Table::new([
         "workload",
         "Systolic",
@@ -15,11 +30,7 @@ pub fn run() -> ExperimentResult {
         "FlexFlow",
         "speedup vs best baseline",
     ]);
-    for net in workloads::all() {
-        let mut gops = Vec::new();
-        for mut acc in arches::paper_scale(&net) {
-            gops.push(acc.run_network(&net).gops());
-        }
+    for (net, gops) in per_pair(ctx, |acc, net| acc.run_network(net).gops()) {
         let best_baseline = gops[..3].iter().cloned().fold(f64::MIN, f64::max);
         let mut row = vec![net.name().to_owned()];
         row.extend(gops.iter().map(|g| fmt_f(*g, 1)));
@@ -28,7 +39,7 @@ pub fn run() -> ExperimentResult {
     }
     ExperimentResult {
         id: "fig16".into(),
-        title: "Performance for different baselines (GOPS @ 1 GHz)".into(),
+        title: Fig16.title().into(),
         notes: vec![
             "Paper: FlexFlow constantly above 420 GOPS; >2x over Systolic and \
              2D-Mapping, up to 10x over Tiling."
@@ -43,9 +54,13 @@ mod tests {
     use super::*;
     use crate::paper::claims;
 
+    fn run_serial() -> ExperimentResult {
+        run(&ExperimentCtx::serial("fig16"))
+    }
+
     #[test]
     fn flexflow_above_420_gops_on_most_workloads() {
-        let r = run();
+        let r = run_serial();
         let mut above = 0;
         for row in r.table.rows() {
             let ff: f64 = row[4].parse().unwrap();
@@ -59,7 +74,7 @@ mod tests {
 
     #[test]
     fn flexflow_wins_every_workload() {
-        let r = run();
+        let r = run_serial();
         for row in r.table.rows() {
             let ff: f64 = row[4].parse().unwrap();
             for c in 1..=3 {
@@ -74,7 +89,7 @@ mod tests {
         // "2-10x performance speedup": FlexFlow vs *each* baseline stays
         // within (or above 1.5x of) that band somewhere, and vs Tiling
         // reaches large factors on small nets.
-        let r = run();
+        let r = run_serial();
         let lenet = r
             .table
             .rows()

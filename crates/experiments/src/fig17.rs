@@ -1,12 +1,27 @@
 //! Figure 17 — volume of data transmission (buffer ↔ engine words), the
 //! paper's proxy for data reusability.
 
-use crate::arches;
+use crate::experiment::{Experiment, ExperimentCtx};
+use crate::fig15::per_pair;
 use crate::report::{eng, ExperimentResult, Table};
-use flexsim_model::workloads;
+
+/// The registry entry for this experiment.
+pub struct Fig17;
+
+impl Experiment for Fig17 {
+    fn id(&self) -> &'static str {
+        "fig17"
+    }
+    fn title(&self) -> &'static str {
+        "Total volume of data transmitted (words)"
+    }
+    fn run(&self, ctx: &ExperimentCtx) -> ExperimentResult {
+        run(ctx)
+    }
+}
 
 /// Runs the experiment.
-pub fn run() -> ExperimentResult {
+pub fn run(ctx: &ExperimentCtx) -> ExperimentResult {
     let mut table = Table::new([
         "workload",
         "Systolic",
@@ -15,11 +30,9 @@ pub fn run() -> ExperimentResult {
         "FlexFlow",
         "Tiling/FlexFlow",
     ]);
-    for net in workloads::all() {
-        let mut words = Vec::new();
-        for mut acc in arches::paper_scale(&net) {
-            words.push(acc.run_network(&net).traffic().total() as f64);
-        }
+    for (net, words) in per_pair(ctx, |acc, net| {
+        acc.run_network(net).traffic().total() as f64
+    }) {
         let mut row = vec![net.name().to_owned()];
         row.extend(words.iter().map(|w| eng(*w)));
         row.push(format!("{:.0}x", words[2] / words[3]));
@@ -27,7 +40,7 @@ pub fn run() -> ExperimentResult {
     }
     ExperimentResult {
         id: "fig17".into(),
-        title: "Total volume of data transmitted (words)".into(),
+        title: Fig17.title().into(),
         notes: vec![
             "Paper: FlexFlow imposes the least data volume on every workload; \
              Tiling dictates a huge volume (no local reuse); Systolic slightly \
@@ -52,9 +65,13 @@ mod tests {
         num.parse::<f64>().unwrap() * mul
     }
 
+    fn run_serial() -> ExperimentResult {
+        run(&ExperimentCtx::serial("fig17"))
+    }
+
     #[test]
     fn flexflow_moves_the_least_data_everywhere() {
-        let r = run();
+        let r = run_serial();
         for row in r.table.rows() {
             let ff = as_words(&row[4]);
             for c in 1..=3 {
@@ -72,7 +89,7 @@ mod tests {
 
     #[test]
     fn tiling_is_orders_of_magnitude_worse() {
-        let r = run();
+        let r = run_serial();
         for row in r.table.rows() {
             let tiling = as_words(&row[3]);
             let ff = as_words(&row[4]);
@@ -83,7 +100,7 @@ mod tests {
     #[test]
     fn systolic_beats_2d_mapping_mostly() {
         // "2D-Mapping is slightly worse than Systolic".
-        let r = run();
+        let r = run_serial();
         let mut wins = 0;
         for row in r.table.rows() {
             if as_words(&row[1]) < as_words(&row[2]) {

@@ -1,12 +1,27 @@
 //! Figure 18 — power efficiency (GOPS/W), energy, and power, four
 //! architectures × six workloads.
 
-use crate::arches;
+use crate::experiment::{Experiment, ExperimentCtx};
+use crate::fig15::per_pair;
 use crate::report::{fmt_f, ExperimentResult, Table};
-use flexsim_model::workloads;
+
+/// The registry entry for this experiment.
+pub struct Fig18;
+
+impl Experiment for Fig18 {
+    fn id(&self) -> &'static str {
+        "fig18"
+    }
+    fn title(&self) -> &'static str {
+        "Power efficiency (a), energy (b), and power (c)"
+    }
+    fn run(&self, ctx: &ExperimentCtx) -> ExperimentResult {
+        run(ctx)
+    }
+}
 
 /// Runs the experiment (all three panels in one table).
-pub fn run() -> ExperimentResult {
+pub fn run(ctx: &ExperimentCtx) -> ExperimentResult {
     let mut table = Table::new([
         "workload",
         "metric",
@@ -15,29 +30,27 @@ pub fn run() -> ExperimentResult {
         "Tiling",
         "FlexFlow",
     ]);
-    for net in workloads::all() {
-        let mut eff = Vec::new();
-        let mut energy = Vec::new();
-        let mut power = Vec::new();
-        for mut acc in arches::paper_scale(&net) {
-            let s = acc.run_network(&net);
-            eff.push(s.efficiency_gops_per_w());
-            energy.push(s.energy_j() * 1e6); // µJ
-            power.push(s.power_w() * 1e3); // mW
-        }
+    for (net, metrics) in per_pair(ctx, |acc, net| {
+        let s = acc.run_network(net);
+        (
+            s.efficiency_gops_per_w(),
+            s.energy_j() * 1e6, // µJ
+            s.power_w() * 1e3,  // mW
+        )
+    }) {
         let mut row = vec![net.name().to_owned(), "GOPS/W".to_owned()];
-        row.extend(eff.iter().map(|v| fmt_f(*v, 0)));
+        row.extend(metrics.iter().map(|(eff, _, _)| fmt_f(*eff, 0)));
         table.push_row(row);
         let mut row = vec![net.name().to_owned(), "energy uJ".to_owned()];
-        row.extend(energy.iter().map(|v| fmt_f(*v, 1)));
+        row.extend(metrics.iter().map(|(_, energy, _)| fmt_f(*energy, 1)));
         table.push_row(row);
         let mut row = vec![net.name().to_owned(), "power mW".to_owned()];
-        row.extend(power.iter().map(|v| fmt_f(*v, 0)));
+        row.extend(metrics.iter().map(|(_, _, power)| fmt_f(*power, 0)));
         table.push_row(row);
     }
     ExperimentResult {
         id: "fig18".into(),
-        title: "Power efficiency (a), energy (b), and power (c)".into(),
+        title: Fig18.title().into(),
         notes: vec!["Paper: FlexFlow has the highest efficiency (1.5-2.5x over \
              Systolic/2D-Mapping, up to 10x over Tiling) and the lowest \
              energy, while drawing the highest raw power (utilization!)."
@@ -59,9 +72,13 @@ mod tests {
             .collect()
     }
 
+    fn run_serial() -> ExperimentResult {
+        run(&ExperimentCtx::serial("fig18"))
+    }
+
     #[test]
     fn flexflow_most_efficient_everywhere() {
-        let r = run();
+        let r = run_serial();
         for vals in metric_rows(&r, "GOPS/W") {
             let ff = vals[3];
             for (i, &v) in vals[..3].iter().enumerate() {
@@ -72,7 +89,7 @@ mod tests {
 
     #[test]
     fn flexflow_lowest_energy_everywhere() {
-        let r = run();
+        let r = run_serial();
         for vals in metric_rows(&r, "energy uJ") {
             let ff = vals[3];
             for &v in &vals[..3] {
@@ -84,7 +101,7 @@ mod tests {
     #[test]
     fn flexflow_draws_the_highest_power() {
         // Fig. 18c: high utilization costs watts.
-        let r = run();
+        let r = run_serial();
         let mut highest = 0;
         for vals in metric_rows(&r, "power mW") {
             let ff = vals[3];
@@ -97,7 +114,7 @@ mod tests {
 
     #[test]
     fn efficiency_gap_over_tiling_is_large() {
-        let r = run();
+        let r = run_serial();
         // On the small nets the Tiling gap approaches the paper's 10x.
         let rows = metric_rows(&r, "GOPS/W");
         let lenet = &rows[2]; // PV, FR, LeNet-5 order

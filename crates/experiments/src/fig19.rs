@@ -1,15 +1,31 @@
 //! Figure 19 — scalability on AlexNet: utilization (a), power (b), and
 //! chip area (c) as the engine scales from 8×8 to 64×64 PEs.
 
-use crate::arches;
+use crate::arches::{ArchSet, ARCH_NAMES};
+use crate::experiment::{Experiment, ExperimentCtx};
 use crate::report::{fmt_f, pct, ExperimentResult, Table};
 use flexsim_model::workloads;
 
 /// The Fig. 19 engine scales (side of the PE square).
 pub const SCALES: [usize; 4] = [8, 16, 32, 64];
 
+/// The registry entry for this experiment.
+pub struct Fig19;
+
+impl Experiment for Fig19 {
+    fn id(&self) -> &'static str {
+        "fig19"
+    }
+    fn title(&self) -> &'static str {
+        "Scalability on AlexNet (utilization, power, area vs. scale)"
+    }
+    fn run(&self, ctx: &ExperimentCtx) -> ExperimentResult {
+        run(ctx)
+    }
+}
+
 /// Runs the experiment.
-pub fn run() -> ExperimentResult {
+pub fn run(ctx: &ExperimentCtx) -> ExperimentResult {
     let net = workloads::alexnet();
     let mut table = Table::new([
         "scale",
@@ -19,30 +35,42 @@ pub fn run() -> ExperimentResult {
         "Tiling",
         "FlexFlow",
     ]);
-    for d in SCALES {
-        let mut util = Vec::new();
-        let mut power = Vec::new();
-        let mut area = Vec::new();
-        for mut acc in arches::at_scale(&net, d) {
+    let pairs: Vec<(usize, usize)> = SCALES
+        .iter()
+        .flat_map(|&d| (0..ARCH_NAMES.len()).map(move |idx| (d, idx)))
+        .collect();
+    let wl = net.name().to_owned();
+    let cells = ctx.map(
+        pairs,
+        |(d, idx)| format!("{wl}/{d}x{d}/{}", ARCH_NAMES[*idx]),
+        move |tctx, (d, idx)| {
+            let mut acc = ArchSet::builder()
+                .scale(d)
+                .sink(tctx.sink())
+                .build_one(&net, idx);
             let s = acc.run_network(&net);
-            util.push(pct(s.utilization()));
-            power.push(fmt_f(s.power_w(), 2));
-            area.push(fmt_f(acc.area().total_mm2(), 2));
-        }
+            (
+                pct(s.utilization()),
+                fmt_f(s.power_w(), 2),
+                fmt_f(acc.area().total_mm2(), 2),
+            )
+        },
+    );
+    for (chunk, d) in cells.chunks(ARCH_NAMES.len()).zip(SCALES) {
         let scale = format!("{d}x{d}");
         let mut row = vec![scale.clone(), "utilization %".to_owned()];
-        row.extend(util);
+        row.extend(chunk.iter().map(|(util, _, _)| util.clone()));
         table.push_row(row);
         let mut row = vec![scale.clone(), "power W".to_owned()];
-        row.extend(power);
+        row.extend(chunk.iter().map(|(_, power, _)| power.clone()));
         table.push_row(row);
         let mut row = vec![scale, "area mm2".to_owned()];
-        row.extend(area);
+        row.extend(chunk.iter().map(|(_, _, area)| area.clone()));
         table.push_row(row);
     }
     ExperimentResult {
         id: "fig19".into(),
-        title: "Scalability on AlexNet (utilization, power, area vs. scale)".into(),
+        title: Fig19.title().into(),
         notes: vec![
             "Paper: baselines' utilization drops drastically with scale while \
              FlexFlow stays high; FlexFlow's area grows slower than \
@@ -67,9 +95,13 @@ mod tests {
             .unwrap()
     }
 
+    fn run_serial() -> ExperimentResult {
+        run(&ExperimentCtx::serial("fig19"))
+    }
+
     #[test]
     fn flexflow_utilization_stays_high_with_scale() {
-        let r = run();
+        let r = run_serial();
         let at8 = metric(&r, "8x8", "utilization %", 5);
         let at64 = metric(&r, "64x64", "utilization %", 5);
         assert!(at8 > 70.0 && at64 > 55.0, "8x8 {at8}%, 64x64 {at64}%");
@@ -92,14 +124,14 @@ mod tests {
     fn baseline_utilization_collapses_at_64() {
         // "the computing resource utilization for the former three
         // baselines drops drastically".
-        let r = run();
+        let r = run_serial();
         let m2d = metric(&r, "64x64", "utilization %", 3);
         assert!(m2d < 30.0, "2D-Mapping at 64x64: {m2d}%");
     }
 
     #[test]
     fn flexflow_area_grows_slower_than_mesh_and_tree() {
-        let r = run();
+        let r = run_serial();
         let growth =
             |col: usize| metric(&r, "64x64", "area mm2", col) / metric(&r, "8x8", "area mm2", col);
         assert!(growth(5) < growth(3), "FlexFlow vs 2D-Mapping");
@@ -110,7 +142,7 @@ mod tests {
     fn power_grows_with_scale_for_flexflow() {
         // Fig. 19b: FlexFlow's power grows near-linearly in PE count
         // (it actually uses the added PEs).
-        let r = run();
+        let r = run_serial();
         let p8 = metric(&r, "8x8", "power W", 5);
         let p64 = metric(&r, "64x64", "power W", 5);
         assert!(p64 > 10.0 * p8, "power {p8} -> {p64}");

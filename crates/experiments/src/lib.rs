@@ -2,13 +2,20 @@
 //! evaluation
 //!
 //! One module per table/figure of the paper's Section 6, each exposing
-//! `run() -> ExperimentResult`. The `flexsim` binary (`src/main.rs`)
-//! drives them:
+//! a unit struct implementing the [`Experiment`] trait (plus a
+//! `run(&ExperimentCtx)` function). The [`experiment::REGISTRY`] lists
+//! them in paper order; the `flexsim` binary (`src/main.rs`) drives
+//! them through [`experiment::run_suite`], fanning each experiment's
+//! (workload, architecture) units out across a `flexsim-pool`
+//! work-stealing pool:
 //!
 //! ```text
 //! cargo run -p flexsim-experiments --release -- all
-//! cargo run -p flexsim-experiments --release -- fig15 table06
+//! cargo run -p flexsim-experiments --release -- --jobs 8 fig15 table06
 //! ```
+//!
+//! Results are merged in submission order, so the emitted tables and
+//! JSON are byte-identical at every `--jobs` level.
 //!
 //! Paper-reported values (where the paper prints numbers rather than
 //! bars) live in [`paper`] and are shown side by side with measured
@@ -20,6 +27,7 @@
 pub mod ablations;
 pub mod arches;
 pub mod cli;
+pub mod experiment;
 pub mod extensions;
 pub mod fig01;
 pub mod fig15;
@@ -36,47 +44,42 @@ pub mod table04;
 pub mod table06;
 pub mod table07;
 
+pub use experiment::{
+    find, run_suite, Experiment, ExperimentCtx, SuiteConfig, SuiteReport, TaskCtx, REGISTRY,
+};
 pub use report::{ExperimentResult, Table};
 
-/// Runs every paper experiment in paper order. The `profile`
-/// diagnostic experiment is opt-in (`flexsim profile`) and not part of
-/// the sweep.
+/// Runs every paper experiment in paper order, serially, wired to the
+/// deprecated process-global cycle sink. The `profile` diagnostic
+/// experiment is opt-in (`flexsim profile`) and not part of the sweep.
+#[deprecated(
+    since = "0.1.0",
+    note = "use run_suite(&experiment::REGISTRY.iter().filter(|e| e.in_sweep())..., &SuiteConfig {..}) \
+            or the flexsim CLI; this wrapper is serial-only"
+)]
 pub fn run_all() -> Vec<ExperimentResult> {
-    experiment_ids()
+    REGISTRY
         .iter()
-        .filter(|&&id| id != "profile")
-        // Invariant: `experiment_ids` and `run_by_id` are maintained
-        // together; a listed id always dispatches.
-        .map(|id| run_by_id(id).expect("every listed id resolves"))
+        .filter(|e| e.in_sweep())
+        .map(|e| {
+            let _span = flexsim_obs::span::span("experiment", e.id());
+            e.run(&ExperimentCtx::legacy_serial(e.id()))
+        })
         .collect()
 }
 
-/// Looks up an experiment by id (e.g. `"fig15"`, `"table06"`). Each
-/// run is wrapped in an `experiment`-category host span so `--trace`
-/// output groups work per experiment.
+/// Looks up an experiment by id (e.g. `"fig15"`, `"table06"`) and runs
+/// it serially, wired to the deprecated process-global cycle sink.
+/// Each run is wrapped in an `experiment`-category host span so
+/// `--trace` output groups work per experiment.
+#[deprecated(
+    since = "0.1.0",
+    note = "use experiment::find(id) and Experiment::run(&ExperimentCtx), or run_suite"
+)]
 pub fn run_by_id(id: &str) -> Option<ExperimentResult> {
-    let _span = flexsim_obs::span::span("experiment", id);
-    match id {
-        "fig01" | "fig1" => Some(fig01::run()),
-        "table03" | "table3" => Some(table03::run()),
-        "table04" | "table4" => Some(table04::run()),
-        "fig15" => Some(fig15::run()),
-        "fig16" => Some(fig16::run()),
-        "fig17" => Some(fig17::run()),
-        "fig18" => Some(fig18::run()),
-        "table06" | "table6" => Some(table06::run()),
-        "fig19" => Some(fig19::run()),
-        "table07" | "table7" => Some(table07::run()),
-        "ablation_styles" => Some(ablations::styles()),
-        "ablation_store" => Some(ablations::local_store()),
-        "ablation_coupling" => Some(ablations::coupling()),
-        "ablation_rc_bound" => Some(ablations::rc_bound()),
-        "ext_roofline" => Some(extensions::roofline()),
-        "ext_batching" => Some(extensions::batching()),
-        "ext_routing_share" => Some(extensions::routing_share()),
-        "profile" => Some(profile::run()),
-        _ => None,
-    }
+    let exp = find(id)?;
+    let _span = flexsim_obs::span::span("experiment", exp.id());
+    Some(exp.run(&ExperimentCtx::legacy_serial(exp.id())))
 }
 
 /// All experiment ids, in paper order.
@@ -101,4 +104,15 @@ pub fn experiment_ids() -> &'static [&'static str] {
         "ext_routing_share",
         "profile",
     ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_ids_mirror_the_registry() {
+        let from_registry: Vec<&str> = REGISTRY.iter().map(|e| e.id()).collect();
+        assert_eq!(experiment_ids(), from_registry.as_slice());
+    }
 }

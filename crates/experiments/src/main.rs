@@ -4,23 +4,30 @@
 //! ```text
 //! flexsim all                    # every table/figure, paper order
 //! flexsim fig15 table06          # selected experiments
+//! flexsim --jobs 4 all           # fan (workload, arch) tasks over 4 threads
 //! flexsim --json all             # machine-readable output
 //! flexsim --out DIR all          # also write one .txt + .json each
 //! flexsim --trace out.json fig15 # Chrome trace (Perfetto-loadable)
 //! flexsim --metrics fig15        # dump the metrics registry
 //! flexsim --list                 # available experiment ids
 //! flexsim lint                   # static verification sweep
+//! flexsim bench sweep            # time serial vs parallel, BENCH_pool.json
 //! flexsim --no-lint fig15        # skip the pre-simulation gate
 //! ```
 //!
-//! Exit status: 0 on success, 1 when `flexsim lint` finds errors, 2 on
-//! usage or I/O errors.
+//! Output is byte-identical at every `--jobs` level: experiments run
+//! one at a time and [`flexsim_experiments::ExperimentCtx::map`]
+//! returns task results in submission order.
+//!
+//! Exit status: 0 on success, 1 when `flexsim lint` finds errors or an
+//! experiment fails, 2 on usage or I/O errors.
 
 use flexsim_experiments::cli::{self, Cli, USAGE};
-use flexsim_experiments::{experiment_ids, run_all, run_by_id, ExperimentResult};
-use flexsim_obs::cycles::CycleRecorder;
-use flexsim_obs::{chrome, cycles, metrics, span};
-use std::sync::Arc;
+use flexsim_experiments::{
+    experiment_ids, find, run_suite, Experiment, ExperimentResult, SuiteConfig, REGISTRY,
+};
+use flexsim_obs::{chrome, metrics, span};
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,23 +54,28 @@ fn main() {
         emit(vec![result], cli.json);
         std::process::exit(i32::from(errors > 0));
     }
+    if cli.bench {
+        bench(&cli);
+        return;
+    }
 
-    // Observability: recording host spans and cycle events is opt-in;
-    // without `--trace` both stay disabled and cost nothing.
-    let recorder = cli.trace.as_ref().map(|_| {
+    // Host spans are opt-in; without `--trace` recording stays disabled
+    // and costs nothing. Cycle events flow through per-task recorders
+    // inside the suite (no process-global sink involved).
+    if cli.trace.is_some() {
         span::install_recorder();
-        let rec = Arc::new(CycleRecorder::new());
-        cycles::set_global_sink(Some(rec.clone() as Arc<dyn cycles::CycleSink>));
-        rec
-    });
+    }
 
-    let results = run(&cli);
+    let config = SuiteConfig {
+        jobs: cli.jobs.unwrap_or_else(flexsim_pool::available_parallelism),
+        trace: cli.trace.is_some(),
+    };
+    let report = run_suite(&select(&cli), &config);
 
-    if let (Some(file), Some(rec)) = (&cli.trace, &recorder) {
+    if let Some(file) = &cli.trace {
         let spans = span::take_records();
-        let timelines = rec.take();
         let snapshot = metrics::global().snapshot();
-        let trace = chrome::chrome_trace(&spans, &timelines, &snapshot);
+        let trace = chrome::chrome_trace(&spans, &report.timelines, &snapshot);
         if let Err(e) = std::fs::write(file, trace.pretty()) {
             eprintln!("cannot write trace {file}: {e}");
             std::process::exit(2);
@@ -71,26 +83,34 @@ fn main() {
         eprintln!(
             "wrote {file}: {} host spans, {} layer timelines",
             spans.len(),
-            timelines.len()
+            report.timelines.len()
         );
     }
     if cli.metrics {
         eprint!("{}", metrics::global().snapshot().dump());
     }
     if let Some(dir) = &cli.out_dir {
-        write_out(dir, &results);
+        write_out(dir, &report.results);
     }
-    emit(results, cli.json);
+    emit(report.results, cli.json);
+    if !report.failures.is_empty() {
+        for f in &report.failures {
+            eprintln!("experiment {} FAILED: {}", f.id, f.message);
+        }
+        std::process::exit(1);
+    }
 }
 
-fn run(cli: &Cli) -> Vec<ExperimentResult> {
+/// Resolves the command line's experiment selection against the
+/// registry (usage-error exit on an unknown id).
+fn select(cli: &Cli) -> Vec<&'static dyn Experiment> {
     if cli.ids.is_empty() || cli.ids.iter().any(|a| a == "all") {
-        return run_all();
+        return REGISTRY.iter().filter(|e| e.in_sweep()).copied().collect();
     }
-    let mut results = Vec::new();
+    let mut experiments = Vec::new();
     for id in &cli.ids {
-        match run_by_id(id) {
-            Some(r) => results.push(r),
+        match find(id) {
+            Some(e) => experiments.push(e),
             None => {
                 eprintln!(
                     "unknown experiment {id:?}; available: {}",
@@ -100,7 +120,61 @@ fn run(cli: &Cli) -> Vec<ExperimentResult> {
             }
         }
     }
-    results
+    experiments
+}
+
+/// `flexsim bench sweep`: wall-clock the full sweep serially and at the
+/// requested `--jobs` level, write the comparison to `BENCH_pool.json`.
+fn bench(cli: &Cli) {
+    if cli.ids != ["sweep"] {
+        eprintln!("flexsim: bench expects exactly one benchmark name: sweep\n\n{USAGE}");
+        std::process::exit(2);
+    }
+    let experiments = REGISTRY
+        .iter()
+        .filter(|e| e.in_sweep())
+        .copied()
+        .collect::<Vec<_>>();
+    let jobs = cli.jobs.unwrap_or_else(flexsim_pool::available_parallelism);
+
+    let start = Instant::now();
+    let serial = run_suite(
+        &experiments,
+        &SuiteConfig {
+            jobs: 1,
+            trace: false,
+        },
+    );
+    let serial_s = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let parallel = run_suite(&experiments, &SuiteConfig { jobs, trace: false });
+    let parallel_s = start.elapsed().as_secs_f64();
+
+    if !serial.failures.is_empty() || !parallel.failures.is_empty() {
+        for f in serial.failures.iter().chain(&parallel.failures) {
+            eprintln!("experiment {} FAILED: {}", f.id, f.message);
+        }
+        std::process::exit(1);
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"sweep\",\n  \"experiments\": {},\n  \
+         \"available_parallelism\": {},\n  \"serial_jobs\": 1,\n  \
+         \"serial_wall_s\": {serial_s:.6},\n  \"parallel_jobs\": {jobs},\n  \
+         \"parallel_wall_s\": {parallel_s:.6},\n  \"speedup\": {:.3}\n}}\n",
+        experiments.len(),
+        flexsim_pool::available_parallelism(),
+        serial_s / parallel_s.max(1e-12),
+    );
+    if let Err(e) = std::fs::write("BENCH_pool.json", &json) {
+        eprintln!("cannot write BENCH_pool.json: {e}");
+        std::process::exit(2);
+    }
+    eprintln!(
+        "bench sweep: serial {serial_s:.3}s, --jobs {jobs} {parallel_s:.3}s \
+         ({:.2}x); wrote BENCH_pool.json",
+        serial_s / parallel_s.max(1e-12)
+    );
 }
 
 fn write_out(dir: &str, results: &[ExperimentResult]) {

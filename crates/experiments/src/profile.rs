@@ -8,9 +8,10 @@
 //! analytic utilization — the bars of Fig. 15, unrolled over time.
 //! Excluded from `flexsim all`; run it with `flexsim profile`.
 
-use crate::arches;
+use crate::arches::{ArchSet, ARCH_NAMES};
+use crate::experiment::{Experiment, ExperimentCtx};
 use crate::report::{eng, pct, ExperimentResult, Table};
-use flexsim_model::workloads;
+use flexsim_model::{workloads, Network};
 use flexsim_obs::cycles::{CycleRecorder, SinkHandle};
 use flexsim_obs::occupancy::OccupancyTimeline;
 use std::sync::Arc;
@@ -18,8 +19,58 @@ use std::sync::Arc;
 /// Sparkline width in the occupancy column.
 const SPARK_WIDTH: usize = 32;
 
+/// The registry entry for this experiment (not part of the sweep).
+pub struct Profile;
+
+impl Experiment for Profile {
+    fn id(&self) -> &'static str {
+        "profile"
+    }
+    fn title(&self) -> &'static str {
+        "Cycle-domain PE-occupancy profile (observability demo)"
+    }
+    fn in_sweep(&self) -> bool {
+        false
+    }
+    fn run(&self, ctx: &ExperimentCtx) -> ExperimentResult {
+        run(ctx)
+    }
+}
+
 /// Runs the experiment.
-pub fn run() -> ExperimentResult {
+pub fn run(ctx: &ExperimentCtx) -> ExperimentResult {
+    let pairs: Vec<(Network, usize)> = workloads::all()
+        .iter()
+        .flat_map(|net| (0..ARCH_NAMES.len()).map(move |idx| (net.clone(), idx)))
+        .collect();
+    let rows = ctx.map(
+        pairs,
+        |(net, idx)| format!("{}/{}", net.name(), ARCH_NAMES[*idx]),
+        |_tctx, (net, idx)| {
+            // A private recorder (instead of the task's trace sink) so
+            // concurrent `--trace` output is not polluted with the
+            // profile's own sweep.
+            let rec = Arc::new(CycleRecorder::new());
+            let mut acc = ArchSet::builder()
+                .sink(SinkHandle::new(rec.clone()))
+                .build_one(&net, idx);
+            let summary = acc.run_network(&net);
+            let timelines = rec.take();
+            let mut segments = Vec::new();
+            for tl in &timelines {
+                segments.extend_from_slice(tl.occupancy().segments());
+            }
+            let occ = OccupancyTimeline::from_segments(acc.pe_count() as u32, segments);
+            [
+                net.name().to_owned(),
+                acc.name().to_owned(),
+                summary.layers.len().to_string(),
+                eng(summary.cycles() as f64),
+                pct(summary.utilization()),
+                format!("[{}]", occ.sparkline(SPARK_WIDTH)),
+            ]
+        },
+    );
     let mut table = Table::new([
         "workload",
         "arch",
@@ -28,33 +79,12 @@ pub fn run() -> ExperimentResult {
         "util %",
         "occupancy (time \u{2192})",
     ]);
-    for net in workloads::all() {
-        for mut acc in arches::paper_scale(&net) {
-            // A private recorder (replacing the global handle wired by
-            // `paper_scale`) so concurrent `--trace` output is not
-            // polluted with the profile's own sweep.
-            let rec = Arc::new(CycleRecorder::new());
-            acc.attach_sink(SinkHandle::new(rec.clone()));
-            let summary = acc.run_network(&net);
-            let timelines = rec.take();
-            let mut segments = Vec::new();
-            for tl in &timelines {
-                segments.extend_from_slice(tl.occupancy().segments());
-            }
-            let occ = OccupancyTimeline::from_segments(acc.pe_count() as u32, segments);
-            table.push_row([
-                net.name().to_owned(),
-                acc.name().to_owned(),
-                summary.layers.len().to_string(),
-                eng(summary.cycles() as f64),
-                pct(summary.utilization()),
-                format!("[{}]", occ.sparkline(SPARK_WIDTH)),
-            ]);
-        }
+    for row in rows {
+        table.push_row(row);
     }
     ExperimentResult {
         id: "profile".into(),
-        title: "Cycle-domain PE-occupancy profile (observability demo)".into(),
+        title: Profile.title().into(),
         notes: vec![
             "Sparklines are trace-derived: each run is re-recorded \
              through the cycle-event sink and rendered over time; the \
@@ -75,11 +105,11 @@ mod tests {
 
     #[test]
     fn covers_every_workload_and_arch() {
-        let r = run();
+        let r = run(&ExperimentCtx::serial("profile"));
         let nets = workloads::all();
-        assert_eq!(r.table.rows().len(), nets.len() * arches::ARCH_NAMES.len());
+        assert_eq!(r.table.rows().len(), nets.len() * ARCH_NAMES.len());
         for row in r.table.rows() {
-            assert!(arches::ARCH_NAMES.contains(&row[1].as_str()), "{row:?}");
+            assert!(ARCH_NAMES.contains(&row[1].as_str()), "{row:?}");
             let util: f64 = row[4].parse().unwrap();
             assert!(util > 0.0 && util <= 100.0, "{row:?}");
             // "[" + WIDTH spark chars + "]".
@@ -92,9 +122,11 @@ mod tests {
         // Spot-check one workload: rebuild what `run` renders and
         // compare the timeline's mean against RunSummary::utilization.
         let net = workloads::lenet5();
-        for mut acc in arches::paper_scale(&net) {
-            let rec = std::sync::Arc::new(CycleRecorder::new());
-            acc.attach_sink(SinkHandle::new(rec.clone()));
+        for idx in 0..ARCH_NAMES.len() {
+            let rec = Arc::new(CycleRecorder::new());
+            let mut acc = ArchSet::builder()
+                .sink(SinkHandle::new(rec.clone()))
+                .build_one(&net, idx);
             let summary = acc.run_network(&net);
             let mut segments = Vec::new();
             for tl in &rec.take() {

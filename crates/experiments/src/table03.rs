@@ -5,10 +5,29 @@
 //! utilization of the mismatched run normalized to the matched run
 //! ("The utilization of 'C1 on C1-opt' is normalized to 100%").
 
+use crate::experiment::{Experiment, ExperimentCtx};
 use crate::report::{pct, ExperimentResult, Table};
 use flexsim_arch::Accelerator;
 use flexsim_baselines::{Mapping2d, Systolic, TilingArray};
 use flexsim_model::{ConvLayer, Network};
+
+/// The registry entry for this experiment.
+pub struct Table03;
+
+impl Experiment for Table03 {
+    fn id(&self) -> &'static str {
+        "table03"
+    }
+    fn title(&self) -> &'static str {
+        "Cross-layer hardware utilization of three typical architectures"
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["table3"]
+    }
+    fn run(&self, ctx: &ExperimentCtx) -> ExperimentResult {
+        run(ctx)
+    }
+}
 
 fn workloads4() -> Vec<Network> {
     vec![
@@ -36,11 +55,48 @@ fn normalized_util(
 }
 
 /// Runs the experiment.
-pub fn run() -> ExperimentResult {
-    let sys = |l: &ConvLayer| -> Box<dyn Accelerator> { Box::new(Systolic::new(l.k(), 7)) };
-    let m2d = |l: &ConvLayer| -> Box<dyn Accelerator> { Box::new(Mapping2d::new(l.s(), l.s())) };
-    let til = |l: &ConvLayer| -> Box<dyn Accelerator> { Box::new(TilingArray::new(l.m(), l.n())) };
-
+pub fn run(ctx: &ExperimentCtx) -> ExperimentResult {
+    // One task per (workload, direction): each measures all three
+    // baselines on the mismatched layer pair.
+    let pairs: Vec<(Network, &'static str)> = workloads4()
+        .into_iter()
+        .flat_map(|net| {
+            ["C3 on C1-opt", "C1 on C3-opt"]
+                .into_iter()
+                .map(move |dir| (net.clone(), dir))
+        })
+        .collect();
+    let cells = ctx.map(
+        pairs,
+        |(net, dir)| format!("{}/{dir}", net.name()),
+        |_tctx, (net, direction)| {
+            let sys = |l: &ConvLayer| -> Box<dyn Accelerator> { Box::new(Systolic::new(l.k(), 7)) };
+            let m2d =
+                |l: &ConvLayer| -> Box<dyn Accelerator> { Box::new(Mapping2d::new(l.s(), l.s())) };
+            let til = |l: &ConvLayer| -> Box<dyn Accelerator> {
+                Box::new(TilingArray::new(l.m(), l.n()))
+            };
+            let c1 = net.conv_layer("C1").expect("C1 exists").clone();
+            let c3 = net.conv_layer("C3").expect("C3 exists").clone();
+            let (opt, run_l) = if direction == "C3 on C1-opt" {
+                (&c1, &c3)
+            } else {
+                (&c3, &c1)
+            };
+            let paper_row = crate::paper::TABLE3
+                .iter()
+                .find(|(wl, dir, _, _, _)| *wl == net.name() && *dir == direction)
+                .expect("paper row");
+            [
+                net.name().to_owned(),
+                direction.to_owned(),
+                pct(normalized_util(&sys, opt, run_l)),
+                pct(normalized_util(&m2d, opt, run_l)),
+                pct(normalized_util(&til, opt, run_l)),
+                format!("{}/{}/{}", paper_row.2, paper_row.3, paper_row.4),
+            ]
+        },
+    );
     let mut table = Table::new([
         "workload",
         "direction",
@@ -49,27 +105,12 @@ pub fn run() -> ExperimentResult {
         "Tiling %",
         "paper (Sys/2D/Til)",
     ]);
-    for net in workloads4() {
-        let c1 = net.conv_layer("C1").expect("C1 exists").clone();
-        let c3 = net.conv_layer("C3").expect("C3 exists").clone();
-        for (direction, opt, run_l) in [("C3 on C1-opt", &c1, &c3), ("C1 on C3-opt", &c3, &c1)] {
-            let paper_row = crate::paper::TABLE3
-                .iter()
-                .find(|(wl, dir, _, _, _)| *wl == net.name() && *dir == direction)
-                .expect("paper row");
-            table.push_row([
-                net.name().to_owned(),
-                direction.to_owned(),
-                pct(normalized_util(&sys, opt, run_l)),
-                pct(normalized_util(&m2d, opt, run_l)),
-                pct(normalized_util(&til, opt, run_l)),
-                format!("{}/{}/{}", paper_row.2, paper_row.3, paper_row.4),
-            ]);
-        }
+    for row in cells {
+        table.push_row(row);
     }
     ExperimentResult {
         id: "table03".into(),
-        title: "Cross-layer hardware utilization of three typical architectures".into(),
+        title: Table03.title().into(),
         notes: vec![
             "Our numbers use consistent ceiling-based PE-cycle accounting; the \
              paper's table contains a few internally inconsistent entries \
@@ -84,16 +125,20 @@ pub fn run() -> ExperimentResult {
 mod tests {
     use super::*;
 
+    fn run_serial() -> ExperimentResult {
+        run(&ExperimentCtx::serial("table03"))
+    }
+
     #[test]
     fn has_all_eight_rows() {
-        assert_eq!(run().table.rows().len(), 8);
+        assert_eq!(run_serial().table.rows().len(), 8);
     }
 
     #[test]
     fn tiling_pv_c1_on_c3_opt_matches_paper() {
         // The cleanest analytic entry: 8/(ceil(8/12)*12 * ceil(1/8)*8)
         // = 8.3%.
-        let r = run();
+        let r = run_serial();
         let rows = r.table.rows();
         let row = rows
             .iter()
@@ -107,7 +152,7 @@ mod tests {
     fn mismatched_runs_mostly_underutilize() {
         // The table's whole point: cross-layer utilization collapses for
         // most (workload, architecture) combinations.
-        let r = run();
+        let r = run_serial();
         let mut below_60 = 0;
         let mut total = 0;
         for row in r.table.rows() {

@@ -5,11 +5,30 @@
 //! IADP chain coupling. Factor *sets* may differ from the paper's on
 //! ties; the comparison is the achieved utilization.
 
+use crate::experiment::{Experiment, ExperimentCtx};
 use crate::report::{pct, ExperimentResult, Table};
 use flexsim_dataflow::search::plan_network;
 use flexsim_dataflow::utilization::total_utilization;
 use flexsim_dataflow::Unroll;
 use flexsim_model::{workloads, Network};
+
+/// The registry entry for this experiment.
+pub struct Table04;
+
+impl Experiment for Table04 {
+    fn id(&self) -> &'static str {
+        "table04"
+    }
+    fn title(&self) -> &'static str {
+        "Unrolling factors for four workloads (16x16 FlexFlow)"
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["table4"]
+    }
+    fn run(&self, ctx: &ExperimentCtx) -> ExperimentResult {
+        run(ctx)
+    }
+}
 
 fn nets() -> Vec<Network> {
     vec![
@@ -21,8 +40,49 @@ fn nets() -> Vec<Network> {
 }
 
 /// Runs the experiment.
-pub fn run() -> ExperimentResult {
+pub fn run(ctx: &ExperimentCtx) -> ExperimentResult {
     let d = 16;
+    // The planner's search is the expensive part; one task per workload.
+    let per_net = ctx.map(
+        nets(),
+        |net| net.name().to_owned(),
+        move |_tctx, net| {
+            let plan = plan_network(&net, d);
+            let mut rows: Vec<[String; 6]> = Vec::new();
+            for (layer, choice) in net.conv_layers().zip(&plan) {
+                // Only C1/C3 appear in the paper's table.
+                let paper = crate::paper::TABLE4
+                    .iter()
+                    .find(|(wl, ln, _)| *wl == net.name() && *ln == layer.name());
+                let Some((_, _, pf)) = paper else { continue };
+                let ours = choice.unroll;
+                let paper_u = Unroll::new(pf[0], pf[1], pf[2], pf[3], pf[4], pf[5]);
+                // Evaluate the paper's factors under Eq. 2/3, clamped to the
+                // layer bounds where the printed row is infeasible (FR C1).
+                let paper_clamped = paper_u.clamped_to(layer);
+                let paper_ut = if paper_clamped.cols_used() <= d && paper_clamped.rows_used() <= d {
+                    pct(total_utilization(layer, &paper_clamped, d)).to_string()
+                } else {
+                    "infeasible".to_owned()
+                };
+                rows.push([
+                    net.name().to_owned(),
+                    layer.name().to_owned(),
+                    format!(
+                        "{},{},{},{},{},{}",
+                        ours.tm, ours.tn, ours.tr, ours.tc, ours.ti, ours.tj
+                    ),
+                    pct(choice.total_utilization()),
+                    format!(
+                        "{},{},{},{},{},{}",
+                        pf[0], pf[1], pf[2], pf[3], pf[4], pf[5]
+                    ),
+                    paper_ut,
+                ]);
+            }
+            rows
+        },
+    );
     let mut table = Table::new([
         "workload",
         "layer",
@@ -31,43 +91,12 @@ pub fn run() -> ExperimentResult {
         "paper <Tm,Tn,Tr,Tc,Ti,Tj>",
         "paper Ut %",
     ]);
-    for net in nets() {
-        let plan = plan_network(&net, d);
-        for (layer, choice) in net.conv_layers().zip(&plan) {
-            // Only C1/C3 appear in the paper's table.
-            let paper = crate::paper::TABLE4
-                .iter()
-                .find(|(wl, ln, _)| *wl == net.name() && *ln == layer.name());
-            let Some((_, _, pf)) = paper else { continue };
-            let ours = choice.unroll;
-            let paper_u = Unroll::new(pf[0], pf[1], pf[2], pf[3], pf[4], pf[5]);
-            // Evaluate the paper's factors under Eq. 2/3, clamped to the
-            // layer bounds where the printed row is infeasible (FR C1).
-            let paper_clamped = paper_u.clamped_to(layer);
-            let paper_ut = if paper_clamped.cols_used() <= d && paper_clamped.rows_used() <= d {
-                pct(total_utilization(layer, &paper_clamped, d)).to_string()
-            } else {
-                "infeasible".to_owned()
-            };
-            table.push_row([
-                net.name().to_owned(),
-                layer.name().to_owned(),
-                format!(
-                    "{},{},{},{},{},{}",
-                    ours.tm, ours.tn, ours.tr, ours.tc, ours.ti, ours.tj
-                ),
-                pct(choice.total_utilization()),
-                format!(
-                    "{},{},{},{},{},{}",
-                    pf[0], pf[1], pf[2], pf[3], pf[4], pf[5]
-                ),
-                paper_ut,
-            ]);
-        }
+    for row in per_net.into_iter().flatten() {
+        table.push_row(row);
     }
     ExperimentResult {
         id: "table04".into(),
-        title: "Unrolling factors for four workloads (16x16 FlexFlow)".into(),
+        title: Table04.title().into(),
         notes: vec![
             "Ties in Ut admit multiple factor sets; ours minimize total \
              workload cycles under the same constraints."
@@ -84,9 +113,13 @@ pub fn run() -> ExperimentResult {
 mod tests {
     use super::*;
 
+    fn run_serial() -> ExperimentResult {
+        run(&ExperimentCtx::serial("table04"))
+    }
+
     #[test]
     fn covers_the_papers_eight_rows() {
-        assert_eq!(run().table.rows().len(), 8);
+        assert_eq!(run_serial().table.rows().len(), 8);
     }
 
     #[test]
@@ -94,7 +127,7 @@ mod tests {
         // Wherever the paper's factors are feasible, our planner must do
         // at least as well on that layer (up to coupling trade-offs
         // elsewhere, allow a small tolerance).
-        let r = run();
+        let r = run_serial();
         for row in r.table.rows() {
             if row[5] == "infeasible" {
                 continue;
@@ -112,7 +145,7 @@ mod tests {
 
     #[test]
     fn planned_utilization_is_high() {
-        let r = run();
+        let r = run_serial();
         for row in r.table.rows() {
             let ours: f64 = row[3].parse().unwrap();
             assert!(ours > 55.0, "{}/{}: {ours}%", row[0], row[1]);

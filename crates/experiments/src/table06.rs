@@ -4,13 +4,60 @@
 //! (output-neuron buffer), `Pkerin` (kernel buffer), and `Pcom` (the
 //! computing engine with its local stores, buses, and pooling).
 
+use crate::experiment::{Experiment, ExperimentCtx};
 use crate::report::{fmt_f, ExperimentResult, Table};
 use flexflow::FlexFlow;
 use flexsim_arch::Accelerator;
 use flexsim_model::workloads;
 
+/// The registry entry for this experiment.
+pub struct Table06;
+
+impl Experiment for Table06 {
+    fn id(&self) -> &'static str {
+        "table06"
+    }
+    fn title(&self) -> &'static str {
+        "FlexFlow power breakdown by component"
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["table6"]
+    }
+    fn run(&self, ctx: &ExperimentCtx) -> ExperimentResult {
+        run(ctx)
+    }
+}
+
 /// Runs the experiment.
-pub fn run() -> ExperimentResult {
+pub fn run(ctx: &ExperimentCtx) -> ExperimentResult {
+    let rows = ctx.map(
+        workloads::all(),
+        |net| net.name().to_owned(),
+        |tctx, net| {
+            crate::lint::gate(&net, 16);
+            let mut ff = FlexFlow::paper_config();
+            ff.attach_sink(tctx.sink());
+            let s = ff.run_network(&net);
+            let t = s.time_s();
+            let e = s.energy();
+            let mw = |j: f64| j / t * 1e3;
+            let total = e.on_chip_j();
+            let cell = |j: f64| format!("{} ({})", fmt_f(mw(j), 0), fmt_f(j / total * 100.0, 1));
+            let com_j = e.compute_j() + e.stream_buf_j;
+            let paper = crate::paper::TABLE6_MW
+                .iter()
+                .find(|(wl, ..)| *wl == net.name())
+                .expect("paper row");
+            [
+                net.name().to_owned(),
+                cell(e.neuron_in_buf_j),
+                cell(e.neuron_out_buf_j),
+                cell(e.kernel_buf_j),
+                cell(com_j),
+                format!("{}/{}/{}/{}", paper.1, paper.2, paper.3, paper.4),
+            ]
+        },
+    );
     let mut table = Table::new([
         "workload",
         "Pnein mW (%)",
@@ -19,32 +66,12 @@ pub fn run() -> ExperimentResult {
         "Pcom mW (%)",
         "paper Pnein/Pneout/Pkerin/Pcom mW",
     ]);
-    for net in workloads::all() {
-        crate::lint::gate(&net, 16);
-        let mut ff = FlexFlow::paper_config();
-        let s = ff.run_network(&net);
-        let t = s.time_s();
-        let e = s.energy();
-        let mw = |j: f64| j / t * 1e3;
-        let total = e.on_chip_j();
-        let cell = |j: f64| format!("{} ({})", fmt_f(mw(j), 0), fmt_f(j / total * 100.0, 1));
-        let com_j = e.compute_j() + e.stream_buf_j;
-        let paper = crate::paper::TABLE6_MW
-            .iter()
-            .find(|(wl, ..)| *wl == net.name())
-            .expect("paper row");
-        table.push_row([
-            net.name().to_owned(),
-            cell(e.neuron_in_buf_j),
-            cell(e.neuron_out_buf_j),
-            cell(e.kernel_buf_j),
-            cell(com_j),
-            format!("{}/{}/{}/{}", paper.1, paper.2, paper.3, paper.4),
-        ]);
+    for row in rows {
+        table.push_row(row);
     }
     ExperimentResult {
         id: "table06".into(),
-        title: "FlexFlow power breakdown by component".into(),
+        title: Table06.title().into(),
         notes: vec!["Shape target: buffers take <20% of the power budget; the \
              computing engine (PEs + local stores) dominates."
             .into()],
@@ -56,6 +83,10 @@ pub fn run() -> ExperimentResult {
 mod tests {
     use super::*;
 
+    fn run_serial() -> ExperimentResult {
+        run(&ExperimentCtx::serial("table06"))
+    }
+
     fn pcom_pct(row: &[String]) -> f64 {
         let cell = &row[4];
         let open = cell.find('(').unwrap();
@@ -65,7 +96,7 @@ mod tests {
     #[test]
     fn compute_dominates_like_the_paper() {
         // Paper: Pcom is 79.9-85.8% of the total.
-        let r = run();
+        let r = run_serial();
         for row in r.table.rows() {
             let pcom = pcom_pct(row);
             assert!(
@@ -78,7 +109,7 @@ mod tests {
 
     #[test]
     fn buffer_shares_are_small() {
-        let r = run();
+        let r = run_serial();
         for row in r.table.rows() {
             for col in 1..=3 {
                 let cell = &row[col];
@@ -97,7 +128,7 @@ mod tests {
     #[test]
     fn total_power_in_watt_class() {
         // Paper totals: 0.84-1.12 W.
-        let r = run();
+        let r = run_serial();
         for row in r.table.rows() {
             let total: f64 = (1..=4)
                 .map(|c| {

@@ -5,14 +5,34 @@
 //! DRAM accesses per operation from the tiled DRAM-traffic estimator on
 //! AlexNet, matching Eyeriss's evaluation workload).
 
+use crate::experiment::{Experiment, ExperimentCtx};
 use crate::report::{fmt_f, ExperimentResult, Table};
 use flexflow::FlexFlow;
 use flexsim_arch::dram::network_traffic;
 use flexsim_arch::Accelerator;
 use flexsim_model::workloads;
 
-/// Runs the experiment.
-pub fn run() -> ExperimentResult {
+/// The registry entry for this experiment.
+pub struct Table07;
+
+impl Experiment for Table07 {
+    fn id(&self) -> &'static str {
+        "table07"
+    }
+    fn title(&self) -> &'static str {
+        "Comparison of accelerators"
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["table7"]
+    }
+    fn run(&self, ctx: &ExperimentCtx) -> ExperimentResult {
+        run(ctx)
+    }
+}
+
+/// Runs the experiment. No cycle simulation happens here (area and DRAM
+/// traffic are analytic), so the work stays on the calling thread.
+pub fn run(_ctx: &ExperimentCtx) -> ExperimentResult {
     let mut table = Table::new([
         "accelerator",
         "process",
@@ -61,7 +81,7 @@ pub fn run() -> ExperimentResult {
     ]);
     ExperimentResult {
         id: "table07".into(),
-        title: "Comparison of accelerators".into(),
+        title: Table07.title().into(),
         notes: vec![
             "FlexFlow's DRAM Acc/Op is measured on AlexNet with the Table 5 \
              32 KB + 32 KB buffers; the paper's headline is beating Eyeriss's \
@@ -76,9 +96,13 @@ pub fn run() -> ExperimentResult {
 mod tests {
     use super::*;
 
+    fn run_serial() -> ExperimentResult {
+        run(&ExperimentCtx::serial("table07"))
+    }
+
     #[test]
     fn measured_area_close_to_paper() {
-        let r = run();
+        let r = run_serial();
         let ours: f64 = r
             .table
             .cell("FlexFlow (ours)", "area mm2")
@@ -90,7 +114,7 @@ mod tests {
 
     #[test]
     fn dram_acc_per_op_beats_eyeriss() {
-        let r = run();
+        let r = run_serial();
         let ours: f64 = r
             .table
             .cell("FlexFlow (ours)", "DRAM acc/op")
@@ -103,6 +127,6 @@ mod tests {
 
     #[test]
     fn all_four_rows_present() {
-        assert_eq!(run().table.rows().len(), 4);
+        assert_eq!(run_serial().table.rows().len(), 4);
     }
 }

@@ -130,8 +130,24 @@ pub fn chrome_trace(spans: &[SpanRecord], timelines: &[LayerTimeline], metrics: 
         let pid = pid_idx as u64 + 1;
         let tid = layers_in_arch[pid_idx];
         layers_in_arch[pid_idx] += 1;
-        events.push(metadata_event("thread_name", pid, tid, &tl.ctx.layer));
+        // Multi-experiment sweeps tag timelines with their owning
+        // experiment; prefix the thread row so rows from different
+        // experiments stay distinguishable within one arch process.
+        let thread_name = if tl.ctx.experiment.is_empty() {
+            tl.ctx.layer.clone()
+        } else {
+            format!("{}/{}", tl.ctx.experiment, tl.ctx.layer)
+        };
+        events.push(metadata_event("thread_name", pid, tid, &thread_name));
         for ev in &tl.events {
+            let mut args = vec![
+                ("macs", Json::from(ev.macs)),
+                ("cycles", Json::from(ev.cycles)),
+                ("pes", Json::from(u64::from(tl.ctx.pe_count))),
+            ];
+            if !tl.ctx.experiment.is_empty() {
+                args.push(("experiment", Json::str(tl.ctx.experiment.as_str())));
+            }
             events.push(duration_event(
                 ev.kind.name(),
                 "sim",
@@ -139,11 +155,7 @@ pub fn chrome_trace(spans: &[SpanRecord], timelines: &[LayerTimeline], metrics: 
                 ev.cycles.max(1),
                 pid,
                 tid,
-                Json::obj([
-                    ("macs", Json::from(ev.macs)),
-                    ("cycles", Json::from(ev.cycles)),
-                    ("pes", Json::from(u64::from(tl.ctx.pe_count))),
-                ]),
+                Json::obj(args),
             ));
         }
     }
@@ -262,6 +274,37 @@ mod tests {
         assert_eq!(fills.len(), 2);
         assert_eq!(field(fills[0], "pid"), field(fills[1], "pid"));
         assert_ne!(field(fills[0], "tid"), field(fills[1], "tid"));
+    }
+
+    #[test]
+    fn experiment_tags_prefix_thread_names_and_ride_in_args() {
+        let timelines = vec![
+            LayerTimeline {
+                ctx: LayerCtx::new("FlexFlow", "C1", 256).for_experiment("fig15"),
+                events: vec![CycleEvent::new(CycleEventKind::Pass, 0, 10, 100)],
+            },
+            LayerTimeline {
+                ctx: LayerCtx::new("FlexFlow", "C1", 256).for_experiment("fig17"),
+                events: vec![CycleEvent::new(CycleEventKind::Pass, 0, 10, 100)],
+            },
+        ];
+        let doc = chrome_trace(&[], &timelines, &Snapshot::default());
+        let evs = events(&doc);
+        let names: Vec<&Json> = evs
+            .iter()
+            .filter(|e| field(e, "name") == &Json::str("thread_name"))
+            .map(|e| field(field(e, "args"), "name"))
+            .collect();
+        assert!(names.contains(&&Json::str("fig15/C1")));
+        assert!(names.contains(&&Json::str("fig17/C1")));
+        let pass = evs
+            .iter()
+            .find(|e| field(e, "name") == &Json::str("pass"))
+            .unwrap();
+        assert_eq!(
+            field(field(pass, "args"), "experiment"),
+            &Json::str("fig15")
+        );
     }
 
     #[test]

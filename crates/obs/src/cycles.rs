@@ -26,16 +26,28 @@ pub struct LayerCtx {
     pub layer: String,
     /// Total PEs in the engine (the occupancy denominator).
     pub pe_count: u32,
+    /// Id of the experiment this layer ran under (empty when the run
+    /// is not part of an experiment sweep). Stamped by
+    /// [`SinkHandle::tagged`] so multi-experiment traces stay
+    /// attributable.
+    pub experiment: String,
 }
 
 impl LayerCtx {
-    /// Builds a context.
+    /// Builds a context (no experiment attribution).
     pub fn new(arch: impl Into<String>, layer: impl Into<String>, pe_count: u32) -> LayerCtx {
         LayerCtx {
             arch: arch.into(),
             layer: layer.into(),
             pe_count,
+            experiment: String::new(),
         }
+    }
+
+    /// Returns the context re-tagged with an owning experiment id.
+    pub fn for_experiment(mut self, experiment: impl Into<String>) -> LayerCtx {
+        self.experiment = experiment.into();
+        self
     }
 }
 
@@ -172,6 +184,47 @@ impl SinkHandle {
             sink.end_layer();
         }
     }
+
+    /// Returns a handle that stamps `experiment` onto the
+    /// [`LayerCtx`] of every `begin_layer` it forwards, so cycle
+    /// records from a multi-experiment sweep remain attributable to
+    /// their owning experiment. An unattached handle stays unattached
+    /// (still free when tracing is off).
+    pub fn tagged(&self, experiment: &str) -> SinkHandle {
+        match &self.0 {
+            None => SinkHandle(None),
+            Some(inner) => SinkHandle(Some(Arc::new(ExperimentTag {
+                experiment: experiment.to_owned(),
+                inner: Arc::clone(inner),
+            }))),
+        }
+    }
+}
+
+/// A pass-through sink that stamps an experiment id onto layer
+/// contexts (see [`SinkHandle::tagged`]).
+struct ExperimentTag {
+    experiment: String,
+    inner: Arc<dyn CycleSink>,
+}
+
+impl CycleSink for ExperimentTag {
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+
+    fn begin_layer(&self, ctx: &LayerCtx) {
+        self.inner
+            .begin_layer(&ctx.clone().for_experiment(self.experiment.clone()));
+    }
+
+    fn emit(&self, ev: &CycleEvent) {
+        self.inner.emit(ev);
+    }
+
+    fn end_layer(&self) {
+        self.inner.end_layer();
+    }
 }
 
 fn global_slot() -> &'static RwLock<Option<Arc<dyn CycleSink>>> {
@@ -181,6 +234,11 @@ fn global_slot() -> &'static RwLock<Option<Arc<dyn CycleSink>>> {
 
 /// Installs (or clears, with `None`) the process-wide sink that
 /// accelerator factories hand to freshly built simulators.
+#[deprecated(
+    since = "0.1.0",
+    note = "thread a per-run SinkHandle through ExperimentCtx / ArchSet::builder().sink(..) \
+            instead; the process-global slot forbids concurrent sweeps"
+)]
 pub fn set_global_sink(sink: Option<Arc<dyn CycleSink>>) {
     *global_slot()
         .write()
@@ -188,6 +246,11 @@ pub fn set_global_sink(sink: Option<Arc<dyn CycleSink>>) {
 }
 
 /// A handle to the process-wide sink (unattached if none installed).
+#[deprecated(
+    since = "0.1.0",
+    note = "thread a per-run SinkHandle through ExperimentCtx / ArchSet::builder().sink(..) \
+            instead; the process-global slot forbids concurrent sweeps"
+)]
 pub fn global_handle() -> SinkHandle {
     SinkHandle(
         global_slot()
@@ -480,6 +543,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // compat coverage for the legacy global slot
     fn global_sink_slot_round_trips() {
         // Serialized implicitly: this is the only test touching the
         // global slot in this crate.
@@ -488,5 +552,22 @@ mod tests {
         assert!(global_handle().enabled());
         set_global_sink(None);
         assert!(!global_handle().is_attached());
+    }
+
+    #[test]
+    fn tagged_handle_stamps_experiment_on_layer_ctx() {
+        let rec = Arc::new(CycleRecorder::new());
+        let sink = SinkHandle::new(rec.clone()).tagged("fig15");
+        assert!(sink.enabled());
+        sink.begin_layer(&LayerCtx::new("FlexFlow", "C1", 256));
+        sink.emit(&CycleEvent::new(CycleEventKind::Pass, 0, 10, 100));
+        sink.end_layer();
+        let tl = rec.take();
+        assert_eq!(tl.len(), 1);
+        assert_eq!(tl[0].ctx.experiment, "fig15");
+        assert_eq!(tl[0].ctx.layer, "C1");
+        assert_eq!(tl[0].macs(), 100);
+        // Tagging an unattached handle stays unattached.
+        assert!(!SinkHandle::none().tagged("fig15").is_attached());
     }
 }

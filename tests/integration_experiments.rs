@@ -2,8 +2,14 @@
 //! experiment harness.
 
 use flexsim_arch::Accelerator;
-use flexsim_experiments::arches;
-use flexsim_model::workloads;
+use flexsim_experiments::arches::ArchSet;
+use flexsim_experiments::{find, run_suite, ExperimentCtx, SuiteConfig, REGISTRY};
+use flexsim_model::{workloads, Network};
+
+/// The four paper-scale (~256 PE) engines for `net`.
+fn paper_arches(net: &Network) -> Vec<Box<dyn Accelerator>> {
+    ArchSet::builder().build(net).into_vec()
+}
 
 #[test]
 fn abstract_speedup_claims_hold_in_shape() {
@@ -16,7 +22,7 @@ fn abstract_speedup_claims_hold_in_shape() {
     let mut max_vs_worst: f64 = 0.0;
     for net in workloads::all() {
         let mut gops = Vec::new();
-        for mut acc in arches::paper_scale(&net) {
+        for mut acc in paper_arches(&net) {
             gops.push(acc.run_network(&net).gops());
         }
         let ff = gops[3];
@@ -41,7 +47,7 @@ fn abstract_efficiency_claims_hold_in_shape() {
     // the small nets.
     for net in workloads::all() {
         let mut eff = Vec::new();
-        for mut acc in arches::paper_scale(&net) {
+        for mut acc in paper_arches(&net) {
             eff.push(acc.run_network(&net).efficiency_gops_per_w());
         }
         let ff = eff[3];
@@ -49,11 +55,10 @@ fn abstract_efficiency_claims_hold_in_shape() {
             assert!(ff > e, "{}: baseline {i} more efficient", net.name());
         }
     }
-    let mut lenet = workloads::lenet5();
-    let _ = &mut lenet;
+    let lenet = workloads::lenet5();
     let mut worst = f64::MAX;
     let mut ff_eff = 0.0;
-    for mut acc in arches::paper_scale(&lenet) {
+    for mut acc in paper_arches(&lenet) {
         let e = acc.run_network(&lenet).efficiency_gops_per_w();
         if acc.name() == "FlexFlow" {
             ff_eff = e;
@@ -67,7 +72,7 @@ fn abstract_efficiency_claims_hold_in_shape() {
 #[test]
 fn areas_match_section_6_2_1_within_tolerance() {
     let net = workloads::lenet5();
-    for (acc, (name, paper)) in arches::paper_scale(&net)
+    for (acc, (name, paper)) in paper_arches(&net)
         .iter()
         .zip(flexsim_experiments::paper::AREAS_MM2)
     {
@@ -86,7 +91,7 @@ fn flexflow_area_is_largest_as_the_paper_reports() {
     // since the local stores equipped in each PE dictating part of area
     // budget."
     let net = workloads::lenet5();
-    let areas: Vec<f64> = arches::paper_scale(&net)
+    let areas: Vec<f64> = paper_arches(&net)
         .iter()
         .map(|a| a.area().total_mm2())
         .collect();
@@ -112,14 +117,16 @@ fn routing_share_declines_with_scale() {
 
 #[test]
 fn all_experiments_run_and_render() {
-    let results = flexsim_experiments::run_all();
+    let experiments: Vec<_> = REGISTRY.iter().filter(|e| e.in_sweep()).copied().collect();
+    let report = run_suite(&experiments, &SuiteConfig::default());
+    assert!(report.failures.is_empty(), "{:?}", report.failures);
     // `profile` is the one opt-in diagnostic excluded from the sweep.
     let swept = flexsim_experiments::experiment_ids()
         .iter()
         .filter(|&&id| id != "profile")
         .count();
-    assert_eq!(results.len(), swept);
-    for r in &results {
+    assert_eq!(report.results.len(), swept);
+    for r in &report.results {
         assert!(!r.table.rows().is_empty(), "{} is empty", r.id);
         let text = r.to_string();
         assert!(text.contains(&r.id));
@@ -129,13 +136,34 @@ fn all_experiments_run_and_render() {
 }
 
 #[test]
-fn experiment_lookup_by_id() {
+fn experiment_lookup_by_id_and_alias() {
     for id in flexsim_experiments::experiment_ids() {
-        assert!(
-            flexsim_experiments::run_by_id(id).is_some(),
-            "{id} not runnable"
+        assert_eq!(
+            find(id).map(flexsim_experiments::Experiment::id),
+            Some(*id),
+            "{id} not resolvable"
         );
     }
+    for (alias, id) in [
+        ("fig1", "fig01"),
+        ("table3", "table03"),
+        ("table7", "table07"),
+    ] {
+        assert_eq!(find(alias).unwrap().id(), id);
+    }
+    assert!(find("fig99").is_none());
+}
+
+/// The deprecated serial wrappers must keep producing exactly what the
+/// registry + suite path produces until their removal.
+#[test]
+#[allow(deprecated)]
+fn deprecated_wrappers_match_the_registry_path() {
+    let via_wrapper = flexsim_experiments::run_by_id("table04").expect("table04 exists");
+    let via_trait = find("table04")
+        .unwrap()
+        .run(&ExperimentCtx::serial("table04"));
+    assert_eq!(via_wrapper.to_json(), via_trait.to_json());
     assert!(flexsim_experiments::run_by_id("fig99").is_none());
 }
 

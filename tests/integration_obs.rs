@@ -3,16 +3,15 @@
 //! analytic results — and the `flexsim` binary must expose them.
 //!
 //! Tests that touch process-global observability state (the metrics
-//! registry, the span recorder, the global cycle sink) serialize on a
-//! local mutex; the file is its own test binary, so nothing else races.
+//! registry and the span recorder) serialize on a local mutex; the
+//! file is its own test binary, so nothing else races.
 
-use flexsim_experiments::arches;
-use flexsim_experiments::run_by_id;
+use flexsim_experiments::arches::{self, ArchSet};
+use flexsim_experiments::{find, run_suite, SuiteConfig};
 use flexsim_obs::chrome::chrome_trace;
-use flexsim_obs::cycles::{set_global_sink, CycleRecorder, CycleSink};
 use flexsim_obs::{metrics, span};
 use flexsim_testkit::json::Json;
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Mutex, MutexGuard};
 
 fn serial() -> MutexGuard<'static, ()> {
     static LOCK: Mutex<()> = Mutex::new(());
@@ -27,7 +26,7 @@ fn serial() -> MutexGuard<'static, ()> {
 fn metrics_registry_mirrors_run_summaries_exactly() {
     let _guard = serial();
     for net in flexsim_model::workloads::all() {
-        for mut acc in arches::paper_scale(&net) {
+        for mut acc in ArchSet::builder().build(&net) {
             let before = metrics::global().snapshot();
             let summary = acc.run_network(&net);
             let grown = metrics::global().snapshot().diff(&before);
@@ -62,25 +61,34 @@ fn metrics_registry_mirrors_run_summaries_exactly() {
 }
 
 /// The Chrome export is parseable by the testkit parser, round-trips
-/// byte-for-byte, and carries host spans plus cycle timelines for all
-/// four architectures.
+/// byte-for-byte, and carries host spans plus experiment-tagged cycle
+/// timelines for all four architectures — with the parallel (`jobs=2`)
+/// trace path, not the deprecated global sink.
 #[test]
 fn chrome_trace_round_trips_with_all_architectures() {
     let _guard = serial();
     // `install_recorder` resets the buffer, so nothing a prior test
     // recorded leaks in.
     span::install_recorder();
-    let rec = Arc::new(CycleRecorder::new());
-    set_global_sink(Some(rec.clone() as Arc<dyn CycleSink>));
-    let result = run_by_id("fig15").expect("fig15 exists");
-    set_global_sink(None);
-    assert_eq!(result.id, "fig15");
+    let report = run_suite(
+        &[find("fig15").expect("fig15 exists")],
+        &SuiteConfig {
+            jobs: 2,
+            trace: true,
+        },
+    );
+    assert!(report.failures.is_empty(), "{:?}", report.failures);
+    assert_eq!(report.results[0].id, "fig15");
 
     let spans = span::take_records();
-    let timelines = rec.take();
+    let timelines = report.timelines;
     assert!(!spans.is_empty(), "no host spans recorded");
     // fig15 = 6 workloads × 4 architectures, every layer traced.
     assert!(timelines.len() >= 24, "only {} timelines", timelines.len());
+    // Every timeline is attributed to its owning experiment.
+    for tl in &timelines {
+        assert_eq!(tl.ctx.experiment, "fig15", "{}", tl.ctx.layer);
+    }
 
     let doc = chrome_trace(&spans, &timelines, &metrics::global().snapshot());
     let text = doc.pretty();
@@ -102,10 +110,10 @@ fn chrome_trace_round_trips_with_all_architectures() {
             "missing {sim} in {process_names:?}"
         );
     }
-    // Host spans (pid 0) include the experiment/workload/layer tiers;
-    // pids 1.. carry the cycle-domain events.
+    // Host spans (pid 0) include experiment and per-task tiers; pids
+    // 1.. carry the cycle-domain events.
     let cats: Vec<&str> = events.iter().filter_map(|e| str_field(e, "cat")).collect();
-    for cat in ["experiment", "workload", "layer"] {
+    for cat in ["experiment", "task"] {
         assert!(cats.contains(&cat), "no {cat} span in {cats:?}");
     }
     let sim_events = events
@@ -113,6 +121,16 @@ fn chrome_trace_round_trips_with_all_architectures() {
         .filter(|e| str_field(e, "ph") == Some("X") && int_field(e, "pid").unwrap_or(0) > 0)
         .count();
     assert!(sim_events > 0, "no cycle-domain events exported");
+    // The experiment tag rides into the exported thread names.
+    let thread_names: Vec<&str> = events
+        .iter()
+        .filter(|e| str_field(e, "ph") == Some("M") && str_field(e, "name") == Some("thread_name"))
+        .filter_map(|e| field(e, "args").and_then(|a| as_str(field(a, "name")?)))
+        .collect();
+    assert!(
+        thread_names.iter().any(|n| n.starts_with("fig15/")),
+        "no experiment-prefixed thread name in {thread_names:?}"
+    );
 }
 
 /// ISSUE satellite: unknown flags and missing flag values must fail
@@ -125,6 +143,9 @@ fn flexsim_binary_rejects_bad_arguments() {
         (vec!["--out"], "--out requires"),
         (vec!["--out", "--json", "fig15"], "--out requires"),
         (vec!["--trace"], "--trace requires"),
+        (vec!["--jobs"], "--jobs requires"),
+        (vec!["--jobs", "zero", "all"], "--jobs requires"),
+        (vec!["--jobs", "0", "all"], "--jobs requires"),
     ] {
         let out = std::process::Command::new(env!("CARGO_BIN_EXE_flexsim"))
             .args(&args)
@@ -138,15 +159,22 @@ fn flexsim_binary_rejects_bad_arguments() {
     }
 }
 
-/// ISSUE acceptance, end to end: `flexsim --trace FILE fig15` writes a
-/// Chrome trace that parses and names all four architectures.
+/// ISSUE acceptance, end to end: `flexsim --jobs 2 --trace FILE fig15`
+/// writes a Chrome trace that parses and names all four architectures.
 #[test]
 fn flexsim_trace_flag_writes_loadable_chrome_trace() {
     let dir = std::env::temp_dir().join(format!("flexsim-obs-test-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let file = dir.join("out.json");
     let out = std::process::Command::new(env!("CARGO_BIN_EXE_flexsim"))
-        .args(["--trace", file.to_str().unwrap(), "--metrics", "fig15"])
+        .args([
+            "--jobs",
+            "2",
+            "--trace",
+            file.to_str().unwrap(),
+            "--metrics",
+            "fig15",
+        ])
         .output()
         .expect("flexsim runs");
     assert!(

@@ -1,0 +1,197 @@
+//! Integration tests for the `flexsim-pool` scheduler and its
+//! experiment-layer integration: determinism across `--jobs` levels,
+//! panic isolation at the pool and the suite level, and a property
+//! sweep over random task batches (no lost or duplicated results).
+
+use flexsim_experiments::{run_suite, SuiteConfig, REGISTRY};
+use flexsim_pool::{Outcome, Pool, Task};
+use flexsim_testkit::prop::{self, vec_of};
+use flexsim_testkit::rng::SplitMix64;
+use flexsim_testkit::{prop_assert, prop_assert_eq};
+
+/// Renders the full sweep (every in-sweep experiment) to one JSON blob.
+fn sweep_json(jobs: usize) -> String {
+    let experiments: Vec<_> = REGISTRY.iter().filter(|e| e.in_sweep()).copied().collect();
+    let report = run_suite(&experiments, &SuiteConfig { jobs, trace: false });
+    assert!(report.failures.is_empty(), "{:?}", report.failures);
+    let blobs: Vec<String> = report
+        .results
+        .iter()
+        .map(flexsim_experiments::ExperimentResult::to_json)
+        .collect();
+    format!("[{}]", blobs.join(",\n"))
+}
+
+#[test]
+fn full_sweep_is_byte_identical_across_jobs_levels() {
+    // The tentpole guarantee: `--jobs N` output is byte-for-byte the
+    // serial output, for every N.
+    let serial = sweep_json(1);
+    for jobs in [2, 8] {
+        assert_eq!(
+            serial,
+            sweep_json(jobs),
+            "jobs={jobs} diverged from serial output"
+        );
+    }
+}
+
+#[test]
+fn random_task_batches_are_deterministic_across_jobs_and_seeds() {
+    // Three seeded random batches, each with uneven per-task work so
+    // completion order genuinely scrambles under parallelism; result
+    // order must stay submission order at every jobs level.
+    for seed in [1u64, 0xDEAD_BEEF, 0x5EED_5EED_5EED] {
+        let mut rng = SplitMix64::new(seed);
+        let inputs: Vec<(usize, u64)> = (0..64).map(|i| (i, rng.gen_range(0u64..=2_000))).collect();
+        let expect: Vec<u64> = inputs.iter().map(|&(i, spin)| spin_sum(i, spin)).collect();
+        for jobs in [1usize, 2, 8] {
+            let pool = Pool::new(jobs);
+            let tasks: Vec<Task<u64>> = inputs
+                .iter()
+                .map(|&(i, spin)| Task::new(format!("t{i}"), move || spin_sum(i, spin)))
+                .collect();
+            let got: Vec<u64> = pool
+                .run(tasks)
+                .into_iter()
+                .map(|o| o.done().expect("no task panics here"))
+                .collect();
+            assert_eq!(got, expect, "seed {seed:#x} jobs {jobs}");
+        }
+    }
+}
+
+/// A tiny spin of data-dependent work (keeps the optimizer honest
+/// without timers).
+fn spin_sum(i: usize, spin: u64) -> u64 {
+    let mut acc = i as u64;
+    for k in 0..spin {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+    }
+    acc
+}
+
+#[test]
+fn panicking_tasks_are_isolated_and_labelled() {
+    for jobs in [1usize, 4] {
+        let pool = Pool::new(jobs);
+        let tasks: Vec<Task<usize>> = (0..16)
+            .map(|i| {
+                Task::new(format!("task{i}"), move || {
+                    assert!(i % 5 != 3, "unlucky {i}");
+                    i * 2
+                })
+            })
+            .collect();
+        let outcomes = pool.run(tasks);
+        assert_eq!(outcomes.len(), 16);
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            if i % 5 == 3 {
+                let failure = outcome.failure().expect("task panicked").clone();
+                assert_eq!(failure.label, format!("task{i}"));
+                assert!(failure.message.contains(&format!("unlucky {i}")));
+            } else {
+                assert_eq!(outcome.done(), Some(i * 2), "jobs={jobs} task{i}");
+            }
+        }
+    }
+}
+
+#[test]
+fn suite_survives_a_poisoned_experiment() {
+    use flexsim_experiments::{Experiment, ExperimentCtx, ExperimentResult, Table};
+
+    struct Fine;
+    impl Experiment for Fine {
+        fn id(&self) -> &'static str {
+            "fine"
+        }
+        fn title(&self) -> &'static str {
+            "completes"
+        }
+        fn run(&self, ctx: &ExperimentCtx) -> ExperimentResult {
+            let vals = ctx.map((0..8).collect(), |i| format!("v{i}"), |_t, i: usize| i + 1);
+            let mut table = Table::new(["sum"]);
+            table.push_row([vals.iter().sum::<usize>().to_string()]);
+            ExperimentResult {
+                id: "fine".into(),
+                title: "completes".into(),
+                notes: vec![],
+                table,
+            }
+        }
+    }
+    struct Poisoned;
+    impl Experiment for Poisoned {
+        fn id(&self) -> &'static str {
+            "poisoned"
+        }
+        fn title(&self) -> &'static str {
+            "panics in a task"
+        }
+        fn run(&self, ctx: &ExperimentCtx) -> ExperimentResult {
+            ctx.map(
+                vec![0usize, 1, 2],
+                |i| format!("p{i}"),
+                |_t, i: usize| {
+                    assert!(i != 1, "boom at {i}");
+                    i
+                },
+            );
+            unreachable!("the map above must panic")
+        }
+    }
+
+    let report = run_suite(
+        &[&Fine, &Poisoned, &Fine],
+        &SuiteConfig {
+            jobs: 4,
+            trace: false,
+        },
+    );
+    assert_eq!(report.results.len(), 3);
+    assert_eq!(report.failures.len(), 1);
+    assert_eq!(report.failures[0].id, "poisoned");
+    assert!(report.failures[0].message.contains("boom at 1"));
+    assert!(report.failures[0].message.contains("poisoned/p1"));
+    // Healthy neighbours are untouched, the failed one is a placeholder.
+    assert_eq!(report.results[0].table.rows()[0][0], "36");
+    assert_eq!(report.results[2].table.rows()[0][0], "36");
+    assert!(report.results[1].notes[0].starts_with("FAILED:"));
+}
+
+#[test]
+fn random_batches_lose_and_duplicate_nothing() {
+    // 1000 random (batch, jobs) shapes through the pool: every result
+    // slot must hold exactly its own task's output — nothing lost,
+    // nothing duplicated, nothing reordered.
+    prop::check(
+        "pool_preserves_batches",
+        1000,
+        (vec_of(0u32..=50_000, 0..=48), 1usize..=9),
+        |case| {
+            let (values, jobs) = case.clone();
+            let pool = Pool::new(jobs);
+            let tasks: Vec<Task<(usize, u32)>> = values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| Task::new(format!("n{i}"), move || (i, v)))
+                .collect();
+            let outcomes = pool.run(tasks);
+            prop_assert_eq!(outcomes.len(), values.len());
+            for (i, outcome) in outcomes.into_iter().enumerate() {
+                let (slot, value) = match outcome {
+                    Outcome::Done(pair) => pair,
+                    Outcome::Panicked(f) => return Err(format!("unexpected panic: {f}")),
+                };
+                prop_assert_eq!(slot, i, "result landed in the wrong slot");
+                prop_assert!(
+                    value == values[i],
+                    "slot {i}: got {value}, expected {}",
+                    values[i]
+                );
+            }
+            Ok(())
+        },
+    );
+}
