@@ -43,4 +43,19 @@ echo "==> flexsim bench sweep (serial vs parallel wall time)"
 (cd "$TMP" && "$FLEXSIM" bench sweep)
 cat "$TMP/BENCH_pool.json"
 
+echo "==> flexsim profile smoke (ledgers balance; JSON well-formed)"
+# The run itself enforces flexcheck FXC09: every layer's loss ledger
+# must balance busy + lost == cycles x PEs or the profiler aborts.
+"$FLEXSIM" --json profile alexnet > "$TMP/profile.json"
+grep -q '(all)' "$TMP/profile.json" \
+    || { echo "FAIL: profile JSON missing aggregate rows"; exit 1; }
+if command -v python3 > /dev/null 2>&1; then
+    python3 -m json.tool "$TMP/profile.json" > /dev/null \
+        || { echo "FAIL: profile JSON does not parse"; exit 1; }
+fi
+
+echo "==> flexsim bench history + check (perf-regression harness)"
+(cd "$TMP" && "$FLEXSIM" bench history && "$FLEXSIM" bench check)
+tail -n 1 "$TMP/BENCH_history.jsonl"
+
 echo "CI OK"

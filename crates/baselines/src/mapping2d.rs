@@ -21,6 +21,7 @@ use flexsim_arch::Accelerator;
 use flexsim_model::reference::apply_activation;
 use flexsim_model::tensor::KernelSet;
 use flexsim_model::{Acc32, ConvLayer, Tensor2, Tensor3};
+use flexsim_obs::attrib::StallCause;
 use flexsim_obs::cycles::{Coalescer, CycleEventKind, LayerCtx, SinkHandle};
 
 /// Operand-movement statistics from the explicit shift simulation.
@@ -274,10 +275,17 @@ impl Mapping2d {
     }
 
     /// Emits the layer's cycle-domain timeline: one step per spatial
-    /// tile — a `Fill` for the initial window load, then one merged
-    /// `Pass` covering the tile's `M·N·K²` compute cycles with the
-    /// clamped `Tr·Tc` occupancy. Totals are exact against
-    /// [`Self::analyze`].
+    /// tile — the initial window load, then one merged `Pass` covering
+    /// the tile's `M·N·K²` compute cycles with the clamped `Tr·Tc`
+    /// occupancy. Totals are exact against [`Self::analyze`].
+    ///
+    /// Loss attribution: the per-tile window load is
+    /// [`StallCause::BufferBandwidthWait`] — operands inject through
+    /// the array edge at buffer width, so the whole array waits `Tc`
+    /// cycles for the window to arrive. The pass residue comes only
+    /// from `Tr_eff·Tc_eff` edge clamping, hence
+    /// [`StallCause::EdgeFragmentation`] (interior tiles have zero
+    /// residue).
     fn emit_cycle_events(&self, layer: &ConvLayer, total_cycles: u64) {
         let (m, n, s, k) = (layer.m(), layer.n(), layer.s(), layer.k());
         let row_tiles = cdiv(s, self.tr);
@@ -293,17 +301,29 @@ impl Mapping2d {
             let tr_eff = self.tr.min(s - rt * self.tr) as u64;
             for ct in 0..col_tiles {
                 let tc_eff = self.tc.min(s - ct * self.tc) as u64;
-                co.push(CycleEventKind::Fill, self.tc as u64, 0);
                 co.push(
-                    CycleEventKind::Pass,
+                    CycleEventKind::Stall(StallCause::BufferBandwidthWait),
+                    self.tc as u64,
+                    0,
+                );
+                co.push(
+                    CycleEventKind::Pass(StallCause::EdgeFragmentation),
                     pass_cycles,
                     tr_eff * tc_eff * pass_cycles,
                 );
                 co.step();
             }
         }
-        let total = co.finish();
-        debug_assert_eq!(total, total_cycles, "trace cycles diverge from analyze");
+        let totals = co.finish();
+        debug_assert_eq!(
+            totals.cycles, total_cycles,
+            "trace cycles diverge from analyze"
+        );
+        debug_assert_eq!(
+            totals.macs,
+            layer.macs(),
+            "trace MACs diverge from analyze (flexcheck FXC09 attribution-exactness)"
+        );
         self.sink.end_layer();
     }
 

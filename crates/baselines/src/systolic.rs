@@ -24,6 +24,7 @@ use flexsim_arch::Accelerator;
 use flexsim_model::reference::apply_activation;
 use flexsim_model::tensor::KernelSet;
 use flexsim_model::{Acc32, ConvLayer, Tensor2, Tensor3};
+use flexsim_obs::attrib::StallCause;
 use flexsim_obs::cycles::{Coalescer, CycleEventKind, LayerCtx, SinkHandle};
 
 /// The Systolic baseline simulator.
@@ -260,8 +261,19 @@ impl Systolic {
 
     /// Emits the layer's cycle-domain timeline: one `(m-group, input
     /// map)` step per coalescer tick — sub-kernel passes merged — with
-    /// the pipeline fill/drain as `Fill` and the streaming window as
-    /// `Pass`. Cycle and MAC totals are exact against [`Self::analyze`].
+    /// the chain bubble split into ramp-in/ramp-out stalls and the
+    /// streaming window as a `Pass`. Cycle and MAC totals are exact
+    /// against [`Self::analyze`].
+    ///
+    /// Loss attribution: the chain bubble divides evenly into
+    /// [`StallCause::PipelineFill`] (no output emerges until the chain
+    /// primes) and [`StallCause::PipelineDrain`] (accumulators still in
+    /// flight after the last input). The pass residue is
+    /// [`StallCause::MappingResidueIdle`] on full m-groups (`K² < ak²`
+    /// array waste, window overscan) and
+    /// [`StallCause::EdgeFragmentation`] on the final partial group
+    /// (`M mod num_arrays` arrays idle — edge-dominated, so the whole
+    /// residue of that step is attributed there).
     fn emit_cycle_events(&self, layer: &ConvLayer, total_cycles: u64) {
         let (m, n, k, s) = (layer.m(), layer.n(), layer.k(), layer.s());
         let w = layer.input_size();
@@ -279,14 +291,37 @@ impl Systolic {
         for gi in 0..m_groups {
             let arrays_active = self.num_arrays.min(m - gi * self.num_arrays) as u64;
             let pass_macs = arrays_active * (s * s * k * k) as u64;
+            let residue_cause = if arrays_active < self.num_arrays as u64 {
+                StallCause::EdgeFragmentation
+            } else {
+                StallCause::MappingResidueIdle
+            };
             for _ in 0..n {
-                co.push(CycleEventKind::Fill, pk * fill, 0);
-                co.push(CycleEventKind::Pass, pk * stream, pass_macs);
+                let bubble = pk * fill;
+                co.push(
+                    CycleEventKind::Stall(StallCause::PipelineFill),
+                    bubble.div_ceil(2),
+                    0,
+                );
+                co.push(
+                    CycleEventKind::Stall(StallCause::PipelineDrain),
+                    bubble / 2,
+                    0,
+                );
+                co.push(CycleEventKind::Pass(residue_cause), pk * stream, pass_macs);
                 co.step();
             }
         }
-        let total = co.finish();
-        debug_assert_eq!(total, total_cycles, "trace cycles diverge from analyze");
+        let totals = co.finish();
+        debug_assert_eq!(
+            totals.cycles, total_cycles,
+            "trace cycles diverge from analyze"
+        );
+        debug_assert_eq!(
+            totals.macs,
+            layer.macs(),
+            "trace MACs diverge from analyze (flexcheck FXC09 attribution-exactness)"
+        );
         self.sink.end_layer();
     }
 

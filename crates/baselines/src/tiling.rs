@@ -20,6 +20,7 @@ use flexsim_arch::Accelerator;
 use flexsim_model::reference::apply_activation;
 use flexsim_model::tensor::KernelSet;
 use flexsim_model::{Acc32, ConvLayer, Tensor3};
+use flexsim_obs::attrib::StallCause;
 use flexsim_obs::cycles::{Coalescer, CycleEventKind, LayerCtx, SinkHandle};
 
 /// The Tiling baseline simulator.
@@ -171,6 +172,15 @@ impl TilingArray {
     /// `(m-tile, n-tile)` step, its MACs the clamped lane product —
     /// exactly the analytic schedule, so trace totals match
     /// [`Self::analyze`].
+    ///
+    /// Loss attribution per step uses the dominant residue component:
+    /// an output-lane clamp (`Tm_eff < Tm`) idles whole PE rows —
+    /// [`StallCause::EdgeFragmentation`] — while an input-lane clamp
+    /// (`Tn_eff < Tn`) leaves every active row's `Tn`-input adder tree
+    /// underfed — [`StallCause::AdderTreeContention`]. Corner tiles
+    /// clamp both ways; their whole residue goes to whichever component
+    /// is larger (row loss `(Tm−Tm_eff)·Tn` vs lane loss
+    /// `Tm_eff·(Tn−Tn_eff)` per cycle), documented in DESIGN.md §9.
     fn emit_cycle_events(&self, layer: &ConvLayer, total_cycles: u64) {
         let (m, n, s, k) = (layer.m(), layer.n(), layer.s(), layer.k());
         let m_tiles = cdiv(m, self.tm);
@@ -186,16 +196,31 @@ impl TilingArray {
             let tm_eff = self.tm.min(m - mt * self.tm) as u64;
             for nt in 0..n_tiles {
                 let tn_eff = self.tn.min(n - nt * self.tn) as u64;
+                let row_loss = (self.tm as u64 - tm_eff) * self.tn as u64;
+                let lane_loss = tm_eff * (self.tn as u64 - tn_eff);
+                let residue_cause = if lane_loss > row_loss {
+                    StallCause::AdderTreeContention
+                } else {
+                    StallCause::EdgeFragmentation
+                };
                 co.push(
-                    CycleEventKind::Pass,
+                    CycleEventKind::Pass(residue_cause),
                     pass_cycles,
                     tm_eff * tn_eff * pass_cycles,
                 );
                 co.step();
             }
         }
-        let total = co.finish();
-        debug_assert_eq!(total, total_cycles, "trace cycles diverge from analyze");
+        let totals = co.finish();
+        debug_assert_eq!(
+            totals.cycles, total_cycles,
+            "trace cycles diverge from analyze"
+        );
+        debug_assert_eq!(
+            totals.macs,
+            layer.macs(),
+            "trace MACs diverge from analyze (flexcheck FXC09 attribution-exactness)"
+        );
         self.sink.end_layer();
     }
 

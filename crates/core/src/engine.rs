@@ -23,6 +23,7 @@ use flexsim_dataflow::search::{best_unroll, plan_network};
 use flexsim_dataflow::{TileIter, Unroll};
 use flexsim_model::tensor::KernelSet;
 use flexsim_model::{ConvLayer, Network, Tensor3};
+use flexsim_obs::attrib::StallCause;
 use flexsim_obs::cycles::{Coalescer, CycleEventKind, LayerCtx, SinkHandle};
 use flexsim_obs::span;
 
@@ -90,6 +91,16 @@ impl FlexFlow {
     /// the tiled schedule), and the per-batch partial-sum spill stalls.
     /// Coalesced so long layers stay bounded; cycle and MAC totals are
     /// exact against the analytic schedule.
+    ///
+    /// Loss attribution: the one-off fill is
+    /// [`StallCause::PipelineFill`] (operand preload + adder-tree depth
+    /// before the first writeback); segment-boundary stalls are
+    /// [`StallCause::PsumSpillRoundTrip`] (row accumulators written to
+    /// the output buffer and read back); the pass residue — PEs left
+    /// idle by `Ur·Uc < D²` unrolling and edge tiles — is
+    /// [`StallCause::MappingResidueIdle`]. Adder-tree row-port
+    /// conflicts are statically excluded by flexcheck FXC03, so that
+    /// bucket is structurally zero here.
     fn emit_cycle_events(&self, layer: &ConvLayer, sch: &Schedule) {
         self.sink.begin_layer(&LayerCtx::new(
             self.name(),
@@ -100,27 +111,39 @@ impl FlexFlow {
         let mut tiles = TileIter::new(layer, sch.unroll);
         for batch in 0..sch.row_batches {
             if batch == 0 {
-                co.push(CycleEventKind::Fill, PIPELINE_FILL_CYCLES, 0);
+                co.push(
+                    CycleEventKind::Stall(StallCause::PipelineFill),
+                    PIPELINE_FILL_CYCLES,
+                    0,
+                );
             }
             let batch_macs: u64 = tiles
                 .by_ref()
                 .take(sch.chunks as usize)
                 .map(|t| t.macs())
                 .sum();
-            co.push(CycleEventKind::Pass, sch.chunks, batch_macs);
+            co.push(
+                CycleEventKind::Pass(StallCause::MappingResidueIdle),
+                sch.chunks,
+                batch_macs,
+            );
             if sch.segments > 1 {
                 co.push(
-                    CycleEventKind::Spill,
+                    CycleEventKind::Stall(StallCause::PsumSpillRoundTrip),
                     (sch.segments - 1) * SEGMENT_STALL_CYCLES,
                     0,
                 );
             }
             co.step();
         }
-        let total = co.finish();
+        let totals = co.finish();
         debug_assert_eq!(
-            total, sch.cycles,
+            totals.cycles, sch.cycles,
             "trace cycles diverge from schedule (flexcheck FXC08 util-sanity)"
+        );
+        debug_assert_eq!(
+            totals.macs, sch.macs,
+            "trace MACs diverge from schedule (flexcheck FXC09 attribution-exactness)"
         );
         self.sink.end_layer();
     }

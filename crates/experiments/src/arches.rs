@@ -161,49 +161,6 @@ impl ArchSetBuilder {
     }
 }
 
-/// The Systolic configuration for a workload: 7×(6×6) arrays, except
-/// AlexNet which uses 11×11 arrays (Section 6.1.1).
-#[deprecated(
-    since = "0.1.0",
-    note = "use ArchSet::builder().build_one(net, 0); the AlexNet special case \
-            is now the documented widest-kernel builder rule"
-)]
-pub fn systolic_for(net: &Network) -> Systolic {
-    Systolic::scaled_to(systolic_array_k(net), PAPER_SCALE * PAPER_SCALE)
-}
-
-/// All four architectures at the paper's ~256-PE scale, configured for
-/// `net`, in [`ARCH_NAMES`] order, wired to the deprecated
-/// process-global cycle sink.
-#[deprecated(
-    since = "0.1.0",
-    note = "use ArchSet::builder().sink(..).build(net); the process-global \
-            sink forbids concurrent sweeps"
-)]
-pub fn paper_scale(net: &Network) -> Vec<Box<dyn Accelerator>> {
-    #[allow(deprecated)] // the shim this wrapper preserves
-    ArchSet::builder()
-        .sink(flexsim_obs::cycles::global_handle())
-        .build(net)
-        .into_vec()
-}
-
-/// All four architectures scaled to a `d×d`-equivalent engine
-/// (Fig. 19), wired to the deprecated process-global cycle sink.
-#[deprecated(
-    since = "0.1.0",
-    note = "use ArchSet::builder().scale(d).sink(..).build(net); the \
-            process-global sink forbids concurrent sweeps"
-)]
-pub fn at_scale(net: &Network, d: usize) -> Vec<Box<dyn Accelerator>> {
-    #[allow(deprecated)] // the shim this wrapper preserves
-    ArchSet::builder()
-        .scale(d)
-        .sink(flexsim_obs::cycles::global_handle())
-        .build(net)
-        .into_vec()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,25 +199,6 @@ mod tests {
                 // even when the budget is 8x8.
                 assert!(acc.pe_count() <= (d * d).max(121));
             }
-        }
-    }
-
-    #[test]
-    fn build_matches_the_deprecated_factories() {
-        // The one-release compatibility contract: the builder and the
-        // deprecated free functions configure identical engines.
-        #[allow(deprecated)]
-        for net in workloads::all() {
-            let new: Vec<(String, usize)> = ArchSet::builder()
-                .build(&net)
-                .into_iter()
-                .map(|a| (a.name().to_owned(), a.pe_count()))
-                .collect();
-            let old: Vec<(String, usize)> = paper_scale(&net)
-                .into_iter()
-                .map(|a| (a.name().to_owned(), a.pe_count()))
-                .collect();
-            assert_eq!(new, old, "{}", net.name());
         }
     }
 

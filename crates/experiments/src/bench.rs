@@ -1,0 +1,444 @@
+//! `flexsim bench` — wall-clock benchmarks and the perf-regression
+//! tracking harness.
+//!
+//! Three subcommands, dispatched by [`run`]:
+//!
+//! * `bench sweep` — times the full experiment sweep serially and at
+//!   the requested `--jobs` level and writes the comparison to
+//!   `BENCH_pool.json`, tagged with the machine's available
+//!   parallelism, the rustc version, and the git commit so a recorded
+//!   speedup can never be mistaken for one measured elsewhere.
+//! * `bench history` — times the sweep once, aggregates exact loss
+//!   attribution over every (workload, architecture) pair, and appends
+//!   one JSON line to [`HISTORY_FILE`]. The file is an append-only
+//!   log: each entry carries enough provenance (jobs, parallelism,
+//!   rustc, commit) to explain a wall-time shift.
+//! * `bench check` — re-times the sweep and compares against the last
+//!   entry of `--baseline` (default [`HISTORY_FILE`]): exits non-zero
+//!   when wall time regressed more than `--threshold` percent
+//!   (default [`DEFAULT_THRESHOLD_PCT`]). With no baseline file it
+//!   reports the measurement and exits 0, so the first CI run on a
+//!   fresh clone records rather than fails.
+//!
+//! Wall-clock comparisons are inherently machine-sensitive; the
+//! default threshold is generous on purpose — the harness catches
+//! "the sweep got 2× slower" regressions, not 5% noise.
+
+use crate::arches::{ArchSet, ARCH_NAMES};
+use crate::cli::Cli;
+use crate::experiment::{run_suite, Experiment, SuiteConfig};
+use crate::REGISTRY;
+use flexsim_model::workloads;
+use flexsim_obs::attrib::{ledgers, StallCause};
+use flexsim_obs::cycles::{CycleRecorder, SinkHandle};
+use flexsim_testkit::json::Json;
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The append-only perf-regression log `bench history` writes and
+/// `bench check` reads.
+pub const HISTORY_FILE: &str = "BENCH_history.jsonl";
+
+/// Percent wall-time slowdown `bench check` tolerates when
+/// `--threshold` is not given.
+pub const DEFAULT_THRESHOLD_PCT: u32 = 50;
+
+/// Runs the `bench` subcommand named in `cli.ids`, returning the
+/// process exit code (0 ok, 1 regression/failure, 2 usage/I-O error).
+pub fn run(cli: &Cli) -> i32 {
+    match cli.ids.first().map(String::as_str) {
+        Some("sweep") if cli.ids.len() == 1 => sweep(cli),
+        Some("history") if cli.ids.len() == 1 => history(cli),
+        Some("check") if cli.ids.len() == 1 => check(cli),
+        _ => {
+            eprintln!(
+                "flexsim: bench expects exactly one benchmark name: sweep, history, or check"
+            );
+            2
+        }
+    }
+}
+
+/// The experiments a bench run times: the sweep set, in paper order.
+fn sweep_experiments() -> Vec<&'static dyn Experiment> {
+    REGISTRY.iter().filter(|e| e.in_sweep()).copied().collect()
+}
+
+/// Times one full sweep at `jobs`; `Err(1)` when an experiment failed.
+fn timed_sweep(experiments: &[&'static dyn Experiment], jobs: usize) -> Result<f64, i32> {
+    let start = Instant::now();
+    let report = run_suite(experiments, &SuiteConfig { jobs, trace: false });
+    let wall_s = start.elapsed().as_secs_f64();
+    if report.failures.is_empty() {
+        Ok(wall_s)
+    } else {
+        for f in &report.failures {
+            eprintln!("experiment {} FAILED: {}", f.id, f.message);
+        }
+        Err(1)
+    }
+}
+
+/// `bench sweep`: serial vs `--jobs` wall time, into `BENCH_pool.json`.
+fn sweep(cli: &Cli) -> i32 {
+    let experiments = sweep_experiments();
+    let jobs = cli.jobs.unwrap_or_else(flexsim_pool::available_parallelism);
+    let serial_s = match timed_sweep(&experiments, 1) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let parallel_s = match timed_sweep(&experiments, jobs) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let speedup = serial_s / parallel_s.max(1e-12);
+    let doc = Json::obj([
+        ("bench", Json::str("sweep")),
+        ("experiments", Json::Int(experiments.len() as i64)),
+        (
+            "available_parallelism",
+            Json::Int(flexsim_pool::available_parallelism() as i64),
+        ),
+        ("rustc", Json::str(rustc_version())),
+        ("commit", Json::str(git_commit())),
+        ("serial_jobs", Json::Int(1)),
+        ("serial_wall_s", Json::Float(serial_s)),
+        ("parallel_jobs", Json::Int(jobs as i64)),
+        ("parallel_wall_s", Json::Float(parallel_s)),
+        ("speedup", Json::Float(speedup)),
+    ]);
+    let mut text = doc.pretty();
+    text.push('\n');
+    if let Err(e) = std::fs::write("BENCH_pool.json", text) {
+        eprintln!("cannot write BENCH_pool.json: {e}");
+        return 2;
+    }
+    eprintln!(
+        "bench sweep: serial {serial_s:.3}s, --jobs {jobs} {parallel_s:.3}s \
+         ({speedup:.2}x); wrote BENCH_pool.json"
+    );
+    0
+}
+
+/// `bench history`: one timed sweep + exact attribution, appended as a
+/// JSON line to [`HISTORY_FILE`].
+fn history(cli: &Cli) -> i32 {
+    let experiments = sweep_experiments();
+    let jobs = cli.jobs.unwrap_or_else(flexsim_pool::available_parallelism);
+    let wall_s = match timed_sweep(&experiments, jobs) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let attrib = attribution_totals();
+    let entry = history_entry(
+        unix_seconds(),
+        wall_s,
+        jobs,
+        experiments.len(),
+        flexsim_pool::available_parallelism(),
+        &rustc_version(),
+        &git_commit(),
+        &attrib,
+    );
+    let mut line = entry.compact();
+    line.push('\n');
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(HISTORY_FILE)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = appended {
+        eprintln!("cannot append to {HISTORY_FILE}: {e}");
+        return 2;
+    }
+    eprintln!(
+        "bench history: sweep {wall_s:.3}s at --jobs {jobs}, busy {} PE-cycles, \
+         lost {} PE-cycles; appended to {HISTORY_FILE}",
+        attrib.busy_pe_cycles,
+        attrib.lost.iter().map(|(_, v)| v).sum::<u64>()
+    );
+    0
+}
+
+/// `bench check`: re-time the sweep and gate on the recorded baseline.
+fn check(cli: &Cli) -> i32 {
+    let path = cli.baseline.as_deref().unwrap_or(HISTORY_FILE);
+    let threshold = cli.threshold_pct.unwrap_or(DEFAULT_THRESHOLD_PCT);
+    let baseline = match baseline_wall_s(path) {
+        Ok(b) => b,
+        Err(msg) => {
+            eprintln!("flexsim: {msg}");
+            return 2;
+        }
+    };
+    let experiments = sweep_experiments();
+    let jobs = cli.jobs.unwrap_or_else(flexsim_pool::available_parallelism);
+    let wall_s = match timed_sweep(&experiments, jobs) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    match baseline {
+        None => {
+            eprintln!(
+                "bench check: no baseline at {path}; measured {wall_s:.3}s \
+                 (recording only — run `flexsim bench history` to create one)"
+            );
+            0
+        }
+        Some(base) => {
+            if regressed(base, wall_s, threshold) {
+                eprintln!(
+                    "bench check: REGRESSION — sweep took {wall_s:.3}s vs baseline \
+                     {base:.3}s (> {threshold}% slower; baseline {path})"
+                );
+                1
+            } else {
+                eprintln!(
+                    "bench check: ok — sweep took {wall_s:.3}s vs baseline {base:.3}s \
+                     (threshold {threshold}%; baseline {path})"
+                );
+                0
+            }
+        }
+    }
+}
+
+/// The regression predicate: `measured` exceeds `baseline` by more
+/// than `threshold_pct` percent.
+fn regressed(baseline_s: f64, measured_s: f64, threshold_pct: u32) -> bool {
+    measured_s > baseline_s * (1.0 + f64::from(threshold_pct) / 100.0)
+}
+
+/// The `wall_s` of the last entry in the baseline file; `Ok(None)`
+/// when the file does not exist (fresh clone), `Err` when it exists
+/// but cannot be understood (a corrupt baseline must not silently
+/// pass the gate).
+fn baseline_wall_s(path: &str) -> Result<Option<f64>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("cannot read baseline {path}: {e}")),
+    };
+    let Some(last) = text.lines().rev().find(|l| !l.trim().is_empty()) else {
+        return Ok(None);
+    };
+    let doc = Json::parse(last).map_err(|e| format!("baseline {path}: bad last line: {e:?}"))?;
+    json_field(&doc, "wall_s")
+        .and_then(json_f64)
+        .map(Some)
+        .ok_or_else(|| format!("baseline {path}: last line has no numeric \"wall_s\""))
+}
+
+/// Workload-sweep attribution totals: busy PE-cycles plus lost
+/// PE-cycles per cause, summed over every Table 1 workload on all four
+/// architectures. Panics (via the ledger exactness assert) if any
+/// simulator's attribution stopped balancing — the bench log must
+/// never record inexact numbers.
+struct AttributionTotals {
+    busy_pe_cycles: u64,
+    lost: Vec<(&'static str, u64)>,
+}
+
+fn attribution_totals() -> AttributionTotals {
+    let mut busy = 0u64;
+    let mut lost = [0u64; StallCause::COUNT];
+    for net in workloads::all() {
+        for idx in 0..ARCH_NAMES.len() {
+            let rec = Arc::new(CycleRecorder::new());
+            let mut acc = ArchSet::builder()
+                .sink(SinkHandle::new(rec.clone()))
+                .build_one(&net, idx);
+            let _ = acc.run_network(&net);
+            for ledger in ledgers(&rec.take()) {
+                let diags = flexcheck::check_ledgers(std::slice::from_ref(&ledger));
+                assert!(
+                    diags.is_empty(),
+                    "{}/{}: {}",
+                    net.name(),
+                    acc.name(),
+                    flexcheck::render(&diags)
+                );
+                busy += ledger.busy_pe_cycles;
+                for cause in StallCause::ALL {
+                    lost[cause.index()] += ledger.lost(cause);
+                }
+            }
+        }
+    }
+    AttributionTotals {
+        busy_pe_cycles: busy,
+        lost: StallCause::ALL
+            .iter()
+            .map(|c| (c.name(), lost[c.index()]))
+            .collect(),
+    }
+}
+
+/// One history line, keys in stable order.
+#[allow(clippy::too_many_arguments)] // a serialization boundary, not an API
+fn history_entry(
+    ts_unix: u64,
+    wall_s: f64,
+    jobs: usize,
+    experiments: usize,
+    available_parallelism: usize,
+    rustc: &str,
+    commit: &str,
+    attrib: &AttributionTotals,
+) -> Json {
+    Json::obj([
+        ("bench", Json::str("history")),
+        ("ts_unix", Json::Int(ts_unix as i64)),
+        ("wall_s", Json::Float(wall_s)),
+        ("jobs", Json::Int(jobs as i64)),
+        ("experiments", Json::Int(experiments as i64)),
+        (
+            "available_parallelism",
+            Json::Int(available_parallelism as i64),
+        ),
+        ("rustc", Json::str(rustc)),
+        ("commit", Json::str(commit)),
+        ("busy_pe_cycles", Json::Int(attrib.busy_pe_cycles as i64)),
+        (
+            "lost_pe_cycles",
+            Json::obj(
+                attrib
+                    .lost
+                    .iter()
+                    .map(|&(name, v)| (name, Json::Int(v as i64))),
+            ),
+        ),
+    ])
+}
+
+/// Seconds since the Unix epoch (0 if the clock is before it).
+fn unix_seconds() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// `rustc -V`, or `"unknown"` when the compiler is not on PATH.
+fn rustc_version() -> String {
+    command_line("rustc", &["-V"])
+}
+
+/// Short git commit hash, or `"unknown"` outside a repository.
+fn git_commit() -> String {
+    command_line("git", &["rev-parse", "--short", "HEAD"])
+}
+
+/// First stdout line of a subprocess, `"unknown"` on any failure.
+fn command_line(program: &str, args: &[&str]) -> String {
+    std::process::Command::new(program)
+        .args(args)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .and_then(|s| s.lines().next().map(str::to_owned))
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// Looks up `key` in a JSON object.
+fn json_field<'a>(doc: &'a Json, key: &str) -> Option<&'a Json> {
+    match doc {
+        Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+/// Numeric value of an `Int` or `Float` node.
+fn json_f64(v: &Json) -> Option<f64> {
+    match v {
+        Json::Int(i) => Some(*i as f64),
+        Json::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regression_predicate_uses_the_threshold() {
+        assert!(!regressed(10.0, 10.0, 50));
+        assert!(!regressed(10.0, 14.9, 50));
+        assert!(regressed(10.0, 15.1, 50));
+        assert!(regressed(1.0, 1.3, 25));
+        assert!(!regressed(1.0, 1.2, 25));
+    }
+
+    #[test]
+    fn history_entry_round_trips_and_keeps_wall_s_extractable() {
+        let attrib = AttributionTotals {
+            busy_pe_cycles: 123,
+            lost: StallCause::ALL.iter().map(|c| (c.name(), 7)).collect(),
+        };
+        let entry = history_entry(
+            1_700_000_000,
+            4.25,
+            8,
+            17,
+            16,
+            "rustc 1.x",
+            "abc1234",
+            &attrib,
+        );
+        let line = entry.compact();
+        let parsed = Json::parse(&line).unwrap();
+        assert_eq!(parsed, entry);
+        assert_eq!(json_field(&parsed, "wall_s").and_then(json_f64), Some(4.25));
+        assert_eq!(json_field(&parsed, "commit"), Some(&Json::str("abc1234")));
+        let lost = json_field(&parsed, "lost_pe_cycles").unwrap();
+        for cause in StallCause::ALL {
+            assert_eq!(json_field(lost, cause.name()), Some(&Json::Int(7)));
+        }
+    }
+
+    #[test]
+    fn baseline_reader_handles_missing_empty_and_corrupt_files() {
+        // Missing file: fresh clone, no baseline.
+        assert_eq!(
+            baseline_wall_s("bench_test_definitely_missing.jsonl").unwrap(),
+            None
+        );
+        let dir = std::env::temp_dir();
+        let empty = dir.join("flexsim_bench_empty_test.jsonl");
+        std::fs::write(&empty, "\n\n").unwrap();
+        assert_eq!(baseline_wall_s(empty.to_str().unwrap()).unwrap(), None);
+        let corrupt = dir.join("flexsim_bench_corrupt_test.jsonl");
+        std::fs::write(&corrupt, "{not json\n").unwrap();
+        assert!(baseline_wall_s(corrupt.to_str().unwrap()).is_err());
+        let good = dir.join("flexsim_bench_good_test.jsonl");
+        std::fs::write(&good, "{\"wall_s\": 1.0}\n{\"wall_s\": 2.5}\n").unwrap();
+        assert_eq!(baseline_wall_s(good.to_str().unwrap()).unwrap(), Some(2.5));
+        for f in [empty, corrupt, good] {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn subprocess_probes_never_panic() {
+        // Whatever the environment, these must degrade to "unknown",
+        // not fail — CI containers may lack git metadata.
+        assert!(!rustc_version().is_empty());
+        assert!(!git_commit().is_empty());
+        assert_eq!(command_line("flexsim-no-such-binary", &[]), "unknown");
+    }
+
+    #[test]
+    fn attribution_totals_cover_multiple_causes() {
+        let attrib = attribution_totals();
+        assert!(attrib.busy_pe_cycles > 0);
+        let nonzero = attrib.lost.iter().filter(|(_, v)| *v > 0).count();
+        assert!(
+            nonzero >= 4,
+            "expected several causes, got {:?}",
+            attrib.lost
+        );
+    }
+}

@@ -9,19 +9,37 @@
 pub const USAGE: &str = "\
 usage: flexsim [OPTIONS] [EXPERIMENT-ID...]
        flexsim lint [--json]
+       flexsim profile [WORKLOAD] [--json]
        flexsim bench sweep [--jobs N]
+       flexsim bench history [--jobs N]
+       flexsim bench check [--baseline FILE] [--threshold PCT]
 
 Runs the FlexFlow (HPCA'17) evaluation experiments. With no ids (or
 with `all`) every experiment runs in paper order.
 
 `flexsim lint` statically verifies every Table 1 workload on all four
-architectures with the flexcheck rules (FXC01-FXC08: local-store
+architectures with the flexcheck rules (FXC01-FXC09: local-store
 capacity, bus races, adder-tree ports, FSM bounds, ISA protocol,
-unroll bounds, bank conflicts, utilization sanity) and exits non-zero
-on any error. The same check also gates every simulation.
+unroll bounds, bank conflicts, utilization sanity, attribution
+exactness) and exits non-zero on any error. The same check also gates
+every simulation.
+
+`flexsim profile [WORKLOAD]` renders the per-layer loss-attribution +
+roofline report for one Table 1 workload (all six when omitted):
+cycles, utilization, compute- vs bandwidth-bound, and the top loss
+causes, with every ledger balanced to the FXC09 exactness identity.
 
 `flexsim bench sweep` times the full sweep serially and at the given
 `--jobs` level and writes the comparison to BENCH_pool.json.
+
+`flexsim bench history` times the sweep once, aggregates loss
+attribution, and appends one JSON line (wall time, busy/lost
+PE-cycles, parallelism, rustc, commit) to BENCH_history.jsonl.
+
+`flexsim bench check` re-times the sweep and exits non-zero when wall
+time regressed more than `--threshold` percent (default 50) past the
+last line of `--baseline` (default BENCH_history.jsonl); with no
+baseline file it reports and exits 0.
 
 options:
   --jobs N        run up to N experiment tasks concurrently (default:
@@ -33,6 +51,10 @@ options:
                   cycle-domain timelines + metrics), loadable in
                   Perfetto or chrome://tracing
   --metrics       print the metrics-registry dump to stderr after the run
+  --baseline FILE JSONL file `bench check` compares against (default:
+                  BENCH_history.jsonl)
+  --threshold PCT percent wall-time slowdown `bench check` tolerates
+                  (positive integer, default: 50)
   --no-lint       skip the static pre-simulation verification gate
   --list          list experiment ids and exit
   --help          show this message
@@ -65,6 +87,12 @@ pub struct Cli {
     pub trace: Option<String>,
     /// Directory for per-experiment `.txt` + `.json` output.
     pub out_dir: Option<String>,
+    /// Baseline JSONL file for `bench check` (default:
+    /// `BENCH_history.jsonl`).
+    pub baseline: Option<String>,
+    /// Percent wall-time slowdown `bench check` tolerates before
+    /// failing (default: 50).
+    pub threshold_pct: Option<u32>,
     /// Experiment ids to run; empty means `all`. For `bench` this holds
     /// the benchmark name (`sweep`).
     pub ids: Vec<String>,
@@ -99,6 +127,18 @@ pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Cli, String> {
             }
             "--out" => cli.out_dir = Some(value_of(&mut iter, "--out", "a directory")?),
             "--trace" => cli.trace = Some(value_of(&mut iter, "--trace", "a file path")?),
+            "--baseline" => cli.baseline = Some(value_of(&mut iter, "--baseline", "a file path")?),
+            "--threshold" => {
+                let v = value_of(&mut iter, "--threshold", "a positive integer percent")?;
+                match v.parse::<u32>() {
+                    Ok(n) if n > 0 => cli.threshold_pct = Some(n),
+                    _ => {
+                        return Err(format!(
+                            "--threshold requires a positive integer percent, got {v:?}"
+                        ))
+                    }
+                }
+            }
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown option {flag:?}"));
             }
@@ -221,6 +261,43 @@ mod tests {
         let cli = p(&["bench", "sweep", "--jobs", "2"]).unwrap();
         assert!(cli.bench);
         assert_eq!(cli.jobs, Some(2));
+    }
+
+    #[test]
+    fn bench_check_takes_baseline_and_threshold() {
+        let cli = p(&[
+            "bench",
+            "check",
+            "--baseline",
+            "b.jsonl",
+            "--threshold",
+            "25",
+        ])
+        .unwrap();
+        assert!(cli.bench);
+        assert_eq!(cli.ids, ["check"]);
+        assert_eq!(cli.baseline.as_deref(), Some("b.jsonl"));
+        assert_eq!(cli.threshold_pct, Some(25));
+        // Defaults stay unset for the caller to fill in.
+        let cli = p(&["bench", "check"]).unwrap();
+        assert_eq!(cli.baseline, None);
+        assert_eq!(cli.threshold_pct, None);
+    }
+
+    #[test]
+    fn bad_threshold_values_are_rejected() {
+        for bad in ["0", "-5", "half", "1.5"] {
+            let err = p(&["bench", "check", "--threshold", bad]).unwrap_err();
+            assert!(err.contains("--threshold requires"), "{bad}: {err}");
+        }
+        assert!(p(&["--baseline"]).unwrap_err().contains("--baseline"));
+    }
+
+    #[test]
+    fn profile_takes_a_workload_argument() {
+        let cli = p(&["profile", "alexnet", "--json"]).unwrap();
+        assert!(cli.json);
+        assert_eq!(cli.ids, ["profile", "alexnet"]);
     }
 
     #[test]

@@ -17,16 +17,23 @@
 //!   a failing experiment becomes a structured [`SuiteFailure`] and a
 //!   placeholder result; the rest of the sweep still runs.
 //!
-//! Cycle-domain tracing no longer goes through the deprecated
-//! process-global sink: a [`TraceCollector`] is threaded through the
-//! context, each parallel task records into its own private
-//! [`CycleRecorder`], and completed timelines are merged back in task
-//! order — deterministic, and tagged with the owning experiment id.
+//! Cycle-domain tracing never goes through process-global state: a
+//! [`TraceCollector`] is threaded through the context, each parallel
+//! task records into its own private [`CycleRecorder`], and completed
+//! timelines are merged back in task order — deterministic, and tagged
+//! with the owning experiment id. As each timeline lands in the
+//! collector its [`LossLedger`] is mirrored into the global metrics
+//! registry (`sim_busy_pe_cycles` / `sim_lost_pe_cycles{cause}`), so
+//! `--metrics` dumps and exported Chrome traces always agree.
+//!
+//! [`LossLedger`]: flexsim_obs::attrib::LossLedger
 
 use crate::report::{ExperimentResult, Table};
+use flexsim_obs::attrib::LossLedger;
 use flexsim_obs::cycles::{
     CycleEvent, CycleRecorder, CycleSink, LayerCtx, LayerTimeline, SinkHandle,
 };
+use flexsim_obs::metrics;
 use flexsim_pool::{Outcome, Pool, Task};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
@@ -101,6 +108,12 @@ impl TraceCollector {
     }
 
     fn append(&self, timelines: Vec<LayerTimeline>) {
+        // The single chokepoint every collected timeline crosses:
+        // mirror its loss ledger so the metrics registry and the
+        // exported trace can never disagree about attribution.
+        for tl in &timelines {
+            LossLedger::from_timeline(tl).mirror(metrics::global());
+        }
         self.done
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -173,9 +186,6 @@ enum SinkMode {
     /// Per-task private recorders merged into a shared collector in
     /// task order (the `--trace` path).
     Collect(Arc<TraceCollector>),
-    /// Compatibility with the deprecated process-global sink; only
-    /// meaningful for serial contexts.
-    LegacyGlobal,
 }
 
 /// Everything an [`Experiment::run`] needs from its surroundings: the
@@ -212,14 +222,13 @@ impl ExperimentCtx {
         }
     }
 
-    /// A serial context wired to the deprecated process-global cycle
-    /// sink — the compatibility shim behind the deprecated
-    /// `run_all()`/`run_by_id()` wrappers and `--jobs 1` legacy flows.
-    pub fn legacy_serial(id: &str) -> ExperimentCtx {
+    /// An untraced context fanning tasks over `jobs` pool threads —
+    /// what `flexsim profile <workload>` uses outside a suite run.
+    pub fn parallel(id: &str, jobs: usize) -> ExperimentCtx {
         ExperimentCtx {
             id: id.to_owned(),
-            pool: Arc::new(Pool::new(1)),
-            sink_mode: SinkMode::LegacyGlobal,
+            pool: Arc::new(Pool::new(jobs)),
+            sink_mode: SinkMode::None,
         }
     }
 
@@ -257,8 +266,6 @@ impl ExperimentCtx {
                 open: Mutex::new(Vec::new()),
             }))
             .tagged(&self.id),
-            #[allow(deprecated)] // the shim this mode exists for
-            SinkMode::LegacyGlobal => flexsim_obs::cycles::global_handle().tagged(&self.id),
         }
     }
 
@@ -307,16 +314,6 @@ impl ExperimentCtx {
                         let value = work(&TaskCtx { sink }, item);
                         (value, rec.take())
                     }
-                    #[allow(deprecated)] // the shim this mode exists for
-                    SinkMode::LegacyGlobal => (
-                        work(
-                            &TaskCtx {
-                                sink: flexsim_obs::cycles::global_handle().tagged(&id),
-                            },
-                            item,
-                        ),
-                        Vec::new(),
-                    ),
                 })
             })
             .collect();
@@ -575,7 +572,9 @@ mod tests {
                         let sink = tctx.sink();
                         sink.begin_layer(&LayerCtx::new("TestArch", layer, 4));
                         sink.emit(&CycleEvent::new(
-                            flexsim_obs::cycles::CycleEventKind::Pass,
+                            flexsim_obs::cycles::CycleEventKind::Pass(
+                                flexsim_obs::attrib::StallCause::MappingResidueIdle,
+                            ),
                             0,
                             10,
                             40,

@@ -26,6 +26,7 @@
 
 pub mod ablations;
 pub mod arches;
+pub mod bench;
 pub mod cli;
 pub mod experiment;
 pub mod extensions;
@@ -48,39 +49,6 @@ pub use experiment::{
     find, run_suite, Experiment, ExperimentCtx, SuiteConfig, SuiteReport, TaskCtx, REGISTRY,
 };
 pub use report::{ExperimentResult, Table};
-
-/// Runs every paper experiment in paper order, serially, wired to the
-/// deprecated process-global cycle sink. The `profile` diagnostic
-/// experiment is opt-in (`flexsim profile`) and not part of the sweep.
-#[deprecated(
-    since = "0.1.0",
-    note = "use run_suite(&experiment::REGISTRY.iter().filter(|e| e.in_sweep())..., &SuiteConfig {..}) \
-            or the flexsim CLI; this wrapper is serial-only"
-)]
-pub fn run_all() -> Vec<ExperimentResult> {
-    REGISTRY
-        .iter()
-        .filter(|e| e.in_sweep())
-        .map(|e| {
-            let _span = flexsim_obs::span::span("experiment", e.id());
-            e.run(&ExperimentCtx::legacy_serial(e.id()))
-        })
-        .collect()
-}
-
-/// Looks up an experiment by id (e.g. `"fig15"`, `"table06"`) and runs
-/// it serially, wired to the deprecated process-global cycle sink.
-/// Each run is wrapped in an `experiment`-category host span so
-/// `--trace` output groups work per experiment.
-#[deprecated(
-    since = "0.1.0",
-    note = "use experiment::find(id) and Experiment::run(&ExperimentCtx), or run_suite"
-)]
-pub fn run_by_id(id: &str) -> Option<ExperimentResult> {
-    let exp = find(id)?;
-    let _span = flexsim_obs::span::span("experiment", exp.id());
-    Some(exp.run(&ExperimentCtx::legacy_serial(exp.id())))
-}
 
 /// All experiment ids, in paper order.
 pub fn experiment_ids() -> &'static [&'static str] {

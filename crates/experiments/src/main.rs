@@ -11,7 +11,10 @@
 //! flexsim --metrics fig15        # dump the metrics registry
 //! flexsim --list                 # available experiment ids
 //! flexsim lint                   # static verification sweep
+//! flexsim profile alexnet        # per-layer loss attribution + roofline
 //! flexsim bench sweep            # time serial vs parallel, BENCH_pool.json
+//! flexsim bench history          # append wall time + attribution to BENCH_history.jsonl
+//! flexsim bench check            # fail on wall-time regression vs the history
 //! flexsim --no-lint fig15        # skip the pre-simulation gate
 //! ```
 //!
@@ -27,7 +30,6 @@ use flexsim_experiments::{
     experiment_ids, find, run_suite, Experiment, ExperimentResult, SuiteConfig, REGISTRY,
 };
 use flexsim_obs::{chrome, metrics, span};
-use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,7 +57,12 @@ fn main() {
         std::process::exit(i32::from(errors > 0));
     }
     if cli.bench {
-        bench(&cli);
+        std::process::exit(flexsim_experiments::bench::run(&cli));
+    }
+    // `flexsim profile <workload>` — the one experiment taking an
+    // argument, so it bypasses the plain registry dispatch.
+    if cli.ids.first().map(String::as_str) == Some("profile") && cli.ids.len() == 2 {
+        profile_workload(&cli);
         return;
     }
 
@@ -123,58 +130,28 @@ fn select(cli: &Cli) -> Vec<&'static dyn Experiment> {
     experiments
 }
 
-/// `flexsim bench sweep`: wall-clock the full sweep serially and at the
-/// requested `--jobs` level, write the comparison to `BENCH_pool.json`.
-fn bench(cli: &Cli) {
-    if cli.ids != ["sweep"] {
-        eprintln!("flexsim: bench expects exactly one benchmark name: sweep\n\n{USAGE}");
+/// `flexsim profile <workload>`: the per-layer loss-attribution +
+/// roofline report for one Table 1 workload.
+fn profile_workload(cli: &Cli) {
+    let name = &cli.ids[1];
+    let Some(net) = flexsim_model::workloads::by_name(name) else {
+        let names: Vec<String> = flexsim_model::workloads::all()
+            .iter()
+            .map(|n| n.name().to_lowercase())
+            .collect();
+        eprintln!("unknown workload {name:?}; available: {}", names.join(", "));
         std::process::exit(2);
-    }
-    let experiments = REGISTRY
-        .iter()
-        .filter(|e| e.in_sweep())
-        .copied()
-        .collect::<Vec<_>>();
+    };
     let jobs = cli.jobs.unwrap_or_else(flexsim_pool::available_parallelism);
-
-    let start = Instant::now();
-    let serial = run_suite(
-        &experiments,
-        &SuiteConfig {
-            jobs: 1,
-            trace: false,
-        },
-    );
-    let serial_s = start.elapsed().as_secs_f64();
-
-    let start = Instant::now();
-    let parallel = run_suite(&experiments, &SuiteConfig { jobs, trace: false });
-    let parallel_s = start.elapsed().as_secs_f64();
-
-    if !serial.failures.is_empty() || !parallel.failures.is_empty() {
-        for f in serial.failures.iter().chain(&parallel.failures) {
-            eprintln!("experiment {} FAILED: {}", f.id, f.message);
-        }
-        std::process::exit(1);
+    let ctx = flexsim_experiments::ExperimentCtx::parallel("profile", jobs);
+    let result = flexsim_experiments::profile::run_workloads(&ctx, &[net]);
+    if cli.metrics {
+        eprint!("{}", metrics::global().snapshot().dump());
     }
-    let json = format!(
-        "{{\n  \"bench\": \"sweep\",\n  \"experiments\": {},\n  \
-         \"available_parallelism\": {},\n  \"serial_jobs\": 1,\n  \
-         \"serial_wall_s\": {serial_s:.6},\n  \"parallel_jobs\": {jobs},\n  \
-         \"parallel_wall_s\": {parallel_s:.6},\n  \"speedup\": {:.3}\n}}\n",
-        experiments.len(),
-        flexsim_pool::available_parallelism(),
-        serial_s / parallel_s.max(1e-12),
-    );
-    if let Err(e) = std::fs::write("BENCH_pool.json", &json) {
-        eprintln!("cannot write BENCH_pool.json: {e}");
-        std::process::exit(2);
+    if let Some(dir) = &cli.out_dir {
+        write_out(dir, std::slice::from_ref(&result));
     }
-    eprintln!(
-        "bench sweep: serial {serial_s:.3}s, --jobs {jobs} {parallel_s:.3}s \
-         ({:.2}x); wrote BENCH_pool.json",
-        serial_s / parallel_s.max(1e-12)
-    );
+    emit(vec![result], cli.json);
 }
 
 fn write_out(dir: &str, results: &[ExperimentResult]) {

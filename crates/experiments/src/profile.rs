@@ -1,23 +1,36 @@
-//! `profile` — cycle-domain occupancy profile of every architecture on
-//! every Table 1 workload.
+//! `profile` — per-layer cycle-loss attribution and roofline analysis
+//! for every architecture.
 //!
-//! Not a figure from the paper: a diagnostic built on the observability
-//! layer. Each (workload, architecture) run records its cycle-domain
-//! events through a private [`CycleRecorder`], then renders the
-//! network's time-resolved PE occupancy as a sparkline next to the
-//! analytic utilization — the bars of Fig. 15, unrolled over time.
-//! Excluded from `flexsim all`; run it with `flexsim profile`.
+//! Not a figure from the paper: the diagnostic report behind `flexsim
+//! profile <workload>`. Each (workload, architecture) run records its
+//! cycle-domain events through a private [`CycleRecorder`], folds every
+//! layer's event stream into a [`LossLedger`] (gated by flexcheck
+//! `FXC09 attribution-exactness` — the ledger must balance to the last
+//! PE-cycle), classifies each layer compute- vs bandwidth-bound on the
+//! DDR3-style roofline, and renders, per layer:
+//!
+//! * cycles and analytic utilization (the bars of Fig. 15),
+//! * the roofline bound and arithmetic intensity (ops per DRAM word),
+//! * the top loss causes as percentages of total PE-cycles — the
+//!   paper's Table 3 "why utilization is lost" story, made exact.
+//!
+//! A final `(all)` row per (workload, architecture) aggregates the
+//! network, so the report doubles as a cross-architecture comparison.
+//! Excluded from `flexsim all`; run it with `flexsim profile
+//! [workload]`.
 
 use crate::arches::{ArchSet, ARCH_NAMES};
 use crate::experiment::{Experiment, ExperimentCtx};
 use crate::report::{eng, pct, ExperimentResult, Table};
+use flexsim_arch::bandwidth::DramInterface;
 use flexsim_model::{workloads, Network};
+use flexsim_obs::attrib::{ledgers, LossLedger};
 use flexsim_obs::cycles::{CycleRecorder, SinkHandle};
-use flexsim_obs::occupancy::OccupancyTimeline;
+use flexsim_obs::roofline::{classify, LayerRoofline};
 use std::sync::Arc;
 
-/// Sparkline width in the occupancy column.
-const SPARK_WIDTH: usize = 32;
+/// How many loss causes the `top losses` column shows per layer.
+const TOP_CAUSES: usize = 2;
 
 /// The registry entry for this experiment (not part of the sweep).
 pub struct Profile;
@@ -27,7 +40,7 @@ impl Experiment for Profile {
         "profile"
     }
     fn title(&self) -> &'static str {
-        "Cycle-domain PE-occupancy profile (observability demo)"
+        "Per-layer loss attribution + roofline (flexsim profile)"
     }
     fn in_sweep(&self) -> bool {
         false
@@ -37,66 +50,173 @@ impl Experiment for Profile {
     }
 }
 
-/// Runs the experiment.
+/// Runs the report over every Table 1 workload.
 pub fn run(ctx: &ExperimentCtx) -> ExperimentResult {
-    let pairs: Vec<(Network, usize)> = workloads::all()
+    run_workloads(ctx, &workloads::all())
+}
+
+/// Runs the report over a chosen set of workloads (`flexsim profile
+/// alexnet` passes exactly one).
+pub fn run_workloads(ctx: &ExperimentCtx, nets: &[Network]) -> ExperimentResult {
+    let pairs: Vec<(Network, usize)> = nets
         .iter()
         .flat_map(|net| (0..ARCH_NAMES.len()).map(move |idx| (net.clone(), idx)))
         .collect();
-    let rows = ctx.map(
+    let row_groups = ctx.map(
         pairs,
         |(net, idx)| format!("{}/{}", net.name(), ARCH_NAMES[*idx]),
-        |_tctx, (net, idx)| {
-            // A private recorder (instead of the task's trace sink) so
-            // concurrent `--trace` output is not polluted with the
-            // profile's own sweep.
-            let rec = Arc::new(CycleRecorder::new());
-            let mut acc = ArchSet::builder()
-                .sink(SinkHandle::new(rec.clone()))
-                .build_one(&net, idx);
-            let summary = acc.run_network(&net);
-            let timelines = rec.take();
-            let mut segments = Vec::new();
-            for tl in &timelines {
-                segments.extend_from_slice(tl.occupancy().segments());
-            }
-            let occ = OccupancyTimeline::from_segments(acc.pe_count() as u32, segments);
-            [
-                net.name().to_owned(),
-                acc.name().to_owned(),
-                summary.layers.len().to_string(),
-                eng(summary.cycles() as f64),
-                pct(summary.utilization()),
-                format!("[{}]", occ.sparkline(SPARK_WIDTH)),
-            ]
-        },
+        |_tctx, (net, idx)| profile_one(&net, idx),
     );
     let mut table = Table::new([
         "workload",
         "arch",
-        "layers",
+        "layer",
         "cycles",
         "util %",
-        "occupancy (time \u{2192})",
+        "bound",
+        "ops/word",
+        "top losses (% of PE-cycles)",
     ]);
-    for row in rows {
+    for row in row_groups.into_iter().flatten() {
         table.push_row(row);
     }
     ExperimentResult {
         id: "profile".into(),
         title: Profile.title().into(),
         notes: vec![
-            "Sparklines are trace-derived: each run is re-recorded \
-             through the cycle-event sink and rendered over time; the \
-             cycle-weighted mean of every sparkline equals the analytic \
-             utilization column."
+            "Loss columns are trace-derived: each run is re-recorded \
+             through a private cycle-event sink and folded into per-layer \
+             loss ledgers; every ledger is checked against flexcheck FXC09 \
+             (busy + \u{3a3} attributed lost == cycles \u{d7} PEs, no \
+             unattributed bucket)."
                 .into(),
-            "Use `flexsim --trace FILE profile` for the same data as a \
-             Perfetto-loadable Chrome trace."
+            "`bound` classifies the layer on a DDR3-style roofline \
+             (6.4 GB/s sustained): bandwidth-bound when ops/word \u{d7} \
+             words/s undercuts the engine's peak GOPS."
+                .into(),
+            "`(all)` rows aggregate the network \u{2014} compare them \
+             across architectures for the Fig. 15 story with exact \
+             attribution."
+                .into(),
+            "Use `flexsim --trace FILE profile` for the same events as a \
+             Perfetto-loadable Chrome trace (per-event `cause` args), or \
+             `flexsim --metrics profile` for the mirrored counters."
                 .into(),
         ],
         table,
     }
+}
+
+/// Profiles one (workload, architecture) pair: per-layer rows plus the
+/// aggregate `(all)` row.
+fn profile_one(net: &Network, arch_idx: usize) -> Vec<[String; 8]> {
+    // A private recorder (instead of the task's trace sink) so
+    // concurrent `--trace` output is not polluted with the profile's
+    // own sweep.
+    let rec = Arc::new(CycleRecorder::new());
+    let mut acc = ArchSet::builder()
+        .sink(SinkHandle::new(rec.clone()))
+        .build_one(net, arch_idx);
+    let summary = acc.run_network(net);
+    let layer_ledgers = ledgers(&rec.take());
+
+    // The FXC09 gate: an unbalanced ledger is a simulator bug, not a
+    // reportable result.
+    let diags = flexcheck::check_ledgers(&layer_ledgers);
+    assert!(
+        diags.is_empty(),
+        "{}/{}: {}",
+        net.name(),
+        acc.name(),
+        flexcheck::render(&diags)
+    );
+    assert_eq!(
+        layer_ledgers.len(),
+        summary.layers.len(),
+        "{}/{}: one timeline per simulated layer",
+        net.name(),
+        acc.name()
+    );
+
+    // Mirror attribution into the global registry so `--metrics`
+    // reports the same busy/lost split as this table.
+    let registry = flexsim_obs::metrics::global();
+    for ledger in &layer_ledgers {
+        ledger.mirror(registry);
+    }
+
+    let dram = DramInterface::default();
+    let mut rows = Vec::with_capacity(summary.layers.len() + 1);
+    let mut net_ledger: Option<LossLedger> = None;
+    for (lr, ledger) in summary.layers.iter().zip(&layer_ledgers) {
+        assert_eq!(lr.layer, ledger.layer, "timeline order matches results");
+        let roof = classify(
+            (2 * lr.macs) as f64,
+            (lr.events.dram_reads + lr.events.dram_writes) as f64,
+            dram.words_per_second(),
+            lr.nominal_gops(),
+        );
+        rows.push([
+            net.name().to_owned(),
+            acc.name().to_owned(),
+            lr.layer.clone(),
+            eng(lr.cycles as f64),
+            pct(lr.utilization()),
+            roof.bound.name().to_owned(),
+            fmt_intensity(&roof),
+            fmt_losses(ledger),
+        ]);
+        match &mut net_ledger {
+            Some(total) => total.absorb(ledger),
+            None => net_ledger = Some(ledger.clone()),
+        }
+    }
+    if let Some(total) = net_ledger {
+        let ev = summary.events();
+        let roof = classify(
+            (2 * summary.macs()) as f64,
+            (ev.dram_reads + ev.dram_writes) as f64,
+            dram.words_per_second(),
+            2.0 * acc.pe_count() as f64,
+        );
+        rows.push([
+            net.name().to_owned(),
+            acc.name().to_owned(),
+            "(all)".to_owned(),
+            eng(summary.cycles() as f64),
+            pct(summary.utilization()),
+            roof.bound.name().to_owned(),
+            fmt_intensity(&roof),
+            fmt_losses(&total),
+        ]);
+    }
+    rows
+}
+
+/// Arithmetic intensity, `inf` when the layer touches no DRAM words.
+fn fmt_intensity(roof: &LayerRoofline) -> String {
+    if roof.intensity.is_finite() {
+        format!("{:.1}", roof.intensity)
+    } else {
+        "inf".to_owned()
+    }
+}
+
+/// The top loss causes as `cause p%` pairs, largest first.
+fn fmt_losses(ledger: &LossLedger) -> String {
+    let total = ledger.total_pe_cycles();
+    if total == 0 {
+        return "-".to_owned();
+    }
+    let top = ledger.top_causes();
+    if top.is_empty() {
+        return "-".to_owned();
+    }
+    top.iter()
+        .take(TOP_CAUSES)
+        .map(|(cause, lost)| format!("{} {:.1}%", cause, 100.0 * *lost as f64 / total as f64))
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 #[cfg(test)]
@@ -104,23 +224,46 @@ mod tests {
     use super::*;
 
     #[test]
-    fn covers_every_workload_and_arch() {
+    fn covers_every_workload_arch_and_layer() {
         let r = run(&ExperimentCtx::serial("profile"));
-        let nets = workloads::all();
-        assert_eq!(r.table.rows().len(), nets.len() * ARCH_NAMES.len());
+        let expected: usize = workloads::all()
+            .iter()
+            .map(|net| (net.conv_layers().count() + 1) * ARCH_NAMES.len())
+            .sum();
+        assert_eq!(r.table.rows().len(), expected);
         for row in r.table.rows() {
             assert!(ARCH_NAMES.contains(&row[1].as_str()), "{row:?}");
             let util: f64 = row[4].parse().unwrap();
             assert!(util > 0.0 && util <= 100.0, "{row:?}");
-            // "[" + WIDTH spark chars + "]".
-            assert_eq!(row[5].chars().count(), SPARK_WIDTH + 2, "{row:?}");
+            assert!(
+                row[5] == "compute" || row[5] == "bandwidth",
+                "bound column: {row:?}"
+            );
+            assert_ne!(row[7], "", "loss column never empty: {row:?}");
         }
     }
 
     #[test]
-    fn trace_derived_occupancy_matches_analytic_utilization() {
-        // Spot-check one workload: rebuild what `run` renders and
-        // compare the timeline's mean against RunSummary::utilization.
+    fn single_workload_report_is_cross_arch() {
+        let r = run_workloads(
+            &ExperimentCtx::serial("profile"),
+            &[workloads::by_name("lenet5").unwrap()],
+        );
+        // 2 conv layers + the (all) row, for each of the 4 architectures.
+        assert_eq!(r.table.rows().len(), 3 * ARCH_NAMES.len());
+        let all_rows: Vec<_> = r
+            .table
+            .rows()
+            .iter()
+            .filter(|row| row[2] == "(all)")
+            .collect();
+        assert_eq!(all_rows.len(), ARCH_NAMES.len());
+    }
+
+    #[test]
+    fn ledgers_are_exact_for_every_arch() {
+        // The invariant behind every rendered row: the ledger balances
+        // and busy PE-cycles equal the analytic MAC count.
         let net = workloads::lenet5();
         for idx in 0..ARCH_NAMES.len() {
             let rec = Arc::new(CycleRecorder::new());
@@ -128,18 +271,11 @@ mod tests {
                 .sink(SinkHandle::new(rec.clone()))
                 .build_one(&net, idx);
             let summary = acc.run_network(&net);
-            let mut segments = Vec::new();
-            for tl in &rec.take() {
-                segments.extend_from_slice(tl.occupancy().segments());
+            for (lr, ledger) in summary.layers.iter().zip(ledgers(&rec.take())) {
+                assert!(ledger.is_exact(), "{}/{}", acc.name(), ledger.layer);
+                assert_eq!(ledger.busy_pe_cycles, lr.macs, "{}", acc.name());
+                assert!(flexcheck::check_ledger(&ledger).is_empty());
             }
-            let occ = OccupancyTimeline::from_segments(acc.pe_count() as u32, segments);
-            assert!(
-                (occ.utilization() - summary.utilization()).abs() < 1e-9,
-                "{}: {} vs {}",
-                acc.name(),
-                occ.utilization(),
-                summary.utilization()
-            );
         }
     }
 }

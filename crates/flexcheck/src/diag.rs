@@ -39,11 +39,15 @@ pub enum RuleId {
     /// `FXC08` — statically derived MAC/cycle accounting equals the
     /// `analytic::Schedule`'s (utilization sanity).
     UtilSanity,
+    /// `FXC09` — a layer's loss ledger balances:
+    /// `busy + Σ attributed_lost == total_cycles × num_pes` with zero
+    /// unattributed PE-cycles.
+    AttributionExactness,
 }
 
 impl RuleId {
     /// All rules, in code order.
-    pub const ALL: [RuleId; 8] = [
+    pub const ALL: [RuleId; 9] = [
         RuleId::LsCapacity,
         RuleId::CdbRace,
         RuleId::AdderTreePort,
@@ -52,6 +56,7 @@ impl RuleId {
         RuleId::UnrollBounds,
         RuleId::BankConflict,
         RuleId::UtilSanity,
+        RuleId::AttributionExactness,
     ];
 
     /// Stable short code (`FXC01`…).
@@ -65,6 +70,7 @@ impl RuleId {
             RuleId::UnrollBounds => "FXC06",
             RuleId::BankConflict => "FXC07",
             RuleId::UtilSanity => "FXC08",
+            RuleId::AttributionExactness => "FXC09",
         }
     }
 
@@ -79,6 +85,7 @@ impl RuleId {
             RuleId::UnrollBounds => "unroll-bounds",
             RuleId::BankConflict => "bank-conflict",
             RuleId::UtilSanity => "util-sanity",
+            RuleId::AttributionExactness => "attribution-exactness",
         }
     }
 }
@@ -241,10 +248,11 @@ mod tests {
         let codes: Vec<_> = RuleId::ALL.iter().map(|r| r.code()).collect();
         let mut dedup = codes.clone();
         dedup.dedup();
-        assert_eq!(codes.len(), 8);
+        assert_eq!(codes.len(), 9);
         assert_eq!(codes, dedup);
         assert_eq!(RuleId::LsCapacity.code(), "FXC01");
         assert_eq!(RuleId::UtilSanity.code(), "FXC08");
+        assert_eq!(RuleId::AttributionExactness.code(), "FXC09");
     }
 
     #[test]

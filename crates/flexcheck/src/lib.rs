@@ -19,6 +19,7 @@
 //! | `FXC06 unroll-bounds` | Constraint (1): factors fit the layer and the engine |
 //! | `FXC07 bank-conflict` | IADP/tiling/2D-mapping bank usage ≤ physical banks |
 //! | `FXC08 util-sanity` | schedule loop counts/MACs/cycles equal their closed forms |
+//! | `FXC09 attribution-exactness` | loss ledger balances: busy + Σ lost = cycles × PEs |
 //!
 //! The techniques are static by construction: rules 2–3 abstract-
 //! interpret the residue algebra of the Section 4.3
@@ -58,4 +59,6 @@ pub mod rules;
 pub use diag::{has_errors, render, Diagnostic, Location, RuleId, Severity};
 pub use params::{ArchKind, ArchParams};
 pub use plan::{BatchShape, FsmPlan, LayerPlan, WalkShape};
-pub use rules::{check, check_layer_plan, check_network, max_fsm_addr};
+pub use rules::{
+    check, check_layer_plan, check_ledger, check_ledgers, check_network, max_fsm_addr,
+};

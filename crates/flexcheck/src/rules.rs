@@ -26,6 +26,7 @@ use flexflow::isa::Instr;
 use flexflow::local_store::STORE_WORDS;
 use flexsim_dataflow::utilization::ceil_div;
 use flexsim_model::{ConvLayer, Layer, Network};
+use flexsim_obs::attrib::LossLedger;
 use std::collections::HashMap;
 
 /// Closed-form maximum address an [`flexflow::fsm::AddrFsm`] with
@@ -461,8 +462,10 @@ fn check_isa(program: &Program, net: &Network) -> Vec<Diagnostic> {
 }
 
 /// Lints a workload against one architecture. FlexFlow compiles the
-/// network and runs the full 8-rule program check; the baselines run
-/// the geometry and bank rules that apply to their dataflow.
+/// network and runs the full static program check (rules 1–8); the
+/// baselines run the geometry and bank rules that apply to their
+/// dataflow. Rule 9 ([`check_ledger`]) runs post-simulation, over the
+/// recorded loss ledgers.
 pub fn check_network(net: &Network, arch: &ArchParams) -> Vec<Diagnostic> {
     match arch.kind {
         ArchKind::FlexFlow => {
@@ -473,6 +476,52 @@ pub fn check_network(net: &Network, arch: &ArchParams) -> Vec<Diagnostic> {
         ArchKind::Mapping2d => check_mapping2d(net, arch),
         ArchKind::Tiling => check_tiling(net, arch),
     }
+}
+
+/// `FXC09`: a recorded layer's loss attribution must balance exactly —
+/// `busy + Σ attributed_lost == total_cycles × num_pes`, with the
+/// events tiling the timeline (no gaps, no overlap) and zero
+/// unattributed PE-cycles. Unlike rules 1–8 this checks a *dynamic*
+/// artifact (the emitted ledger), but it is still a closed identity: a
+/// violation means a simulator's emitter dropped, double-counted, or
+/// mislabeled a loss, never a modeling judgment call.
+pub fn check_ledger(ledger: &LossLedger) -> Vec<Diagnostic> {
+    if ledger.is_exact() {
+        return Vec::new();
+    }
+    let mut diags = Vec::new();
+    if ledger.covered_cycles != ledger.total_cycles {
+        diags.push(Diagnostic::error(
+            RuleId::AttributionExactness,
+            Location::layer(&ledger.layer),
+            format!(
+                "{}: events cover {} of {} cycles (gap or overlap in the timeline)",
+                ledger.arch, ledger.covered_cycles, ledger.total_cycles
+            ),
+            "every emitted event must tile the layer timeline back to back",
+        ));
+    }
+    if ledger.unattributed() != 0 {
+        diags.push(Diagnostic::error(
+            RuleId::AttributionExactness,
+            Location::layer(&ledger.layer),
+            format!(
+                "{}: busy {} + attributed {} != total {} PE-cycles ({} unattributed)",
+                ledger.arch,
+                ledger.busy_pe_cycles,
+                ledger.attributed_lost(),
+                ledger.total_pe_cycles(),
+                ledger.unattributed()
+            ),
+            "attribute every lost PE-cycle to a StallCause; no bucketless losses",
+        ));
+    }
+    diags
+}
+
+/// [`check_ledger`] over a batch (one ledger per recorded layer).
+pub fn check_ledgers(ledgers: &[LossLedger]) -> Vec<Diagnostic> {
+    ledgers.iter().flat_map(check_ledger).collect()
 }
 
 /// CONV views of every layer a program computes on the engine (CONV

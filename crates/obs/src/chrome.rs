@@ -140,10 +140,16 @@ pub fn chrome_trace(spans: &[SpanRecord], timelines: &[LayerTimeline], metrics: 
         };
         events.push(metadata_event("thread_name", pid, tid, &thread_name));
         for ev in &tl.events {
+            let pe_cycles = ev.cycles * u64::from(tl.ctx.pe_count);
             let mut args = vec![
                 ("macs", Json::from(ev.macs)),
                 ("cycles", Json::from(ev.cycles)),
                 ("pes", Json::from(u64::from(tl.ctx.pe_count))),
+                ("cause", Json::str(ev.kind.cause().name())),
+                (
+                    "lost_pe_cycles",
+                    Json::from(pe_cycles.saturating_sub(ev.macs)),
+                ),
             ];
             if !tl.ctx.experiment.is_empty() {
                 args.push(("experiment", Json::str(tl.ctx.experiment.as_str())));
@@ -176,8 +182,12 @@ pub fn chrome_trace(spans: &[SpanRecord], timelines: &[LayerTimeline], metrics: 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::attrib::StallCause;
     use crate::cycles::{CycleEvent, CycleEventKind, LayerCtx};
     use crate::metrics::Registry;
+
+    const PASS: CycleEventKind = CycleEventKind::Pass(StallCause::MappingResidueIdle);
+    const FILL: CycleEventKind = CycleEventKind::Stall(StallCause::PipelineFill);
 
     fn field<'a>(doc: &'a Json, name: &str) -> &'a Json {
         match doc {
@@ -210,11 +220,11 @@ mod tests {
         let timelines = vec![
             LayerTimeline {
                 ctx: LayerCtx::new("FlexFlow", "C1", 256),
-                events: vec![CycleEvent::new(CycleEventKind::Pass, 0, 100, 12_800)],
+                events: vec![CycleEvent::new(PASS, 0, 100, 12_800)],
             },
             LayerTimeline {
                 ctx: LayerCtx::new("Tiling", "C1", 256),
-                events: vec![CycleEvent::new(CycleEventKind::Pass, 0, 50, 6_400)],
+                events: vec![CycleEvent::new(PASS, 0, 50, 6_400)],
             },
         ];
         let reg = Registry::new();
@@ -251,6 +261,19 @@ mod tests {
             field(metrics, "sim_cycles{arch=\"FlexFlow\"}"),
             &Json::Int(100)
         );
+        // Cause + lost PE-cycles ride in every cycle event's args.
+        let pass = evs
+            .iter()
+            .find(|e| field(e, "name") == &Json::str("pass"))
+            .unwrap();
+        assert_eq!(
+            field(field(pass, "args"), "cause"),
+            &Json::str("mapping-residue-idle")
+        );
+        assert_eq!(
+            field(field(pass, "args"), "lost_pe_cycles"),
+            &Json::Int(100 * 256 - 12_800)
+        );
     }
 
     #[test]
@@ -258,18 +281,18 @@ mod tests {
         let timelines = vec![
             LayerTimeline {
                 ctx: LayerCtx::new("Systolic", "C1", 252),
-                events: vec![CycleEvent::new(CycleEventKind::Fill, 0, 10, 0)],
+                events: vec![CycleEvent::new(FILL, 0, 10, 0)],
             },
             LayerTimeline {
                 ctx: LayerCtx::new("Systolic", "C3", 252),
-                events: vec![CycleEvent::new(CycleEventKind::Fill, 0, 10, 0)],
+                events: vec![CycleEvent::new(FILL, 0, 10, 0)],
             },
         ];
         let doc = chrome_trace(&[], &timelines, &Snapshot::default());
         let evs = events(&doc);
         let fills: Vec<&Json> = evs
             .iter()
-            .filter(|e| field(e, "name") == &Json::str("fill"))
+            .filter(|e| field(e, "name") == &Json::str("pipeline-fill"))
             .collect();
         assert_eq!(fills.len(), 2);
         assert_eq!(field(fills[0], "pid"), field(fills[1], "pid"));
@@ -281,11 +304,11 @@ mod tests {
         let timelines = vec![
             LayerTimeline {
                 ctx: LayerCtx::new("FlexFlow", "C1", 256).for_experiment("fig15"),
-                events: vec![CycleEvent::new(CycleEventKind::Pass, 0, 10, 100)],
+                events: vec![CycleEvent::new(PASS, 0, 10, 100)],
             },
             LayerTimeline {
                 ctx: LayerCtx::new("FlexFlow", "C1", 256).for_experiment("fig17"),
-                events: vec![CycleEvent::new(CycleEventKind::Pass, 0, 10, 100)],
+                events: vec![CycleEvent::new(PASS, 0, 10, 100)],
             },
         ];
         let doc = chrome_trace(&[], &timelines, &Snapshot::default());

@@ -2,10 +2,13 @@
 //!
 //! Simulators emit what happens *inside* a layer — tile passes,
 //! pipeline fills, stalls, partial-sum spills — as [`CycleEvent`]s
-//! timestamped in simulated engine cycles. The [`CycleSink`] trait has
-//! no-op defaults and simulators hold it behind a [`SinkHandle`] whose
-//! unattached state is a single `Option` check, so instrumentation
-//! costs nothing when tracing is disabled.
+//! timestamped in simulated engine cycles. Every event carries a
+//! [`StallCause`] naming *why* its idle PE-cycles were lost, so the
+//! per-layer [`crate::attrib::LossLedger`] can attribute utilization
+//! exactly. The [`CycleSink`] trait has no-op defaults and simulators
+//! hold it behind a [`SinkHandle`] whose unattached state is a single
+//! `Option` check, so instrumentation costs nothing when tracing is
+//! disabled.
 //!
 //! [`CycleRecorder`] collects events into per-layer timelines for
 //! occupancy analysis and Chrome trace export. [`Coalescer`] merges
@@ -13,9 +16,10 @@
 //! number of events per layer while preserving exact cycle and MAC
 //! totals.
 
+use crate::attrib::StallCause;
 use crate::occupancy::OccupancyTimeline;
 use std::fmt;
-use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::sync::{Arc, Mutex};
 
 /// Identity of the layer a sink is currently receiving events for.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -51,28 +55,50 @@ impl LayerCtx {
     }
 }
 
-/// What a cycle-domain event represents.
+/// What a cycle-domain event represents. Both variants carry the
+/// [`StallCause`] that their lost PE-cycles are attributed to:
+///
+/// * a `Stall` loses its *entire* `cycles × pe_count` budget;
+/// * a `Pass` computes, and only its idle remainder
+///   (`cycles × pe_count − macs`) is attributed to the cause — e.g. a
+///   pass over an edge tile carries [`StallCause::EdgeFragmentation`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CycleEventKind {
-    /// Pipeline/window fill — the engine is loading operands, not
-    /// computing.
-    Fill,
-    /// A compute pass over one or more tiles/row-batches.
-    Pass,
-    /// A generic stall (engine idle, waiting).
-    Stall,
-    /// A partial-sum spill to the output buffer and back.
-    Spill,
+    /// A compute pass over one or more tiles/row-batches; the cause
+    /// labels the pass's idle PE remainder.
+    Pass(StallCause),
+    /// A zero-MAC span (fill, drain, spill, wait); the cause labels the
+    /// whole span.
+    Stall(StallCause),
 }
 
 impl CycleEventKind {
-    /// Short display name.
+    /// Number of distinct kinds (2 shapes × [`StallCause::COUNT`]).
+    pub const COUNT: usize = 2 * StallCause::COUNT;
+
+    /// Short display name — `"pass"` for compute spans, the cause's
+    /// kebab-case name for stalls (so a Chrome trace reads
+    /// `pipeline-fill`/`psum-spill` directly).
     pub fn name(&self) -> &'static str {
         match self {
-            CycleEventKind::Fill => "fill",
-            CycleEventKind::Pass => "pass",
-            CycleEventKind::Stall => "stall",
-            CycleEventKind::Spill => "spill",
+            CycleEventKind::Pass(_) => "pass",
+            CycleEventKind::Stall(cause) => cause.name(),
+        }
+    }
+
+    /// The cause this event's lost PE-cycles are attributed to.
+    pub fn cause(&self) -> StallCause {
+        match self {
+            CycleEventKind::Pass(cause) | CycleEventKind::Stall(cause) => *cause,
+        }
+    }
+
+    /// Dense index in `[0, CycleEventKind::COUNT)` — passes first, then
+    /// stalls, cause order within each.
+    pub fn index(&self) -> usize {
+        match self {
+            CycleEventKind::Pass(cause) => cause.index(),
+            CycleEventKind::Stall(cause) => StallCause::COUNT + cause.index(),
         }
     }
 }
@@ -82,13 +108,13 @@ impl CycleEventKind {
 /// MACs executed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CycleEvent {
-    /// Event kind.
+    /// Event kind (shape + loss cause).
     pub kind: CycleEventKind,
     /// First cycle of the span.
     pub start_cycle: u64,
     /// Span length in cycles.
     pub cycles: u64,
-    /// Useful MACs executed during the span (0 for fills/stalls).
+    /// Useful MACs executed during the span (0 for stalls).
     pub macs: u64,
 }
 
@@ -227,39 +253,6 @@ impl CycleSink for ExperimentTag {
     }
 }
 
-fn global_slot() -> &'static RwLock<Option<Arc<dyn CycleSink>>> {
-    static SLOT: OnceLock<RwLock<Option<Arc<dyn CycleSink>>>> = OnceLock::new();
-    SLOT.get_or_init(|| RwLock::new(None))
-}
-
-/// Installs (or clears, with `None`) the process-wide sink that
-/// accelerator factories hand to freshly built simulators.
-#[deprecated(
-    since = "0.1.0",
-    note = "thread a per-run SinkHandle through ExperimentCtx / ArchSet::builder().sink(..) \
-            instead; the process-global slot forbids concurrent sweeps"
-)]
-pub fn set_global_sink(sink: Option<Arc<dyn CycleSink>>) {
-    *global_slot()
-        .write()
-        .unwrap_or_else(std::sync::PoisonError::into_inner) = sink;
-}
-
-/// A handle to the process-wide sink (unattached if none installed).
-#[deprecated(
-    since = "0.1.0",
-    note = "thread a per-run SinkHandle through ExperimentCtx / ArchSet::builder().sink(..) \
-            instead; the process-global slot forbids concurrent sweeps"
-)]
-pub fn global_handle() -> SinkHandle {
-    SinkHandle(
-        global_slot()
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .clone(),
-    )
-}
-
 /// The complete event stream of one simulated layer.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LayerTimeline {
@@ -371,30 +364,59 @@ impl CycleSink for CycleRecorder {
 /// Target number of events a [`Coalescer`] flushes per layer.
 pub const MAX_EVENTS_PER_LAYER: usize = 256;
 
+/// Exact totals accumulated by a [`Coalescer`] over one layer, returned
+/// by [`Coalescer::finish`] so every emitter can `debug_assert` its
+/// event stream against the analytic schedule (the dynamic half of
+/// flexcheck's FXC08/FXC09 guards).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoalescerTotals {
+    /// Total cycles emitted (the final timeline cursor).
+    pub cycles: u64,
+    /// Total useful MACs emitted.
+    pub macs: u64,
+}
+
 /// Merges fine-grained emission into at most ~[`MAX_EVENTS_PER_LAYER`]
-/// flushes while preserving exact cycle and MAC totals.
+/// flushes while preserving exact per-kind cycle and MAC totals.
 ///
 /// Callers stream logical steps via [`Coalescer::push`] (one or more
 /// pushes per step, then [`Coalescer::step`]); the coalescer buffers
-/// per-kind totals and flushes a merged `Fill`/`Pass`/`Spill`/`Stall`
-/// burst every `ceil(total_steps / MAX_EVENTS_PER_LAYER)` steps. Within
-/// a merged burst the kinds are emitted back to back (an idealization:
+/// per-kind totals and flushes a merged burst every
+/// `ceil(total_steps / MAX_EVENTS_PER_LAYER)` steps. Each
+/// `(shape, cause)` kind keeps its own accumulator slot, so losses with
+/// different causes never blur together. Within a merged burst the
+/// kinds are emitted back to back in [`KIND_ORDER`] (an idealization:
 /// real interleaving below the flush granularity is not preserved, but
 /// per-kind cycle and MAC totals are exact).
 pub struct Coalescer<'a> {
     sink: &'a SinkHandle,
     every: u64,
     steps_in_group: u64,
+    totals: CoalescerTotals,
     cursor: u64,
-    // Accumulated (cycles, macs) per kind, fixed order.
-    acc: [(u64, u64); 4],
+    // Accumulated (cycles, macs) per kind, indexed by
+    // `CycleEventKind::index()`.
+    acc: [(u64, u64); CycleEventKind::COUNT],
 }
 
-const KIND_ORDER: [CycleEventKind; 4] = [
-    CycleEventKind::Fill,
-    CycleEventKind::Pass,
-    CycleEventKind::Spill,
-    CycleEventKind::Stall,
+/// Deterministic flush order within one merged burst: leading stalls
+/// (fill, operand wait), then compute passes, then trailing stalls
+/// (spill, drain, residual causes).
+pub const KIND_ORDER: [CycleEventKind; CycleEventKind::COUNT] = [
+    CycleEventKind::Stall(StallCause::PipelineFill),
+    CycleEventKind::Stall(StallCause::BufferBandwidthWait),
+    CycleEventKind::Pass(StallCause::PipelineFill),
+    CycleEventKind::Pass(StallCause::PipelineDrain),
+    CycleEventKind::Pass(StallCause::EdgeFragmentation),
+    CycleEventKind::Pass(StallCause::AdderTreeContention),
+    CycleEventKind::Pass(StallCause::BufferBandwidthWait),
+    CycleEventKind::Pass(StallCause::PsumSpillRoundTrip),
+    CycleEventKind::Pass(StallCause::MappingResidueIdle),
+    CycleEventKind::Stall(StallCause::PsumSpillRoundTrip),
+    CycleEventKind::Stall(StallCause::PipelineDrain),
+    CycleEventKind::Stall(StallCause::EdgeFragmentation),
+    CycleEventKind::Stall(StallCause::AdderTreeContention),
+    CycleEventKind::Stall(StallCause::MappingResidueIdle),
 ];
 
 impl<'a> Coalescer<'a> {
@@ -404,25 +426,19 @@ impl<'a> Coalescer<'a> {
             sink,
             every: total_steps.div_ceil(MAX_EVENTS_PER_LAYER as u64).max(1),
             steps_in_group: 0,
+            totals: CoalescerTotals::default(),
             cursor: 0,
-            acc: [(0, 0); 4],
-        }
-    }
-
-    fn kind_index(kind: CycleEventKind) -> usize {
-        match kind {
-            CycleEventKind::Fill => 0,
-            CycleEventKind::Pass => 1,
-            CycleEventKind::Spill => 2,
-            CycleEventKind::Stall => 3,
+            acc: [(0, 0); CycleEventKind::COUNT],
         }
     }
 
     /// Accumulates `cycles`/`macs` under `kind` for the current step.
     pub fn push(&mut self, kind: CycleEventKind, cycles: u64, macs: u64) {
-        let (c, m) = &mut self.acc[Self::kind_index(kind)];
+        let (c, m) = &mut self.acc[kind.index()];
         *c += cycles;
         *m += macs;
+        self.totals.cycles += cycles;
+        self.totals.macs += macs;
     }
 
     /// Marks the end of one logical step, flushing if the group is full.
@@ -435,22 +451,27 @@ impl<'a> Coalescer<'a> {
 
     fn flush(&mut self) {
         for kind in KIND_ORDER {
-            let (cycles, macs) = self.acc[Self::kind_index(kind)];
+            let (cycles, macs) = self.acc[kind.index()];
             if cycles > 0 {
                 self.sink
                     .emit(&CycleEvent::new(kind, self.cursor, cycles, macs));
                 self.cursor += cycles;
             }
         }
-        self.acc = [(0, 0); 4];
+        self.acc = [(0, 0); CycleEventKind::COUNT];
         self.steps_in_group = 0;
     }
 
-    /// Flushes any buffered remainder and returns the final cycle
-    /// cursor (the total cycles emitted).
-    pub fn finish(mut self) -> u64 {
+    /// Flushes any buffered remainder and returns the exact cycle and
+    /// MAC totals emitted, for the caller's schedule-consistency
+    /// `debug_assert`s.
+    pub fn finish(mut self) -> CoalescerTotals {
         self.flush();
-        self.cursor
+        debug_assert_eq!(
+            self.totals.cycles, self.cursor,
+            "coalescer cursor diverged from pushed cycle total"
+        );
+        self.totals
     }
 }
 
@@ -467,7 +488,12 @@ mod tests {
         assert!(!sink.enabled());
         // No panic on forwarding.
         sink.begin_layer(&LayerCtx::new("a", "b", 1));
-        sink.emit(&CycleEvent::new(CycleEventKind::Pass, 0, 1, 1));
+        sink.emit(&CycleEvent::new(
+            CycleEventKind::Pass(StallCause::MappingResidueIdle),
+            0,
+            1,
+            1,
+        ));
         sink.end_layer();
     }
 
@@ -480,16 +506,53 @@ mod tests {
     }
 
     #[test]
+    fn kind_indices_cover_kind_order_bijectively() {
+        let mut seen = [false; CycleEventKind::COUNT];
+        for kind in KIND_ORDER {
+            assert!(!seen[kind.index()], "{kind:?} index collides");
+            seen[kind.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(
+            CycleEventKind::Stall(StallCause::PipelineFill).name(),
+            "pipeline-fill"
+        );
+        assert_eq!(
+            CycleEventKind::Pass(StallCause::EdgeFragmentation).name(),
+            "pass"
+        );
+        assert_eq!(
+            CycleEventKind::Pass(StallCause::EdgeFragmentation).cause(),
+            StallCause::EdgeFragmentation
+        );
+    }
+
+    #[test]
     fn recorder_collects_per_layer() {
         let rec = Arc::new(CycleRecorder::new());
         let sink = SinkHandle::new(rec.clone());
         assert!(sink.enabled());
         sink.begin_layer(&LayerCtx::new("FlexFlow", "C1", 256));
-        sink.emit(&CycleEvent::new(CycleEventKind::Fill, 0, 8, 0));
-        sink.emit(&CycleEvent::new(CycleEventKind::Pass, 8, 100, 20_000));
+        sink.emit(&CycleEvent::new(
+            CycleEventKind::Stall(StallCause::PipelineFill),
+            0,
+            8,
+            0,
+        ));
+        sink.emit(&CycleEvent::new(
+            CycleEventKind::Pass(StallCause::MappingResidueIdle),
+            8,
+            100,
+            20_000,
+        ));
         sink.end_layer();
         sink.begin_layer(&LayerCtx::new("FlexFlow", "C3", 256));
-        sink.emit(&CycleEvent::new(CycleEventKind::Pass, 0, 10, 2_000));
+        sink.emit(&CycleEvent::new(
+            CycleEventKind::Pass(StallCause::MappingResidueIdle),
+            0,
+            10,
+            2_000,
+        ));
         sink.end_layer();
         let tl = rec.take();
         assert_eq!(tl.len(), 2);
@@ -501,11 +564,12 @@ mod tests {
 
     #[test]
     fn timeline_occupancy_fills_gaps_as_idle() {
+        let pass = CycleEventKind::Pass(StallCause::EdgeFragmentation);
         let tl = LayerTimeline {
             ctx: LayerCtx::new("a", "l", 4),
             events: vec![
-                CycleEvent::new(CycleEventKind::Pass, 0, 10, 40), // full
-                CycleEvent::new(CycleEventKind::Pass, 20, 10, 0), // idle
+                CycleEvent::new(pass, 0, 10, 40), // full
+                CycleEvent::new(pass, 20, 10, 0), // idle
             ],
         };
         let occ = tl.occupancy();
@@ -522,13 +586,14 @@ mod tests {
         let steps = 10_000u64;
         let mut co = Coalescer::new(&sink, steps);
         for _ in 0..steps {
-            co.push(CycleEventKind::Fill, 2, 0);
-            co.push(CycleEventKind::Pass, 5, 37);
+            co.push(CycleEventKind::Stall(StallCause::PipelineFill), 2, 0);
+            co.push(CycleEventKind::Pass(StallCause::MappingResidueIdle), 5, 37);
             co.step();
         }
-        let total = co.finish();
+        let totals = co.finish();
         sink.end_layer();
-        assert_eq!(total, steps * 7);
+        assert_eq!(totals.cycles, steps * 7);
+        assert_eq!(totals.macs, steps * 37);
         let tl = rec.take();
         assert_eq!(tl.len(), 1);
         assert!(tl[0].events.len() <= 2 * MAX_EVENTS_PER_LAYER + 2);
@@ -543,15 +608,32 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // compat coverage for the legacy global slot
-    fn global_sink_slot_round_trips() {
-        // Serialized implicitly: this is the only test touching the
-        // global slot in this crate.
+    fn coalescer_keeps_causes_in_separate_events() {
         let rec = Arc::new(CycleRecorder::new());
-        set_global_sink(Some(rec.clone()));
-        assert!(global_handle().enabled());
-        set_global_sink(None);
-        assert!(!global_handle().is_attached());
+        let sink = SinkHandle::new(rec.clone());
+        sink.begin_layer(&LayerCtx::new("a", "l", 4));
+        let mut co = Coalescer::new(&sink, 2);
+        co.push(CycleEventKind::Pass(StallCause::EdgeFragmentation), 10, 30);
+        co.step();
+        co.push(
+            CycleEventKind::Pass(StallCause::AdderTreeContention),
+            10,
+            35,
+        );
+        co.step();
+        let totals = co.finish();
+        sink.end_layer();
+        assert_eq!(totals.cycles, 20);
+        assert_eq!(totals.macs, 65);
+        let tl = rec.take();
+        let causes: Vec<StallCause> = tl[0].events.iter().map(|e| e.kind.cause()).collect();
+        assert_eq!(
+            causes,
+            vec![
+                StallCause::EdgeFragmentation,
+                StallCause::AdderTreeContention
+            ]
+        );
     }
 
     #[test]
@@ -560,7 +642,12 @@ mod tests {
         let sink = SinkHandle::new(rec.clone()).tagged("fig15");
         assert!(sink.enabled());
         sink.begin_layer(&LayerCtx::new("FlexFlow", "C1", 256));
-        sink.emit(&CycleEvent::new(CycleEventKind::Pass, 0, 10, 100));
+        sink.emit(&CycleEvent::new(
+            CycleEventKind::Pass(StallCause::MappingResidueIdle),
+            0,
+            10,
+            100,
+        ));
         sink.end_layer();
         let tl = rec.take();
         assert_eq!(tl.len(), 1);

@@ -25,6 +25,12 @@
 //! * [`cycles`] — the cycle-domain event sink trait (no-op by default,
 //!   so instrumentation costs nothing when disabled), an in-memory
 //!   recorder, and an event coalescer that caps per-layer event counts;
+//! * [`attrib`] — the [`attrib::StallCause`] loss taxonomy and per-layer
+//!   [`attrib::LossLedger`] with the exactness invariant
+//!   `busy + Σ attributed_lost == total_cycles × num_pes`;
+//! * [`roofline`] — arithmetic-intensity classification of layers as
+//!   compute- vs bandwidth-bound (pure numbers; the hardware parameters
+//!   stay in `flexsim-arch`);
 //! * [`occupancy`] — run-length-encoded per-layer occupancy timelines
 //!   generalizing `flexflow::trace::OccupancyTrace` to any architecture;
 //! * [`chrome`] — Chrome trace-event JSON export (loadable in Perfetto)
@@ -34,6 +40,7 @@
 //! ## Example
 //!
 //! ```
+//! use flexsim_obs::attrib::{LossLedger, StallCause};
 //! use flexsim_obs::cycles::{CycleEvent, CycleEventKind, CycleRecorder, LayerCtx, SinkHandle};
 //! use std::sync::Arc;
 //!
@@ -41,23 +48,34 @@
 //! let sink = SinkHandle::new(recorder.clone());
 //! assert!(sink.enabled());
 //! sink.begin_layer(&LayerCtx::new("FlexFlow", "C1", 256));
-//! sink.emit(&CycleEvent::new(CycleEventKind::Pass, 0, 100, 12_800));
+//! sink.emit(&CycleEvent::new(
+//!     CycleEventKind::Pass(StallCause::MappingResidueIdle),
+//!     0,
+//!     100,
+//!     12_800,
+//! ));
 //! sink.end_layer();
 //! let timelines = recorder.take();
 //! assert_eq!(timelines.len(), 1);
 //! assert!((timelines[0].occupancy().utilization() - 0.5).abs() < 1e-12);
+//! let ledger = LossLedger::from_timeline(&timelines[0]);
+//! assert!(ledger.is_exact());
+//! assert_eq!(ledger.lost(StallCause::MappingResidueIdle), 100 * 256 - 12_800);
 //! ```
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod attrib;
 pub mod chrome;
 pub mod cycles;
 pub mod filter;
 pub mod metrics;
 pub mod occupancy;
+pub mod roofline;
 pub mod span;
 
+pub use attrib::{LossLedger, StallCause};
 pub use cycles::{CycleEvent, CycleEventKind, CycleRecorder, CycleSink, LayerCtx, SinkHandle};
 pub use filter::Level;
 pub use metrics::{Registry, Snapshot};

@@ -1,0 +1,150 @@
+//! Roofline classification: compute-bound vs bandwidth-bound layers.
+//!
+//! The roofline model bounds achievable throughput by
+//! `min(peak_compute, intensity × bandwidth)` where *arithmetic
+//! intensity* is operations per word moved. This module is the
+//! pure-number core — callers (the `profile` experiment) feed it MAC
+//! counts from layer results, word volumes from the traffic model, and
+//! peak bandwidth/compute from the `flexsim-arch` DRAM interface, and
+//! get back a per-layer [`LayerRoofline`] classification. Keeping the
+//! arithmetic here and the hardware parameters in `flexsim-arch`
+//! preserves the crate direction `arch → obs`.
+
+use std::fmt;
+
+/// Which roof limits a layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bound {
+    /// The compute roof: the layer's intensity is high enough that PEs,
+    /// not the memory system, are the limit.
+    Compute,
+    /// The bandwidth roof: at this intensity the memory system cannot
+    /// keep the PEs fed even at peak.
+    Bandwidth,
+}
+
+impl Bound {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Bound::Compute => "compute",
+            Bound::Bandwidth => "bandwidth",
+        }
+    }
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One layer's position under the roofline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LayerRoofline {
+    /// Operations the layer performs (2 × MACs).
+    pub ops: f64,
+    /// Words moved to/from memory for the layer.
+    pub words: f64,
+    /// Arithmetic intensity, ops per word (`ops / words`; infinite when
+    /// no traffic).
+    pub intensity: f64,
+    /// The compute roof in GOPS (peak, not achieved).
+    pub peak_gops: f64,
+    /// The bandwidth roof at this intensity:
+    /// `intensity × words_per_second / 1e9` GOPS.
+    pub bandwidth_gops: f64,
+    /// `min(peak_gops, bandwidth_gops)` — the model's throughput bound.
+    pub achievable_gops: f64,
+    /// Which roof is lower.
+    pub bound: Bound,
+}
+
+impl LayerRoofline {
+    /// Fraction of the achievable roof a measured throughput reaches
+    /// (diagnostic; >1 means the traffic model under-counts words or
+    /// the roofs are stale).
+    pub fn efficiency(&self, achieved_gops: f64) -> f64 {
+        if self.achievable_gops > 0.0 {
+            achieved_gops / self.achievable_gops
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Classifies one layer: `ops` total operations, `words` memory words
+/// moved, `words_per_second` peak memory bandwidth, `peak_gops` peak
+/// compute throughput.
+///
+/// Degenerate inputs stay well-defined: zero words means infinite
+/// intensity (compute-bound), zero ops classifies as bandwidth-bound
+/// with a zero roof.
+pub fn classify(ops: f64, words: f64, words_per_second: f64, peak_gops: f64) -> LayerRoofline {
+    let intensity = if words > 0.0 {
+        ops / words
+    } else {
+        f64::INFINITY
+    };
+    let bandwidth_gops = if words > 0.0 {
+        intensity * words_per_second / 1e9
+    } else {
+        f64::INFINITY
+    };
+    let achievable_gops = bandwidth_gops.min(peak_gops);
+    let bound = if bandwidth_gops < peak_gops {
+        Bound::Bandwidth
+    } else {
+        Bound::Compute
+    };
+    LayerRoofline {
+        ops,
+        words,
+        intensity,
+        peak_gops,
+        bandwidth_gops,
+        achievable_gops,
+        bound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_intensity_is_compute_bound() {
+        // 1e9 ops over 1e6 words at 1e9 words/s: bandwidth roof is
+        // 1000 GOPS, far above a 100 GOPS compute roof.
+        let r = classify(1e9, 1e6, 1e9, 100.0);
+        assert_eq!(r.bound, Bound::Compute);
+        assert!((r.intensity - 1000.0).abs() < 1e-9);
+        assert!((r.achievable_gops - 100.0).abs() < 1e-9);
+        assert!((r.efficiency(50.0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn low_intensity_is_bandwidth_bound() {
+        // 1 op/word at 1e9 words/s: bandwidth roof is 1 GOPS.
+        let r = classify(1e6, 1e6, 1e9, 100.0);
+        assert_eq!(r.bound, Bound::Bandwidth);
+        assert!((r.achievable_gops - 1.0).abs() < 1e-9);
+        assert_eq!(r.bound.to_string(), "bandwidth");
+    }
+
+    #[test]
+    fn zero_traffic_is_compute_bound() {
+        let r = classify(1e6, 0.0, 1e9, 100.0);
+        assert_eq!(r.bound, Bound::Compute);
+        assert!(r.intensity.is_infinite());
+        assert!((r.achievable_gops - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_ops_is_degenerate_but_defined() {
+        let r = classify(0.0, 1e6, 1e9, 100.0);
+        assert_eq!(r.bound, Bound::Bandwidth);
+        assert_eq!(r.achievable_gops, 0.0);
+        assert_eq!(r.efficiency(0.0), 0.0);
+    }
+}

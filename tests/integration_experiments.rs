@@ -3,7 +3,7 @@
 
 use flexsim_arch::Accelerator;
 use flexsim_experiments::arches::ArchSet;
-use flexsim_experiments::{find, run_suite, ExperimentCtx, SuiteConfig, REGISTRY};
+use flexsim_experiments::{find, run_suite, SuiteConfig, REGISTRY};
 use flexsim_model::{workloads, Network};
 
 /// The four paper-scale (~256 PE) engines for `net`.
@@ -152,19 +152,6 @@ fn experiment_lookup_by_id_and_alias() {
         assert_eq!(find(alias).unwrap().id(), id);
     }
     assert!(find("fig99").is_none());
-}
-
-/// The deprecated serial wrappers must keep producing exactly what the
-/// registry + suite path produces until their removal.
-#[test]
-#[allow(deprecated)]
-fn deprecated_wrappers_match_the_registry_path() {
-    let via_wrapper = flexsim_experiments::run_by_id("table04").expect("table04 exists");
-    let via_trait = find("table04")
-        .unwrap()
-        .run(&ExperimentCtx::serial("table04"));
-    assert_eq!(via_wrapper.to_json(), via_trait.to_json());
-    assert!(flexsim_experiments::run_by_id("fig99").is_none());
 }
 
 #[test]
