@@ -54,6 +54,17 @@ if command -v python3 > /dev/null 2>&1; then
         || { echo "FAIL: profile JSON does not parse"; exit 1; }
 fi
 
+echo "==> flexsim tune smoke (auto-tuner: monotonic, flexcheck-clean, deterministic)"
+# The run itself enforces the tuner invariants: every winner verified
+# on the cycle-stepped engine, the assembled program flexcheck-clean,
+# and no tuned mapping worse than the paper default or the DP plan.
+"$FLEXSIM" --json --budget smoke tune pv > "$TMP/tune1.json"
+"$FLEXSIM" --json --budget smoke --jobs 4 tune pv > "$TMP/tune4.json"
+cmp "$TMP/tune1.json" "$TMP/tune4.json" \
+    || { echo "FAIL: tune --jobs 4 output diverged from serial"; exit 1; }
+grep -q 'mapping-residue-idle' "$TMP/tune1.json" \
+    || { echo "FAIL: tune JSON missing attribution"; exit 1; }
+
 echo "==> flexsim bench history + check (perf-regression harness)"
 (cd "$TMP" && "$FLEXSIM" bench history && "$FLEXSIM" bench check)
 tail -n 1 "$TMP/BENCH_history.jsonl"

@@ -31,6 +31,7 @@
 pub mod loopnest;
 pub mod search;
 pub mod style;
+pub mod tune;
 pub mod unroll;
 pub mod utilization;
 

@@ -68,7 +68,7 @@ fn make_choice(layer: &ConvLayer, u: Unroll, d: usize) -> LayerChoice {
 
 /// Enumerates candidate `(Tn, Ti, Tj)` triples for a layer on a `D`-wide
 /// engine (the intra-row side).
-fn row_candidates(layer: &ConvLayer, d: usize) -> Vec<(usize, usize, usize)> {
+pub(crate) fn row_candidates(layer: &ConvLayer, d: usize) -> Vec<(usize, usize, usize)> {
     let mut out = Vec::new();
     let k = layer.k();
     for ti in 1..=k.min(d) {
@@ -84,7 +84,7 @@ fn row_candidates(layer: &ConvLayer, d: usize) -> Vec<(usize, usize, usize)> {
 
 /// Enumerates candidate `(Tm, Tr, Tc)` triples (the inter-row side),
 /// honouring the successor bound `Tr, Tc ≤ rc_bound`.
-fn col_candidates(
+pub(crate) fn col_candidates(
     layer: &ConvLayer,
     d: usize,
     rc_bound: Option<usize>,
@@ -323,6 +323,48 @@ pub fn plan_network(net: &Network, d: usize) -> Vec<LayerChoice> {
     out
 }
 
+/// The paper's Section 5 analyzer procedure, run end to end: each layer
+/// takes the greedy per-layer optimum ([`best_unroll`]), then the IADP
+/// placement rule overwrites its row side with the previous layer's
+/// column side (clamped to this layer's `N`/`K` bounds). This is the
+/// chain the paper's published Table 4 factors come from; together they
+/// form the *paper-default* mapping a tuner must beat.
+///
+/// [`plan_network`] is the repo's stronger refinement (exact DP over the
+/// same coupling), so `analyzer_chain` is the honest baseline for
+/// before/after comparisons while `plan_network` feeds the compiler.
+///
+/// # Panics
+///
+/// Panics if `d` is zero.
+pub fn analyzer_chain(net: &Network, d: usize) -> Vec<LayerChoice> {
+    assert!(d > 0, "engine side must be non-zero");
+    let idxs = net.conv_indices();
+    let convs: Vec<&ConvLayer> = net.conv_layers().collect();
+    let mut out: Vec<LayerChoice> = Vec::with_capacity(convs.len());
+    let mut prev: Option<Unroll> = None;
+    for (pos, layer) in convs.iter().enumerate() {
+        let bound = net
+            .successor_coupling(idxs[pos])
+            .map(|c| c.pool_window * c.next_conv.k());
+        let mut choice = best_unroll(layer, d, bound);
+        if let Some(p) = prev {
+            let u = Unroll::new(
+                choice.unroll.tm,
+                p.tm.min(layer.n()),
+                choice.unroll.tr,
+                choice.unroll.tc,
+                p.tr.min(layer.k()),
+                p.tc.min(layer.k()),
+            );
+            choice = make_choice(layer, u, d);
+        }
+        prev = Some(choice.unroll);
+        out.push(choice);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -395,31 +437,7 @@ mod tests {
         for net in [workloads::pv(), workloads::lenet5(), workloads::hg()] {
             let plan = plan_network(&net, 16);
             let dp_cycles: u64 = plan.iter().map(|c| c.cycles).sum();
-
-            // Greedy: first layer free, then clamp forward.
-            let convs: Vec<_> = net.conv_layers().collect();
-            let idxs = net.conv_indices();
-            let mut greedy_cycles = 0u64;
-            let mut prev: Option<Unroll> = None;
-            for (pos, layer) in convs.iter().enumerate() {
-                let bound = net
-                    .successor_coupling(idxs[pos])
-                    .map(|c| c.pool_window * c.next_conv.k());
-                let mut choice = best_unroll(layer, 16, bound);
-                if let Some(p) = prev {
-                    let u = Unroll::new(
-                        choice.unroll.tm,
-                        p.tm.min(layer.n()),
-                        choice.unroll.tr,
-                        choice.unroll.tc,
-                        p.tr.min(layer.k()),
-                        p.tc.min(layer.k()),
-                    );
-                    choice = make_choice(layer, u, 16);
-                }
-                greedy_cycles += choice.cycles;
-                prev = Some(choice.unroll);
-            }
+            let greedy_cycles: u64 = analyzer_chain(&net, 16).iter().map(|c| c.cycles).sum();
             assert!(
                 dp_cycles <= greedy_cycles,
                 "{}: DP {} cycles > greedy {}",
@@ -427,6 +445,20 @@ mod tests {
                 dp_cycles,
                 greedy_cycles
             );
+        }
+    }
+
+    #[test]
+    fn analyzer_chain_is_feasible_on_every_workload() {
+        // Every chained choice must satisfy Constraint (1); the IADP
+        // overwrite can only shrink the row side, never overflow it.
+        for net in workloads::all() {
+            let chain = analyzer_chain(&net, 16);
+            assert_eq!(chain.len(), net.conv_layers().count());
+            for c in &chain {
+                assert!(c.unroll.rows_used() <= 16, "{}/{}", net.name(), c.layer);
+                assert!(c.unroll.cols_used() <= 16, "{}/{}", net.name(), c.layer);
+            }
         }
     }
 

@@ -131,6 +131,7 @@ fn history(cli: &Cli) -> i32 {
         Err(code) => return code,
     };
     let attrib = attribution_totals();
+    let tune = crate::tune::sweep_totals(jobs);
     let entry = history_entry(
         unix_seconds(),
         wall_s,
@@ -140,6 +141,7 @@ fn history(cli: &Cli) -> i32 {
         &rustc_version(),
         &git_commit(),
         &attrib,
+        &tune,
     );
     let mut line = entry.compact();
     line.push('\n');
@@ -172,13 +174,20 @@ fn check(cli: &Cli) -> i32 {
             return 2;
         }
     };
+    let tune_baseline = match baseline_tune_recovered(path) {
+        Ok(b) => b,
+        Err(msg) => {
+            eprintln!("flexsim: {msg}");
+            return 2;
+        }
+    };
     let experiments = sweep_experiments();
     let jobs = cli.jobs.unwrap_or_else(flexsim_pool::available_parallelism);
     let wall_s = match timed_sweep(&experiments, jobs) {
         Ok(s) => s,
         Err(code) => return code,
     };
-    match baseline {
+    let mut code = match baseline {
         None => {
             eprintln!(
                 "bench check: no baseline at {path}; measured {wall_s:.3}s \
@@ -201,7 +210,28 @@ fn check(cli: &Cli) -> i32 {
                 0
             }
         }
+    };
+    // Tuner quality gate: recovered PE-cycles are a deterministic
+    // simulated quantity (no wall-clock noise), so *any* drop below
+    // the recorded baseline is a regression.
+    if let Some(base_recovered) = tune_baseline {
+        let tune = crate::tune::sweep_totals(jobs);
+        if tune.recovered_pe_cycles < base_recovered {
+            eprintln!(
+                "bench check: TUNER REGRESSION — smoke-budget sweep recovers {} \
+                 PE-cycles vs baseline {base_recovered} (baseline {path})",
+                tune.recovered_pe_cycles
+            );
+            code = 1;
+        } else {
+            eprintln!(
+                "bench check: tune ok — smoke-budget sweep recovers {} PE-cycles \
+                 (baseline {base_recovered})",
+                tune.recovered_pe_cycles
+            );
+        }
     }
+    code
 }
 
 /// The regression predicate: `measured` exceeds `baseline` by more
@@ -210,11 +240,11 @@ fn regressed(baseline_s: f64, measured_s: f64, threshold_pct: u32) -> bool {
     measured_s > baseline_s * (1.0 + f64::from(threshold_pct) / 100.0)
 }
 
-/// The `wall_s` of the last entry in the baseline file; `Ok(None)`
-/// when the file does not exist (fresh clone), `Err` when it exists
-/// but cannot be understood (a corrupt baseline must not silently
-/// pass the gate).
-fn baseline_wall_s(path: &str) -> Result<Option<f64>, String> {
+/// The last entry of the baseline file, parsed; `Ok(None)` when the
+/// file does not exist (fresh clone) or holds no entries, `Err` when
+/// it exists but cannot be understood (a corrupt baseline must not
+/// silently pass the gate).
+fn baseline_entry(path: &str) -> Result<Option<Json>, String> {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
@@ -223,11 +253,31 @@ fn baseline_wall_s(path: &str) -> Result<Option<f64>, String> {
     let Some(last) = text.lines().rev().find(|l| !l.trim().is_empty()) else {
         return Ok(None);
     };
-    let doc = Json::parse(last).map_err(|e| format!("baseline {path}: bad last line: {e:?}"))?;
-    json_field(&doc, "wall_s")
-        .and_then(json_f64)
+    Json::parse(last)
         .map(Some)
-        .ok_or_else(|| format!("baseline {path}: last line has no numeric \"wall_s\""))
+        .map_err(|e| format!("baseline {path}: bad last line: {e:?}"))
+}
+
+/// The `wall_s` of the last entry in the baseline file (see
+/// [`baseline_entry`] for the `Ok(None)`/`Err` contract).
+fn baseline_wall_s(path: &str) -> Result<Option<f64>, String> {
+    match baseline_entry(path)? {
+        None => Ok(None),
+        Some(doc) => json_field(&doc, "wall_s")
+            .and_then(json_f64)
+            .map(Some)
+            .ok_or_else(|| format!("baseline {path}: last line has no numeric \"wall_s\"")),
+    }
+}
+
+/// The `tune_recovered_pe_cycles` of the last baseline entry, when the
+/// baseline predates the tuner `None` (old logs stay valid baselines).
+fn baseline_tune_recovered(path: &str) -> Result<Option<i64>, String> {
+    Ok(baseline_entry(path)?
+        .as_ref()
+        .and_then(|doc| json_field(doc, "tune_recovered_pe_cycles"))
+        .and_then(json_f64)
+        .map(|v| v as i64))
 }
 
 /// Workload-sweep attribution totals: busy PE-cycles plus lost
@@ -286,6 +336,7 @@ fn history_entry(
     rustc: &str,
     commit: &str,
     attrib: &AttributionTotals,
+    tune: &crate::tune::SweepTotals,
 ) -> Json {
     Json::obj([
         ("bench", Json::str("history")),
@@ -309,6 +360,15 @@ fn history_entry(
                     .map(|&(name, v)| (name, Json::Int(v as i64))),
             ),
         ),
+        ("tune_budget", Json::str("smoke")),
+        (
+            "tune_recovered_pe_cycles",
+            Json::Int(tune.recovered_pe_cycles),
+        ),
+        (
+            "tune_workloads_improved",
+            Json::Int(tune.workloads_improved as i64),
+        ),
     ])
 }
 
@@ -321,12 +381,12 @@ fn unix_seconds() -> u64 {
 }
 
 /// `rustc -V`, or `"unknown"` when the compiler is not on PATH.
-fn rustc_version() -> String {
+pub(crate) fn rustc_version() -> String {
     command_line("rustc", &["-V"])
 }
 
 /// Short git commit hash, or `"unknown"` outside a repository.
-fn git_commit() -> String {
+pub(crate) fn git_commit() -> String {
     command_line("git", &["rev-parse", "--short", "HEAD"])
 }
 
@@ -378,6 +438,10 @@ mod tests {
             busy_pe_cycles: 123,
             lost: StallCause::ALL.iter().map(|c| (c.name(), 7)).collect(),
         };
+        let tune = crate::tune::SweepTotals {
+            recovered_pe_cycles: 4_096,
+            workloads_improved: 4,
+        };
         let entry = history_entry(
             1_700_000_000,
             4.25,
@@ -387,6 +451,7 @@ mod tests {
             "rustc 1.x",
             "abc1234",
             &attrib,
+            &tune,
         );
         let line = entry.compact();
         let parsed = Json::parse(&line).unwrap();
@@ -396,6 +461,35 @@ mod tests {
         let lost = json_field(&parsed, "lost_pe_cycles").unwrap();
         for cause in StallCause::ALL {
             assert_eq!(json_field(lost, cause.name()), Some(&Json::Int(7)));
+        }
+        assert_eq!(
+            json_field(&parsed, "tune_recovered_pe_cycles"),
+            Some(&Json::Int(4_096))
+        );
+    }
+
+    #[test]
+    fn tune_baseline_is_optional_in_old_logs() {
+        let dir = std::env::temp_dir();
+        let old = dir.join("flexsim_bench_pre_tune_test.jsonl");
+        std::fs::write(&old, "{\"wall_s\": 2.0}\n").unwrap();
+        // A log written before the tuner existed gates wall time only.
+        assert_eq!(
+            baseline_tune_recovered(old.to_str().unwrap()).unwrap(),
+            None
+        );
+        let new = dir.join("flexsim_bench_with_tune_test.jsonl");
+        std::fs::write(
+            &new,
+            "{\"wall_s\": 2.0, \"tune_recovered_pe_cycles\": 123}\n",
+        )
+        .unwrap();
+        assert_eq!(
+            baseline_tune_recovered(new.to_str().unwrap()).unwrap(),
+            Some(123)
+        );
+        for f in [old, new] {
+            let _ = std::fs::remove_file(f);
         }
     }
 

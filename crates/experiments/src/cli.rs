@@ -10,6 +10,7 @@ pub const USAGE: &str = "\
 usage: flexsim [OPTIONS] [EXPERIMENT-ID...]
        flexsim lint [--json]
        flexsim profile [WORKLOAD] [--json]
+       flexsim tune [WORKLOAD] [--budget smoke|full|N] [--jobs N]
        flexsim bench sweep [--jobs N]
        flexsim bench history [--jobs N]
        flexsim bench check [--baseline FILE] [--threshold PCT]
@@ -29,6 +30,14 @@ roofline report for one Table 1 workload (all six when omitted):
 cycles, utilization, compute- vs bandwidth-bound, and the top loss
 causes, with every ledger balanced to the FXC09 exactness identity.
 
+`flexsim tune [WORKLOAD]` searches each CONV layer's legal unrolling
+space for the mapping minimizing lost PE-cycles: candidates are
+enumerated per `--budget`, statically pruned by the flexcheck rules
+before any simulation, scored in parallel with the exact loss-ledger
+cost function, and the winners verified on the cycle-stepped engine.
+Prints the best-mapping table with before/after loss attribution per
+cause; with no workload, tunes all six and writes BENCH_tune.json.
+
 `flexsim bench sweep` times the full sweep serially and at the given
 `--jobs` level and writes the comparison to BENCH_pool.json.
 
@@ -45,6 +54,9 @@ options:
   --jobs N        run up to N experiment tasks concurrently (default:
                   available parallelism; `--jobs 1` is byte-identical
                   to the historical serial output)
+  --budget B      tune search budget: `smoke` (power-of-two grid),
+                  `full` (exhaustive, the default), or a positive
+                  per-layer candidate cap
   --json          machine-readable JSON on stdout
   --out DIR       also write one .txt + .json per experiment into DIR
   --trace FILE    write a Chrome trace-event JSON file (host spans +
@@ -78,6 +90,8 @@ pub struct Cli {
     pub lint: bool,
     /// Run the benchmark subcommand instead of any experiment.
     pub bench: bool,
+    /// Run the mapping auto-tuner instead of any experiment.
+    pub tune: bool,
     /// Disarm the pre-simulation verification gate.
     pub no_lint: bool,
     /// Maximum concurrently running experiment tasks (`None` = pick the
@@ -93,6 +107,8 @@ pub struct Cli {
     /// Percent wall-time slowdown `bench check` tolerates before
     /// failing (default: 50).
     pub threshold_pct: Option<u32>,
+    /// Search budget for `flexsim tune` (default: full).
+    pub budget: Option<crate::tune::Budget>,
     /// Experiment ids to run; empty means `all`. For `bench` this holds
     /// the benchmark name (`sweep`).
     pub ids: Vec<String>,
@@ -118,12 +134,17 @@ pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Cli, String> {
             "--no-lint" => cli.no_lint = true,
             "lint" => cli.lint = true,
             "bench" => cli.bench = true,
+            "tune" => cli.tune = true,
             "--jobs" => {
                 let v = value_of(&mut iter, "--jobs", "a positive integer")?;
                 match v.parse::<usize>() {
                     Ok(n) if n > 0 => cli.jobs = Some(n),
                     _ => return Err(format!("--jobs requires a positive integer, got {v:?}")),
                 }
+            }
+            "--budget" => {
+                let v = value_of(&mut iter, "--budget", "`smoke`, `full`, or a candidate cap")?;
+                cli.budget = Some(crate::tune::Budget::parse(&v)?);
             }
             "--out" => cli.out_dir = Some(value_of(&mut iter, "--out", "a directory")?),
             "--trace" => cli.trace = Some(value_of(&mut iter, "--trace", "a file path")?),
@@ -291,6 +312,34 @@ mod tests {
             assert!(err.contains("--threshold requires"), "{bad}: {err}");
         }
         assert!(p(&["--baseline"]).unwrap_err().contains("--baseline"));
+    }
+
+    #[test]
+    fn tune_is_a_subcommand_with_budget() {
+        let cli = p(&["tune"]).unwrap();
+        assert!(cli.tune && !cli.bench);
+        assert!(cli.ids.is_empty());
+        assert_eq!(cli.budget, None);
+        let cli = p(&["tune", "alexnet", "--budget", "smoke", "--jobs", "2"]).unwrap();
+        assert!(cli.tune);
+        assert_eq!(cli.ids, ["alexnet"]);
+        assert_eq!(cli.budget, Some(crate::tune::Budget::Smoke));
+        assert_eq!(cli.jobs, Some(2));
+        let cli = p(&["tune", "--budget", "128"]).unwrap();
+        assert_eq!(cli.budget, Some(crate::tune::Budget::Cap(128)));
+    }
+
+    #[test]
+    fn bad_budget_values_are_rejected() {
+        for bad in ["0", "exhaustive", "1.5"] {
+            let err = p(&["tune", "--budget", bad]).unwrap_err();
+            assert!(err.contains("--budget requires"), "{bad}: {err}");
+        }
+        assert!(p(&["tune", "--budget"]).unwrap_err().contains("--budget"));
+        // Flag-shaped values read as a missing value, not a budget.
+        assert!(p(&["tune", "--budget", "--json"])
+            .unwrap_err()
+            .contains("--budget"));
     }
 
     #[test]

@@ -84,6 +84,7 @@ pub static REGISTRY: &[&dyn Experiment] = &[
     &crate::extensions::ExtBatching,
     &crate::extensions::ExtRoutingShare,
     &crate::profile::Profile,
+    &crate::tune::Tune,
 ];
 
 /// Looks an experiment up by id or alias.
@@ -466,7 +467,8 @@ mod tests {
             .map(|e| e.id())
             .collect();
         assert!(!swept.contains(&"profile"));
-        assert_eq!(swept.len(), REGISTRY.len() - 1);
+        assert!(!swept.contains(&"tune"));
+        assert_eq!(swept.len(), REGISTRY.len() - 2);
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod table03;
 pub mod table04;
 pub mod table06;
 pub mod table07;
+pub mod tune;
 
 pub use experiment::{
     find, run_suite, Experiment, ExperimentCtx, SuiteConfig, SuiteReport, TaskCtx, REGISTRY,
@@ -71,6 +72,7 @@ pub fn experiment_ids() -> &'static [&'static str] {
         "ext_batching",
         "ext_routing_share",
         "profile",
+        "tune",
     ]
 }
 

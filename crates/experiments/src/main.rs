@@ -12,6 +12,8 @@
 //! flexsim --list                 # available experiment ids
 //! flexsim lint                   # static verification sweep
 //! flexsim profile alexnet        # per-layer loss attribution + roofline
+//! flexsim tune alexnet           # auto-tune mappings, before/after attribution
+//! flexsim tune --budget smoke    # tune all six workloads, write BENCH_tune.json
 //! flexsim bench sweep            # time serial vs parallel, BENCH_pool.json
 //! flexsim bench history          # append wall time + attribution to BENCH_history.jsonl
 //! flexsim bench check            # fail on wall-time regression vs the history
@@ -58,6 +60,9 @@ fn main() {
     }
     if cli.bench {
         std::process::exit(flexsim_experiments::bench::run(&cli));
+    }
+    if cli.tune {
+        std::process::exit(tune_workload(&cli));
     }
     // `flexsim profile <workload>` — the one experiment taking an
     // argument, so it bypasses the plain registry dispatch.
@@ -152,6 +157,55 @@ fn profile_workload(cli: &Cli) {
         write_out(dir, std::slice::from_ref(&result));
     }
     emit(vec![result], cli.json);
+}
+
+/// `flexsim tune [WORKLOAD]`: the mapping auto-tuner. With no workload
+/// it tunes the full Table 1 sweep and records `BENCH_tune.json`.
+fn tune_workload(cli: &Cli) -> i32 {
+    use flexsim_experiments::tune::{self, Budget};
+    let budget = cli.budget.unwrap_or(Budget::Full);
+    let nets = match cli.ids.len() {
+        0 => flexsim_model::workloads::all(),
+        1 => {
+            let name = &cli.ids[0];
+            let Some(net) = flexsim_model::workloads::by_name(name) else {
+                let names: Vec<String> = flexsim_model::workloads::all()
+                    .iter()
+                    .map(|n| n.name().to_lowercase())
+                    .collect();
+                eprintln!("unknown workload {name:?}; available: {}", names.join(", "));
+                return 2;
+            };
+            vec![net]
+        }
+        _ => {
+            eprintln!("flexsim: tune takes at most one workload");
+            return 2;
+        }
+    };
+    let jobs = cli.jobs.unwrap_or_else(flexsim_pool::available_parallelism);
+    let ctx = flexsim_experiments::ExperimentCtx::parallel("tune", jobs);
+    let outcomes = tune::tune_workloads(&ctx, &nets, budget);
+    if cli.ids.is_empty() {
+        // Full-sweep runs are the recorded benchmark.
+        let mut text = tune::bench_json(&outcomes, budget).pretty();
+        text.push('\n');
+        if let Err(e) = std::fs::write("BENCH_tune.json", text) {
+            eprintln!("cannot write BENCH_tune.json: {e}");
+            return 2;
+        }
+        let improved = outcomes.iter().filter(|o| o.improved()).count();
+        eprintln!(
+            "tune: budget {budget}, {improved}/{} workloads improved; wrote BENCH_tune.json",
+            outcomes.len()
+        );
+    }
+    let result = tune::report(&outcomes, budget);
+    if let Some(dir) = &cli.out_dir {
+        write_out(dir, std::slice::from_ref(&result));
+    }
+    emit(vec![result], cli.json);
+    0
 }
 
 fn write_out(dir: &str, results: &[ExperimentResult]) {

@@ -60,5 +60,6 @@ pub use diag::{has_errors, render, Diagnostic, Location, RuleId, Severity};
 pub use params::{ArchKind, ArchParams};
 pub use plan::{BatchShape, FsmPlan, LayerPlan, WalkShape};
 pub use rules::{
-    check, check_layer_plan, check_ledger, check_ledgers, check_network, max_fsm_addr,
+    check, check_candidate, check_layer_plan, check_ledger, check_ledgers, check_network,
+    max_fsm_addr, prune_candidates, PrunedCandidates,
 };

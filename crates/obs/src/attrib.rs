@@ -236,6 +236,107 @@ pub fn ledgers(timelines: &[LayerTimeline]) -> Vec<LossLedger> {
     timelines.iter().map(LossLedger::from_timeline).collect()
 }
 
+/// The attribution *delta* between two ledgers of the same layer — the
+/// tuner's before/after report: which causes recovered lost PE-cycles
+/// when the mapping changed, and which got worse.
+///
+/// A remapping never changes the useful work (`busy_pe_cycles` is the
+/// layer's MAC count, a function of the layer shape alone), so a delta
+/// is meaningful exactly when both ledgers agree on it —
+/// [`LossDelta::between`] asserts that.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LossDelta {
+    /// Layer name (shared by both ledgers).
+    pub layer: String,
+    /// PEs in the engine.
+    pub pe_count: u32,
+    /// Total cycles under the *before* mapping.
+    pub before_cycles: u64,
+    /// Total cycles under the *after* mapping.
+    pub after_cycles: u64,
+    /// PE-cycles doing useful MACs (identical before and after).
+    pub busy_pe_cycles: u64,
+    before_lost: [u64; StallCause::COUNT],
+    after_lost: [u64; StallCause::COUNT],
+}
+
+impl LossDelta {
+    /// Builds the delta from a *before* and an *after* ledger of the
+    /// same layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ledgers disagree on the layer name, PE count, or
+    /// busy PE-cycles — those would mean the two runs computed
+    /// different layers, not the same layer under different mappings.
+    pub fn between(before: &LossLedger, after: &LossLedger) -> LossDelta {
+        assert_eq!(before.layer, after.layer, "delta across different layers");
+        assert_eq!(before.pe_count, after.pe_count, "delta across engines");
+        assert_eq!(
+            before.busy_pe_cycles, after.busy_pe_cycles,
+            "{}: remapping changed the useful work ({} vs {} busy PE-cycles)",
+            before.layer, before.busy_pe_cycles, after.busy_pe_cycles,
+        );
+        LossDelta {
+            layer: before.layer.clone(),
+            pe_count: before.pe_count,
+            before_cycles: before.total_cycles,
+            after_cycles: after.total_cycles,
+            busy_pe_cycles: before.busy_pe_cycles,
+            before_lost: before.lost,
+            after_lost: after.lost,
+        }
+    }
+
+    /// Lost PE-cycles attributed to `cause` under the before mapping.
+    pub fn before(&self, cause: StallCause) -> u64 {
+        self.before_lost[cause.index()]
+    }
+
+    /// Lost PE-cycles attributed to `cause` under the after mapping.
+    pub fn after(&self, cause: StallCause) -> u64 {
+        self.after_lost[cause.index()]
+    }
+
+    /// Total lost PE-cycles under the before mapping, all causes.
+    pub fn before_total(&self) -> u64 {
+        self.before_lost.iter().sum()
+    }
+
+    /// Total lost PE-cycles under the after mapping, all causes.
+    pub fn after_total(&self) -> u64 {
+        self.after_lost.iter().sum()
+    }
+
+    /// PE-cycles recovered from `cause` (negative when the new mapping
+    /// loses *more* to this cause — a trade the total must justify).
+    pub fn recovered(&self, cause: StallCause) -> i64 {
+        self.before(cause) as i64 - self.after(cause) as i64
+    }
+
+    /// Net PE-cycles recovered across all causes.
+    pub fn total_recovered(&self) -> i64 {
+        StallCause::ALL.iter().map(|&c| self.recovered(c)).sum()
+    }
+
+    /// Wall-clock cycles saved (negative on a regression).
+    pub fn recovered_cycles(&self) -> i64 {
+        self.before_cycles as i64 - self.after_cycles as i64
+    }
+
+    /// Causes with a nonzero delta, largest recovery first (ties broken
+    /// by taxonomy order; regressions sort last).
+    pub fn top_recoveries(&self) -> Vec<(StallCause, i64)> {
+        let mut causes: Vec<(StallCause, i64)> = StallCause::ALL
+            .iter()
+            .map(|&c| (c, self.recovered(c)))
+            .filter(|&(_, d)| d != 0)
+            .collect();
+        causes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.index().cmp(&b.0.index())));
+        causes
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,6 +440,119 @@ mod tests {
         assert_eq!(total.busy_pe_cycles, 30);
         assert_eq!(total.lost(StallCause::EdgeFragmentation), 10);
         assert!(total.is_exact());
+    }
+
+    #[test]
+    fn delta_reports_per_cause_recovery() {
+        // Before: 20 cycles on 4 PEs — fill 32, residue 10, spill 8
+        // lost. After: a better mapping drops the pass to 9 cycles with
+        // the same 30 MACs (residue 6) and eliminates the spill.
+        let before = LossLedger::from_timeline(&tl(
+            4,
+            vec![
+                CycleEvent::new(CycleEventKind::Stall(StallCause::PipelineFill), 0, 8, 0),
+                CycleEvent::new(
+                    CycleEventKind::Pass(StallCause::MappingResidueIdle),
+                    8,
+                    10,
+                    30,
+                ),
+                CycleEvent::new(
+                    CycleEventKind::Stall(StallCause::PsumSpillRoundTrip),
+                    18,
+                    2,
+                    0,
+                ),
+            ],
+        ));
+        let after = LossLedger::from_timeline(&tl(
+            4,
+            vec![
+                CycleEvent::new(CycleEventKind::Stall(StallCause::PipelineFill), 0, 8, 0),
+                CycleEvent::new(
+                    CycleEventKind::Pass(StallCause::MappingResidueIdle),
+                    8,
+                    9,
+                    30,
+                ),
+            ],
+        ));
+        let delta = LossDelta::between(&before, &after);
+        assert_eq!(delta.busy_pe_cycles, 30);
+        assert_eq!(delta.before_cycles, 20);
+        assert_eq!(delta.after_cycles, 17);
+        assert_eq!(delta.recovered_cycles(), 3);
+        assert_eq!(delta.recovered(StallCause::PipelineFill), 0);
+        assert_eq!(delta.recovered(StallCause::MappingResidueIdle), 4);
+        assert_eq!(delta.recovered(StallCause::PsumSpillRoundTrip), 8);
+        assert_eq!(delta.total_recovered(), 12);
+        // total_recovered == recovered_cycles × pe_count (busy fixed).
+        assert_eq!(delta.total_recovered(), delta.recovered_cycles() * 4);
+        assert_eq!(
+            delta.top_recoveries(),
+            vec![
+                (StallCause::PsumSpillRoundTrip, 8),
+                (StallCause::MappingResidueIdle, 4),
+            ]
+        );
+    }
+
+    #[test]
+    fn delta_surfaces_regressions_as_negative() {
+        let before = LossLedger::from_timeline(&tl(
+            2,
+            vec![CycleEvent::new(
+                CycleEventKind::Pass(StallCause::MappingResidueIdle),
+                0,
+                10,
+                12,
+            )],
+        ));
+        let after = LossLedger::from_timeline(&tl(
+            2,
+            vec![CycleEvent::new(
+                CycleEventKind::Pass(StallCause::EdgeFragmentation),
+                0,
+                11,
+                12,
+            )],
+        ));
+        let delta = LossDelta::between(&before, &after);
+        assert_eq!(delta.recovered(StallCause::MappingResidueIdle), 8);
+        assert_eq!(delta.recovered(StallCause::EdgeFragmentation), -10);
+        assert_eq!(delta.total_recovered(), -2);
+        assert_eq!(delta.recovered_cycles(), -1);
+        assert_eq!(
+            delta.top_recoveries(),
+            vec![
+                (StallCause::MappingResidueIdle, 8),
+                (StallCause::EdgeFragmentation, -10),
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "remapping changed the useful work")]
+    fn delta_rejects_mismatched_work() {
+        let a = LossLedger::from_timeline(&tl(
+            2,
+            vec![CycleEvent::new(
+                CycleEventKind::Pass(StallCause::MappingResidueIdle),
+                0,
+                10,
+                12,
+            )],
+        ));
+        let b = LossLedger::from_timeline(&tl(
+            2,
+            vec![CycleEvent::new(
+                CycleEventKind::Pass(StallCause::MappingResidueIdle),
+                0,
+                10,
+                13,
+            )],
+        ));
+        let _ = LossDelta::between(&a, &b);
     }
 
     #[test]

@@ -75,7 +75,7 @@ pub mod occupancy;
 pub mod roofline;
 pub mod span;
 
-pub use attrib::{LossLedger, StallCause};
+pub use attrib::{LossDelta, LossLedger, StallCause};
 pub use cycles::{CycleEvent, CycleEventKind, CycleRecorder, CycleSink, LayerCtx, SinkHandle};
 pub use filter::Level;
 pub use metrics::{Registry, Snapshot};

@@ -120,10 +120,11 @@ fn all_experiments_run_and_render() {
     let experiments: Vec<_> = REGISTRY.iter().filter(|e| e.in_sweep()).copied().collect();
     let report = run_suite(&experiments, &SuiteConfig::default());
     assert!(report.failures.is_empty(), "{:?}", report.failures);
-    // `profile` is the one opt-in diagnostic excluded from the sweep.
+    // `profile` and `tune` are opt-in diagnostics excluded from the
+    // sweep.
     let swept = flexsim_experiments::experiment_ids()
         .iter()
-        .filter(|&&id| id != "profile")
+        .filter(|&&id| id != "profile" && id != "tune")
         .count();
     assert_eq!(report.results.len(), swept);
     for r in &report.results {
