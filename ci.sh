@@ -65,8 +65,29 @@ cmp "$TMP/tune1.json" "$TMP/tune4.json" \
 grep -q 'mapping-residue-idle' "$TMP/tune1.json" \
     || { echo "FAIL: tune JSON missing attribution"; exit 1; }
 
+echo "==> flexsim stats smoke (telemetry never perturbs results; all phases fire)"
+# Same sweep with telemetry off vs. on: the written artifacts must be
+# byte-identical, and the snapshot must cover every declared phase.
+"$FLEXSIM" --jobs 2 --json --out "$TMP/out_off" all > /dev/null
+"$FLEXSIM" --jobs 2 --json --out "$TMP/out_on" --telemetry "$TMP/telemetry.json" all > /dev/null
+for f in "$TMP"/out_off/*.json; do
+    cmp "$f" "$TMP/out_on/$(basename "$f")" \
+        || { echo "FAIL: telemetry perturbed $(basename "$f")"; exit 1; }
+done
+for phase in parse flexcheck schedule simulate verify export; do
+    grep -q "\"$phase\"" "$TMP/telemetry.json" \
+        || { echo "FAIL: phase $phase missing from telemetry snapshot"; exit 1; }
+    grep -q "phase=\"$phase\"" "$TMP/telemetry.json.prom" \
+        || { echo "FAIL: phase $phase missing from Prometheus export"; exit 1; }
+done
+"$FLEXSIM" --jobs 2 stats > "$TMP/stats.txt"
+grep -q '(wall)' "$TMP/stats.txt" \
+    || { echo "FAIL: stats report missing the wall reconciliation row"; exit 1; }
+
 echo "==> flexsim bench history + check (perf-regression harness)"
 (cd "$TMP" && "$FLEXSIM" bench history && "$FLEXSIM" bench check)
 tail -n 1 "$TMP/BENCH_history.jsonl"
+grep -q 'telemetry_overhead_pct' "$TMP/BENCH_history.jsonl" \
+    || { echo "FAIL: history entry missing telemetry overhead"; exit 1; }
 
 echo "CI OK"

@@ -4,7 +4,7 @@ use crate::area::AreaBreakdown;
 use crate::stats::{LayerResult, RunSummary};
 use flexsim_model::{ConvLayer, Network};
 use flexsim_obs::cycles::SinkHandle;
-use flexsim_obs::span;
+use flexsim_obs::{span, telemetry};
 
 /// A simulated CNN accelerator.
 ///
@@ -56,11 +56,15 @@ pub trait Accelerator: Send {
     /// Simulates every CONV layer of a workload in order.
     fn run_network(&mut self, net: &Network) -> RunSummary {
         let _workload = span("workload", format!("{}/{}", self.name(), net.name()));
+        let _simulate = telemetry::phase(telemetry::Phase::Simulate);
         let layers = net
             .conv_layers()
             .map(|l| {
                 let _layer = span("layer", format!("{}/{}", self.name(), l.name()));
-                self.run_conv(l)
+                let t0 = telemetry::now_if_enabled();
+                let result = self.run_conv(l);
+                telemetry::observe_layer_sim_since(t0);
+                result
             })
             .collect::<Vec<_>>();
         RunSummary {

@@ -23,6 +23,7 @@ use flexsim_model::tensor::KernelSet;
 use flexsim_model::{Acc32, ConvLayer, Tensor2, Tensor3};
 use flexsim_obs::attrib::StallCause;
 use flexsim_obs::cycles::{Coalescer, CycleEventKind, LayerCtx, SinkHandle};
+use flexsim_obs::telemetry;
 
 /// Operand-movement statistics from the explicit shift simulation.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -350,7 +351,10 @@ impl Accelerator for Mapping2d {
     }
 
     fn run_conv(&mut self, layer: &ConvLayer) -> LayerResult {
-        let outcome = self.analyze(layer);
+        let outcome = {
+            let _schedule = telemetry::phase(telemetry::Phase::Schedule);
+            self.analyze(layer)
+        };
         if self.sink.enabled() {
             self.emit_cycle_events(layer, outcome.cycles);
         }

@@ -22,6 +22,7 @@ use flexsim_model::tensor::KernelSet;
 use flexsim_model::{Acc32, ConvLayer, Tensor3};
 use flexsim_obs::attrib::StallCause;
 use flexsim_obs::cycles::{Coalescer, CycleEventKind, LayerCtx, SinkHandle};
+use flexsim_obs::telemetry;
 
 /// The Tiling baseline simulator.
 ///
@@ -246,7 +247,10 @@ impl Accelerator for TilingArray {
     }
 
     fn run_conv(&mut self, layer: &ConvLayer) -> LayerResult {
-        let outcome = self.analyze(layer);
+        let outcome = {
+            let _schedule = telemetry::phase(telemetry::Phase::Schedule);
+            self.analyze(layer)
+        };
         if self.sink.enabled() {
             self.emit_cycle_events(layer, outcome.cycles);
         }

@@ -25,7 +25,7 @@ use flexsim_model::tensor::KernelSet;
 use flexsim_model::{ConvLayer, Network, Tensor3};
 use flexsim_obs::attrib::StallCause;
 use flexsim_obs::cycles::{Coalescer, CycleEventKind, LayerCtx, SinkHandle};
-use flexsim_obs::span;
+use flexsim_obs::{span, telemetry};
 
 /// The FlexFlow accelerator simulator.
 ///
@@ -82,7 +82,10 @@ impl FlexFlow {
     /// Simulates one layer under explicit unrolling factors (the
     /// [`Accelerator::run_conv`] path plans them automatically).
     pub fn run_conv_with(&self, layer: &ConvLayer, unroll: Unroll) -> LayerResult {
-        let sch = schedule_default(layer, unroll, self.d);
+        let sch = {
+            let _schedule = telemetry::phase(telemetry::Phase::Schedule);
+            schedule_default(layer, unroll, self.d)
+        };
         self.result_from_schedule(layer, &sch)
     }
 
@@ -333,7 +336,10 @@ impl Accelerator for FlexFlow {
     }
 
     fn run_conv(&mut self, layer: &ConvLayer) -> LayerResult {
-        let choice = best_unroll(layer, self.d, None);
+        let choice = {
+            let _schedule = telemetry::phase(telemetry::Phase::Schedule);
+            best_unroll(layer, self.d, None)
+        };
         self.run_conv_with(layer, choice.unroll)
     }
 
@@ -345,13 +351,20 @@ impl Accelerator for FlexFlow {
         let _workload = span("workload", format!("{}/{}", self.name(), net.name()));
         // Unlike the default, plan the whole network jointly (IADP
         // coupling) before simulating.
-        let plan = plan_network(net, self.d);
+        let plan = {
+            let _schedule = telemetry::phase(telemetry::Phase::Schedule);
+            plan_network(net, self.d)
+        };
+        let _simulate = telemetry::phase(telemetry::Phase::Simulate);
         let layers = net
             .conv_layers()
             .zip(&plan)
             .map(|(layer, choice)| {
                 let _layer = span("layer", format!("{}/{}", self.name(), layer.name()));
-                self.run_conv_with(layer, choice.unroll)
+                let t0 = telemetry::now_if_enabled();
+                let result = self.run_conv_with(layer, choice.unroll);
+                telemetry::observe_layer_sim_since(t0);
+                result
             })
             .collect();
         RunSummary {

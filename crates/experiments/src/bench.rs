@@ -123,11 +123,20 @@ fn sweep(cli: &Cli) -> i32 {
 
 /// `bench history`: one timed sweep + exact attribution, appended as a
 /// JSON line to [`HISTORY_FILE`].
+///
+/// The sweep is timed twice — telemetry off, then on — so every entry
+/// also records the host-phase wall breakdown and the measured
+/// telemetry overhead, keeping the "telemetry is ≈free" claim gated
+/// the same way wall-time regressions are.
 fn history(cli: &Cli) -> i32 {
     let experiments = sweep_experiments();
     let jobs = cli.jobs.unwrap_or_else(flexsim_pool::available_parallelism);
     let wall_s = match timed_sweep(&experiments, jobs) {
         Ok(s) => s,
+        Err(code) => return code,
+    };
+    let host = match telemetry_sweep(&experiments, jobs, wall_s) {
+        Ok(h) => h,
         Err(code) => return code,
     };
     let attrib = attribution_totals();
@@ -142,6 +151,7 @@ fn history(cli: &Cli) -> i32 {
         &git_commit(),
         &attrib,
         &tune,
+        &host,
     );
     let mut line = entry.compact();
     line.push('\n');
@@ -156,11 +166,55 @@ fn history(cli: &Cli) -> i32 {
     }
     eprintln!(
         "bench history: sweep {wall_s:.3}s at --jobs {jobs}, busy {} PE-cycles, \
-         lost {} PE-cycles; appended to {HISTORY_FILE}",
+         lost {} PE-cycles, telemetry overhead {:.1}%; appended to {HISTORY_FILE}",
         attrib.busy_pe_cycles,
-        attrib.lost.iter().map(|(_, v)| v).sum::<u64>()
+        attrib.lost.iter().map(|(_, v)| v).sum::<u64>(),
+        host.overhead_pct
     );
     0
+}
+
+/// Host-telemetry measurements for one history entry: the per-phase
+/// exclusive wall totals from a telemetry-on sweep, and that sweep's
+/// overhead relative to the telemetry-off wall time.
+struct HostTotals {
+    phase_us: Vec<(&'static str, u64)>,
+    overhead_pct: f64,
+}
+
+/// Re-times the sweep with telemetry enabled and compares against the
+/// already-measured `off_wall_s`. Telemetry state is reset before and
+/// disabled after, so the measurement never leaks into the rest of the
+/// process.
+fn telemetry_sweep(
+    experiments: &[&'static dyn Experiment],
+    jobs: usize,
+    off_wall_s: f64,
+) -> Result<HostTotals, i32> {
+    use flexsim_obs::telemetry;
+    telemetry::enable();
+    telemetry::reset();
+    let on_wall_s = match timed_sweep(experiments, jobs) {
+        Ok(s) => s,
+        Err(code) => {
+            telemetry::disable();
+            return Err(code);
+        }
+    };
+    let snap = telemetry::snapshot();
+    telemetry::disable();
+    // Recorded honestly, noise and all: on a sub-100ms sweep this can
+    // even go negative (cache warming beats the probe cost). The
+    // acceptance bar lives in the integration tests; the log is data.
+    let overhead_pct = (on_wall_s - off_wall_s) / off_wall_s.max(1e-9) * 100.0;
+    Ok(HostTotals {
+        phase_us: snap
+            .phases
+            .iter()
+            .map(|&(p, _, us)| (p.name(), us))
+            .collect(),
+        overhead_pct,
+    })
 }
 
 /// `bench check`: re-time the sweep and gate on the recorded baseline.
@@ -337,6 +391,7 @@ fn history_entry(
     commit: &str,
     attrib: &AttributionTotals,
     tune: &crate::tune::SweepTotals,
+    host: &HostTotals,
 ) -> Json {
     Json::obj([
         ("bench", Json::str("history")),
@@ -369,6 +424,15 @@ fn history_entry(
             "tune_workloads_improved",
             Json::Int(tune.workloads_improved as i64),
         ),
+        (
+            "host_phase_us",
+            Json::obj(
+                host.phase_us
+                    .iter()
+                    .map(|&(name, us)| (name, Json::Int(us as i64))),
+            ),
+        ),
+        ("telemetry_overhead_pct", Json::Float(host.overhead_pct)),
     ])
 }
 
@@ -442,6 +506,10 @@ mod tests {
             recovered_pe_cycles: 4_096,
             workloads_improved: 4,
         };
+        let host = HostTotals {
+            phase_us: vec![("parse", 11), ("simulate", 42_000)],
+            overhead_pct: 1.5,
+        };
         let entry = history_entry(
             1_700_000_000,
             4.25,
@@ -452,6 +520,7 @@ mod tests {
             "abc1234",
             &attrib,
             &tune,
+            &host,
         );
         let line = entry.compact();
         let parsed = Json::parse(&line).unwrap();
@@ -465,6 +534,12 @@ mod tests {
         assert_eq!(
             json_field(&parsed, "tune_recovered_pe_cycles"),
             Some(&Json::Int(4_096))
+        );
+        let phases = json_field(&parsed, "host_phase_us").unwrap();
+        assert_eq!(json_field(phases, "simulate"), Some(&Json::Int(42_000)));
+        assert_eq!(
+            json_field(&parsed, "telemetry_overhead_pct").and_then(json_f64),
+            Some(1.5)
         );
     }
 

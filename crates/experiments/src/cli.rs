@@ -11,6 +11,7 @@ usage: flexsim [OPTIONS] [EXPERIMENT-ID...]
        flexsim lint [--json]
        flexsim profile [WORKLOAD] [--json]
        flexsim tune [WORKLOAD] [--budget smoke|full|N] [--jobs N]
+       flexsim stats [--jobs N] [--json] [--telemetry PATH]
        flexsim bench sweep [--jobs N]
        flexsim bench history [--jobs N]
        flexsim bench check [--baseline FILE] [--threshold PCT]
@@ -38,6 +39,14 @@ cost function, and the winners verified on the cycle-stepped engine.
 Prints the best-mapping table with before/after loss attribution per
 cause; with no workload, tunes all six and writes BENCH_tune.json.
 
+`flexsim stats` runs the Table 1 sweep with host-side telemetry
+enabled and reports where *simulator* wall time goes: per-phase
+exclusive time (parse, flexcheck, schedule, simulate, verify, export),
+per-worker scheduler stats (busy/idle/wall, tasks, steals, queue
+high-water), and latency histograms (p50/p90/p99) for experiments,
+per-layer simulations, and pool tasks. Telemetry never changes
+simulation output — results stay byte-identical with it on or off.
+
 `flexsim bench sweep` times the full sweep serially and at the given
 `--jobs` level and writes the comparison to BENCH_pool.json.
 
@@ -62,6 +71,10 @@ options:
   --trace FILE    write a Chrome trace-event JSON file (host spans +
                   cycle-domain timelines + metrics), loadable in
                   Perfetto or chrome://tracing
+  --telemetry PATH collect host-side runtime telemetry during any run
+                  and write the snapshot to PATH (byte-stable JSON)
+                  plus PATH.prom (Prometheus text format); flight
+                  dumps (flight-<ts>.json) go to PATH's directory
   --metrics       print the metrics-registry dump to stderr after the run
   --baseline FILE JSONL file `bench check` compares against (default:
                   BENCH_history.jsonl)
@@ -92,6 +105,8 @@ pub struct Cli {
     pub bench: bool,
     /// Run the mapping auto-tuner instead of any experiment.
     pub tune: bool,
+    /// Run the host-telemetry report instead of any experiment.
+    pub stats: bool,
     /// Disarm the pre-simulation verification gate.
     pub no_lint: bool,
     /// Maximum concurrently running experiment tasks (`None` = pick the
@@ -99,6 +114,9 @@ pub struct Cli {
     pub jobs: Option<usize>,
     /// Write a Chrome trace-event file to this path.
     pub trace: Option<String>,
+    /// Collect host telemetry and write the snapshot to this path
+    /// (JSON; a `.prom` sibling carries the Prometheus rendering).
+    pub telemetry: Option<String>,
     /// Directory for per-experiment `.txt` + `.json` output.
     pub out_dir: Option<String>,
     /// Baseline JSONL file for `bench check` (default:
@@ -135,6 +153,7 @@ pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Cli, String> {
             "lint" => cli.lint = true,
             "bench" => cli.bench = true,
             "tune" => cli.tune = true,
+            "stats" => cli.stats = true,
             "--jobs" => {
                 let v = value_of(&mut iter, "--jobs", "a positive integer")?;
                 match v.parse::<usize>() {
@@ -148,6 +167,9 @@ pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Cli, String> {
             }
             "--out" => cli.out_dir = Some(value_of(&mut iter, "--out", "a directory")?),
             "--trace" => cli.trace = Some(value_of(&mut iter, "--trace", "a file path")?),
+            "--telemetry" => {
+                cli.telemetry = Some(value_of(&mut iter, "--telemetry", "a file path")?);
+            }
             "--baseline" => cli.baseline = Some(value_of(&mut iter, "--baseline", "a file path")?),
             "--threshold" => {
                 let v = value_of(&mut iter, "--threshold", "a positive integer percent")?;
@@ -340,6 +362,31 @@ mod tests {
         assert!(p(&["tune", "--budget", "--json"])
             .unwrap_err()
             .contains("--budget"));
+    }
+
+    #[test]
+    fn stats_is_a_subcommand() {
+        let cli = p(&["stats"]).unwrap();
+        assert!(cli.stats && !cli.bench && !cli.tune);
+        assert!(cli.ids.is_empty());
+        let cli = p(&["stats", "--jobs", "4", "--json"]).unwrap();
+        assert!(cli.stats && cli.json);
+        assert_eq!(cli.jobs, Some(4));
+    }
+
+    #[test]
+    fn telemetry_takes_a_path_on_any_command() {
+        let cli = p(&["--telemetry", "telemetry.json", "all"]).unwrap();
+        assert_eq!(cli.telemetry.as_deref(), Some("telemetry.json"));
+        assert_eq!(cli.ids, ["all"]);
+        let cli = p(&["stats", "--telemetry", "t.json"]).unwrap();
+        assert!(cli.stats);
+        assert_eq!(cli.telemetry.as_deref(), Some("t.json"));
+        // Missing or flag-shaped values are rejected.
+        assert!(p(&["--telemetry"]).unwrap_err().contains("--telemetry"));
+        assert!(p(&["--telemetry", "--json"])
+            .unwrap_err()
+            .contains("--telemetry"));
     }
 
     #[test]

@@ -33,7 +33,7 @@ use flexsim_obs::attrib::LossLedger;
 use flexsim_obs::cycles::{
     CycleEvent, CycleRecorder, CycleSink, LayerCtx, LayerTimeline, SinkHandle,
 };
-use flexsim_obs::metrics;
+use flexsim_obs::{metrics, telemetry};
 use flexsim_pool::{Outcome, Pool, Task};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
@@ -111,7 +111,10 @@ impl TraceCollector {
     fn append(&self, timelines: Vec<LayerTimeline>) {
         // The single chokepoint every collected timeline crosses:
         // mirror its loss ledger so the metrics registry and the
-        // exported trace can never disagree about attribution.
+        // exported trace can never disagree about attribution. Ledger
+        // reconstruction re-checks the exactness identity, which is
+        // host-side verification work — the Verify phase.
+        let _verify = telemetry::phase(telemetry::Phase::Verify);
         for tl in &timelines {
             LossLedger::from_timeline(tl).mirror(metrics::global());
         }
@@ -395,11 +398,23 @@ pub fn run_suite(experiments: &[&dyn Experiment], config: &SuiteConfig) -> Suite
     let mut failures = Vec::new();
     for exp in experiments {
         let _span = flexsim_obs::span::span("experiment", exp.id());
+        telemetry::flight::record("experiment", format!("begin {}", exp.id()));
+        let started = telemetry::now_if_enabled();
         let ctx = ExperimentCtx::for_suite(exp.id(), &pool, collector.as_ref());
-        match catch_unwind(AssertUnwindSafe(|| exp.run(&ctx))) {
+        let outcome = catch_unwind(AssertUnwindSafe(|| exp.run(&ctx)));
+        if let Some(t0) = started {
+            let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+            telemetry::observe_experiment_us(us);
+            telemetry::flight::record("experiment", format!("end {} ({us} us)", exp.id()));
+        }
+        match outcome {
             Ok(result) => results.push(result),
             Err(payload) => {
                 let message = panic_text(payload.as_ref());
+                // The pool already flight-dumped task panics; an
+                // experiment panicking outside any task is recorded
+                // (and dumped) here instead.
+                let _ = telemetry::flight::record_panic(exp.id(), &message);
                 failures.push(SuiteFailure {
                     id: exp.id().to_owned(),
                     message: message.clone(),

@@ -40,6 +40,7 @@ pub mod lint;
 pub mod paper;
 pub mod profile;
 pub mod report;
+pub mod stats;
 pub mod table03;
 pub mod table04;
 pub mod table06;

@@ -10,6 +10,7 @@
 use crate::report::{ExperimentResult, Table};
 use flexcheck::{check_network, ArchParams, Severity};
 use flexsim_model::{workloads, Network};
+use flexsim_obs::telemetry;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -51,6 +52,7 @@ pub fn gate(net: &Network, d: usize) {
     if cache.contains(&key) {
         return;
     }
+    let _flexcheck = telemetry::phase(telemetry::Phase::Flexcheck);
     let diags = check_network(net, &ArchParams::flexflow(d));
     if flexcheck::has_errors(&diags) {
         drop(cache);
@@ -68,6 +70,7 @@ pub fn gate(net: &Network, d: usize) {
 /// all four Section 6.1.1 architectures. Returns the report and the
 /// number of `Error` diagnostics (the CLI exit status).
 pub fn run() -> (ExperimentResult, usize) {
+    let _flexcheck = telemetry::phase(telemetry::Phase::Flexcheck);
     let mut table = Table::new(["workload", "architecture", "errors", "warnings", "findings"]);
     let mut errors = 0usize;
     let mut warnings = 0usize;

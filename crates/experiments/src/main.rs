@@ -31,6 +31,7 @@ use flexsim_experiments::cli::{self, Cli, USAGE};
 use flexsim_experiments::{
     experiment_ids, find, run_suite, Experiment, ExperimentResult, SuiteConfig, REGISTRY,
 };
+use flexsim_obs::telemetry::{self, Phase};
 use flexsim_obs::{chrome, metrics, span};
 
 fn main() {
@@ -52,22 +53,54 @@ fn main() {
         }
         return;
     }
+    // Host telemetry is opt-in (`--telemetry PATH`, or implied by
+    // `stats`). Enabling it only records wall-clock observations —
+    // simulation output stays byte-identical either way.
+    if cli.telemetry.is_some() || cli.stats {
+        telemetry::enable();
+    }
+    if let Some(path) = &cli.telemetry {
+        // Flight dumps land next to the requested snapshot.
+        let dir = std::path::Path::new(path)
+            .parent()
+            .filter(|p| !p.as_os_str().is_empty())
+            .map_or_else(
+                || std::path::PathBuf::from("."),
+                std::path::Path::to_path_buf,
+            );
+        telemetry::flight::set_dir(Some(&dir));
+    }
     flexsim_experiments::lint::set_enabled(!cli.no_lint);
     if cli.lint {
         let (result, errors) = flexsim_experiments::lint::run();
         emit(vec![result], cli.json);
+        write_telemetry(&cli);
         std::process::exit(i32::from(errors > 0));
     }
+    if cli.stats {
+        let (result, failures) = flexsim_experiments::stats::run(&cli);
+        if let Some(dir) = &cli.out_dir {
+            write_out(dir, std::slice::from_ref(&result));
+        }
+        emit(vec![result], cli.json);
+        write_telemetry(&cli);
+        std::process::exit(i32::from(failures > 0));
+    }
     if cli.bench {
-        std::process::exit(flexsim_experiments::bench::run(&cli));
+        let code = flexsim_experiments::bench::run(&cli);
+        write_telemetry(&cli);
+        std::process::exit(code);
     }
     if cli.tune {
-        std::process::exit(tune_workload(&cli));
+        let code = tune_workload(&cli);
+        write_telemetry(&cli);
+        std::process::exit(code);
     }
     // `flexsim profile <workload>` — the one experiment taking an
     // argument, so it bypasses the plain registry dispatch.
     if cli.ids.first().map(String::as_str) == Some("profile") && cli.ids.len() == 2 {
         profile_workload(&cli);
+        write_telemetry(&cli);
         return;
     }
 
@@ -76,41 +109,83 @@ fn main() {
     // inside the suite (no process-global sink involved).
     if cli.trace.is_some() {
         span::install_recorder();
+        // The main thread doubles as pool worker 0; spawned workers
+        // label themselves `flexsim-pool-N`.
+        span::set_thread_label("flexsim-main (pool worker 0)");
     }
 
     let config = SuiteConfig {
         jobs: cli.jobs.unwrap_or_else(flexsim_pool::available_parallelism),
         trace: cli.trace.is_some(),
     };
-    let report = run_suite(&select(&cli), &config);
+    let experiments = {
+        let _parse = telemetry::phase(Phase::Parse);
+        select(&cli)
+    };
+    let report = run_suite(&experiments, &config);
 
-    if let Some(file) = &cli.trace {
-        let spans = span::take_records();
-        let snapshot = metrics::global().snapshot();
-        let trace = chrome::chrome_trace(&spans, &report.timelines, &snapshot);
-        if let Err(e) = std::fs::write(file, trace.pretty()) {
-            eprintln!("cannot write trace {file}: {e}");
-            std::process::exit(2);
+    {
+        let _export = telemetry::phase(Phase::Export);
+        if let Some(file) = &cli.trace {
+            let spans = span::take_records();
+            let snapshot = metrics::global().snapshot();
+            let labels = span::thread_labels();
+            let written = std::fs::File::create(file).and_then(|f| {
+                let mut sink = std::io::BufWriter::new(f);
+                chrome::write_chrome_trace(
+                    &mut sink,
+                    &spans,
+                    &report.timelines,
+                    &snapshot,
+                    &labels,
+                )?;
+                sink.into_inner()
+                    .map_err(std::io::IntoInnerError::into_error)
+            });
+            if let Err(e) = written {
+                eprintln!("cannot write trace {file}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!(
+                "wrote {file}: {} host spans, {} layer timelines",
+                spans.len(),
+                report.timelines.len()
+            );
         }
-        eprintln!(
-            "wrote {file}: {} host spans, {} layer timelines",
-            spans.len(),
-            report.timelines.len()
-        );
+        if cli.metrics {
+            eprint!("{}", metrics::global().snapshot().dump());
+        }
+        if let Some(dir) = &cli.out_dir {
+            write_out(dir, &report.results);
+        }
+        emit(report.results, cli.json);
     }
-    if cli.metrics {
-        eprint!("{}", metrics::global().snapshot().dump());
-    }
-    if let Some(dir) = &cli.out_dir {
-        write_out(dir, &report.results);
-    }
-    emit(report.results, cli.json);
+    write_telemetry(&cli);
     if !report.failures.is_empty() {
         for f in &report.failures {
             eprintln!("experiment {} FAILED: {}", f.id, f.message);
         }
         std::process::exit(1);
     }
+}
+
+/// Writes the `--telemetry` snapshot: byte-stable JSON at the given
+/// path plus a Prometheus text-format sibling at `PATH.prom`.
+fn write_telemetry(cli: &Cli) {
+    let Some(path) = &cli.telemetry else {
+        return;
+    };
+    let snap = telemetry::snapshot();
+    let mut text = snap.to_json().pretty();
+    text.push('\n');
+    let prom_path = format!("{path}.prom");
+    if let Err(e) =
+        std::fs::write(path, text).and_then(|()| std::fs::write(&prom_path, snap.to_prom()))
+    {
+        eprintln!("cannot write telemetry snapshot {path}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("wrote telemetry snapshot to {path} (+ {prom_path})");
 }
 
 /// Resolves the command line's experiment selection against the

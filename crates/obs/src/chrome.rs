@@ -5,18 +5,28 @@
 //!
 //! * **pid 0 ("host")** — wall-clock [`SpanRecord`]s from the global
 //!   span recorder, one thread row per OS thread, `ts`/`dur` in real
-//!   microseconds;
+//!   microseconds. Threads that registered a label (e.g. the pool's
+//!   `flexsim-pool-{i}` workers via
+//!   [`crate::span::set_thread_label`]) are named by it; the rest fall
+//!   back to `host-{tid}`.
 //! * **pid 1+** — one process per simulated architecture, one thread
 //!   row per layer, carrying that layer's [`LayerTimeline`] cycle
 //!   events with the convention **1 µs = 1 simulated cycle**.
 //!
 //! A metrics snapshot rides along under `otherData.metrics` so a single
 //! file captures spans, cycle timelines, and final counters.
+//!
+//! Two emission paths share one event generator: [`chrome_trace`]
+//! builds the whole document as a [`Json`] value (small traces,
+//! tests), while [`write_chrome_trace`] streams events one at a time
+//! through any [`std::io::Write`] sink, so a multi-MB sweep trace
+//! never has to sit in memory as a single string.
 
 use crate::cycles::LayerTimeline;
 use crate::metrics::Snapshot;
 use crate::span::SpanRecord;
 use flexsim_testkit::json::Json;
+use std::io::Write;
 
 fn duration_event(
     name: &str,
@@ -72,30 +82,30 @@ pub fn metrics_json(metrics: &Snapshot) -> Json {
     }))
 }
 
-/// Builds a complete Chrome trace document from host spans, per-layer
-/// cycle timelines, and a metrics snapshot.
-///
-/// The result is `{"traceEvents": [...], "displayTimeUnit": "ms",
-/// "otherData": {"metrics": {...}}}` — the object form both
-/// `chrome://tracing` and Perfetto accept.
-pub fn chrome_trace(spans: &[SpanRecord], timelines: &[LayerTimeline], metrics: &Snapshot) -> Json {
-    let mut events: Vec<Json> = Vec::new();
-
-    // Host process: one thread row per recorded OS thread.
-    events.push(metadata_event("process_name", 0, 0, "host"));
+/// Generates every trace event, in document order, calling `emit` for
+/// each — the single generator behind both the in-memory and the
+/// streaming export paths, so the two can never drift apart.
+fn for_each_event(
+    spans: &[SpanRecord],
+    timelines: &[LayerTimeline],
+    thread_labels: &[(u64, String)],
+    mut emit: impl FnMut(Json),
+) {
+    // Host process: one thread row per recorded OS thread, named by
+    // its registered label when one exists.
+    emit(metadata_event("process_name", 0, 0, "host"));
     let mut host_tids: Vec<u64> = spans.iter().map(|s| s.tid).collect();
     host_tids.sort_unstable();
     host_tids.dedup();
     for tid in host_tids {
-        events.push(metadata_event(
-            "thread_name",
-            0,
-            tid,
-            &format!("host-{tid}"),
-        ));
+        let name = thread_labels
+            .iter()
+            .find(|(t, _)| *t == tid)
+            .map_or_else(|| format!("host-{tid}"), |(_, l)| l.clone());
+        emit(metadata_event("thread_name", 0, tid, &name));
     }
     for span in spans {
-        events.push(duration_event(
+        emit(duration_event(
             &span.name,
             span.cat,
             span.start_us,
@@ -118,7 +128,7 @@ pub fn chrome_trace(spans: &[SpanRecord], timelines: &[LayerTimeline], metrics: 
                 arch_pids.push(tl.ctx.arch.clone());
                 layers_in_arch.push(0);
                 let pid = arch_pids.len() as u64;
-                events.push(metadata_event(
+                emit(metadata_event(
                     "process_name",
                     pid,
                     0,
@@ -138,7 +148,7 @@ pub fn chrome_trace(spans: &[SpanRecord], timelines: &[LayerTimeline], metrics: 
         } else {
             format!("{}/{}", tl.ctx.experiment, tl.ctx.layer)
         };
-        events.push(metadata_event("thread_name", pid, tid, &thread_name));
+        emit(metadata_event("thread_name", pid, tid, &thread_name));
         for ev in &tl.events {
             let pe_cycles = ev.cycles * u64::from(tl.ctx.pe_count);
             let mut args = vec![
@@ -154,7 +164,7 @@ pub fn chrome_trace(spans: &[SpanRecord], timelines: &[LayerTimeline], metrics: 
             if !tl.ctx.experiment.is_empty() {
                 args.push(("experiment", Json::str(tl.ctx.experiment.as_str())));
             }
-            events.push(duration_event(
+            emit(duration_event(
                 ev.kind.name(),
                 "sim",
                 ev.start_cycle,
@@ -165,18 +175,71 @@ pub fn chrome_trace(spans: &[SpanRecord], timelines: &[LayerTimeline], metrics: 
             ));
         }
     }
+}
 
+/// Builds a complete Chrome trace document from host spans, per-layer
+/// cycle timelines, and a metrics snapshot.
+///
+/// The result is `{"traceEvents": [...], "displayTimeUnit": "ms",
+/// "otherData": {"metrics": {...}}}` — the object form both
+/// `chrome://tracing` and Perfetto accept. For large traces prefer
+/// [`write_chrome_trace`], which streams instead of buffering.
+pub fn chrome_trace(spans: &[SpanRecord], timelines: &[LayerTimeline], metrics: &Snapshot) -> Json {
+    let mut events: Vec<Json> = Vec::new();
+    for_each_event(spans, timelines, &[], |ev| events.push(ev));
     Json::obj([
         ("traceEvents", Json::Arr(events)),
         ("displayTimeUnit", Json::str("ms")),
-        (
-            "otherData",
-            Json::obj([
-                ("cycle_unit", Json::str("1us = 1 simulated cycle")),
-                ("metrics", metrics_json(metrics)),
-            ]),
-        ),
+        ("otherData", other_data(metrics)),
     ])
+}
+
+fn other_data(metrics: &Snapshot) -> Json {
+    Json::obj([
+        ("cycle_unit", Json::str("1us = 1 simulated cycle")),
+        ("metrics", metrics_json(metrics)),
+    ])
+}
+
+/// Streams the same trace document as [`chrome_trace`] through `out`,
+/// one event per line, so the peak memory cost is one rendered event
+/// rather than the whole multi-MB document. `thread_labels` maps span
+/// tids to display names for the host thread rows (pass
+/// [`crate::span::thread_labels`] to pick up the pool's worker
+/// labels); unlabeled tids keep the `host-{tid}` fallback.
+///
+/// # Errors
+///
+/// Propagates the first I/O error from `out`.
+pub fn write_chrome_trace<W: Write>(
+    out: &mut W,
+    spans: &[SpanRecord],
+    timelines: &[LayerTimeline],
+    metrics: &Snapshot,
+    thread_labels: &[(u64, String)],
+) -> std::io::Result<()> {
+    out.write_all(b"{\n  \"traceEvents\": [\n")?;
+    let mut first = true;
+    let mut io_err: Option<std::io::Error> = None;
+    for_each_event(spans, timelines, thread_labels, |ev| {
+        if io_err.is_some() {
+            return; // already failed; drain the generator cheaply
+        }
+        let sep: &[u8] = if first { b"    " } else { b",\n    " };
+        first = false;
+        if let Err(e) = out
+            .write_all(sep)
+            .and_then(|()| out.write_all(ev.compact().as_bytes()))
+        {
+            io_err = Some(e);
+        }
+    });
+    if let Some(e) = io_err {
+        return Err(e);
+    }
+    out.write_all(b"\n  ],\n  \"displayTimeUnit\": \"ms\",\n  \"otherData\": ")?;
+    out.write_all(other_data(metrics).compact().as_bytes())?;
+    out.write_all(b"\n}\n")
 }
 
 #[cfg(test)]
@@ -328,6 +391,93 @@ mod tests {
             field(field(pass, "args"), "experiment"),
             &Json::str("fig15")
         );
+    }
+
+    #[test]
+    fn streaming_writer_matches_the_in_memory_document() {
+        let spans = vec![
+            SpanRecord {
+                cat: "workload",
+                name: "LeNet-5".into(),
+                start_us: 10,
+                dur_us: 250,
+                depth: 0,
+                tid: 0,
+            },
+            SpanRecord {
+                cat: "task",
+                name: "fig15/LeNet-5".into(),
+                start_us: 20,
+                dur_us: 30,
+                depth: 1,
+                tid: 3,
+            },
+        ];
+        let timelines = vec![LayerTimeline {
+            ctx: LayerCtx::new("FlexFlow", "C1", 256),
+            events: vec![CycleEvent::new(PASS, 0, 100, 12_800)],
+        }];
+        let reg = Registry::new();
+        reg.add("sim_cycles", &[], 7);
+        let snapshot = reg.snapshot();
+
+        let mut streamed = Vec::new();
+        write_chrome_trace(&mut streamed, &spans, &timelines, &snapshot, &[]).unwrap();
+        let text = String::from_utf8(streamed).unwrap();
+        // The streamed bytes parse back into exactly the document the
+        // in-memory builder produces.
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(parsed, chrome_trace(&spans, &timelines, &snapshot));
+    }
+
+    #[test]
+    fn thread_labels_name_the_host_rows() {
+        let spans = vec![
+            SpanRecord {
+                cat: "task",
+                name: "a".into(),
+                start_us: 0,
+                dur_us: 1,
+                depth: 0,
+                tid: 2,
+            },
+            SpanRecord {
+                cat: "task",
+                name: "b".into(),
+                start_us: 0,
+                dur_us: 1,
+                depth: 0,
+                tid: 5,
+            },
+        ];
+        let labels = vec![(2u64, "flexsim-pool-1".to_owned())];
+        let mut out = Vec::new();
+        write_chrome_trace(&mut out, &spans, &[], &Snapshot::default(), &labels).unwrap();
+        let doc = Json::parse(&String::from_utf8(out).unwrap()).unwrap();
+        let names: Vec<&Json> = events(&doc)
+            .iter()
+            .filter(|e| field(e, "name") == &Json::str("thread_name"))
+            .map(|e| field(field(e, "args"), "name"))
+            .collect();
+        // Labeled tid gets its worker name; unlabeled falls back.
+        assert!(names.contains(&&Json::str("flexsim-pool-1")), "{names:?}");
+        assert!(names.contains(&&Json::str("host-5")), "{names:?}");
+    }
+
+    #[test]
+    fn streaming_writer_propagates_io_errors() {
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("sink full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = write_chrome_trace(&mut Failing, &[], &[], &Snapshot::default(), &[])
+            .expect_err("write must fail");
+        assert_eq!(err.to_string(), "sink full");
     }
 
     #[test]

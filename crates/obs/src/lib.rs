@@ -35,7 +35,13 @@
 //!   generalizing `flexflow::trace::OccupancyTrace` to any architecture;
 //! * [`chrome`] — Chrome trace-event JSON export (loadable in Perfetto)
 //!   combining host spans, simulated-cycle timelines, and a metrics
-//!   snapshot.
+//!   snapshot, streamed through any `io::Write` sink;
+//! * [`hist`] — HDR-style log-bucketed latency histograms with exact
+//!   counts and byte-stable JSON/Prometheus emission;
+//! * [`telemetry`] — host-side runtime telemetry: the wall-clock phase
+//!   profiler (parse → flexcheck → schedule → simulate → verify →
+//!   export), pool/scheduler worker stats, latency histograms, and the
+//!   bounded flight recorder behind `flexsim stats`.
 //!
 //! ## Example
 //!
@@ -70,14 +76,18 @@ pub mod attrib;
 pub mod chrome;
 pub mod cycles;
 pub mod filter;
+pub mod hist;
 pub mod metrics;
 pub mod occupancy;
 pub mod roofline;
 pub mod span;
+pub mod telemetry;
 
 pub use attrib::{LossDelta, LossLedger, StallCause};
 pub use cycles::{CycleEvent, CycleEventKind, CycleRecorder, CycleSink, LayerCtx, SinkHandle};
 pub use filter::Level;
+pub use hist::Histogram;
 pub use metrics::{Registry, Snapshot};
 pub use occupancy::OccupancyTimeline;
 pub use span::{span, SpanGuard, SpanRecord};
+pub use telemetry::{Phase, PhaseTimer, TelemetrySnapshot, WorkerTotals};

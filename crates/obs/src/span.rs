@@ -70,6 +70,33 @@ fn thread_tid() -> u64 {
     })
 }
 
+fn labels() -> &'static Mutex<std::collections::BTreeMap<u64, String>> {
+    static LABELS: OnceLock<Mutex<std::collections::BTreeMap<u64, String>>> = OnceLock::new();
+    LABELS.get_or_init(|| Mutex::new(std::collections::BTreeMap::new()))
+}
+
+/// Registers a human-readable label for the *current* thread's span
+/// tid (e.g. `"flexsim-pool-2"`). The pool workers call this at spawn
+/// so Chrome-trace `thread_name` rows reflect real workers instead of
+/// anonymous host tids. Idempotent per thread; the latest label wins.
+pub fn set_thread_label(label: impl Into<String>) {
+    let tid = thread_tid();
+    labels()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .insert(tid, label.into());
+}
+
+/// Every registered `(tid, label)` pair, in tid order.
+pub fn thread_labels() -> Vec<(u64, String)> {
+    labels()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .iter()
+        .map(|(&tid, l)| (tid, l.clone()))
+        .collect()
+}
+
 /// Installs (or resets) the global span recorder. Spans created after
 /// this call are recorded until [`take_records`] is called.
 pub fn install_recorder() {

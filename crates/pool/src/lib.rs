@@ -23,7 +23,18 @@
 //!   [`flexsim_obs::span`], and the pool mirrors queue depth, steal
 //!   counts, and task totals into the global metrics registry
 //!   (`pool_queue_depth`, `pool_steals_total`, `pool_tasks_total`,
-//!   `pool_tasks_panicked_total`, `pool_workers`).
+//!   `pool_tasks_panicked_total`, `pool_workers`). When
+//!   [`flexsim_obs::telemetry`] is enabled the pool additionally keeps
+//!   per-worker busy/idle wall time, steal counts, task counts, and a
+//!   task-latency histogram in per-worker buffers (each worker touches
+//!   only its own `Mutex` slot — "lock-free enough": the lock is never
+//!   contended on the hot path) and merges them into the global
+//!   telemetry in worker-index order when the pool is dropped, so the
+//!   merged stats are deterministic. Workers register
+//!   `flexsim-pool-{i}` thread labels so Chrome-trace thread names
+//!   reflect real workers, and a task panic is recorded into the
+//!   telemetry flight ring (triggering a flight dump when a dump
+//!   directory is configured).
 //!
 //! ## Scheduling
 //!
@@ -54,13 +65,31 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
-use flexsim_obs::metrics;
-use flexsim_obs::span::span;
+use flexsim_obs::hist::Histogram;
+use flexsim_obs::span::{set_thread_label, span};
+use flexsim_obs::{metrics, telemetry};
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+thread_local! {
+    /// The executor index of the current thread while it is running
+    /// pool work (spawned workers set it for their lifetime; the
+    /// calling thread is executor 0 while inside [`Pool::run`]).
+    static CURRENT_WORKER: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The executor index of the calling thread, when it is a pool
+/// executor (spawned worker, or the submitting thread inside
+/// [`Pool::run`]). Task bodies can call this to learn which worker is
+/// running them.
+pub fn current_worker() -> Option<usize> {
+    CURRENT_WORKER.with(Cell::get)
+}
 
 /// A unit of work: a label (for spans and failure reports) plus the
 /// closure to run.
@@ -87,13 +116,28 @@ impl<T> Task<T> {
 }
 
 /// A structured report of a task that panicked.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct TaskFailure {
     /// The label of the task that panicked.
     pub label: String,
     /// The panic payload, rendered to text.
     pub message: String,
+    /// The executor index the task was running on (0 = the submitting
+    /// thread). Advisory scheduling detail: deliberately excluded from
+    /// equality and from [`std::fmt::Display`], because which worker
+    /// ran a task varies run-to-run while the failure's *identity*
+    /// (label + message) — and therefore all rendered output — must
+    /// stay byte-identical at every `--jobs` level.
+    pub worker: usize,
 }
+
+impl PartialEq for TaskFailure {
+    fn eq(&self, other: &TaskFailure) -> bool {
+        self.label == other.label && self.message == other.message
+    }
+}
+
+impl Eq for TaskFailure {}
 
 impl std::fmt::Display for TaskFailure {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -136,10 +180,30 @@ pub fn available_parallelism() -> usize {
 
 type Job = Box<dyn FnOnce() + Send>;
 
+/// Per-worker telemetry buffer. Each executor touches only its own
+/// slot, so the `Mutex` around it is uncontended on the hot path; the
+/// pool reads every slot once, in index order, at drop.
+#[derive(Default)]
+struct WorkerStats {
+    /// Wall microseconds the executor existed (spawn → loop exit for
+    /// workers; accumulated time inside [`Pool::run`] for executor 0).
+    wall_us: u64,
+    /// Microseconds spent executing task bodies.
+    busy_us: u64,
+    /// Tasks executed.
+    tasks: u64,
+    /// Tasks stolen from a sibling's deque.
+    steals: u64,
+    /// Per-task execution latency.
+    hist: Histogram,
+}
+
 /// State shared between the submitting thread and the workers.
 struct Shared {
     /// One work deque per executor (workers + the submitting thread).
     deques: Vec<Mutex<VecDeque<Job>>>,
+    /// One telemetry buffer per executor.
+    stats: Vec<Mutex<WorkerStats>>,
     /// Queued-but-unstarted jobs; checked before parking so a submit
     /// that lands between "deques empty" and "wait" is never missed.
     queued: AtomicUsize,
@@ -171,6 +235,9 @@ impl Shared {
             if let Some(job) = locked(&self.deques[victim]).pop_back() {
                 self.queued.fetch_sub(1, Ordering::AcqRel);
                 metrics::global().add("pool_steals_total", &[], 1);
+                if telemetry::enabled() {
+                    locked(&self.stats[own]).steals += 1;
+                }
                 self.depth_gauge();
                 return Some(job);
             }
@@ -185,16 +252,36 @@ impl Shared {
             self.queued.load(Ordering::Acquire) as u64,
         );
     }
+
+    /// Runs one job as executor `me`, charging its wall time to `me`'s
+    /// telemetry buffer (one relaxed load when telemetry is off).
+    fn run_job(&self, me: usize, job: Job) {
+        let start = telemetry::now_if_enabled();
+        job();
+        if let Some(t0) = start {
+            let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+            let mut st = locked(&self.stats[me]);
+            st.busy_us += us;
+            st.tasks += 1;
+            st.hist.observe(us);
+        }
+    }
 }
 
 fn worker_loop(shared: &Shared, me: usize) {
+    set_thread_label(format!("flexsim-pool-{me}"));
+    CURRENT_WORKER.with(|w| w.set(Some(me)));
+    let birth = Instant::now();
     loop {
         if let Some(job) = shared.grab(me) {
-            job();
+            shared.run_job(me, job);
             continue;
         }
         let guard = locked(&shared.idle);
         if shared.shutdown.load(Ordering::Acquire) {
+            drop(guard);
+            locked(&shared.stats[me]).wall_us =
+                birth.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
             return;
         }
         if shared.queued.load(Ordering::Acquire) > 0 {
@@ -246,6 +333,9 @@ impl Pool {
         };
         let shared = Arc::new(Shared {
             deques: (0..jobs).map(|_| Mutex::new(VecDeque::new())).collect(),
+            stats: (0..jobs)
+                .map(|_| Mutex::new(WorkerStats::default()))
+                .collect(),
             queued: AtomicUsize::new(0),
             idle: Mutex::new(()),
             work_cv: Condvar::new(),
@@ -303,13 +393,22 @@ impl Pool {
                 }
             }));
         }
-        // Help drain the pool until this batch is complete.
+        // Help drain the pool until this batch is complete. The calling
+        // thread is executor 0 for the duration (unless it already *is*
+        // a worker — a nested `run` from inside a task keeps the outer
+        // identity, and its drain time is already counted as that
+        // task's busy time).
+        let outer_worker = current_worker();
+        let wall_start = outer_worker.is_none().then(Instant::now);
+        if outer_worker.is_none() {
+            CURRENT_WORKER.with(|w| w.set(Some(0)));
+        }
         loop {
             if *locked(&batch.remaining) == 0 {
                 break;
             }
             if let Some(job) = self.shared.grab(0) {
-                job();
+                self.shared.run_job(current_worker().unwrap_or(0), job);
                 continue;
             }
             let remaining = locked(&batch.remaining);
@@ -322,6 +421,11 @@ impl Pool {
                     .wait(remaining)
                     .unwrap_or_else(PoisonError::into_inner),
             );
+        }
+        if let Some(t0) = wall_start {
+            CURRENT_WORKER.with(|w| w.set(None));
+            locked(&self.shared.stats[0]).wall_us +=
+                t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
         }
         let outcomes = locked(&slots)
             .iter_mut()
@@ -336,7 +440,8 @@ impl Pool {
 
     fn submit(&self, job: Job) {
         let target = self.next_deque.fetch_add(1, Ordering::Relaxed) % self.shared.deques.len();
-        self.shared.queued.fetch_add(1, Ordering::AcqRel);
+        let depth = self.shared.queued.fetch_add(1, Ordering::AcqRel) + 1;
+        telemetry::pool_queue_depth(depth as u64);
         locked(&self.shared.deques[target]).push_back(job);
         self.shared.depth_gauge();
         let _guard = locked(&self.shared.idle);
@@ -357,6 +462,28 @@ impl Drop for Pool {
             // stays well-behaved during unwinding.
             let _ = worker.join();
         }
+        // Every worker has exited, so the per-worker buffers are
+        // quiescent: merge them into the global telemetry in worker
+        // index order — a deterministic merge no matter how the batch
+        // was scheduled.
+        if telemetry::enabled() {
+            for (index, slot) in self.shared.stats.iter().enumerate() {
+                let st = locked(slot);
+                if st.wall_us == 0 && st.tasks == 0 && st.steals == 0 {
+                    continue; // executor never participated
+                }
+                let totals = telemetry::WorkerTotals {
+                    wall_us: st.wall_us,
+                    busy_us: st.busy_us,
+                    // Idle is wall minus busy *by construction*, so
+                    // busy + idle == wall holds exactly per worker.
+                    idle_us: st.wall_us.saturating_sub(st.busy_us),
+                    tasks: st.tasks,
+                    steals: st.steals,
+                };
+                telemetry::merge_worker(index, &totals, &st.hist);
+            }
+        }
     }
 }
 
@@ -373,9 +500,15 @@ fn run_one<T>(task: Task<T>) -> Outcome<T> {
         Ok(value) => Outcome::Done(value),
         Err(payload) => {
             metrics::global().add("pool_tasks_panicked_total", &[], 1);
+            let message = panic_message(payload.as_ref());
+            // The flight recorder captures the failure and dumps the
+            // ring while the rest of the batch keeps running (no-op
+            // when telemetry is off or no dump dir is configured).
+            let _ = telemetry::flight::record_panic(&label, &message);
             Outcome::Panicked(TaskFailure {
                 label,
-                message: panic_message(payload.as_ref()),
+                message,
+                worker: current_worker().unwrap_or(0),
             })
         }
     }
@@ -493,6 +626,44 @@ mod tests {
             inner.into_iter().filter_map(Outcome::done).sum::<i32>()
         })]);
         assert_eq!(results, vec![Outcome::Done(30)]);
+    }
+
+    #[test]
+    fn dropped_pool_merges_worker_stats_into_telemetry() {
+        telemetry::enable();
+        {
+            let pool = Pool::new(3);
+            drop(squares(&pool, 32));
+        } // drop merges, in worker-index order
+        let snap = telemetry::snapshot();
+        telemetry::disable();
+        assert!(!snap.workers.is_empty());
+        let tasks: u64 = snap.workers.iter().map(|(_, w)| w.tasks).sum();
+        // Other tests may run pools concurrently while telemetry is
+        // enabled, so assert at-least rather than exactly.
+        assert!(tasks >= 32, "merged {tasks} tasks");
+        for (i, w) in &snap.workers {
+            assert_eq!(w.busy_us + w.idle_us, w.wall_us, "worker {i}");
+        }
+        assert!(snap.task_wall.count() >= 32);
+    }
+
+    #[test]
+    fn failures_report_a_worker_but_compare_by_identity() {
+        let a = TaskFailure {
+            label: "t".into(),
+            message: "m".into(),
+            worker: 0,
+        };
+        let b = TaskFailure {
+            label: "t".into(),
+            message: "m".into(),
+            worker: 3,
+        };
+        // Same identity on different workers: equal, and rendered
+        // identically (worker placement must never leak into output).
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), b.to_string());
     }
 
     #[test]
