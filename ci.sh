@@ -19,7 +19,9 @@ echo "==> cargo clippy (pedantic subset)"
 cargo clippy --workspace --all-targets --offline -- \
     -D clippy::needless_pass_by_value \
     -D clippy::cast_lossless \
-    -D clippy::redundant_closure_for_method_calls
+    -D clippy::redundant_closure_for_method_calls \
+    -D clippy::semicolon_if_nothing_returned \
+    -D clippy::doc_markdown
 
 echo "==> cargo build --release (offline)"
 cargo build --release --offline
@@ -29,6 +31,7 @@ cargo test -q --offline
 
 echo "==> flexsim lint (static schedule verification)"
 cargo run -q -p flexsim-experiments --release --offline -- lint > /dev/null
+cargo run -q -p flexsim-experiments --release --offline -- --json lint > /dev/null
 
 echo "==> flexsim --jobs determinism (parallel output byte-identical to serial)"
 FLEXSIM="$(pwd)/target/release/flexsim"
@@ -64,6 +67,24 @@ cmp "$TMP/tune1.json" "$TMP/tune4.json" \
     || { echo "FAIL: tune --jobs 4 output diverged from serial"; exit 1; }
 grep -q 'mapping-residue-idle' "$TMP/tune1.json" \
     || { echo "FAIL: tune JSON missing attribution"; exit 1; }
+# --static ranks symbolically and engine-verifies winners only: the
+# emitted document must be byte-identical to the engine-verified path.
+"$FLEXSIM" --json --budget smoke tune pv --static > "$TMP/tune_static.json"
+cmp "$TMP/tune1.json" "$TMP/tune_static.json" \
+    || { echo "FAIL: tune --static output diverged from the engine path"; exit 1; }
+
+echo "==> flexsim prove smoke (symbolic cycle/ledger proof, FXC10)"
+# All 24 (workload, arch) pairs must prove static == dynamic exactly;
+# a mutated prediction must flip the exit status and name the rule.
+"$FLEXSIM" prove > /dev/null
+"$FLEXSIM" --json prove > "$TMP/prove.json"
+grep -q '"pairs_proved": 24' "$TMP/prove.json" \
+    || { echo "FAIL: prove did not prove all 24 pairs"; exit 1; }
+if "$FLEXSIM" prove pv --mutate > "$TMP/prove_mutate.txt" 2>&1; then
+    echo "FAIL: prove --mutate exited zero"; exit 1
+fi
+grep -q 'cycle mismatch' "$TMP/prove_mutate.txt" \
+    || { echo "FAIL: mutated prove run did not report the cycle mismatch"; exit 1; }
 
 echo "==> flexsim stats smoke (telemetry never perturbs results; all phases fire)"
 # Same sweep with telemetry off vs. on: the written artifacts must be
@@ -89,5 +110,9 @@ echo "==> flexsim bench history + check (perf-regression harness)"
 tail -n 1 "$TMP/BENCH_history.jsonl"
 grep -q 'telemetry_overhead_pct' "$TMP/BENCH_history.jsonl" \
     || { echo "FAIL: history entry missing telemetry overhead"; exit 1; }
+grep -q 'prove_wall_s' "$TMP/BENCH_history.jsonl" \
+    || { echo "FAIL: history entry missing prove wall time"; exit 1; }
+grep -q 'tune_static_wall_s' "$TMP/BENCH_history.jsonl" \
+    || { echo "FAIL: history entry missing static-tune wall time"; exit 1; }
 
 echo "CI OK"

@@ -42,29 +42,29 @@ fn bench(c: &mut Harness) {
         b.iter(|| {
             black_box(flexsim_experiments::ablations::styles(
                 &flexsim_experiments::ExperimentCtx::serial("ablation_styles"),
-            ))
-        })
+            ));
+        });
     });
     group.bench_function("local_store", |b| {
         b.iter(|| {
             black_box(flexsim_experiments::ablations::local_store(
                 &flexsim_experiments::ExperimentCtx::serial("ablation_store"),
-            ))
-        })
+            ));
+        });
     });
     group.bench_function("coupling", |b| {
         b.iter(|| {
             black_box(flexsim_experiments::ablations::coupling(
                 &flexsim_experiments::ExperimentCtx::serial("ablation_coupling"),
-            ))
-        })
+            ));
+        });
     });
     group.bench_function("rc_bound", |b| {
         b.iter(|| {
             black_box(flexsim_experiments::ablations::rc_bound(
                 &flexsim_experiments::ExperimentCtx::serial("ablation_rc_bound"),
-            ))
-        })
+            ));
+        });
     });
     group.finish();
 }

@@ -21,8 +21,8 @@ fn bench(c: &mut Harness) {
         b.iter(|| {
             black_box(flexsim_experiments::fig15::run(
                 &flexsim_experiments::ExperimentCtx::serial("fig15"),
-            ))
-        })
+            ));
+        });
     });
     group.finish();
 }

@@ -21,8 +21,8 @@ fn bench(c: &mut Harness) {
         b.iter(|| {
             black_box(flexsim_experiments::fig16::run(
                 &flexsim_experiments::ExperimentCtx::serial("fig16"),
-            ))
-        })
+            ));
+        });
     });
     group.finish();
 }

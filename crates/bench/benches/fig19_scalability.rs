@@ -21,8 +21,8 @@ fn bench(c: &mut Harness) {
         b.iter(|| {
             black_box(flexsim_experiments::fig19::run(
                 &flexsim_experiments::ExperimentCtx::serial("fig19"),
-            ))
-        })
+            ));
+        });
     });
     group.finish();
 }

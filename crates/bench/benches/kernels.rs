@@ -25,42 +25,42 @@ fn bench(c: &mut Harness) {
         .measurement_time(Duration::from_secs(5));
 
     group.bench_function("reference_conv_lenet_c1", |b| {
-        b.iter(|| black_box(reference::conv(&c1, &input, &kernels)))
+        b.iter(|| black_box(reference::conv(&c1, &input, &kernels)));
     });
 
     group.bench_function("flexflow_array_lenet_c1", |b| {
         b.iter(|| {
             let mut array = PeArray::new(16);
-            black_box(array.run_layer(&c1, choice.unroll, &input, &kernels))
-        })
+            black_box(array.run_layer(&c1, choice.unroll, &input, &kernels));
+        });
     });
 
     group.bench_function("systolic_pipeline_lenet_c1", |b| {
         let sys = Systolic::dc_cnn();
-        b.iter(|| black_box(sys.forward(&c1, &input, &kernels)))
+        b.iter(|| black_box(sys.forward(&c1, &input, &kernels)));
     });
 
     group.bench_function("mapping2d_forward_lenet_c1", |b| {
         let m2d = Mapping2d::shidiannao();
-        b.iter(|| black_box(m2d.forward(&c1, &input, &kernels)))
+        b.iter(|| black_box(m2d.forward(&c1, &input, &kernels)));
     });
 
     group.bench_function("tiling_forward_lenet_c1", |b| {
         let til = TilingArray::diannao();
-        b.iter(|| black_box(til.forward(&c1, &input, &kernels)))
+        b.iter(|| black_box(til.forward(&c1, &input, &kernels)));
     });
 
     group.bench_function("plan_network_lenet", |b| {
-        b.iter(|| black_box(plan_network(&net, 16)))
+        b.iter(|| black_box(plan_network(&net, 16)));
     });
 
     let vgg = workloads::vgg11();
     group.bench_function("plan_network_vgg11", |b| {
-        b.iter(|| black_box(plan_network(&vgg, 16)))
+        b.iter(|| black_box(plan_network(&vgg, 16)));
     });
 
     group.bench_function("schedule_lenet_c1", |b| {
-        b.iter(|| black_box(schedule_default(&c1, choice.unroll, 16)))
+        b.iter(|| black_box(schedule_default(&c1, choice.unroll, 16)));
     });
 
     group.finish();

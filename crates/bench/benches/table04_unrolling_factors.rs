@@ -23,8 +23,8 @@ fn bench(c: &mut Harness) {
         b.iter(|| {
             black_box(flexsim_experiments::table04::run(
                 &flexsim_experiments::ExperimentCtx::serial("table04"),
-            ))
-        })
+            ));
+        });
     });
     group.finish();
 }

@@ -23,8 +23,8 @@ fn bench(c: &mut Harness) {
         b.iter(|| {
             black_box(flexsim_experiments::table07::run(
                 &flexsim_experiments::ExperimentCtx::serial("table07"),
-            ))
-        })
+            ));
+        });
     });
     group.finish();
 }

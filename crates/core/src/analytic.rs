@@ -25,6 +25,8 @@ use flexsim_arch::stats::Traffic;
 use flexsim_dataflow::utilization::ceil_div;
 use flexsim_dataflow::Unroll;
 use flexsim_model::ConvLayer;
+use flexsim_obs::attrib::StallCause;
+use flexsim_obs::cycles::{CycleEvent, CycleEventKind};
 
 /// One-off pipeline fill latency per layer (operand preload + adder-tree
 /// depth before the first writeback).
@@ -236,6 +238,44 @@ pub fn schedule_default(layer: &ConvLayer, u: Unroll, d: usize) -> Schedule {
     schedule(layer, u, d, STORE_WORDS)
 }
 
+/// The aggregate cycle-event stream a schedule implies, in closed form:
+/// the one-off pipeline fill, one merged compute pass carrying every
+/// useful MAC, and (for segmented passes) the total partial-sum spill
+/// stall. The engine's per-batch emission refines this stream in time
+/// but folds to the *same* per-cause [`LossLedger`] totals — the
+/// identity flexcheck rule `FXC10 cycle-exactness` proves for every
+/// (layer, unroll, arch, scale) pair, and the symbolic evaluator
+/// (`flexcheck::symbolic`) builds its predictions from.
+///
+/// [`LossLedger`]: flexsim_obs::attrib::LossLedger
+pub fn ledger_events(sch: &Schedule) -> Vec<CycleEvent> {
+    let pass = sch.row_batches * sch.chunks;
+    let mut events = vec![
+        CycleEvent::new(
+            CycleEventKind::Stall(StallCause::PipelineFill),
+            0,
+            PIPELINE_FILL_CYCLES,
+            0,
+        ),
+        CycleEvent::new(
+            CycleEventKind::Pass(StallCause::MappingResidueIdle),
+            PIPELINE_FILL_CYCLES,
+            pass,
+            sch.macs,
+        ),
+    ];
+    let spill = sch.row_batches * (sch.segments - 1) * SEGMENT_STALL_CYCLES;
+    if spill > 0 {
+        events.push(CycleEvent::new(
+            CycleEventKind::Stall(StallCause::PsumSpillRoundTrip),
+            PIPELINE_FILL_CYCLES + pass,
+            spill,
+            0,
+        ));
+    }
+    events
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,6 +354,34 @@ mod tests {
         let choice = search::best_unroll(&layer, 16, None);
         let sch = schedule_default(&layer, choice.unroll, 16);
         assert!(sch.traffic.total() < layer.macs() / 5);
+    }
+
+    #[test]
+    fn ledger_events_tile_the_schedule_exactly() {
+        for (layer, u) in [
+            (
+                ConvLayer::new("C3", 16, 6, 10, 5),
+                Unroll::new(16, 3, 1, 1, 1, 5),
+            ),
+            (
+                // Segmented: the spill stall event appears.
+                ConvLayer::new("C5", 192, 256, 13, 3).with_input_size(13),
+                Unroll::new(1, 1, 1, 13, 1, 3),
+            ),
+        ] {
+            let sch = schedule_default(&layer, u, 16);
+            let events = ledger_events(&sch);
+            let mut cursor = 0u64;
+            let mut macs = 0u64;
+            for ev in &events {
+                assert_eq!(ev.start_cycle, cursor, "events must tile back to back");
+                cursor = ev.end_cycle();
+                macs += ev.macs;
+            }
+            assert_eq!(cursor, sch.cycles);
+            assert_eq!(macs, sch.macs);
+            assert_eq!(events.len(), if sch.segments > 1 { 3 } else { 2 });
+        }
     }
 
     #[test]

@@ -57,6 +57,20 @@ pub struct FsmConfig {
     pub row_stride: usize,
 }
 
+impl FsmConfig {
+    /// Closed-form maximum address an [`AddrFsm`] with this
+    /// configuration emits while walking `rows` neuron rows — no
+    /// stepping: within a row the last window starts at
+    /// `(windows_per_row − 1)·step` and ends `(window − 1)·step` later;
+    /// rows advance by `row_stride`. flexcheck rule `FXC04` proves its
+    /// store bound against this form, and its property suite holds it
+    /// exactly equal to the stepped FSM's maximum.
+    pub fn max_addr(&self, rows: usize) -> usize {
+        (rows.max(1) - 1) * self.row_stride
+            + (self.windows_per_row - 1 + self.window - 1) * self.step
+    }
+}
+
 /// The address-generation FSM.
 ///
 /// Drive it with [`AddrFsm::next_addr`]; it yields the address to read
@@ -275,6 +289,22 @@ mod tests {
         fsm.reset();
         let second = collect(&mut fsm, 4);
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn max_addr_closed_form_matches_the_walk() {
+        // The doc example's configuration: 2 windows of 3 operands per
+        // row, step 1, rows 8 apart — 6 emissions per row.
+        let cfg = FsmConfig {
+            step: 1,
+            window: 3,
+            windows_per_row: 2,
+            row_stride: 8,
+        };
+        let mut fsm = AddrFsm::new(cfg);
+        let walked = (0..12).map(|_| fsm.next_addr()).max().unwrap();
+        assert_eq!(cfg.max_addr(2), walked);
+        assert_eq!(cfg.max_addr(1), 3);
     }
 
     #[test]

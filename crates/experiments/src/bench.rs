@@ -26,7 +26,8 @@
 
 use crate::arches::{ArchSet, ARCH_NAMES};
 use crate::cli::Cli;
-use crate::experiment::{run_suite, Experiment, SuiteConfig};
+use crate::experiment::{run_suite, Experiment, ExperimentCtx, SuiteConfig};
+use crate::tune::VerifyMode;
 use crate::REGISTRY;
 use flexsim_model::workloads;
 use flexsim_obs::attrib::{ledgers, StallCause};
@@ -93,21 +94,21 @@ fn sweep(cli: &Cli) -> i32 {
         Err(code) => return code,
     };
     let speedup = serial_s / parallel_s.max(1e-12);
-    let doc = Json::obj([
-        ("bench", Json::str("sweep")),
-        ("experiments", Json::Int(experiments.len() as i64)),
-        (
-            "available_parallelism",
-            Json::Int(flexsim_pool::available_parallelism() as i64),
-        ),
-        ("rustc", Json::str(rustc_version())),
-        ("commit", Json::str(git_commit())),
-        ("serial_jobs", Json::Int(1)),
-        ("serial_wall_s", Json::Float(serial_s)),
-        ("parallel_jobs", Json::Int(jobs as i64)),
-        ("parallel_wall_s", Json::Float(parallel_s)),
-        ("speedup", Json::Float(speedup)),
-    ]);
+    let doc = Json::obj(
+        [
+            ("bench", Json::str("sweep")),
+            ("experiments", Json::Int(experiments.len() as i64)),
+        ]
+        .into_iter()
+        .chain(honesty_fields())
+        .chain([
+            ("serial_jobs", Json::Int(1)),
+            ("serial_wall_s", Json::Float(serial_s)),
+            ("parallel_jobs", Json::Int(jobs as i64)),
+            ("parallel_wall_s", Json::Float(parallel_s)),
+            ("speedup", Json::Float(speedup)),
+        ]),
+    );
     let mut text = doc.pretty();
     text.push('\n');
     if let Err(e) = std::fs::write("BENCH_pool.json", text) {
@@ -127,7 +128,11 @@ fn sweep(cli: &Cli) -> i32 {
 /// The sweep is timed twice — telemetry off, then on — so every entry
 /// also records the host-phase wall breakdown and the measured
 /// telemetry overhead, keeping the "telemetry is ≈free" claim gated
-/// the same way wall-time regressions are.
+/// the same way wall-time regressions are. The entry also times the
+/// smoke-budget tuner twice (engine verification vs `--static`
+/// symbolic verification — the log is where the static path's speedup
+/// is recorded) and the flexproof all-pairs sweep; a prove mismatch
+/// refuses to record, keeping the history free of unproved entries.
 fn history(cli: &Cli) -> i32 {
     let experiments = sweep_experiments();
     let jobs = cli.jobs.unwrap_or_else(flexsim_pool::available_parallelism);
@@ -140,17 +145,42 @@ fn history(cli: &Cli) -> i32 {
         Err(code) => return code,
     };
     let attrib = attribution_totals();
-    let tune = crate::tune::sweep_totals(jobs);
+    let tune_start = Instant::now();
+    let tune = crate::tune::sweep_totals_with(jobs, VerifyMode::Engine);
+    let tune_wall_s = tune_start.elapsed().as_secs_f64();
+    let static_start = Instant::now();
+    let tune_static = crate::tune::sweep_totals_with(jobs, VerifyMode::Static);
+    let tune_static_wall_s = static_start.elapsed().as_secs_f64();
+    assert_eq!(
+        tune.recovered_pe_cycles, tune_static.recovered_pe_cycles,
+        "static tuner verification diverged from the engine path"
+    );
+    let prove_start = Instant::now();
+    let prove_ctx = ExperimentCtx::parallel("prove", jobs);
+    let proofs = crate::prove::run_workloads(&prove_ctx, &workloads::all(), false);
+    let prove_wall_s = prove_start.elapsed().as_secs_f64();
+    if let Some(bad) = proofs.iter().find(|o| !o.proved()) {
+        eprintln!(
+            "bench history: prove sweep FAILED on {}/{} — refusing to record",
+            bad.workload, bad.arch
+        );
+        return 1;
+    }
+    let timings = SweepTimings {
+        tune_wall_s,
+        tune_static_wall_s,
+        prove_pairs: proofs.len(),
+        prove_wall_s,
+    };
     let entry = history_entry(
         unix_seconds(),
         wall_s,
         jobs,
         experiments.len(),
-        flexsim_pool::available_parallelism(),
-        &rustc_version(),
-        &git_commit(),
+        honesty_fields(),
         &attrib,
         &tune,
+        &timings,
         &host,
     );
     let mut line = entry.compact();
@@ -379,6 +409,32 @@ fn attribution_totals() -> AttributionTotals {
     }
 }
 
+/// Wall times of the verification sweeps a history entry records
+/// alongside the experiment sweep: the tuner with engine verification,
+/// the tuner with static (symbolic) verification, and the flexproof
+/// all-pairs proof sweep.
+struct SweepTimings {
+    tune_wall_s: f64,
+    tune_static_wall_s: f64,
+    prove_pairs: usize,
+    prove_wall_s: f64,
+}
+
+/// The provenance triple every bench artifact carries — machine
+/// parallelism, compiler, and commit — produced in one place so
+/// `BENCH_pool.json`, `BENCH_tune.json`, and [`HISTORY_FILE`] can
+/// never drift apart in what "honest numbers" means.
+pub(crate) fn honesty_fields() -> [(&'static str, Json); 3] {
+    [
+        (
+            "available_parallelism",
+            Json::Int(flexsim_pool::available_parallelism() as i64),
+        ),
+        ("rustc", Json::str(rustc_version())),
+        ("commit", Json::str(git_commit())),
+    ]
+}
+
 /// One history line, keys in stable order.
 #[allow(clippy::too_many_arguments)] // a serialization boundary, not an API
 fn history_entry(
@@ -386,54 +442,60 @@ fn history_entry(
     wall_s: f64,
     jobs: usize,
     experiments: usize,
-    available_parallelism: usize,
-    rustc: &str,
-    commit: &str,
+    honesty: [(&'static str, Json); 3],
     attrib: &AttributionTotals,
     tune: &crate::tune::SweepTotals,
+    timings: &SweepTimings,
     host: &HostTotals,
 ) -> Json {
-    Json::obj([
-        ("bench", Json::str("history")),
-        ("ts_unix", Json::Int(ts_unix as i64)),
-        ("wall_s", Json::Float(wall_s)),
-        ("jobs", Json::Int(jobs as i64)),
-        ("experiments", Json::Int(experiments as i64)),
-        (
-            "available_parallelism",
-            Json::Int(available_parallelism as i64),
-        ),
-        ("rustc", Json::str(rustc)),
-        ("commit", Json::str(commit)),
-        ("busy_pe_cycles", Json::Int(attrib.busy_pe_cycles as i64)),
-        (
-            "lost_pe_cycles",
-            Json::obj(
-                attrib
-                    .lost
-                    .iter()
-                    .map(|&(name, v)| (name, Json::Int(v as i64))),
+    Json::obj(
+        [
+            ("bench", Json::str("history")),
+            ("ts_unix", Json::Int(ts_unix as i64)),
+            ("wall_s", Json::Float(wall_s)),
+            ("jobs", Json::Int(jobs as i64)),
+            ("experiments", Json::Int(experiments as i64)),
+        ]
+        .into_iter()
+        .chain(honesty)
+        .chain([
+            ("busy_pe_cycles", Json::Int(attrib.busy_pe_cycles as i64)),
+            (
+                "lost_pe_cycles",
+                Json::obj(
+                    attrib
+                        .lost
+                        .iter()
+                        .map(|&(name, v)| (name, Json::Int(v as i64))),
+                ),
             ),
-        ),
-        ("tune_budget", Json::str("smoke")),
-        (
-            "tune_recovered_pe_cycles",
-            Json::Int(tune.recovered_pe_cycles),
-        ),
-        (
-            "tune_workloads_improved",
-            Json::Int(tune.workloads_improved as i64),
-        ),
-        (
-            "host_phase_us",
-            Json::obj(
-                host.phase_us
-                    .iter()
-                    .map(|&(name, us)| (name, Json::Int(us as i64))),
+            ("tune_budget", Json::str("smoke")),
+            (
+                "tune_recovered_pe_cycles",
+                Json::Int(tune.recovered_pe_cycles),
             ),
-        ),
-        ("telemetry_overhead_pct", Json::Float(host.overhead_pct)),
-    ])
+            (
+                "tune_workloads_improved",
+                Json::Int(tune.workloads_improved as i64),
+            ),
+            ("tune_wall_s", Json::Float(timings.tune_wall_s)),
+            (
+                "tune_static_wall_s",
+                Json::Float(timings.tune_static_wall_s),
+            ),
+            ("prove_pairs", Json::Int(timings.prove_pairs as i64)),
+            ("prove_wall_s", Json::Float(timings.prove_wall_s)),
+            (
+                "host_phase_us",
+                Json::obj(
+                    host.phase_us
+                        .iter()
+                        .map(|&(name, us)| (name, Json::Int(us as i64))),
+                ),
+            ),
+            ("telemetry_overhead_pct", Json::Float(host.overhead_pct)),
+        ]),
+    )
 }
 
 /// Seconds since the Unix epoch (0 if the clock is before it).
@@ -510,16 +572,26 @@ mod tests {
             phase_us: vec![("parse", 11), ("simulate", 42_000)],
             overhead_pct: 1.5,
         };
+        let timings = SweepTimings {
+            tune_wall_s: 3.5,
+            tune_static_wall_s: 0.25,
+            prove_pairs: 24,
+            prove_wall_s: 0.75,
+        };
+        let honesty = [
+            ("available_parallelism", Json::Int(16)),
+            ("rustc", Json::str("rustc 1.x")),
+            ("commit", Json::str("abc1234")),
+        ];
         let entry = history_entry(
             1_700_000_000,
             4.25,
             8,
             17,
-            16,
-            "rustc 1.x",
-            "abc1234",
+            honesty,
             &attrib,
             &tune,
+            &timings,
             &host,
         );
         let line = entry.compact();
@@ -527,6 +599,15 @@ mod tests {
         assert_eq!(parsed, entry);
         assert_eq!(json_field(&parsed, "wall_s").and_then(json_f64), Some(4.25));
         assert_eq!(json_field(&parsed, "commit"), Some(&Json::str("abc1234")));
+        assert_eq!(
+            json_field(&parsed, "tune_static_wall_s").and_then(json_f64),
+            Some(0.25)
+        );
+        assert_eq!(json_field(&parsed, "prove_pairs"), Some(&Json::Int(24)));
+        assert_eq!(
+            json_field(&parsed, "prove_wall_s").and_then(json_f64),
+            Some(0.75)
+        );
         let lost = json_field(&parsed, "lost_pe_cycles").unwrap();
         for cause in StallCause::ALL {
             assert_eq!(json_field(lost, cause.name()), Some(&Json::Int(7)));

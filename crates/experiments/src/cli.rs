@@ -10,7 +10,8 @@ pub const USAGE: &str = "\
 usage: flexsim [OPTIONS] [EXPERIMENT-ID...]
        flexsim lint [--json]
        flexsim profile [WORKLOAD] [--json]
-       flexsim tune [WORKLOAD] [--budget smoke|full|N] [--jobs N]
+       flexsim prove [WORKLOAD] [--json] [--mutate] [--jobs N]
+       flexsim tune [WORKLOAD] [--budget smoke|full|N] [--static] [--jobs N]
        flexsim stats [--jobs N] [--json] [--telemetry PATH]
        flexsim bench sweep [--jobs N]
        flexsim bench history [--jobs N]
@@ -20,16 +21,27 @@ Runs the FlexFlow (HPCA'17) evaluation experiments. With no ids (or
 with `all`) every experiment runs in paper order.
 
 `flexsim lint` statically verifies every Table 1 workload on all four
-architectures with the flexcheck rules (FXC01-FXC09: local-store
+architectures with the flexcheck rules (FXC01-FXC12: local-store
 capacity, bus races, adder-tree ports, FSM bounds, ISA protocol,
 unroll bounds, bank conflicts, utilization sanity, attribution
-exactness) and exits non-zero on any error. The same check also gates
-every simulation.
+exactness, cycle exactness, ISA coverage, interference freedom) and
+exits non-zero on any error. The same check also gates every
+simulation. `--json` emits the findings as a byte-stable structured
+document instead of the text table.
 
 `flexsim profile [WORKLOAD]` renders the per-layer loss-attribution +
 roofline report for one Table 1 workload (all six when omitted):
 cycles, utilization, compute- vs bandwidth-bound, and the top loss
 causes, with every ledger balanced to the FXC09 exactness identity.
+
+`flexsim prove [WORKLOAD]` proves, without simulating, each Table 1
+workload's per-layer cycle counts and loss ledgers on all four
+architectures: the symbolic evaluator derives them in closed form, the
+cycle-recorded engine run must match exactly (flexcheck FXC10), and
+the process exits non-zero on any divergence. `--json` emits the
+byte-stable static-vs-dynamic delta document; `--mutate` perturbs the
+first prediction by one cycle (the CI self-test that the comparison
+has teeth).
 
 `flexsim tune [WORKLOAD]` searches each CONV layer's legal unrolling
 space for the mapping minimizing lost PE-cycles: candidates are
@@ -38,6 +50,9 @@ before any simulation, scored in parallel with the exact loss-ledger
 cost function, and the winners verified on the cycle-stepped engine.
 Prints the best-mapping table with before/after loss attribution per
 cause; with no workload, tunes all six and writes BENCH_tune.json.
+`--static` ranks candidates symbolically and engine-verifies the
+winners only — the FXC10 proof guarantees the same winners and deltas
+at a fraction of the simulation time.
 
 `flexsim stats` runs the Table 1 sweep with host-side telemetry
 enabled and reports where *simulator* wall time goes: per-phase
@@ -66,6 +81,10 @@ options:
   --budget B      tune search budget: `smoke` (power-of-two grid),
                   `full` (exhaustive, the default), or a positive
                   per-layer candidate cap
+  --static        tune: keep the baseline side symbolic and
+                  engine-verify only the winners
+  --mutate        prove: perturb the first prediction by one cycle and
+                  require the mismatch to be caught (exit non-zero)
   --json          machine-readable JSON on stdout
   --out DIR       also write one .txt + .json per experiment into DIR
   --trace FILE    write a Chrome trace-event JSON file (host spans +
@@ -105,6 +124,12 @@ pub struct Cli {
     pub bench: bool,
     /// Run the mapping auto-tuner instead of any experiment.
     pub tune: bool,
+    /// Run the symbolic cycle/ledger prover instead of any experiment.
+    pub prove: bool,
+    /// `tune --static`: symbolic baseline, engine-verify winners only.
+    pub static_verify: bool,
+    /// `prove --mutate`: corrupt one prediction to self-test the gate.
+    pub mutate: bool,
     /// Run the host-telemetry report instead of any experiment.
     pub stats: bool,
     /// Disarm the pre-simulation verification gate.
@@ -153,7 +178,10 @@ pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Cli, String> {
             "lint" => cli.lint = true,
             "bench" => cli.bench = true,
             "tune" => cli.tune = true,
+            "prove" => cli.prove = true,
             "stats" => cli.stats = true,
+            "--static" => cli.static_verify = true,
+            "--mutate" => cli.mutate = true,
             "--jobs" => {
                 let v = value_of(&mut iter, "--jobs", "a positive integer")?;
                 match v.parse::<usize>() {
@@ -362,6 +390,26 @@ mod tests {
         assert!(p(&["tune", "--budget", "--json"])
             .unwrap_err()
             .contains("--budget"));
+    }
+
+    #[test]
+    fn prove_is_a_subcommand_with_mutate() {
+        let cli = p(&["prove"]).unwrap();
+        assert!(cli.prove && !cli.tune && !cli.mutate);
+        assert!(cli.ids.is_empty());
+        let cli = p(&["prove", "alexnet", "--json", "--mutate", "--jobs", "2"]).unwrap();
+        assert!(cli.prove && cli.json && cli.mutate);
+        assert_eq!(cli.ids, ["alexnet"]);
+        assert_eq!(cli.jobs, Some(2));
+    }
+
+    #[test]
+    fn tune_static_is_a_flag() {
+        let cli = p(&["tune", "pv", "--static", "--budget", "smoke"]).unwrap();
+        assert!(cli.tune && cli.static_verify);
+        assert_eq!(cli.ids, ["pv"]);
+        assert_eq!(cli.budget, Some(crate::tune::Budget::Smoke));
+        assert!(!p(&["tune"]).unwrap().static_verify);
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod fig19;
 pub mod lint;
 pub mod paper;
 pub mod profile;
+pub mod prove;
 pub mod report;
 pub mod stats;
 pub mod table03;

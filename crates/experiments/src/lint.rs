@@ -8,9 +8,10 @@
 //! diagnostics) unless the user passes `--no-lint`.
 
 use crate::report::{ExperimentResult, Table};
-use flexcheck::{check_network, ArchParams, Severity};
+use flexcheck::{check_network, ArchParams, Diagnostic, Severity};
 use flexsim_model::{workloads, Network};
 use flexsim_obs::telemetry;
+use flexsim_testkit::json::Json;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -66,43 +67,63 @@ pub fn gate(net: &Network, d: usize) {
     cache.insert(key);
 }
 
+/// One (workload, architecture) verification unit of the lint sweep.
+struct LintUnit {
+    workload: String,
+    arch: &'static str,
+    diags: Vec<Diagnostic>,
+}
+
+impl LintUnit {
+    fn count(&self, severity: Severity) -> usize {
+        self.diags.iter().filter(|d| d.severity == severity).count()
+    }
+}
+
+/// Runs the verifier over every Table 1 workload on all four Section
+/// 6.1.1 architectures — the single sweep both the text and the JSON
+/// report render, so the two can never disagree on the findings.
+fn sweep_units() -> Vec<LintUnit> {
+    let _flexcheck = telemetry::phase(telemetry::Phase::Flexcheck);
+    let mut units = Vec::new();
+    for net in workloads::all() {
+        for arch in ArchParams::paper_suite(net.name()) {
+            units.push(LintUnit {
+                workload: net.name().to_owned(),
+                arch: arch.kind.name(),
+                diags: check_network(&net, &arch),
+            });
+        }
+    }
+    units
+}
+
 /// Runs the full static-verification sweep: every Table 1 workload on
 /// all four Section 6.1.1 architectures. Returns the report and the
 /// number of `Error` diagnostics (the CLI exit status).
 pub fn run() -> (ExperimentResult, usize) {
-    let _flexcheck = telemetry::phase(telemetry::Phase::Flexcheck);
+    let units = sweep_units();
     let mut table = Table::new(["workload", "architecture", "errors", "warnings", "findings"]);
     let mut errors = 0usize;
     let mut warnings = 0usize;
     let mut rendered = String::new();
-    for net in workloads::all() {
-        for arch in ArchParams::paper_suite(net.name()) {
-            let diags = check_network(&net, &arch);
-            let e = diags
-                .iter()
-                .filter(|d| d.severity == Severity::Error)
-                .count();
-            let w = diags
-                .iter()
-                .filter(|d| d.severity == Severity::Warning)
-                .count();
-            errors += e;
-            warnings += w;
-            for d in &diags {
-                rendered.push_str(&format!("{}/{}: {d}\n", net.name(), arch.kind.name()));
-            }
-            table.push_row([
-                net.name().to_owned(),
-                arch.kind.name().to_owned(),
-                e.to_string(),
-                w.to_string(),
-                if diags.is_empty() {
-                    "clean".to_owned()
-                } else {
-                    format!("{} finding(s)", diags.len())
-                },
-            ]);
+    for u in &units {
+        errors += u.count(Severity::Error);
+        warnings += u.count(Severity::Warning);
+        for d in &u.diags {
+            rendered.push_str(&format!("{}/{}: {d}\n", u.workload, u.arch));
         }
+        table.push_row([
+            u.workload.clone(),
+            u.arch.to_owned(),
+            u.count(Severity::Error).to_string(),
+            u.count(Severity::Warning).to_string(),
+            if u.diags.is_empty() {
+                "clean".to_owned()
+            } else {
+                format!("{} finding(s)", u.diags.len())
+            },
+        ]);
     }
     let mut notes = vec![if errors == 0 {
         format!("OK: 0 errors, {warnings} warnings across every workload x architecture")
@@ -114,12 +135,71 @@ pub fn run() -> (ExperimentResult, usize) {
     }
     let result = ExperimentResult {
         id: "lint".to_owned(),
-        title: "flexcheck: static schedule/mapping verification (8 rules x 4 architectures)"
+        title: "flexcheck: static schedule/mapping verification (12 rules x 4 architectures)"
             .to_owned(),
         notes,
         table,
     };
     (result, errors)
+}
+
+/// The `flexsim lint --json` document: the same sweep and the same
+/// findings as the text report, but structured (rule code/name,
+/// severity, location, message, hint, and the rendered line) and
+/// byte-stable — two runs on the same tree emit identical bytes.
+pub fn json_report() -> (Json, usize) {
+    let units = sweep_units();
+    let errors: usize = units.iter().map(|u| u.count(Severity::Error)).sum();
+    let warnings: usize = units.iter().map(|u| u.count(Severity::Warning)).sum();
+    let doc = Json::obj([
+        ("lint", Json::str("flexcheck")),
+        (
+            "rules",
+            Json::arr(
+                flexcheck::RuleId::ALL
+                    .iter()
+                    .map(|r| Json::str(format!("{} {}", r.code(), r.name()))),
+            ),
+        ),
+        ("units_total", Json::Int(units.len() as i64)),
+        ("errors", Json::Int(errors as i64)),
+        ("warnings", Json::Int(warnings as i64)),
+        (
+            "units",
+            Json::arr(units.iter().map(|u| {
+                Json::obj([
+                    ("workload", Json::str(&u.workload)),
+                    ("architecture", Json::str(u.arch)),
+                    ("errors", Json::Int(u.count(Severity::Error) as i64)),
+                    ("warnings", Json::Int(u.count(Severity::Warning) as i64)),
+                    (
+                        "diagnostics",
+                        Json::arr(u.diags.iter().map(diagnostic_json)),
+                    ),
+                ])
+            })),
+        ),
+    ]);
+    (doc, errors)
+}
+
+/// One diagnostic as a structured JSON object (plus its rendered text
+/// line, byte-equal to what the text report prints).
+fn diagnostic_json(d: &Diagnostic) -> Json {
+    let location = match (&d.location.layer, d.location.pc) {
+        (Some(l), _) => Json::str(l),
+        (None, Some(pc)) => Json::str(format!("pc {pc}")),
+        (None, None) => Json::str("program"),
+    };
+    Json::obj([
+        ("rule", Json::str(d.rule.code())),
+        ("name", Json::str(d.rule.name())),
+        ("severity", Json::str(d.severity.to_string())),
+        ("location", location),
+        ("message", Json::str(&d.message)),
+        ("hint", Json::str(&d.hint)),
+        ("rendered", Json::str(d.to_string())),
+    ])
 }
 
 #[cfg(test)]

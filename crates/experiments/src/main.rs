@@ -11,9 +11,13 @@
 //! flexsim --metrics fig15        # dump the metrics registry
 //! flexsim --list                 # available experiment ids
 //! flexsim lint                   # static verification sweep
+//! flexsim lint --json            # same findings, byte-stable structured JSON
 //! flexsim profile alexnet        # per-layer loss attribution + roofline
+//! flexsim prove                  # prove cycles/ledgers symbolically (FXC10)
+//! flexsim prove pv --mutate      # self-test: a corrupted prediction must fail
 //! flexsim tune alexnet           # auto-tune mappings, before/after attribution
 //! flexsim tune --budget smoke    # tune all six workloads, write BENCH_tune.json
+//! flexsim tune pv --static       # symbolic baseline, engine-verify winners only
 //! flexsim bench sweep            # time serial vs parallel, BENCH_pool.json
 //! flexsim bench history          # append wall time + attribution to BENCH_history.jsonl
 //! flexsim bench check            # fail on wall-time regression vs the history
@@ -72,8 +76,17 @@ fn main() {
     }
     flexsim_experiments::lint::set_enabled(!cli.no_lint);
     if cli.lint {
-        let (result, errors) = flexsim_experiments::lint::run();
-        emit(vec![result], cli.json);
+        let errors = if cli.json {
+            let (doc, errors) = flexsim_experiments::lint::json_report();
+            let mut text = doc.pretty();
+            text.push('\n');
+            print!("{text}");
+            errors
+        } else {
+            let (result, errors) = flexsim_experiments::lint::run();
+            emit(vec![result], false);
+            errors
+        };
         write_telemetry(&cli);
         std::process::exit(i32::from(errors > 0));
     }
@@ -93,6 +106,11 @@ fn main() {
     }
     if cli.tune {
         let code = tune_workload(&cli);
+        write_telemetry(&cli);
+        std::process::exit(code);
+    }
+    if cli.prove {
+        let code = prove_workload(&cli);
         write_telemetry(&cli);
         std::process::exit(code);
     }
@@ -234,33 +252,49 @@ fn profile_workload(cli: &Cli) {
     emit(vec![result], cli.json);
 }
 
-/// `flexsim tune [WORKLOAD]`: the mapping auto-tuner. With no workload
-/// it tunes the full Table 1 sweep and records `BENCH_tune.json`.
-fn tune_workload(cli: &Cli) -> i32 {
-    use flexsim_experiments::tune::{self, Budget};
-    let budget = cli.budget.unwrap_or(Budget::Full);
-    let nets = match cli.ids.len() {
-        0 => flexsim_model::workloads::all(),
+/// Resolves a subcommand's optional `[WORKLOAD]` argument: all six
+/// Table 1 workloads when absent, the named one otherwise (usage-error
+/// `Err` exit code on anything else).
+fn resolve_workloads(cli: &Cli, cmd: &str) -> Result<Vec<flexsim_model::Network>, i32> {
+    match cli.ids.len() {
+        0 => Ok(flexsim_model::workloads::all()),
         1 => {
             let name = &cli.ids[0];
-            let Some(net) = flexsim_model::workloads::by_name(name) else {
+            if let Some(net) = flexsim_model::workloads::by_name(name) {
+                Ok(vec![net])
+            } else {
                 let names: Vec<String> = flexsim_model::workloads::all()
                     .iter()
                     .map(|n| n.name().to_lowercase())
                     .collect();
                 eprintln!("unknown workload {name:?}; available: {}", names.join(", "));
-                return 2;
-            };
-            vec![net]
+                Err(2)
+            }
         }
         _ => {
-            eprintln!("flexsim: tune takes at most one workload");
-            return 2;
+            eprintln!("flexsim: {cmd} takes at most one workload");
+            Err(2)
         }
+    }
+}
+
+/// `flexsim tune [WORKLOAD]`: the mapping auto-tuner. With no workload
+/// it tunes the full Table 1 sweep and records `BENCH_tune.json`.
+fn tune_workload(cli: &Cli) -> i32 {
+    use flexsim_experiments::tune::{self, Budget, VerifyMode};
+    let budget = cli.budget.unwrap_or(Budget::Full);
+    let mode = if cli.static_verify {
+        VerifyMode::Static
+    } else {
+        VerifyMode::Engine
+    };
+    let nets = match resolve_workloads(cli, "tune") {
+        Ok(nets) => nets,
+        Err(code) => return code,
     };
     let jobs = cli.jobs.unwrap_or_else(flexsim_pool::available_parallelism);
     let ctx = flexsim_experiments::ExperimentCtx::parallel("tune", jobs);
-    let outcomes = tune::tune_workloads(&ctx, &nets, budget);
+    let outcomes = tune::tune_workloads_with(&ctx, &nets, budget, mode);
     if cli.ids.is_empty() {
         // Full-sweep runs are the recorded benchmark.
         let mut text = tune::bench_json(&outcomes, budget).pretty();
@@ -281,6 +315,38 @@ fn tune_workload(cli: &Cli) -> i32 {
     }
     emit(vec![result], cli.json);
     0
+}
+
+/// `flexsim prove [WORKLOAD]`: the symbolic cycle/ledger prover. Exits
+/// non-zero when any (workload, architecture) pair's static prediction
+/// diverges from the engine recording (FXC10).
+fn prove_workload(cli: &Cli) -> i32 {
+    use flexsim_experiments::prove;
+    let nets = match resolve_workloads(cli, "prove") {
+        Ok(nets) => nets,
+        Err(code) => return code,
+    };
+    let jobs = cli.jobs.unwrap_or_else(flexsim_pool::available_parallelism);
+    let ctx = flexsim_experiments::ExperimentCtx::parallel("prove", jobs);
+    let outcomes = prove::run_workloads(&ctx, &nets, cli.mutate);
+    let mismatches = outcomes.iter().filter(|o| !o.proved()).count();
+    let result = prove::report(&outcomes);
+    if let Some(dir) = &cli.out_dir {
+        write_out(dir, std::slice::from_ref(&result));
+    }
+    if cli.json {
+        let mut text = prove::json_doc(&outcomes).pretty();
+        text.push('\n');
+        print!("{text}");
+    } else {
+        emit(vec![result], false);
+    }
+    eprintln!(
+        "prove: {}/{} pairs proved (static == dynamic cycles + ledger)",
+        outcomes.len() - mismatches,
+        outcomes.len()
+    );
+    i32::from(mismatches > 0)
 }
 
 fn write_out(dir: &str, results: &[ExperimentResult]) {

@@ -43,7 +43,7 @@
 use crate::experiment::{Experiment, ExperimentCtx};
 use crate::report::{eng, ExperimentResult, Table};
 use flexcheck::ArchParams;
-use flexflow::analytic::{schedule_default, PIPELINE_FILL_CYCLES, SEGMENT_STALL_CYCLES};
+use flexflow::analytic::{ledger_events, schedule_default};
 use flexflow::isa::Instr;
 use flexflow::{FlexFlow, Program};
 use flexsim_arch::Accelerator;
@@ -52,9 +52,7 @@ use flexsim_dataflow::tune as search_space;
 use flexsim_dataflow::{utilization, Unroll};
 use flexsim_model::{workloads, ConvLayer, Layer, Network};
 use flexsim_obs::attrib::{LossDelta, LossLedger, StallCause};
-use flexsim_obs::cycles::{
-    CycleEvent, CycleEventKind, CycleRecorder, LayerCtx, LayerTimeline, SinkHandle,
-};
+use flexsim_obs::cycles::{CycleRecorder, LayerCtx, LayerTimeline, SinkHandle};
 use flexsim_testkit::json::Json;
 use std::fmt;
 use std::sync::Arc;
@@ -106,6 +104,30 @@ impl fmt::Display for Budget {
             Budget::Smoke => f.write_str("smoke"),
             Budget::Full => f.write_str("full"),
             Budget::Cap(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// How `flexsim tune` verifies its before/after ledgers on the
+/// cycle-stepped engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VerifyMode {
+    /// Re-run both the paper-default and the tuned mapping on the
+    /// engine (the CLI default).
+    Engine,
+    /// `--static`: keep the default side symbolic ([`analytic_ledger`],
+    /// which `FXC10` proves equal to the engine's emission) and
+    /// engine-verify the winners only — half the simulation work, the
+    /// same winners and deltas by the cycle-exactness proof.
+    Static,
+}
+
+impl VerifyMode {
+    /// The display form (`engine` / `static`) for reports and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            VerifyMode::Engine => "engine",
+            VerifyMode::Static => "static",
         }
     }
 }
@@ -245,33 +267,9 @@ impl TuneOutcome {
 /// first.
 pub fn analytic_ledger(layer: &ConvLayer, u: Unroll) -> LossLedger {
     let sch = schedule_default(layer, u, D);
-    let pass_cycles = sch.row_batches * sch.chunks;
-    let mut events = vec![
-        CycleEvent::new(
-            CycleEventKind::Stall(StallCause::PipelineFill),
-            0,
-            PIPELINE_FILL_CYCLES,
-            0,
-        ),
-        CycleEvent::new(
-            CycleEventKind::Pass(StallCause::MappingResidueIdle),
-            PIPELINE_FILL_CYCLES,
-            pass_cycles,
-            sch.macs,
-        ),
-    ];
-    let spill = sch.row_batches * (sch.segments - 1) * SEGMENT_STALL_CYCLES;
-    if spill > 0 {
-        events.push(CycleEvent::new(
-            CycleEventKind::Stall(StallCause::PsumSpillRoundTrip),
-            PIPELINE_FILL_CYCLES + pass_cycles,
-            spill,
-            0,
-        ));
-    }
     LossLedger::from_timeline(&LayerTimeline {
         ctx: LayerCtx::new("FlexFlow", layer.name(), (D * D) as u32),
-        events,
+        events: ledger_events(&sch),
     })
 }
 
@@ -396,6 +394,22 @@ struct ScoreItem {
 /// divergence, a tuned mapping scoring worse than the default, or the
 /// assembled program failing flexcheck).
 pub fn tune_network(ctx: &ExperimentCtx, net: &Network, budget: Budget) -> TuneOutcome {
+    tune_network_with(ctx, net, budget, VerifyMode::Engine)
+}
+
+/// [`tune_network`] with an explicit verification mode:
+/// [`VerifyMode::Static`] scores and baselines symbolically and
+/// engine-verifies the winners only.
+///
+/// # Panics
+///
+/// Same contract as [`tune_network`].
+pub fn tune_network_with(
+    ctx: &ExperimentCtx,
+    net: &Network,
+    budget: Budget,
+    mode: VerifyMode,
+) -> TuneOutcome {
     let arch = ArchParams::flexflow_paper();
     let defaults = paper_defaults(net);
     let plan = plan_network(net, D);
@@ -460,8 +474,10 @@ pub fn tune_network(ctx: &ExperimentCtx, net: &Network, budget: Budget) -> TuneO
         }
     }
 
-    // Verification: the cycle-stepped engine re-runs default and
-    // winner; recorded must equal analytic on every cause.
+    // Verification: the cycle-stepped engine re-runs the winner (and,
+    // in engine mode, the default too); recorded must equal analytic
+    // on every cause. In static mode the default side stays symbolic —
+    // FXC10 proves the two bases identical, so the deltas are too.
     struct VerifyItem {
         layer: ConvLayer,
         default_u: Unroll,
@@ -479,11 +495,12 @@ pub fn tune_network(ctx: &ExperimentCtx, net: &Network, budget: Budget) -> TuneO
     let verified: Vec<(LossLedger, LossLedger)> = ctx.map(
         vitems,
         |it| format!("{}/verify", it.layer.name()),
-        |_tctx, it: VerifyItem| {
-            (
-                recorded_ledger(&it.layer, it.default_u),
-                recorded_ledger(&it.layer, it.tuned_u),
-            )
+        move |_tctx, it: VerifyItem| {
+            let before = match mode {
+                VerifyMode::Engine => recorded_ledger(&it.layer, it.default_u),
+                VerifyMode::Static => analytic_ledger(&it.layer, it.default_u),
+            };
+            (before, recorded_ledger(&it.layer, it.tuned_u))
         },
     );
 
@@ -537,8 +554,18 @@ pub fn tune_network(ctx: &ExperimentCtx, net: &Network, budget: Budget) -> TuneO
 
 /// Tunes a list of workloads in order (each fans internally).
 pub fn tune_workloads(ctx: &ExperimentCtx, nets: &[Network], budget: Budget) -> Vec<TuneOutcome> {
+    tune_workloads_with(ctx, nets, budget, VerifyMode::Engine)
+}
+
+/// [`tune_workloads`] with an explicit [`VerifyMode`].
+pub fn tune_workloads_with(
+    ctx: &ExperimentCtx,
+    nets: &[Network],
+    budget: Budget,
+    mode: VerifyMode,
+) -> Vec<TuneOutcome> {
     nets.iter()
-        .map(|net| tune_network(ctx, net, budget))
+        .map(|net| tune_network_with(ctx, net, budget, mode))
         .collect()
 }
 
@@ -711,76 +738,76 @@ fn fmt_recoveries(delta: &LossDelta) -> String {
 /// convention: parallelism, rustc, commit).
 pub fn bench_json(outcomes: &[TuneOutcome], budget: Budget) -> Json {
     let improved = outcomes.iter().filter(|o| o.improved()).count();
-    Json::obj([
-        ("bench", Json::str("tune")),
-        ("budget", Json::str(budget.to_string())),
-        ("baseline", Json::str("table4+analyzer-chain")),
-        (
-            "available_parallelism",
-            Json::Int(flexsim_pool::available_parallelism() as i64),
-        ),
-        ("rustc", Json::str(crate::bench::rustc_version())),
-        ("commit", Json::str(crate::bench::git_commit())),
-        ("workloads_total", Json::Int(outcomes.len() as i64)),
-        ("workloads_improved", Json::Int(improved as i64)),
-        // Only the exhaustive budget turns a tie into an optimality
-        // certificate; capped budgets leave the question open.
-        (
-            "workloads_confirmed_optimal",
-            Json::Int(if budget == Budget::Full {
-                (outcomes.len() - improved) as i64
-            } else {
-                0
-            }),
-        ),
-        (
-            "recovered_pe_cycles",
-            Json::Int(outcomes.iter().map(TuneOutcome::recovered_pe_cycles).sum()),
-        ),
-        (
-            "residue_edge_recovered",
-            Json::Int(
-                outcomes
-                    .iter()
-                    .map(TuneOutcome::residue_edge_recovered)
-                    .sum(),
+    Json::obj(
+        [
+            ("bench", Json::str("tune")),
+            ("budget", Json::str(budget.to_string())),
+            ("baseline", Json::str("table4+analyzer-chain")),
+        ]
+        .into_iter()
+        .chain(crate::bench::honesty_fields())
+        .chain([
+            ("workloads_total", Json::Int(outcomes.len() as i64)),
+            ("workloads_improved", Json::Int(improved as i64)),
+            // Only the exhaustive budget turns a tie into an optimality
+            // certificate; capped budgets leave the question open.
+            (
+                "workloads_confirmed_optimal",
+                Json::Int(if budget == Budget::Full {
+                    (outcomes.len() - improved) as i64
+                } else {
+                    0
+                }),
             ),
-        ),
-        (
-            "workloads",
-            Json::arr(outcomes.iter().map(|o| {
-                Json::obj([
-                    ("workload", Json::str(&o.workload)),
-                    (
-                        "improved",
-                        Json::str(if o.improved() { "yes" } else { "no" }),
-                    ),
-                    (
-                        "residue_edge_recovered",
-                        Json::Int(o.residue_edge_recovered()),
-                    ),
-                    ("recovered_pe_cycles", Json::Int(o.recovered_pe_cycles())),
-                    (
-                        "layers",
-                        Json::arr(o.layers.iter().map(|l| {
-                            Json::obj([
-                                ("layer", Json::str(&l.default.layer)),
-                                ("default", Json::str(l.default.unroll.to_string())),
-                                ("baseline_source", Json::str(l.source)),
-                                ("tuned", Json::str(l.tuned.unroll.to_string())),
-                                ("cycles_before", Json::Int(l.delta.before_cycles as i64)),
-                                ("cycles_after", Json::Int(l.delta.after_cycles as i64)),
-                                ("cycles_planned", Json::Int(l.planned_cycles as i64)),
-                                ("lost_before", per_cause(|c| l.delta.before(c) as i64)),
-                                ("lost_after", per_cause(|c| l.delta.after(c) as i64)),
-                                ("recovered", per_cause(|c| l.delta.recovered(c))),
-                            ])
-                        })),
-                    ),
-                ])
-            })),
-        ),
-    ])
+            (
+                "recovered_pe_cycles",
+                Json::Int(outcomes.iter().map(TuneOutcome::recovered_pe_cycles).sum()),
+            ),
+            (
+                "residue_edge_recovered",
+                Json::Int(
+                    outcomes
+                        .iter()
+                        .map(TuneOutcome::residue_edge_recovered)
+                        .sum(),
+                ),
+            ),
+            (
+                "workloads",
+                Json::arr(outcomes.iter().map(|o| {
+                    Json::obj([
+                        ("workload", Json::str(&o.workload)),
+                        (
+                            "improved",
+                            Json::str(if o.improved() { "yes" } else { "no" }),
+                        ),
+                        (
+                            "residue_edge_recovered",
+                            Json::Int(o.residue_edge_recovered()),
+                        ),
+                        ("recovered_pe_cycles", Json::Int(o.recovered_pe_cycles())),
+                        (
+                            "layers",
+                            Json::arr(o.layers.iter().map(|l| {
+                                Json::obj([
+                                    ("layer", Json::str(&l.default.layer)),
+                                    ("default", Json::str(l.default.unroll.to_string())),
+                                    ("baseline_source", Json::str(l.source)),
+                                    ("tuned", Json::str(l.tuned.unroll.to_string())),
+                                    ("cycles_before", Json::Int(l.delta.before_cycles as i64)),
+                                    ("cycles_after", Json::Int(l.delta.after_cycles as i64)),
+                                    ("cycles_planned", Json::Int(l.planned_cycles as i64)),
+                                    ("lost_before", per_cause(|c| l.delta.before(c) as i64)),
+                                    ("lost_after", per_cause(|c| l.delta.after(c) as i64)),
+                                    ("recovered", per_cause(|c| l.delta.recovered(c))),
+                                ])
+                            })),
+                        ),
+                    ])
+                })),
+            ),
+        ]),
+    )
 }
 
 /// A per-cause JSON object, all seven causes in taxonomy order (byte-
@@ -800,8 +827,15 @@ pub(crate) struct SweepTotals {
 /// Runs the smoke-budget tune sweep and aggregates the recovery totals
 /// `bench history` appends (and `bench check` gates on).
 pub(crate) fn sweep_totals(jobs: usize) -> SweepTotals {
+    sweep_totals_with(jobs, VerifyMode::Engine)
+}
+
+/// [`sweep_totals`] under an explicit [`VerifyMode`] — `bench history`
+/// times both modes so the `--static` wall-time saving is a recorded,
+/// regression-gated number rather than a claim.
+pub(crate) fn sweep_totals_with(jobs: usize, mode: VerifyMode) -> SweepTotals {
     let ctx = ExperimentCtx::parallel("tune", jobs);
-    let outcomes = tune_workloads(&ctx, &workloads::all(), Budget::Smoke);
+    let outcomes = tune_workloads_with(&ctx, &workloads::all(), Budget::Smoke, mode);
     SweepTotals {
         recovered_pe_cycles: outcomes.iter().map(TuneOutcome::recovered_pe_cycles).sum(),
         workloads_improved: outcomes.iter().filter(|o| o.improved()).count(),
@@ -896,6 +930,41 @@ mod tests {
             assert_eq!(l.tuned.unroll, d.unroll);
             assert_eq!(l.delta.total_recovered(), 0);
             assert_eq!(l.scored, 1);
+        }
+    }
+
+    #[test]
+    fn static_verification_matches_the_engine_path() {
+        // The --static acceptance bar: symbolic scoring + winner-only
+        // engine verification must pick the same winners and report the
+        // same before/after attribution as the fully-simulated path.
+        let ctx = ExperimentCtx::serial("tune");
+        for net in [workloads::pv(), workloads::lenet5(), workloads::hg()] {
+            let engine = tune_network_with(&ctx, &net, Budget::Smoke, VerifyMode::Engine);
+            let fast = tune_network_with(&ctx, &net, Budget::Smoke, VerifyMode::Static);
+            assert_eq!(engine.layers.len(), fast.layers.len());
+            for (e, s) in engine.layers.iter().zip(&fast.layers) {
+                assert_eq!(e.tuned.unroll, s.tuned.unroll, "{}", e.default.layer);
+                assert_eq!(
+                    e.delta.before_cycles, s.delta.before_cycles,
+                    "{}",
+                    e.default.layer
+                );
+                assert_eq!(
+                    e.delta.after_cycles, s.delta.after_cycles,
+                    "{}",
+                    e.default.layer
+                );
+                for cause in StallCause::ALL {
+                    assert_eq!(
+                        e.delta.recovered(cause),
+                        s.delta.recovered(cause),
+                        "{}/{cause}",
+                        e.default.layer
+                    );
+                }
+            }
+            assert_eq!(engine.program.instrs(), fast.program.instrs());
         }
     }
 

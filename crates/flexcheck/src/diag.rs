@@ -11,7 +11,7 @@ use std::fmt;
 
 /// The static rules, named after the hardware invariant each proves.
 ///
-/// Codes are stable (`FXC01`–`FXC08`); dynamic `debug_assert!`s in the
+/// Codes are stable (`FXC01`–`FXC12`); dynamic `debug_assert!`s in the
 /// simulators reference them so a runtime trip names the static rule
 /// that missed it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -43,11 +43,21 @@ pub enum RuleId {
     /// `busy + Σ attributed_lost == total_cycles × num_pes` with zero
     /// unattributed PE-cycles.
     AttributionExactness,
+    /// `FXC10` — the symbolic evaluator's closed-form prediction equals
+    /// the engine-recorded cycles and per-cause loss ledger exactly.
+    CycleExactness,
+    /// `FXC11` — every instruction's effect is visited by the abstract
+    /// interpreter; symbolic state is never discarded unread.
+    IsaCoverage,
+    /// `FXC12` — symbolic interval disjointness: bus, adder-tree-port,
+    /// and bank access sets are pairwise disjoint (the `O(1)` closed
+    /// form subsuming the `FXC02`/`FXC03`/`FXC07` enumerations).
+    InterferenceFreedom,
 }
 
 impl RuleId {
     /// All rules, in code order.
-    pub const ALL: [RuleId; 9] = [
+    pub const ALL: [RuleId; 12] = [
         RuleId::LsCapacity,
         RuleId::CdbRace,
         RuleId::AdderTreePort,
@@ -57,6 +67,9 @@ impl RuleId {
         RuleId::BankConflict,
         RuleId::UtilSanity,
         RuleId::AttributionExactness,
+        RuleId::CycleExactness,
+        RuleId::IsaCoverage,
+        RuleId::InterferenceFreedom,
     ];
 
     /// Stable short code (`FXC01`…).
@@ -71,6 +84,9 @@ impl RuleId {
             RuleId::BankConflict => "FXC07",
             RuleId::UtilSanity => "FXC08",
             RuleId::AttributionExactness => "FXC09",
+            RuleId::CycleExactness => "FXC10",
+            RuleId::IsaCoverage => "FXC11",
+            RuleId::InterferenceFreedom => "FXC12",
         }
     }
 
@@ -86,6 +102,9 @@ impl RuleId {
             RuleId::BankConflict => "bank-conflict",
             RuleId::UtilSanity => "util-sanity",
             RuleId::AttributionExactness => "attribution-exactness",
+            RuleId::CycleExactness => "cycle-exactness",
+            RuleId::IsaCoverage => "isa-coverage",
+            RuleId::InterferenceFreedom => "interference-freedom",
         }
     }
 }
@@ -248,11 +267,14 @@ mod tests {
         let codes: Vec<_> = RuleId::ALL.iter().map(|r| r.code()).collect();
         let mut dedup = codes.clone();
         dedup.dedup();
-        assert_eq!(codes.len(), 9);
+        assert_eq!(codes.len(), 12);
         assert_eq!(codes, dedup);
         assert_eq!(RuleId::LsCapacity.code(), "FXC01");
         assert_eq!(RuleId::UtilSanity.code(), "FXC08");
         assert_eq!(RuleId::AttributionExactness.code(), "FXC09");
+        assert_eq!(RuleId::CycleExactness.code(), "FXC10");
+        assert_eq!(RuleId::IsaCoverage.code(), "FXC11");
+        assert_eq!(RuleId::InterferenceFreedom.code(), "FXC12");
     }
 
     #[test]

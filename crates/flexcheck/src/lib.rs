@@ -20,6 +20,9 @@
 //! | `FXC07 bank-conflict` | IADP/tiling/2D-mapping bank usage ≤ physical banks |
 //! | `FXC08 util-sanity` | schedule loop counts/MACs/cycles equal their closed forms |
 //! | `FXC09 attribution-exactness` | loss ledger balances: busy + Σ lost = cycles × PEs |
+//! | `FXC10 cycle-exactness` | symbolic prediction == engine-recorded cycles and ledger |
+//! | `FXC11 isa-coverage` | every instruction observed; no symbolic state dies unread |
+//! | `FXC12 interference-freedom` | bus/port/bank access intervals pairwise disjoint |
 //!
 //! The techniques are static by construction: rules 2–3 abstract-
 //! interpret the residue algebra of the Section 4.3
@@ -55,6 +58,7 @@ pub mod diag;
 pub mod params;
 pub mod plan;
 pub mod rules;
+pub mod symbolic;
 
 pub use diag::{has_errors, render, Diagnostic, Location, RuleId, Severity};
 pub use params::{ArchKind, ArchParams};
@@ -62,4 +66,8 @@ pub use plan::{BatchShape, FsmPlan, LayerPlan, WalkShape};
 pub use rules::{
     check, check_candidate, check_layer_plan, check_ledger, check_ledgers, check_network,
     max_fsm_addr, prune_candidates, PrunedCandidates,
+};
+pub use symbolic::{
+    check_cycle_exactness, check_cycle_exactness_all, check_interference, check_isa_coverage,
+    predict_conv, predict_network, predict_program, predicted_ledgers, EngineGeometry,
 };

@@ -31,15 +31,15 @@ use std::collections::HashMap;
 
 /// Closed-form maximum address an [`flexflow::fsm::AddrFsm`] with
 /// `config` emits while walking `rows` neuron rows — the bound rule
-/// `FXC04` proves instead of stepping the FSM:
+/// `FXC04` proves instead of stepping the FSM. Delegates to
+/// [`FsmConfig::max_addr`] (the hardware-side closed form):
 /// within a row the last window starts at `(windows_per_row−1)·step`
 /// and ends `(window−1)·step` later; rows advance by `row_stride`.
 ///
 /// `tests/proptests.rs` holds this exactly equal to the stepped FSM's
 /// maximum for every configuration.
 pub fn max_fsm_addr(config: &FsmConfig, rows: usize) -> usize {
-    (rows.max(1) - 1) * config.row_stride
-        + (config.windows_per_row - 1 + config.window - 1) * config.step
+    config.max_addr(rows)
 }
 
 /// Runs the per-layer rules (`FXC01`–`FXC04`, `FXC06`–`FXC08`) over one
@@ -132,92 +132,71 @@ pub fn check_layer_plan(plan: &LayerPlan, arch: &ArchParams) -> Vec<Diagnostic> 
     diags
 }
 
-/// `FXC02`: abstract interpretation of one logical step. The sequencer
-/// walks `walk.tn × walk.ti × walk.tj` operand offsets per step; each
-/// lands on vertical bus `input_col(n, r·stride+i, c·stride+j)` of the
-/// *mapping* unroll. Sweeping the three residue classes `(n mod Tn,
-/// (r·stride+i₀) mod Ti, (c·stride+j₀) mod Tj)` covers every chunk
-/// origin and output position, so a duplicate bus here is exactly a
-/// write-write race two producers would commit in the same cycle.
+/// `FXC02`: symbolic interval disjointness of one logical step. The
+/// sequencer walks `walk.tn × walk.ti × walk.tj` operand offsets per
+/// step; each lands on vertical bus `input_col(n, r·stride+i,
+/// c·stride+j)` of the *mapping* unroll. The bus index is mixed-radix
+/// in the three residues `(n mod Tn, (r·stride+i₀) mod Ti,
+/// (c·stride+j₀) mod Tj)`, so two offsets collide iff they are
+/// congruent in *all three* coordinates — which happens for some pair
+/// iff a walk interval is wider than its residue period. That turns
+/// the old per-step enumeration (O(lanes²) per layer) into three
+/// comparisons; `tests/proptests.rs` holds the closed form exactly
+/// equal to exhaustive enumeration.
 fn rule_cdb_race(plan: &LayerPlan) -> Vec<Diagnostic> {
     let u = plan.mapping;
     let w = &plan.walk;
-    let lanes = u.cols_used();
-    for n0 in 0..u.tn {
-        for a in 0..u.ti {
-            for b in 0..u.tj {
-                let mut seen = vec![false; lanes];
-                for dn in 0..w.tn {
-                    for di in 0..w.ti {
-                        for dj in 0..w.tj {
-                            let col = ((n0 + dn) % u.tn) * u.ti * u.tj
-                                + ((a + di) % u.ti) * u.tj
-                                + (b + dj) % u.tj;
-                            if seen[col] {
-                                return vec![Diagnostic::error(
-                                    RuleId::CdbRace,
-                                    Location::layer(plan.layer.name()),
-                                    format!(
-                                        "two producers drive vertical bus {col} in one step: \
-                                         walk <Tn={}, Ti={}, Tj={}> is wider than the mapping's \
-                                         residue classes <Tn={}, Ti={}, Tj={}>",
-                                        w.tn, w.ti, w.tj, u.tn, u.ti, u.tj
-                                    ),
-                                    "program the Configure walk with the same <Tn,Ti,Tj> the \
-                                     mapping was planned for",
-                                )];
-                            }
-                            seen[col] = true;
-                        }
-                    }
-                }
-            }
-        }
+    if w.tn <= u.tn && w.ti <= u.ti && w.tj <= u.tj {
+        return Vec::new();
     }
-    Vec::new()
+    // The first collision of the lexicographic walk from residue
+    // (0, 0, 0): the offset one full period into the overflowing
+    // coordinate re-lands on bus 0 — the same bus the enumeration used
+    // to report.
+    let col = 0;
+    vec![Diagnostic::error(
+        RuleId::CdbRace,
+        Location::layer(plan.layer.name()),
+        format!(
+            "two producers drive vertical bus {col} in one step: \
+             walk <Tn={}, Ti={}, Tj={}> is wider than the mapping's \
+             residue classes <Tn={}, Ti={}, Tj={}>",
+            w.tn, w.ti, w.tj, u.tn, u.ti, u.tj
+        ),
+        "program the Configure walk with the same <Tn,Ti,Tj> the \
+         mapping was planned for",
+    )]
 }
 
 /// `FXC03`: the row-side mirror of [`rule_cdb_race`]. A row-batch
 /// covers `batch.tm × batch.tr × batch.tc` output neurons; each owns PE
-/// row `output_row(m, r, c)` and its adder-tree accumulator port. A
-/// duplicate row within one batch means two reductions contend for one
-/// port in the same cycle.
+/// row `output_row(m, r, c)` and its adder-tree accumulator port. The
+/// row index is mixed-radix in the `(m mod Tm, r mod Tr, c mod Tc)`
+/// residues, so a duplicate port exists iff a batch interval is wider
+/// than its residue period — the same three-comparison closed form as
+/// the bus side, replacing the old O(rows²) enumeration (held equal by
+/// property test).
 fn rule_adder_tree_port(plan: &LayerPlan) -> Vec<Diagnostic> {
     let u = plan.mapping;
     let b = &plan.batch;
-    let rows = u.rows_used();
-    for m0 in 0..u.tm {
-        for a in 0..u.tr {
-            for c0 in 0..u.tc {
-                let mut seen = vec![false; rows];
-                for dm in 0..b.tm {
-                    for dr in 0..b.tr {
-                        for dc in 0..b.tc {
-                            let row = ((m0 + dm) % u.tm) * u.tr * u.tc
-                                + ((a + dr) % u.tr) * u.tc
-                                + (c0 + dc) % u.tc;
-                            if seen[row] {
-                                return vec![Diagnostic::error(
-                                    RuleId::AdderTreePort,
-                                    Location::layer(plan.layer.name()),
-                                    format!(
-                                        "two output neurons contend for PE row {row}'s adder-tree \
-                                         port in one batch: batch <Tm={}, Tr={}, Tc={}> vs \
-                                         mapping <Tm={}, Tr={}, Tc={}>",
-                                        b.tm, b.tr, b.tc, u.tm, u.tr, u.tc
-                                    ),
-                                    "program the Configure batch with the same <Tm,Tr,Tc> the \
-                                     mapping was planned for",
-                                )];
-                            }
-                            seen[row] = true;
-                        }
-                    }
-                }
-            }
-        }
+    if b.tm <= u.tm && b.tr <= u.tr && b.tc <= u.tc {
+        return Vec::new();
     }
-    Vec::new()
+    // As in rule_cdb_race: the first collision of the enumeration's
+    // lexicographic walk is the wraparound onto row 0.
+    let row = 0;
+    vec![Diagnostic::error(
+        RuleId::AdderTreePort,
+        Location::layer(plan.layer.name()),
+        format!(
+            "two output neurons contend for PE row {row}'s adder-tree \
+             port in one batch: batch <Tm={}, Tr={}, Tc={}> vs \
+             mapping <Tm={}, Tr={}, Tc={}>",
+            b.tm, b.tr, b.tc, u.tm, u.tr, u.tc
+        ),
+        "program the Configure batch with the same <Tm,Tr,Tc> the \
+         mapping was planned for",
+    )]
 }
 
 /// `FXC08`: re-derives the schedule's loop counts, MAC total, and cycle
@@ -348,6 +327,9 @@ pub fn prune_candidates(
 /// program stores factor plans by layer name only).
 pub fn check(program: &Program, net: &Network, arch: &ArchParams) -> Vec<Diagnostic> {
     let mut diags = check_isa(program, net);
+    // FXC11 — the abstract interpreter must observe every instruction's
+    // effect (no symbolic state discarded unread).
+    diags.extend(crate::symbolic::check_isa_coverage(program));
 
     // Pair the k-th Conv instruction with the k-th planned choice and
     // the network layer it targets, then run the per-layer rules.

@@ -11,11 +11,15 @@
 //!    [`AddrFsm`] emits when stepped exhaustively, for every
 //!    configuration.
 
-use flexcheck::{check_layer_plan, max_fsm_addr, ArchParams, LayerPlan};
+use flexcheck::{
+    check_interference, check_layer_plan, max_fsm_addr, predict_conv, ArchParams, EngineGeometry,
+    LayerPlan, RuleId,
+};
 use flexflow::fsm::{AddrFsm, FsmConfig};
 use flexflow::local_store::STORE_WORDS;
 use flexsim_dataflow::Unroll;
 use flexsim_model::ConvLayer;
+use flexsim_obs::attrib::LossLedger;
 use flexsim_testkit::{prop, prop_assert, prop_assert_eq};
 
 /// Legalizes random factors the way the planner's search space does:
@@ -106,6 +110,103 @@ fn fsm_bound_is_exact_against_the_stepped_fsm() {
                 stepped_max,
                 "config {config:?} rows {rows}"
             );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn symbolic_flexflow_prediction_matches_the_analytic_schedule() {
+    // The symbolic evaluator's closed-form timeline must agree with
+    // `core::analytic::schedule` — the engine's own ground truth — on
+    // total cycles and busy PE-cycles for every legal unroll, and its
+    // ledger must balance exactly (FXC09), at 2048 random cases.
+    let geom = EngineGeometry::FlexFlow {
+        d: 16,
+        store_words: STORE_WORDS,
+    };
+    prop::check(
+        "symbolic_matches_analytic",
+        2048,
+        (
+            1usize..=64, // M
+            1usize..=32, // N
+            1usize..=32, // S
+            1usize..=7,  // K
+            1usize..=16, // Tm
+            1usize..=16, // Tn
+            1usize..=16, // Tr
+            1usize..=16, // Tc
+            1usize..=16, // Ti
+            1usize..=16, // Tj
+        ),
+        |&(m, n, s, k, tm, tn, tr, tc, ti, tj)| {
+            let layer = ConvLayer::new("P", m, n, s, k);
+            let u = legalize(Unroll::new(tm, tn, tr, tc, ti, tj), &layer, 16);
+            let sch = flexflow::analytic::schedule(&layer, u, 16, STORE_WORDS);
+            let timeline = predict_conv(&geom, &layer, Some(u));
+            let ledger = LossLedger::from_timeline(&timeline);
+            prop_assert_eq!(
+                ledger.total_cycles,
+                sch.cycles,
+                "cycles diverge on {u} for M={m} N={n} S={s} K={k}"
+            );
+            prop_assert_eq!(
+                ledger.busy_pe_cycles,
+                sch.macs,
+                "busy PE-cycles diverge on {u} for M={m} N={n} S={s} K={k}"
+            );
+            prop_assert!(ledger.is_exact(), "unattributed loss on {u}");
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn interference_freedom_composes_the_resource_rules() {
+    // FXC12 is the conjunction of the three shared-resource rules: it
+    // fires exactly when FXC02 (bus), FXC03 (adder port), or FXC07
+    // (buffer banks) fires — on clean plans and corrupted ones alike.
+    let arch = ArchParams::flexflow_paper();
+    prop::check(
+        "fxc12_equals_fxc02_03_07",
+        1024,
+        (
+            1usize..=64, // M
+            1usize..=32, // N
+            1usize..=32, // S
+            1usize..=7,  // K
+            1usize..=16, // Ti
+            1usize..=16, // Tj
+            0usize..=3,  // corruption mode
+        ),
+        |&(m, n, s, k, ti, tj, mode)| {
+            let layer = ConvLayer::new("P", m, n, s, k);
+            let u = legalize(Unroll::new(2, 2, 2, 2, ti, tj), &layer, arch.d);
+            let mut plan = LayerPlan::derive(&layer, 0, u, u, arch.d, STORE_WORDS)
+                .map_err(|d| d.to_string())?;
+            let mut arch = arch;
+            match mode {
+                0 => plan.walk.tj += 1,     // over-wide bus walk
+                1 => plan.batch.tc += 1,    // over-wide port batch
+                2 => arch.buffer_banks = 1, // starved buffer banks
+                _ => {}                     // leave the plan legal
+            }
+            let fxc12 = check_interference(&plan, &arch);
+            let resource_rules = [RuleId::CdbRace, RuleId::AdderTreePort, RuleId::BankConflict];
+            let union = check_layer_plan(&plan, &arch)
+                .into_iter()
+                .filter(|d| resource_rules.contains(&d.rule))
+                .count();
+            prop_assert_eq!(
+                fxc12.is_empty(),
+                union == 0,
+                "FXC12 ({} findings) disagrees with FXC02/03/07 ({union}) on {u} mode {mode}",
+                fxc12.len()
+            );
+            for d in &fxc12 {
+                prop_assert_eq!(d.rule, RuleId::InterferenceFreedom, "wrong rule: {d}");
+            }
             Ok(())
         },
     );

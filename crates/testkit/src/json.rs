@@ -132,8 +132,8 @@ impl Json {
             Json::Str(s) => write_escaped(out, s),
             Json::Arr(items) => {
                 write_seq(out, depth, pretty, '[', ']', items.iter(), |out, v, d| {
-                    v.write(out, d, pretty)
-                })
+                    v.write(out, d, pretty);
+                });
             }
             Json::Obj(pairs) => write_seq(
                 out,

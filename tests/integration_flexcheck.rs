@@ -13,12 +13,16 @@
 //!   divergence). Statically-clean schedules therefore cannot trip the
 //!   dynamic guards: static ⊆ dynamic.
 //!
-//! Layout: one `fxc0X_static_*` test asserting rule exactness and one
-//! `fxc0X_dynamic_*` test demonstrating the runtime catch, for each of
-//! the eight rules, plus the all-clean sweep.
+//! Layout: one `fxcNN_static_*` test asserting rule exactness and one
+//! `fxcNN_dynamic_*` test demonstrating the runtime catch, for each of
+//! the plan rules (`FXC01`–`FXC08`) and the symbolic rules
+//! (`FXC10`–`FXC12`), plus the all-clean sweep.
 
 use flexcheck::{check, check_layer_plan, check_network, has_errors, render};
-use flexcheck::{ArchParams, LayerPlan, RuleId, Severity};
+use flexcheck::{
+    check_cycle_exactness_all, check_interference, predicted_ledgers, ArchParams, EngineGeometry,
+    LayerPlan, RuleId, Severity,
+};
 use flexflow::adder_tree::RowPorts;
 use flexflow::cdb::StepClaims;
 use flexflow::compiler::Program;
@@ -26,10 +30,15 @@ use flexflow::decoder::Decoder;
 use flexflow::fsm::AddrFsm;
 use flexflow::local_store::{LocalStore, STORE_WORDS};
 use flexflow::mapping::Mapping;
-use flexflow::{analytic, array::PeArray, Compiler};
+use flexflow::{analytic, array::PeArray, Compiler, FlexFlow};
+use flexsim_arch::Accelerator;
 use flexsim_dataflow::Unroll;
+use flexsim_experiments::arches::{ArchSet, ARCH_NAMES};
 use flexsim_model::reference;
-use flexsim_model::{workloads, ConvLayer, Fx16};
+use flexsim_model::{workloads, ConvLayer, Fx16, Network};
+use flexsim_obs::attrib::{ledgers, LossLedger, StallCause};
+use flexsim_obs::cycles::{CycleEvent, CycleEventKind, CycleRecorder, SinkHandle};
+use std::sync::Arc;
 
 /// A deep layer whose chunk walk needs 3 segments on the paper store:
 /// `chunks = 96·3·1 = 288`, `slice = 96` resident words per segment.
@@ -295,4 +304,185 @@ fn fxc08_dynamic_functional_macs_diverge_from_the_tampered_claim() {
     let report = PeArray::new(16).run_layer(&layer, u, &input, &kernels);
     assert_eq!(report.macs, layer.macs());
     assert_ne!(report.macs, tampered);
+}
+
+// ------------------------------------------- FXC10 cycle exactness
+
+/// Engine-recorded per-layer ledgers of `net` on a `d×d` FlexFlow.
+fn recorded_flexflow(net: &Network, d: usize) -> Vec<LossLedger> {
+    let rec = Arc::new(CycleRecorder::new());
+    let mut engine = FlexFlow::new(d);
+    engine.attach_sink(SinkHandle::new(rec.clone()));
+    let _ = engine.run_network(net);
+    ledgers(&rec.take())
+}
+
+#[test]
+fn fxc10_static_tampered_prediction_trips_cycle_exactness() {
+    // Corruption: the symbolic evaluator's first claim is off by one
+    // cycle — the weakest possible divergence the rule must still see.
+    let net = workloads::lenet5();
+    let geom = EngineGeometry::FlexFlow {
+        d: 16,
+        store_words: STORE_WORDS,
+    };
+    let mut predicted = predicted_ledgers(&geom, &net);
+    predicted[0].total_cycles += 1;
+    let diags = check_cycle_exactness_all(&predicted, &recorded_flexflow(&net, 16));
+    assert_only(&diags, RuleId::CycleExactness);
+}
+
+#[test]
+fn fxc10_dynamic_tampered_recording_diverges_from_the_proof() {
+    // The mirror corruption: the engine-side recording gains a stall
+    // span the hardware never executed; the untouched prediction
+    // rejects it (both the cycle total and the fill bucket move).
+    let net = workloads::lenet5();
+    let geom = EngineGeometry::FlexFlow {
+        d: 16,
+        store_words: STORE_WORDS,
+    };
+    let predicted = predicted_ledgers(&geom, &net);
+    let rec = Arc::new(CycleRecorder::new());
+    let mut engine = FlexFlow::new(16);
+    engine.attach_sink(SinkHandle::new(rec.clone()));
+    let _ = engine.run_network(&net);
+    let mut timelines = rec.take();
+    let end = timelines[0]
+        .events
+        .iter()
+        .map(|e| e.start_cycle + e.cycles)
+        .max()
+        .unwrap();
+    timelines[0].events.push(CycleEvent::new(
+        CycleEventKind::Stall(StallCause::PipelineFill),
+        end,
+        4,
+        0,
+    ));
+    let diags = check_cycle_exactness_all(&predicted, &ledgers(&timelines));
+    assert_only(&diags, RuleId::CycleExactness);
+}
+
+#[test]
+fn fxc10_holds_on_all_table1_pairs() {
+    // The prover's clean sweep: on every (workload, architecture) pair
+    // the closed-form prediction equals the recorded run exactly.
+    for net in workloads::all() {
+        let suite = ArchParams::paper_suite(net.name());
+        for idx in 0..ARCH_NAMES.len() {
+            let geom = EngineGeometry::from_arch(&suite[idx], 16);
+            let predicted = predicted_ledgers(&geom, &net);
+            let rec = Arc::new(CycleRecorder::new());
+            let mut acc = ArchSet::builder()
+                .sink(SinkHandle::new(rec.clone()))
+                .build_one(&net, idx);
+            let _ = acc.run_network(&net);
+            let diags = check_cycle_exactness_all(&predicted, &ledgers(&rec.take()));
+            assert!(
+                diags.is_empty(),
+                "{}/{}:\n{}",
+                net.name(),
+                ARCH_NAMES[idx],
+                render(&diags)
+            );
+        }
+    }
+}
+
+// --------------------------------------------- FXC11 ISA coverage
+
+/// `net`'s compiled program with its first `Configure` duplicated in
+/// place: the first copy's symbolic state dies unread (shadowed).
+fn shadowed_program(net: &Network) -> (Program, usize) {
+    let program = Compiler::new(16).compile(net);
+    let mut instrs = program.instrs().to_vec();
+    let pos = instrs
+        .iter()
+        .position(|i| matches!(i, flexflow::isa::Instr::Configure { .. }))
+        .unwrap();
+    let dup = instrs[pos];
+    instrs.insert(pos + 1, dup);
+    (
+        Program::from_parts(
+            program.name().to_owned(),
+            program.d(),
+            program.choices().to_vec(),
+            instrs,
+        ),
+        pos,
+    )
+}
+
+#[test]
+fn fxc11_static_shadowed_configure_trips_isa_coverage() {
+    // Corruption: a Configure overwritten before any Conv observes it.
+    // FXC05's protocol/dead-code checks cannot see it (the stream still
+    // round-trips and every instruction is reachable); only the
+    // symbolic liveness walk does — the full check() reports exactly
+    // the coverage rule.
+    let net = workloads::lenet5();
+    let (mutated, pos) = shadowed_program(&net);
+    let diags = check(&mutated, &net, &ArchParams::flexflow_paper());
+    assert_only(&diags, RuleId::IsaCoverage);
+    assert_eq!(diags[0].location.pc, Some(pos));
+}
+
+#[test]
+fn fxc11_dynamic_shadowed_claim_diverges_from_the_overriding_run() {
+    // Why shadowing matters at runtime: the engine executes the *last*
+    // Configure's factors, so a proof timed from the shadowed claim's
+    // factors no longer matches the hardware. Model the shadowed claim
+    // as a fully serial unroll — the engine (running the compiler's
+    // real choice) finishes in fewer cycles than the dead claim
+    // predicts, and the exactness check rejects the pairing.
+    let net = workloads::lenet5();
+    let geom = EngineGeometry::FlexFlow {
+        d: 16,
+        store_words: STORE_WORDS,
+    };
+    let first = net.conv_layers().next().unwrap();
+    let shadowed_claim = LossLedger::from_timeline(&flexcheck::predict_conv(
+        &geom,
+        first,
+        Some(Unroll::new(1, 1, 1, 1, 1, 1)),
+    ));
+    let recorded = recorded_flexflow(&net, 16);
+    let diags = flexcheck::check_cycle_exactness(&shadowed_claim, &recorded[0]);
+    assert_only(&diags, RuleId::CycleExactness);
+}
+
+// ------------------------------------- FXC12 interference freedom
+
+#[test]
+fn fxc12_static_widened_walk_breaks_interval_disjointness() {
+    // Same corruption family as FXC02, caught by the O(1) interval
+    // form: the walk's bus interval escapes its residue period.
+    let mut p = plan(&wide_layer(), wide_unroll());
+    p.walk.tj += 1;
+    let diags = check_interference(&p, &ArchParams::flexflow_paper());
+    assert_only(&diags, RuleId::InterferenceFreedom);
+    assert!(
+        diags[0].message.contains("bus access intervals"),
+        "{}",
+        diags[0].message
+    );
+}
+
+#[test]
+#[cfg_attr(debug_assertions, should_panic(expected = "FXC02"))]
+fn fxc12_dynamic_widened_walk_collides_on_a_claimed_bus() {
+    // The interval overlap FXC12 proves statically is a literal bus
+    // collision at runtime — on the wide 12-column configuration, a
+    // distinct instance from the FXC02 harness's deep one.
+    let u = wide_unroll();
+    let mapping = Mapping::new(u);
+    let mut claims = StepClaims::new(u.cols_used());
+    for dn in 0..u.tn {
+        for di in 0..u.ti {
+            for dj in 0..u.tj + 1 {
+                claims.claim(mapping.operand_col(dn, 0, 0, di, dj, 1));
+            }
+        }
+    }
 }
