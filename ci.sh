@@ -86,6 +86,32 @@ fi
 grep -q 'cycle mismatch' "$TMP/prove_mutate.txt" \
     || { echo "FAIL: mutated prove run did not report the cycle mismatch"; exit 1; }
 
+echo "==> flexsim workload frontend smoke (.ffnet end-to-end)"
+# A user-supplied network must ride the whole pipeline: registry
+# listing, four-architecture simulation with FXC09 exactness, static
+# lint, symbolic proof, and the auto-tuner — plus actionable exit-2
+# diagnostics on a malformed file.
+FFNET="$(pwd)/examples/resnet_block.ffnet"
+"$FLEXSIM" workloads > "$TMP/workloads.txt"
+grep -q 'resnet_block' "$TMP/workloads.txt" \
+    || { echo "FAIL: workloads listing missing the .ffnet fixtures"; exit 1; }
+"$FLEXSIM" --json workloads > "$TMP/workloads.json"
+grep -q '"ffnet": 3' "$TMP/workloads.json" \
+    || { echo "FAIL: workloads --json did not count 3 .ffnet fixtures"; exit 1; }
+"$FLEXSIM" --json run "$FFNET" > "$TMP/run_ffnet.json"
+grep -q '"ledger_exact": true' "$TMP/run_ffnet.json" \
+    || { echo "FAIL: run did not report FXC09-exact ledgers"; exit 1; }
+"$FLEXSIM" lint "$FFNET" > /dev/null
+"$FLEXSIM" prove "$FFNET" > /dev/null
+"$FLEXSIM" --budget smoke tune "$FFNET" > /dev/null
+printf '{"name":"bad","input":{"maps":1,"size":4},"nodes":[{"id":"c","op":"conv","m":2,"kernel":3}]}' \
+    > "$TMP/bad.ffnet"
+if "$FLEXSIM" run "$TMP/bad.ffnet" > "$TMP/bad_run.txt" 2>&1; then
+    echo "FAIL: run on a malformed .ffnet exited zero"; exit 1
+fi
+grep -q 'unknown field' "$TMP/bad_run.txt" \
+    || { echo "FAIL: malformed .ffnet did not produce an actionable diagnostic"; exit 1; }
+
 echo "==> flexsim stats smoke (telemetry never perturbs results; all phases fire)"
 # Same sweep with telemetry off vs. on: the written artifacts must be
 # byte-identical, and the snapshot must cover every declared phase.
@@ -114,5 +140,7 @@ grep -q 'prove_wall_s' "$TMP/BENCH_history.jsonl" \
     || { echo "FAIL: history entry missing prove wall time"; exit 1; }
 grep -q 'tune_static_wall_s' "$TMP/BENCH_history.jsonl" \
     || { echo "FAIL: history entry missing static-tune wall time"; exit 1; }
+grep -q 'workloads_total' "$TMP/BENCH_history.jsonl" \
+    || { echo "FAIL: history entry missing workload-count honesty fields"; exit 1; }
 
 echo "CI OK"

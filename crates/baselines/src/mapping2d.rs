@@ -129,6 +129,11 @@ impl Mapping2d {
             1,
             "functional 2D-mapping model requires stride 1"
         );
+        assert_eq!(
+            layer.dilation(),
+            1,
+            "functional 2D-mapping model requires dilation 1"
+        );
         assert!(layer.is_valid_convolution(), "padded layers not supported");
         let (m, n, s, k) = (layer.m(), layer.n(), layer.s(), layer.k());
         let mut out = Tensor3::zeros(m, s, s);

@@ -129,6 +129,11 @@ impl Systolic {
             1,
             "functional systolic model requires stride 1"
         );
+        assert_eq!(
+            layer.dilation(),
+            1,
+            "functional systolic model requires dilation 1"
+        );
         assert!(layer.is_valid_convolution(), "padded layers not supported");
         let (m, n, s) = (layer.m(), layer.n(), layer.s());
         let mut out = Tensor3::zeros(m, s, s);

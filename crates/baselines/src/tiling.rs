@@ -93,6 +93,7 @@ impl TilingArray {
     pub fn forward(&self, layer: &ConvLayer, input: &Tensor3, kernels: &KernelSet) -> Tensor3 {
         assert!(layer.is_valid_convolution(), "padded layers not supported");
         let (m, n, s, k, stride) = (layer.m(), layer.n(), layer.s(), layer.k(), layer.stride());
+        let dilation = layer.dilation();
         let mut out = Tensor3::zeros(m, s, s);
         for r in 0..s {
             for c in 0..s {
@@ -111,7 +112,11 @@ impl TilingArray {
                                     for lane in 0..tn {
                                         acc.mac(
                                             kernels[(m0 + pe, n0 + lane, i, j)],
-                                            input[(n0 + lane, r * stride + i, c * stride + j)],
+                                            input[(
+                                                n0 + lane,
+                                                r * stride + i * dilation,
+                                                c * stride + j * dilation,
+                                            )],
                                         );
                                     }
                                 }

@@ -153,6 +153,7 @@ impl PeArray {
         let mapping = Mapping::new(u);
         let (m, n, s, k) = (layer.m(), layer.n(), layer.s(), layer.k());
         let stride = layer.stride();
+        let dilation = layer.dilation();
         let s_in = layer.input_size();
         let kernels_persist = sch.m_groups.saturating_mul(sch.chunks) <= STORE_WORDS as u64;
 
@@ -217,8 +218,9 @@ impl PeArray {
                                                     for dj in 0..tj_eff {
                                                         let (inm, i, j) =
                                                             (n0 + dn, i0 + di, j0 + dj);
-                                                        let col = mapping
-                                                            .operand_col(inm, r, c, i, j, stride);
+                                                        let col = mapping.operand_col(
+                                                            inm, r, c, i, j, stride, dilation,
+                                                        );
                                                         // RA property: one
                                                         // column per operand.
                                                         debug_assert!(
@@ -226,8 +228,10 @@ impl PeArray {
                                                             "column conflict in one cycle \
                                                              (flexcheck FXC02 cdb-race)"
                                                         );
-                                                        let (ir, ic) =
-                                                            (r * stride + i, c * stride + j);
+                                                        let (ir, ic) = (
+                                                            r * stride + i * dilation,
+                                                            c * stride + j * dilation,
+                                                        );
                                                         let nid =
                                                             ((inm * s_in + ir) * s_in + ic) as u64;
                                                         let kid = (((om * n + inm) * k + i) * k + j)
@@ -445,5 +449,22 @@ mod tests {
     fn strided_layer_bit_exact() {
         let layer = ConvLayer::new("C", 3, 2, 5, 3).with_stride(2);
         check_layer(&layer, Unroll::new(3, 2, 1, 5, 1, 3), 16, 15);
+    }
+
+    #[test]
+    fn dilated_layer_bit_exact() {
+        // dilation=2 with Ti=Tj=3 (coprime, so RA columns stay
+        // distinct) and with the trivial Ti=Tj=1 mapping.
+        let layer = ConvLayer::new("C", 3, 2, 5, 3).with_dilation(2);
+        check_layer(&layer, Unroll::new(2, 1, 1, 2, 3, 3), 16, 15);
+        check_layer(&layer, Unroll::new(2, 2, 2, 2, 1, 1), 16, 16);
+    }
+
+    #[test]
+    fn strided_dilated_layer_bit_exact() {
+        let layer = ConvLayer::new("C", 2, 1, 4, 3)
+            .with_stride(2)
+            .with_dilation(3);
+        check_layer(&layer, Unroll::new(2, 1, 2, 2, 2, 2), 16, 17);
     }
 }

@@ -128,9 +128,9 @@ impl Compiler {
         let mut conv_plan = plan_network(net, self.d).into_iter();
         let mut choices = Vec::new();
         let mut instrs = Vec::new();
-        for (li, layer) in net.layers().iter().enumerate() {
-            let layer_u8 = li as u8;
-            match layer {
+        for step in net.steps() {
+            let layer_u8 = step.index as u8;
+            match step.layer {
                 Layer::Conv(_) => {
                     // Invariant: `plan_network` returns one choice per
                     // CONV layer in network order (flexcheck FXC05

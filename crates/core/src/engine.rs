@@ -200,15 +200,19 @@ impl FlexFlow {
 
     /// Functionally executes a compiled program on real data.
     ///
-    /// `kernels` supplies one [`KernelSet`] per CONV layer, in network
-    /// order. Returns the final tensor plus a per-step trace.
+    /// `kernels` supplies one [`KernelSet`] per CONV/FC layer, in
+    /// schedule order. Each instruction's layer materializes its routing
+    /// expression ([`flexsim_model::DataRef`]) over the retained
+    /// per-layer outputs — so branch/concat/residual DAG networks
+    /// execute exactly like chains, with the routing (concat, residual
+    /// add, map slices) costing buffer traffic but no PE cycles. The
+    /// result is the network's `output()` reference.
     ///
     /// # Panics
     ///
     /// Panics if the program wasn't compiled for this engine size, the
-    /// kernel sets don't match the CONV layers, or the network's layer
-    /// shapes don't chain (each layer's input must be exactly the
-    /// previous layer's output).
+    /// kernel sets don't match the CONV/FC layers, or a materialized
+    /// input doesn't match its layer's declared shape.
     pub fn execute(
         &mut self,
         program: &Program,
@@ -229,7 +233,8 @@ impl FlexFlow {
         let mut array = PeArray::new(self.d);
         let pooling = PoolingUnit::new(self.d);
         let mut buffers = BufferSet::new(self.d);
-        let mut current = input;
+        let source = input;
+        let mut outputs: Vec<Option<Tensor3>> = vec![None; net.layers().len()];
         let mut conv_idx = 0usize;
         let mut steps = Vec::new();
         let mut cycles = 0u64;
@@ -239,12 +244,16 @@ impl FlexFlow {
                 Instr::SwapBuffers => buffers.swap(),
                 Instr::Halt => break,
                 Instr::Conv { layer } => {
+                    let step = net
+                        .step(layer as usize)
+                        .expect("Conv instruction layer index out of range");
+                    let data = step.input.materialize(&source, &outputs);
                     // FC layers run as 1x1 convolutions over a flattened
                     // input (the compiler planned them the same way).
-                    let (conv, conv_input) = match &net.layers()[layer as usize] {
-                        flexsim_model::Layer::Conv(c) => (c.clone(), current.clone()),
+                    let (conv, conv_input) = match step.layer {
+                        flexsim_model::Layer::Conv(c) => (c.clone(), data),
                         flexsim_model::Layer::Fc(fc) => {
-                            let flat_len = current.len();
+                            let flat_len = data.len();
                             assert_eq!(
                                 flat_len,
                                 fc.inputs(),
@@ -252,7 +261,7 @@ impl FlexFlow {
                                 fc.name()
                             );
                             let flat =
-                                Tensor3::from_fn(flat_len, 1, 1, |m, _, _| current.as_slice()[m]);
+                                Tensor3::from_fn(flat_len, 1, 1, |m, _, _| data.as_slice()[m]);
                             (fc.as_conv(), flat)
                         }
                         flexsim_model::Layer::Pool(_) => {
@@ -287,28 +296,33 @@ impl FlexFlow {
                         cycles: report.cycles,
                         macs: report.macs,
                     });
-                    current = report.output;
+                    outputs[step.index] = Some(report.output);
                     conv_idx += 1;
                 }
                 Instr::Pool { layer } => {
+                    let step = net
+                        .step(layer as usize)
+                        .expect("Pool instruction layer index out of range");
+                    let data = step.input.materialize(&source, &outputs);
                     // Invariant: the compiler only emits Pool for POOL
                     // layers (statically provable: flexcheck FXC05).
-                    let pool = net.layers()[layer as usize]
+                    let pool = step
+                        .layer
                         .as_pool()
                         .expect("Pool instruction must target a POOL layer");
-                    let (out, stats): (Tensor3, PoolStats) = pooling.run(pool, &current);
+                    let (out, stats): (Tensor3, PoolStats) = pooling.run(pool, &data);
                     cycles += stats.cycles;
                     steps.push(StepTrace::Pool {
                         layer: pool.name().to_owned(),
                         cycles: stats.cycles,
                         alu_ops: stats.alu_ops,
                     });
-                    current = out;
+                    outputs[step.index] = Some(out);
                 }
             }
         }
         ExecutionTrace {
-            output: current,
+            output: net.output().materialize(&source, &outputs),
             cycles,
             steps,
         }

@@ -70,7 +70,13 @@ impl Mapping {
     }
 
     /// PE column serving operand `(n, i, j)` of an output at `(r, c)`:
-    /// the column holding input neuron `I^(n)_(r·stride+i, c·stride+j)`.
+    /// the column holding input neuron
+    /// `I^(n)_(r·stride+i·dilation, c·stride+j·dilation)`. With a
+    /// dilated kernel the tap walk stays collision-free only when
+    /// `gcd(dilation, Ti) = gcd(dilation, Tj) = 1`
+    /// ([`flexsim_dataflow::unroll::dilation_legal`]), which the
+    /// planner and flexcheck FXC06 enforce.
+    #[allow(clippy::too_many_arguments)] // six scalar tap coordinates, per the paper's notation
     pub fn operand_col(
         &self,
         n: usize,
@@ -79,8 +85,9 @@ impl Mapping {
         i: usize,
         j: usize,
         stride: usize,
+        dilation: usize,
     ) -> usize {
-        self.input_col(n, r * stride + i, c * stride + j)
+        self.input_col(n, r * stride + i * dilation, c * stride + j * dilation)
     }
 
     /// Number of PE rows occupied (`Tm·Tr·Tc`).
@@ -129,7 +136,7 @@ mod tests {
                 for di in 0..u.ti {
                     for dj in 0..u.tj {
                         assert!(
-                            seen.insert(map.operand_col(dn, r, c, di, dj, 1)),
+                            seen.insert(map.operand_col(dn, r, c, di, dj, 1, 1)),
                             "column collision at output ({r},{c})"
                         );
                     }
@@ -147,10 +154,25 @@ mod tests {
         // j=0 for output (0,1).
         let u = Unroll::new(2, 1, 1, 2, 1, 4);
         let map = Mapping::new(u);
-        let col_a = map.operand_col(0, 0, 0, 0, 1, 1); // I(0, 1) for O(0,0)
-        let col_b = map.operand_col(0, 0, 1, 0, 0, 1); // I(0, 1) for O(0,1)
+        let col_a = map.operand_col(0, 0, 0, 0, 1, 1, 1); // I(0, 1) for O(0,0)
+        let col_b = map.operand_col(0, 0, 1, 0, 0, 1, 1); // I(0, 1) for O(0,1)
         assert_eq!(col_a, col_b);
         assert_eq!(col_a, map.input_col(0, 0, 1));
+    }
+
+    #[test]
+    fn dilated_operands_stay_distinct_when_coprime() {
+        // dilation=2 with Ti=Tj=3 (coprime): the 9 taps of one output
+        // must still land on 9 distinct columns.
+        let u = Unroll::new(1, 1, 1, 1, 3, 3);
+        let map = Mapping::new(u);
+        let mut seen = HashSet::new();
+        for di in 0..3 {
+            for dj in 0..3 {
+                assert!(seen.insert(map.operand_col(0, 2, 5, di, dj, 1, 2)));
+            }
+        }
+        assert_eq!(seen.len(), 9);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! `⟨Tm, Tr, Tc⟩` triples, minimizing total engine cycles — this is the
 //! planner behind the paper's Table 4.
 
-use crate::unroll::Unroll;
+use crate::unroll::{dilation_legal, legal_synapse_factor, Unroll};
 use crate::utilization::{col_utilization, row_utilization, tile_count, total_utilization};
 use flexsim_model::{ConvLayer, Network};
 use std::fmt;
@@ -71,8 +71,9 @@ fn make_choice(layer: &ConvLayer, u: Unroll, d: usize) -> LayerChoice {
 pub(crate) fn row_candidates(layer: &ConvLayer, d: usize) -> Vec<(usize, usize, usize)> {
     let mut out = Vec::new();
     let k = layer.k();
-    for ti in 1..=k.min(d) {
-        for tj in 1..=k.min(d / ti) {
+    let dil = layer.dilation();
+    for ti in (1..=k.min(d)).filter(|&t| dilation_legal(dil, t)) {
+        for tj in (1..=k.min(d / ti)).filter(|&t| dilation_legal(dil, t)) {
             let max_tn = layer.n().min(d / (ti * tj));
             for tn in 1..=max_tn {
                 out.push((tn, ti, tj));
@@ -213,16 +214,12 @@ pub fn best_unroll_where(
 /// Panics if `d` is zero or the network has no CONV layers.
 pub fn plan_network(net: &Network, d: usize) -> Vec<LayerChoice> {
     assert!(d > 0, "engine side must be non-zero");
-    let conv_indices = net.conv_indices();
-    assert!(!conv_indices.is_empty(), "network has no CONV layers");
-    let layers: Vec<&ConvLayer> = conv_indices
+    let conv_steps: Vec<(usize, &ConvLayer)> = net.conv_steps().collect();
+    assert!(!conv_steps.is_empty(), "network has no CONV layers");
+    let layers: Vec<&ConvLayer> = conv_steps.iter().map(|&(_, l)| l).collect();
+    let rc_bounds: Vec<Option<usize>> = conv_steps
         .iter()
-        // Invariant: `conv_indices` only returns indices of CONV layers.
-        .map(|&i| net.layers()[i].as_conv().expect("conv index"))
-        .collect();
-    let rc_bounds: Vec<Option<usize>> = conv_indices
-        .iter()
-        .map(|&i| {
+        .map(|&(i, _)| {
             net.successor_coupling(i)
                 .map(|c| c.pool_window * c.next_conv.k())
         })
@@ -269,10 +266,11 @@ pub fn plan_network(net: &Network, d: usize) -> Vec<LayerChoice> {
                 continue;
             }
             // IADP: incoming row side = previous col side, clamped to this
-            // layer's N/K bounds (shapes can disagree, see module docs).
+            // layer's N/K bounds (shapes can disagree, see module docs)
+            // and reduced to a dilation-legal synapse factor.
             let tn = ptm.min(layer.n());
-            let ti = ptr.min(layer.k());
-            let tj = ptc.min(layer.k());
+            let ti = legal_synapse_factor(layer.dilation(), ptr.min(layer.k()));
+            let tj = legal_synapse_factor(layer.dilation(), ptc.min(layer.k()));
             if tn * ti * tj > d {
                 continue;
             }
@@ -310,7 +308,11 @@ pub fn plan_network(net: &Network, d: usize) -> Vec<LayerChoice> {
             first_row
         } else {
             let (ptm, ptr, ptc) = states[li - 1][chain[li - 1]];
-            (ptm.min(layer.n()), ptr.min(layer.k()), ptc.min(layer.k()))
+            (
+                ptm.min(layer.n()),
+                legal_synapse_factor(layer.dilation(), ptr.min(layer.k())),
+                legal_synapse_factor(layer.dilation(), ptc.min(layer.k())),
+            )
         };
         let u = Unroll::new(tm, tn, tr, tc, ti, tj);
         debug_assert!(
@@ -339,13 +341,11 @@ pub fn plan_network(net: &Network, d: usize) -> Vec<LayerChoice> {
 /// Panics if `d` is zero.
 pub fn analyzer_chain(net: &Network, d: usize) -> Vec<LayerChoice> {
     assert!(d > 0, "engine side must be non-zero");
-    let idxs = net.conv_indices();
-    let convs: Vec<&ConvLayer> = net.conv_layers().collect();
-    let mut out: Vec<LayerChoice> = Vec::with_capacity(convs.len());
+    let mut out: Vec<LayerChoice> = Vec::new();
     let mut prev: Option<Unroll> = None;
-    for (pos, layer) in convs.iter().enumerate() {
+    for (index, layer) in net.conv_steps() {
         let bound = net
-            .successor_coupling(idxs[pos])
+            .successor_coupling(index)
             .map(|c| c.pool_window * c.next_conv.k());
         let mut choice = best_unroll(layer, d, bound);
         if let Some(p) = prev {
@@ -354,8 +354,8 @@ pub fn analyzer_chain(net: &Network, d: usize) -> Vec<LayerChoice> {
                 p.tm.min(layer.n()),
                 choice.unroll.tr,
                 choice.unroll.tc,
-                p.tr.min(layer.k()),
-                p.tc.min(layer.k()),
+                legal_synapse_factor(layer.dilation(), p.tr.min(layer.k())),
+                legal_synapse_factor(layer.dilation(), p.tc.min(layer.k())),
             );
             choice = make_choice(layer, u, d);
         }
@@ -504,6 +504,35 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn dilated_layer_plans_stay_legal() {
+        // dilation=2 forbids even synapse factors; the greedy optimum,
+        // the DP plan, and the IADP hand-off must all respect it.
+        let net = flexsim_model::Network::builder("dil")
+            .conv(ConvLayer::new("C1", 8, 1, 12, 3))
+            .conv(
+                ConvLayer::new("C2", 4, 8, 6, 3)
+                    .with_dilation(2)
+                    .with_input_size(12),
+            )
+            .build();
+        for choice in plan_network(&net, 16)
+            .into_iter()
+            .chain(analyzer_chain(&net, 16))
+        {
+            let layer = net.conv_layer(&choice.layer).unwrap();
+            assert!(
+                choice.unroll.satisfies(layer, 16, None),
+                "{}: {} illegal",
+                choice.layer,
+                choice.unroll
+            );
+        }
+        let c2 = net.conv_layer("C2").unwrap();
+        let best = best_unroll(c2, 16, None);
+        assert!(best.unroll.ti % 2 == 1 && best.unroll.tj % 2 == 1);
     }
 
     #[test]

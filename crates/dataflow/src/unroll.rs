@@ -3,6 +3,32 @@
 use flexsim_model::ConvLayer;
 use std::fmt;
 
+fn gcd(mut a: usize, mut b: usize) -> usize {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// Is `t` a legal synapse-loop factor (`Ti` or `Tj`) for a kernel of
+/// the given dilation?
+///
+/// Within one PE row, the `t` operand columns for a tap walk index
+/// `(i · dilation) mod t`; the walk covers all `t` residues — so no two
+/// taps collide on a column — iff `gcd(dilation, t) = 1`. Dense kernels
+/// (`dilation = 1`) admit every factor; `t = 1` is always legal.
+pub fn dilation_legal(dilation: usize, t: usize) -> bool {
+    gcd(dilation, t) == 1
+}
+
+/// Largest legal synapse factor `≤ cap` for the dilation (at least 1).
+pub fn legal_synapse_factor(dilation: usize, cap: usize) -> usize {
+    (1..=cap.max(1))
+        .rev()
+        .find(|&t| dilation_legal(dilation, t))
+        .unwrap_or(1)
+}
+
 /// Unrolling factors for the six CONV loops (paper Section 2.2, Fig. 4).
 ///
 /// * `tm`, `tn` — feature-map loops `m`, `n` (FP degree),
@@ -83,13 +109,17 @@ impl Unroll {
 
     /// Checks the paper's Constraint (1) for `layer` on a `d×d` engine,
     /// with an optional bound `max_rc` on `Tr`/`Tc` from the successor
-    /// coupling (`Tr, Tc ≤ P·K'`).
+    /// coupling (`Tr, Tc ≤ P·K'`). For dilated kernels the synapse
+    /// factors must additionally be coprime with the dilation
+    /// ([`dilation_legal`]) so operand columns never collide.
     pub fn satisfies(&self, layer: &ConvLayer, d: usize, max_rc: Option<usize>) -> bool {
         let rc_bound = max_rc.unwrap_or(usize::MAX);
         self.tm <= layer.m()
             && self.tn <= layer.n()
             && self.ti <= layer.k()
             && self.tj <= layer.k()
+            && dilation_legal(layer.dilation(), self.ti)
+            && dilation_legal(layer.dilation(), self.tj)
             && self.tr <= layer.s().min(rc_bound)
             && self.tc <= layer.s().min(rc_bound)
             && self.cols_used() <= d
@@ -166,6 +196,22 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_factor_rejected() {
         let _ = Unroll::new(0, 1, 1, 1, 1, 1);
+    }
+
+    #[test]
+    fn dilation_constrains_synapse_factors() {
+        // k=3, dilation=2: Ti=2 would fold taps 0 and 2 (offsets 0, 4)
+        // onto column 0 — illegal; Ti=3 is coprime with 2 — legal.
+        let layer = ConvLayer::new("C", 4, 1, 4, 3).with_dilation(2);
+        assert!(!Unroll::new(1, 1, 1, 1, 2, 1).satisfies(&layer, 16, None));
+        assert!(!Unroll::new(1, 1, 1, 1, 1, 2).satisfies(&layer, 16, None));
+        assert!(Unroll::new(1, 1, 1, 1, 3, 3).satisfies(&layer, 16, None));
+        assert!(dilation_legal(1, 7));
+        assert!(dilation_legal(3, 2));
+        assert!(!dilation_legal(4, 2));
+        assert_eq!(legal_synapse_factor(2, 4), 3);
+        assert_eq!(legal_synapse_factor(6, 4), 1);
+        assert_eq!(legal_synapse_factor(1, 5), 5);
     }
 
     #[test]

@@ -435,6 +435,28 @@ pub(crate) fn honesty_fields() -> [(&'static str, Json); 3] {
     ]
 }
 
+/// Workload-count honesty fields for a history entry: how many
+/// workloads were resolvable when the line was recorded, split into
+/// built-ins and discovered `.ffnet` files — so a wall-time or
+/// attribution shift caused by the workload set growing is
+/// attributable from the log alone.
+fn workload_counts() -> [(&'static str, Json); 3] {
+    use flexsim_model::registry::WorkloadSource;
+    let entries = crate::frontend::registry().entries();
+    let builtin = entries
+        .iter()
+        .filter(|e| e.source == WorkloadSource::Builtin)
+        .count();
+    [
+        ("workloads_total", Json::Int(entries.len() as i64)),
+        ("workloads_builtin", Json::Int(builtin as i64)),
+        (
+            "workloads_ffnet",
+            Json::Int((entries.len() - builtin) as i64),
+        ),
+    ]
+}
+
 /// One history line, keys in stable order.
 #[allow(clippy::too_many_arguments)] // a serialization boundary, not an API
 fn history_entry(
@@ -458,6 +480,7 @@ fn history_entry(
         ]
         .into_iter()
         .chain(honesty)
+        .chain(workload_counts())
         .chain([
             ("busy_pe_cycles", Json::Int(attrib.busy_pe_cycles as i64)),
             (

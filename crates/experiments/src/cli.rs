@@ -8,6 +8,8 @@
 /// Usage text printed on `--help` and on every parse error.
 pub const USAGE: &str = "\
 usage: flexsim [OPTIONS] [EXPERIMENT-ID...]
+       flexsim run WORKLOAD|PATH.ffnet [--json] [--jobs N]
+       flexsim workloads [--json]
        flexsim lint [--json]
        flexsim profile [WORKLOAD] [--json]
        flexsim prove [WORKLOAD] [--json] [--mutate] [--jobs N]
@@ -19,6 +21,21 @@ usage: flexsim [OPTIONS] [EXPERIMENT-ID...]
 
 Runs the FlexFlow (HPCA'17) evaluation experiments. With no ids (or
 with `all`) every experiment runs in paper order.
+
+Everywhere a WORKLOAD is accepted it is a workload *reference*: a
+built-in name or alias (case- and hyphen-insensitive — `lenet`,
+`LeNet-5`, `vgg`, ...), a path to a `.ffnet` network file, or the bare
+stem of a file in `examples/`. `flexsim workloads` lists what resolves.
+
+`flexsim run WORKLOAD|PATH.ffnet` simulates one workload on all four
+architectures (Systolic, 2D-Mapping, Tiling, FlexFlow) at the paper
+scale: cycles, utilization, and lost PE-cycles per architecture, with
+every loss ledger checked against the FXC09 exactness identity.
+Unresolvable references (unknown name, unreadable file, or a `.ffnet`
+parse/shape error with line and path context) exit 2.
+
+`flexsim workloads` lists every resolvable workload — built-ins plus
+`examples/*.ffnet` — with layer, CONV-MAC, and parameter counts.
 
 `flexsim lint` statically verifies every Table 1 workload on all four
 architectures with the flexcheck rules (FXC01-FXC12: local-store
@@ -120,6 +137,10 @@ pub struct Cli {
     pub metrics: bool,
     /// Run the static verifier sweep instead of any experiment.
     pub lint: bool,
+    /// Simulate one workload reference on all four architectures.
+    pub run: bool,
+    /// List every resolvable workload instead of any experiment.
+    pub workloads: bool,
     /// Run the benchmark subcommand instead of any experiment.
     pub bench: bool,
     /// Run the mapping auto-tuner instead of any experiment.
@@ -176,6 +197,8 @@ pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Cli, String> {
             "--metrics" => cli.metrics = true,
             "--no-lint" => cli.no_lint = true,
             "lint" => cli.lint = true,
+            "run" => cli.run = true,
+            "workloads" => cli.workloads = true,
             "bench" => cli.bench = true,
             "tune" => cli.tune = true,
             "prove" => cli.prove = true,
@@ -442,6 +465,26 @@ mod tests {
         let cli = p(&["profile", "alexnet", "--json"]).unwrap();
         assert!(cli.json);
         assert_eq!(cli.ids, ["profile", "alexnet"]);
+    }
+
+    #[test]
+    fn run_is_a_subcommand_with_a_reference() {
+        let cli = p(&["run", "examples/resnet_block.ffnet", "--json"]).unwrap();
+        assert!(cli.run && cli.json && !cli.lint);
+        assert_eq!(cli.ids, ["examples/resnet_block.ffnet"]);
+        let cli = p(&["run", "lenet", "--jobs", "2"]).unwrap();
+        assert!(cli.run);
+        assert_eq!(cli.ids, ["lenet"]);
+        assert_eq!(cli.jobs, Some(2));
+    }
+
+    #[test]
+    fn workloads_is_a_subcommand() {
+        let cli = p(&["workloads"]).unwrap();
+        assert!(cli.workloads && !cli.run && !cli.bench);
+        assert!(cli.ids.is_empty());
+        let cli = p(&["workloads", "--json"]).unwrap();
+        assert!(cli.workloads && cli.json);
     }
 
     #[test]

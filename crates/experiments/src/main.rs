@@ -10,6 +10,9 @@
 //! flexsim --trace out.json fig15 # Chrome trace (Perfetto-loadable)
 //! flexsim --metrics fig15        # dump the metrics registry
 //! flexsim --list                 # available experiment ids
+//! flexsim run lenet              # one workload on all four architectures
+//! flexsim run net.ffnet          # ... same, from a user-supplied .ffnet file
+//! flexsim workloads              # list every resolvable workload
 //! flexsim lint                   # static verification sweep
 //! flexsim lint --json            # same findings, byte-stable structured JSON
 //! flexsim profile alexnet        # per-layer loss attribution + roofline
@@ -98,6 +101,16 @@ fn main() {
         emit(vec![result], cli.json);
         write_telemetry(&cli);
         std::process::exit(i32::from(failures > 0));
+    }
+    if cli.run {
+        let code = flexsim_experiments::frontend::run(&cli);
+        write_telemetry(&cli);
+        std::process::exit(code);
+    }
+    if cli.workloads {
+        let code = flexsim_experiments::frontend::workloads(&cli);
+        write_telemetry(&cli);
+        std::process::exit(code);
     }
     if cli.bench {
         let code = flexsim_experiments::bench::run(&cli);
@@ -232,13 +245,12 @@ fn select(cli: &Cli) -> Vec<&'static dyn Experiment> {
 /// roofline report for one Table 1 workload.
 fn profile_workload(cli: &Cli) {
     let name = &cli.ids[1];
-    let Some(net) = flexsim_model::workloads::by_name(name) else {
-        let names: Vec<String> = flexsim_model::workloads::all()
-            .iter()
-            .map(|n| n.name().to_lowercase())
-            .collect();
-        eprintln!("unknown workload {name:?}; available: {}", names.join(", "));
-        std::process::exit(2);
+    let net = match flexsim_experiments::frontend::registry().resolve(name) {
+        Ok(net) => net,
+        Err(e) => {
+            eprintln!("flexsim: {e}");
+            std::process::exit(2);
+        }
     };
     let jobs = cli.jobs.unwrap_or_else(flexsim_pool::available_parallelism);
     let ctx = flexsim_experiments::ExperimentCtx::parallel("profile", jobs);
@@ -253,24 +265,19 @@ fn profile_workload(cli: &Cli) {
 }
 
 /// Resolves a subcommand's optional `[WORKLOAD]` argument: all six
-/// Table 1 workloads when absent, the named one otherwise (usage-error
-/// `Err` exit code on anything else).
+/// Table 1 workloads when absent, the referenced one otherwise — a
+/// built-in name, alias, or `.ffnet` path, resolved through the
+/// registry (usage-error `Err` exit code on anything else).
 fn resolve_workloads(cli: &Cli, cmd: &str) -> Result<Vec<flexsim_model::Network>, i32> {
     match cli.ids.len() {
         0 => Ok(flexsim_model::workloads::all()),
-        1 => {
-            let name = &cli.ids[0];
-            if let Some(net) = flexsim_model::workloads::by_name(name) {
-                Ok(vec![net])
-            } else {
-                let names: Vec<String> = flexsim_model::workloads::all()
-                    .iter()
-                    .map(|n| n.name().to_lowercase())
-                    .collect();
-                eprintln!("unknown workload {name:?}; available: {}", names.join(", "));
+        1 => match flexsim_experiments::frontend::registry().resolve(&cli.ids[0]) {
+            Ok(net) => Ok(vec![net]),
+            Err(e) => {
+                eprintln!("flexsim: {e}");
                 Err(2)
             }
-        }
+        },
         _ => {
             eprintln!("flexsim: {cmd} takes at most one workload");
             Err(2)

@@ -222,6 +222,7 @@ fn fmt_losses(ledger: &LossLedger) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use flexsim_model::registry::WorkloadRegistry;
 
     #[test]
     fn covers_every_workload_arch_and_layer() {
@@ -247,7 +248,7 @@ mod tests {
     fn single_workload_report_is_cross_arch() {
         let r = run_workloads(
             &ExperimentCtx::serial("profile"),
-            &[workloads::by_name("lenet5").unwrap()],
+            &[WorkloadRegistry::new().resolve("lenet5").unwrap()],
         );
         // 2 conv layers + the (all) row, for each of the 4 architectures.
         assert_eq!(r.table.rows().len(), 3 * ARCH_NAMES.len());

@@ -1,0 +1,509 @@
+//! The `.ffnet` network format: a zero-dependency JSON dialect that
+//! describes a layer DAG, parsed with the testkit's [`Json`] reader and
+//! lowered through [`crate::graph`] into a validated [`Network`].
+//!
+//! # Grammar
+//!
+//! A `.ffnet` file is one JSON object:
+//!
+//! ```json
+//! {
+//!   "name": "resnet_block",
+//!   "input": { "maps": 4, "size": 12 },
+//!   "nodes": [
+//!     { "id": "c1", "op": "conv", "in": "input", "m": 4, "k": 3, "act": "relu" },
+//!     { "id": "c2", "op": "conv", "in": "c1", "m": 4, "k": 3 },
+//!     { "id": "sum", "op": "add", "in": ["c1", "c2"] }
+//!   ],
+//!   "output": "sum"
+//! }
+//! ```
+//!
+//! * `input` declares the source tensor (`maps` feature maps of
+//!   `size × size`); nodes reference it by the reserved id `"input"`.
+//! * `in` is a node id or a list of them; it may be omitted, in which
+//!   case the node reads the previous node in the list (the first node
+//!   reads the source) — so plain chains need no edges at all.
+//! * `output` defaults to the last node.
+//! * Per-op fields: `conv` takes `m`, `k` and optional `stride`,
+//!   `dilation`, `act` (`"none"`/`"relu"`); `dwconv` the same minus
+//!   `m`; `pool` takes `window` and optional `kind` (`"max"`/`"avg"`);
+//!   `fc` takes `outputs` and optional `act`; `slice` takes `from`,
+//!   `to`; `concat`/`add` take only `in`. `n` and input sizes are never
+//!   written — they are inferred along the graph.
+//! * Unknown fields anywhere are errors, so typos fail loudly instead
+//!   of silently changing the net.
+//!
+//! # Errors
+//!
+//! Every failure mode — JSON syntax, a missing or mistyped field, and
+//! every graph-level diagnostic (dangling edge, cycle, shape mismatch
+//! at a concat, …) — surfaces as one [`FfnetError`] carrying `line:col`
+//! (syntax) or a JSON path like `nodes[2].k` (structure), plus a hint.
+
+use crate::graph::{Graph, GraphBuilder, GraphError, GraphOp, SOURCE_ID};
+use crate::layer::{Activation, PoolKind};
+use crate::network::{Network, Shape};
+use flexsim_testkit::json::Json;
+use std::fmt;
+
+/// A diagnostic from reading a `.ffnet` document: where (line/column
+/// for syntax, JSON path for structure, node id for graph problems),
+/// what, and a hint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FfnetError {
+    /// `line:col` position for JSON syntax errors (1-based).
+    pub position: Option<(usize, usize)>,
+    /// JSON path (`nodes[2].k`) or node context for structural errors.
+    pub path: Option<String>,
+    /// What is wrong.
+    pub message: String,
+    /// What would fix it.
+    pub hint: String,
+}
+
+impl FfnetError {
+    fn at_path(
+        path: impl Into<String>,
+        message: impl Into<String>,
+        hint: impl Into<String>,
+    ) -> Self {
+        FfnetError {
+            position: None,
+            path: Some(path.into()),
+            message: message.into(),
+            hint: hint.into(),
+        }
+    }
+}
+
+impl fmt::Display for FfnetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.position, &self.path) {
+            (Some((line, col)), _) => {
+                write!(f, "{line}:{col}: {} ({})", self.message, self.hint)
+            }
+            (None, Some(path)) => write!(f, "{path}: {} ({})", self.message, self.hint),
+            (None, None) => write!(f, "{} ({})", self.message, self.hint),
+        }
+    }
+}
+
+impl std::error::Error for FfnetError {}
+
+impl From<GraphError> for FfnetError {
+    fn from(e: GraphError) -> FfnetError {
+        FfnetError {
+            position: None,
+            path: e.node.as_ref().map(|n| format!("node `{n}`")),
+            message: e.message,
+            hint: e.hint,
+        }
+    }
+}
+
+/// Converts a byte offset into a 1-based `(line, column)` pair.
+fn line_col(text: &str, offset: usize) -> (usize, usize) {
+    let clamped = offset.min(text.len());
+    let before = &text[..clamped];
+    let line = before.bytes().filter(|&b| b == b'\n').count() + 1;
+    let col = before.rfind('\n').map_or(clamped + 1, |nl| clamped - nl);
+    (line, col)
+}
+
+/// Parses `.ffnet` text into a structurally validated [`Graph`].
+///
+/// # Errors
+///
+/// Returns an [`FfnetError`] with `line:col` for syntax problems and a
+/// JSON path for structural ones.
+pub fn parse_graph(text: &str) -> Result<Graph, FfnetError> {
+    let doc = Json::parse(text).map_err(|e| FfnetError {
+        position: Some(line_col(text, e.offset)),
+        path: None,
+        message: e.message,
+        hint: "the file must be one JSON object".into(),
+    })?;
+    graph_from_json(&doc)
+}
+
+/// Parses `.ffnet` text all the way to a shape-checked [`Network`].
+///
+/// # Errors
+///
+/// Returns an [`FfnetError`] for syntax, structural, and graph-level
+/// (shape inference, cycles, dangling edges) problems alike.
+pub fn parse_network(text: &str) -> Result<Network, FfnetError> {
+    Ok(parse_graph(text)?.into_network()?)
+}
+
+fn graph_from_json(doc: &Json) -> Result<Graph, FfnetError> {
+    let pairs = as_object(doc, "$")?;
+    check_fields("$", pairs, &["name", "input", "nodes", "output"])?;
+    let name = req_str(pairs, "$", "name")?;
+    let input = field(pairs, "$", "input")?;
+    let source = shape_from_json(input)?;
+    let nodes_json = match field(pairs, "$", "nodes")? {
+        Json::Arr(items) => items,
+        _ => {
+            return Err(FfnetError::at_path(
+                "nodes",
+                "`nodes` must be an array",
+                "list the layer nodes in evaluation order",
+            ))
+        }
+    };
+    if nodes_json.is_empty() {
+        return Err(FfnetError::at_path(
+            "nodes",
+            "the node list is empty",
+            "a network needs at least one compute node",
+        ));
+    }
+    let mut builder = GraphBuilder::new(name, source);
+    let mut previous = SOURCE_ID.to_owned();
+    for (i, node) in nodes_json.iter().enumerate() {
+        let path = format!("nodes[{i}]");
+        let (id, op, inputs) = node_from_json(node, &path, &previous)?;
+        previous = id.clone();
+        builder = builder.node(id, op, inputs);
+    }
+    if let Some(output) = pairs.iter().find(|(k, _)| k == "output") {
+        match &output.1 {
+            Json::Str(s) => builder = builder.output(s.clone()),
+            _ => {
+                return Err(FfnetError::at_path(
+                    "output",
+                    "`output` must be a node id string",
+                    "name the node whose value leaves the network",
+                ))
+            }
+        }
+    }
+    Ok(builder.build()?)
+}
+
+fn shape_from_json(value: &Json) -> Result<Shape, FfnetError> {
+    let pairs = as_object(value, "input")?;
+    check_fields("input", pairs, &["maps", "size"])?;
+    let maps = req_usize(pairs, "input", "maps")?;
+    let size = req_usize(pairs, "input", "size")?;
+    if maps == 0 || size == 0 {
+        return Err(FfnetError::at_path(
+            "input",
+            "input maps and size must be non-zero",
+            "declare the source tensor's real shape",
+        ));
+    }
+    Ok(Shape { maps, size })
+}
+
+fn node_from_json(
+    value: &Json,
+    path: &str,
+    previous: &str,
+) -> Result<(String, GraphOp, Vec<String>), FfnetError> {
+    let pairs = as_object(value, path)?;
+    let id = req_str(pairs, path, "id")?;
+    let op_name = req_str(pairs, path, "op")?;
+    let inputs = match pairs.iter().find(|(k, _)| k == "in") {
+        None => vec![previous.to_owned()],
+        Some((_, Json::Str(s))) => vec![s.clone()],
+        Some((_, Json::Arr(items))) => {
+            let mut ids = Vec::with_capacity(items.len());
+            for item in items {
+                match item {
+                    Json::Str(s) => ids.push(s.clone()),
+                    _ => {
+                        return Err(FfnetError::at_path(
+                            format!("{path}.in"),
+                            "`in` entries must be node id strings",
+                            "reference nodes by id",
+                        ))
+                    }
+                }
+            }
+            ids
+        }
+        Some(_) => {
+            return Err(FfnetError::at_path(
+                format!("{path}.in"),
+                "`in` must be a node id or a list of them",
+                "write \"in\": \"c1\" or \"in\": [\"c1\", \"c2\"]",
+            ))
+        }
+    };
+    let common = ["id", "op", "in"];
+    let op = match op_name.as_str() {
+        "conv" => {
+            check_fields_with(
+                path,
+                pairs,
+                &common,
+                &["m", "k", "stride", "dilation", "act"],
+            )?;
+            GraphOp::Conv {
+                m: req_usize(pairs, path, "m")?,
+                k: req_usize(pairs, path, "k")?,
+                stride: opt_usize(pairs, path, "stride")?.unwrap_or(1),
+                dilation: opt_usize(pairs, path, "dilation")?.unwrap_or(1),
+                activation: activation(pairs, path)?,
+            }
+        }
+        "dwconv" => {
+            check_fields_with(path, pairs, &common, &["k", "stride", "dilation", "act"])?;
+            GraphOp::DwConv {
+                k: req_usize(pairs, path, "k")?,
+                stride: opt_usize(pairs, path, "stride")?.unwrap_or(1),
+                dilation: opt_usize(pairs, path, "dilation")?.unwrap_or(1),
+                activation: activation(pairs, path)?,
+            }
+        }
+        "pool" => {
+            check_fields_with(path, pairs, &common, &["window", "kind"])?;
+            let kind = match opt_str(pairs, path, "kind")?.as_deref() {
+                None | Some("max") => PoolKind::Max,
+                Some("avg") => PoolKind::Avg,
+                Some(other) => {
+                    return Err(FfnetError::at_path(
+                        format!("{path}.kind"),
+                        format!("unknown pool kind `{other}`"),
+                        "use \"max\" or \"avg\"",
+                    ))
+                }
+            };
+            GraphOp::Pool {
+                kind,
+                window: req_usize(pairs, path, "window")?,
+            }
+        }
+        "fc" => {
+            check_fields_with(path, pairs, &common, &["outputs", "act"])?;
+            GraphOp::Fc {
+                outputs: req_usize(pairs, path, "outputs")?,
+                activation: activation(pairs, path)?,
+            }
+        }
+        "concat" => {
+            check_fields_with(path, pairs, &common, &[])?;
+            GraphOp::Concat
+        }
+        "add" => {
+            check_fields_with(path, pairs, &common, &[])?;
+            GraphOp::Add
+        }
+        "slice" => {
+            check_fields_with(path, pairs, &common, &["from", "to"])?;
+            GraphOp::Slice {
+                from: req_usize(pairs, path, "from")?,
+                to: req_usize(pairs, path, "to")?,
+            }
+        }
+        other => {
+            return Err(FfnetError::at_path(
+                format!("{path}.op"),
+                format!("unknown op `{other}`"),
+                "ops are conv, dwconv, pool, fc, concat, add, slice",
+            ))
+        }
+    };
+    Ok((id, op, inputs))
+}
+
+fn activation(pairs: &[(String, Json)], path: &str) -> Result<Activation, FfnetError> {
+    match opt_str(pairs, path, "act")?.as_deref() {
+        None | Some("none") => Ok(Activation::None),
+        Some("relu") => Ok(Activation::Relu),
+        Some(other) => Err(FfnetError::at_path(
+            format!("{path}.act"),
+            format!("unknown activation `{other}`"),
+            "use \"none\" or \"relu\"",
+        )),
+    }
+}
+
+fn as_object<'a>(value: &'a Json, path: &str) -> Result<&'a [(String, Json)], FfnetError> {
+    match value {
+        Json::Obj(pairs) => Ok(pairs),
+        _ => Err(FfnetError::at_path(
+            path,
+            "expected a JSON object",
+            "see the .ffnet grammar in DESIGN.md §13",
+        )),
+    }
+}
+
+fn check_fields(path: &str, pairs: &[(String, Json)], allowed: &[&str]) -> Result<(), FfnetError> {
+    check_fields_with(path, pairs, allowed, &[])
+}
+
+fn check_fields_with(
+    path: &str,
+    pairs: &[(String, Json)],
+    common: &[&str],
+    extra: &[&str],
+) -> Result<(), FfnetError> {
+    for (key, _) in pairs {
+        if !common.contains(&key.as_str()) && !extra.contains(&key.as_str()) {
+            let mut allowed: Vec<&str> = common.iter().chain(extra).copied().collect();
+            allowed.sort_unstable();
+            return Err(FfnetError::at_path(
+                format!("{path}.{key}"),
+                format!("unknown field `{key}`"),
+                format!("allowed fields here: {}", allowed.join(", ")),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn field<'a>(pairs: &'a [(String, Json)], path: &str, key: &str) -> Result<&'a Json, FfnetError> {
+    pairs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| {
+            FfnetError::at_path(
+                format!("{path}.{key}"),
+                format!("missing required field `{key}`"),
+                "see the .ffnet grammar in DESIGN.md §13",
+            )
+        })
+}
+
+fn req_str(pairs: &[(String, Json)], path: &str, key: &str) -> Result<String, FfnetError> {
+    match field(pairs, path, key)? {
+        Json::Str(s) => Ok(s.clone()),
+        _ => Err(FfnetError::at_path(
+            format!("{path}.{key}"),
+            format!("`{key}` must be a string"),
+            "quote the value",
+        )),
+    }
+}
+
+fn opt_str(pairs: &[(String, Json)], path: &str, key: &str) -> Result<Option<String>, FfnetError> {
+    match pairs.iter().find(|(k, _)| k == key) {
+        None => Ok(None),
+        Some((_, Json::Str(s))) => Ok(Some(s.clone())),
+        Some(_) => Err(FfnetError::at_path(
+            format!("{path}.{key}"),
+            format!("`{key}` must be a string"),
+            "quote the value",
+        )),
+    }
+}
+
+fn req_usize(pairs: &[(String, Json)], path: &str, key: &str) -> Result<usize, FfnetError> {
+    match field(pairs, path, key)? {
+        Json::Int(i) if *i >= 0 => Ok(*i as usize),
+        _ => Err(FfnetError::at_path(
+            format!("{path}.{key}"),
+            format!("`{key}` must be a non-negative integer"),
+            "write a plain number",
+        )),
+    }
+}
+
+fn opt_usize(pairs: &[(String, Json)], path: &str, key: &str) -> Result<Option<usize>, FfnetError> {
+    match pairs.iter().find(|(k, _)| k == key) {
+        None => Ok(None),
+        Some((_, Json::Int(i))) if *i >= 0 => Ok(Some(*i as usize)),
+        Some(_) => Err(FfnetError::at_path(
+            format!("{path}.{key}"),
+            format!("`{key}` must be a non-negative integer"),
+            "write a plain number",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RESIDUAL: &str = r#"{
+      "name": "res",
+      "input": { "maps": 4, "size": 12 },
+      "nodes": [
+        { "id": "c1", "op": "conv", "m": 4, "k": 3 },
+        { "id": "c2", "op": "conv", "in": "c1", "m": 4, "k": 3 },
+        { "id": "skip", "op": "slice", "in": "c1", "from": 0, "to": 4 },
+        { "id": "sum", "op": "add", "in": ["c2", "skip"] }
+      ]
+    }"#;
+
+    #[test]
+    fn residual_net_parses_and_lowers() {
+        // skip is 10x10 but c2 is 8x8 — the add mismatch must be
+        // diagnosed, proving shape inference runs end to end.
+        let err = parse_network(RESIDUAL).unwrap_err();
+        assert!(err.message.contains("add shape mismatch"), "{err}");
+        assert_eq!(err.path.as_deref(), Some("node `sum`"));
+    }
+
+    #[test]
+    fn implicit_chain_edges_follow_the_node_list() {
+        let net = parse_network(
+            r#"{
+              "name": "chain",
+              "input": { "maps": 1, "size": 10 },
+              "nodes": [
+                { "id": "c1", "op": "conv", "m": 2, "k": 3 },
+                { "id": "p1", "op": "pool", "window": 2 },
+                { "id": "fc", "op": "fc", "outputs": 4, "act": "relu" }
+              ]
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(net.layers().len(), 3);
+        let c1 = net.conv_layer("c1").unwrap();
+        assert_eq!((c1.n(), c1.s()), (1, 8));
+    }
+
+    #[test]
+    fn syntax_error_reports_line_and_column() {
+        let err = parse_network("{\n  \"name\": \"x\",\n  broken\n}").unwrap_err();
+        let (line, _col) = err.position.expect("position");
+        assert_eq!(line, 3);
+    }
+
+    #[test]
+    fn unknown_field_is_rejected_with_its_path() {
+        let err = parse_network(
+            r#"{
+              "name": "x",
+              "input": { "maps": 1, "size": 8 },
+              "nodes": [ { "id": "c", "op": "conv", "m": 2, "k": 3, "kernel": 3 } ]
+            }"#,
+        )
+        .unwrap_err();
+        assert_eq!(err.path.as_deref(), Some("nodes[0].kernel"));
+        assert!(err.message.contains("unknown field"), "{err}");
+        assert!(
+            err.hint.contains("dilation"),
+            "hint lists fields: {}",
+            err.hint
+        );
+    }
+
+    #[test]
+    fn dangling_edge_flows_through_from_the_graph() {
+        let err = parse_network(
+            r#"{
+              "name": "x",
+              "input": { "maps": 1, "size": 8 },
+              "nodes": [ { "id": "c", "op": "conv", "in": "ghost", "m": 2, "k": 3 } ]
+            }"#,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("dangling edge"), "{err}");
+    }
+
+    #[test]
+    fn line_col_math() {
+        assert_eq!(line_col("abc", 0), (1, 1));
+        assert_eq!(line_col("abc", 2), (1, 3));
+        assert_eq!(line_col("a\nbc", 2), (2, 1));
+        assert_eq!(line_col("a\nbc", 3), (2, 2));
+    }
+}

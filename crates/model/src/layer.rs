@@ -43,6 +43,7 @@ pub struct ConvLayer {
     s: usize,
     k: usize,
     stride: usize,
+    dilation: usize,
     s_in: usize,
     activation: Activation,
 }
@@ -73,13 +74,14 @@ impl ConvLayer {
             s,
             k,
             stride: 1,
+            dilation: 1,
             s_in: s + k - 1,
             activation: Activation::None,
         }
     }
 
     /// Sets the convolution stride, recomputing the default input size
-    /// (`S·stride + K − stride`).
+    /// (`(S−1)·stride + K'` where `K'` is the dilated kernel extent).
     ///
     /// # Panics
     ///
@@ -87,7 +89,21 @@ impl ConvLayer {
     pub fn with_stride(mut self, stride: usize) -> Self {
         assert!(stride > 0, "stride must be non-zero");
         self.stride = stride;
-        self.s_in = self.s * stride + self.k - stride;
+        self.s_in = (self.s - 1) * stride + self.k_extent();
+        self
+    }
+
+    /// Sets the kernel dilation (à-trous spacing between taps),
+    /// recomputing the default input size from the dilated kernel
+    /// extent `(K−1)·dilation + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dilation` is zero.
+    pub fn with_dilation(mut self, dilation: usize) -> Self {
+        assert!(dilation > 0, "dilation must be non-zero");
+        self.dilation = dilation;
+        self.s_in = (self.s - 1) * self.stride + self.k_extent();
         self
     }
 
@@ -99,7 +115,7 @@ impl ConvLayer {
     /// Panics if `s_in < k` (no full convolution window would fit).
     pub fn with_input_size(mut self, s_in: usize) -> Self {
         assert!(
-            s_in >= self.k,
+            s_in >= self.k_extent(),
             "input size must fit at least one kernel window"
         );
         self.s_in = s_in;
@@ -147,6 +163,19 @@ impl ConvLayer {
         self.stride
     }
 
+    /// Kernel dilation (1 = dense kernel).
+    #[inline]
+    pub fn dilation(&self) -> usize {
+        self.dilation
+    }
+
+    /// Spatial extent of the (possibly dilated) kernel:
+    /// `(K−1)·dilation + 1`. Equals `K` for dense kernels.
+    #[inline]
+    pub fn k_extent(&self) -> usize {
+        (self.k - 1) * self.dilation + 1
+    }
+
     /// Input feature-map side length.
     #[inline]
     pub fn input_size(&self) -> usize {
@@ -162,7 +191,7 @@ impl ConvLayer {
     /// Returns `true` if the declared input size covers every convolution
     /// window without padding (valid convolution).
     pub fn is_valid_convolution(&self) -> bool {
-        self.s_in >= (self.s - 1) * self.stride + self.k
+        self.s_in >= (self.s - 1) * self.stride + self.k_extent()
     }
 
     /// Number of multiply-accumulate operations in this layer:

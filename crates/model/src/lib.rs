@@ -3,9 +3,12 @@
 //! This crate provides everything the accelerator simulators in this
 //! workspace consume: 16-bit fixed-point arithmetic ([`fixed::Fx16`]),
 //! dense tensors ([`tensor::Tensor2`], [`tensor::Tensor3`]), a CNN layer
-//! and network model ([`layer`], [`network`]), the six practical workloads
-//! of the FlexFlow paper's Table 1 ([`workloads`]), and bit-exact golden
-//! reference operators ([`mod@reference`]) against which every simulator is
+//! and network model ([`layer`], [`network`]), a DAG layer-graph
+//! frontend ([`graph`]) with a zero-dependency on-disk format
+//! ([`ffnet`]), the six practical workloads of the FlexFlow paper's
+//! Table 1 ([`workloads`]) behind a uniform lookup
+//! ([`registry::WorkloadRegistry`]), and bit-exact golden reference
+//! operators ([`mod@reference`]) against which every simulator is
 //! validated.
 //!
 //! The paper (FlexFlow, HPCA 2017) characterizes a CONV layer by four
@@ -34,14 +37,18 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod ffnet;
 pub mod fixed;
+pub mod graph;
 pub mod layer;
 pub mod network;
 pub mod reference;
+pub mod registry;
 pub mod tensor;
 pub mod workloads;
 
 pub use fixed::{Acc32, Fx16};
 pub use layer::{Activation, ConvLayer, FcLayer, Layer, PoolKind, PoolLayer};
-pub use network::Network;
+pub use network::{DataRef, Network, Shape, Step};
+pub use registry::WorkloadRegistry;
 pub use tensor::{Tensor2, Tensor3};

@@ -6,7 +6,8 @@
 //! them bit-exactly on valid-convolution layers.
 
 use crate::fixed::{Acc32, Fx16};
-use crate::layer::{Activation, ConvLayer, FcLayer, PoolKind, PoolLayer};
+use crate::layer::{Activation, ConvLayer, FcLayer, Layer, PoolKind, PoolLayer};
+use crate::network::Network;
 use crate::tensor::{KernelSet, Tensor3};
 use flexsim_testkit::rng::SplitMix64;
 
@@ -31,6 +32,7 @@ use flexsim_testkit::rng::SplitMix64;
 pub fn conv(layer: &ConvLayer, input: &Tensor3, kernels: &KernelSet) -> Tensor3 {
     check_conv_shapes(layer, input, kernels);
     let (m, n, s, k, stride) = (layer.m(), layer.n(), layer.s(), layer.k(), layer.stride());
+    let dilation = layer.dilation();
     let mut out = Tensor3::zeros(m, s, s);
     for om in 0..m {
         for r in 0..s {
@@ -41,7 +43,7 @@ pub fn conv(layer: &ConvLayer, input: &Tensor3, kernels: &KernelSet) -> Tensor3 
                         for j in 0..k {
                             acc.mac(
                                 kernels[(om, inm, i, j)],
-                                input[(inm, r * stride + i, c * stride + j)],
+                                input[(inm, r * stride + i * dilation, c * stride + j * dilation)],
                             );
                         }
                     }
@@ -125,6 +127,90 @@ pub fn apply_activation(v: Fx16, activation: Activation) -> Fx16 {
     }
 }
 
+/// Functionally evaluates a whole [`Network`] — chain or DAG — on the
+/// golden operators: each step materializes its routing expression
+/// (concat/add/slice evaluate on the ping-pong buffer contents, costing
+/// no arithmetic beyond the saturating residual adds) and runs the
+/// layer; the result is the network's `output()` reference.
+///
+/// `kernels` supplies one [`KernelSet`] per CONV/FC layer in schedule
+/// order — the exact convention of the engine's `execute`, so the two
+/// are comparable bit-for-bit. FC layers run as 1×1 convolutions over
+/// the flattened input.
+///
+/// # Panics
+///
+/// Panics if the kernel count or any layer's materialized input shape
+/// doesn't match the network's declared shapes.
+pub fn network(net: &Network, input: &Tensor3, kernels: &[KernelSet]) -> Tensor3 {
+    let expected = net
+        .layers()
+        .iter()
+        .filter(|l| !matches!(l, Layer::Pool(_)))
+        .count();
+    assert_eq!(
+        kernels.len(),
+        expected,
+        "one kernel set per CONV/FC layer required"
+    );
+    let mut outputs: Vec<Option<Tensor3>> = vec![None; net.layers().len()];
+    let mut ki = 0usize;
+    for step in net.steps() {
+        let data = step.input.materialize(input, &outputs);
+        let out = match step.layer {
+            Layer::Conv(c) => {
+                let r = conv(c, &data, &kernels[ki]);
+                ki += 1;
+                r
+            }
+            Layer::Fc(f) => {
+                let flat_len = data.len();
+                assert_eq!(
+                    flat_len,
+                    f.inputs(),
+                    "layer {} flattened input length mismatch",
+                    f.name()
+                );
+                let flat = Tensor3::from_fn(flat_len, 1, 1, |m, _, _| data.as_slice()[m]);
+                let r = conv(&f.as_conv(), &flat, &kernels[ki]);
+                ki += 1;
+                r
+            }
+            Layer::Pool(p) => pool(p, &data),
+        };
+        outputs[step.index] = Some(out);
+    }
+    net.output().materialize(input, &outputs)
+}
+
+/// Generates a deterministic pseudorandom input tensor plus one kernel
+/// set per CONV/FC layer for a whole network — the companion of
+/// [`network`]. Same small-value regime as [`random_layer_data`].
+pub fn random_network_data(net: &Network, seed: u64) -> (Tensor3, Vec<KernelSet>) {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let src = net.source();
+    let input = Tensor3::from_fn(src.maps, src.size, src.size, |_, _, _| {
+        small_random(&mut rng)
+    });
+    let kernels = net
+        .layers()
+        .iter()
+        .filter_map(|l| match l {
+            Layer::Conv(c) => Some(KernelSet::from_fn(c.m(), c.n(), c.k(), |_, _, _, _| {
+                small_random(&mut rng)
+            })),
+            Layer::Fc(f) => Some(KernelSet::from_fn(
+                f.outputs(),
+                f.inputs(),
+                1,
+                |_, _, _, _| small_random(&mut rng),
+            )),
+            Layer::Pool(_) => None,
+        })
+        .collect();
+    (input, kernels)
+}
+
 /// Generates deterministic pseudorandom input and kernel tensors for a
 /// CONV layer. Values are small (|v| ≤ 2) so Q7.8 accumulation over
 /// realistic kernel sizes stays far from saturation and comparisons stay
@@ -152,7 +238,7 @@ fn check_conv_shapes(layer: &ConvLayer, input: &Tensor3, kernels: &KernelSet) {
     );
     assert_eq!(input.maps(), layer.n(), "input map count mismatch");
     assert!(
-        input.rows() >= (layer.s() - 1) * layer.stride() + layer.k(),
+        input.rows() >= (layer.s() - 1) * layer.stride() + layer.k_extent(),
         "input too small for declared output size"
     );
     assert_eq!(input.rows(), input.cols(), "feature maps must be square");
@@ -269,6 +355,53 @@ mod tests {
         assert_eq!(k1, k2);
         let (a3, _) = random_layer_data(&layer, 100);
         assert_ne!(a1, a3);
+    }
+
+    #[test]
+    fn dilated_conv_gathers_spread_taps() {
+        // k=2, dilation=2 => taps at offsets {0, 2}: a 1-valued kernel
+        // sums input[(r,c)], input[(r,c+2)], input[(r+2,c)], input[(r+2,c+2)].
+        let layer = ConvLayer::new("dil", 1, 1, 2, 2).with_dilation(2);
+        assert_eq!(layer.input_size(), 4);
+        let input = Tensor3::from_fn(1, 4, 4, |_, r, c| Fx16::from_f64((r * 4 + c) as f64 / 8.0));
+        let kernels = KernelSet::from_fn(1, 1, 2, |_, _, _, _| Fx16::ONE);
+        let out = conv(&layer, &input, &kernels);
+        let want = (0.0 + 2.0 + 8.0 + 10.0) / 8.0;
+        assert_eq!(out[(0, 0, 0)].to_f64(), want);
+    }
+
+    #[test]
+    fn network_evaluator_matches_manual_chain() {
+        let net = crate::workloads::chained_toy();
+        let (input, kernels) = random_network_data(&net, 7);
+        let got = network(&net, &input, &kernels);
+        let convs: Vec<&ConvLayer> = net.conv_layers().collect();
+        let mid = conv(convs[0], &input, &kernels[0]);
+        let pooled = pool(net.layers()[1].as_pool().unwrap(), &mid);
+        let want = conv(convs[1], &pooled, &kernels[1]);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn network_evaluator_handles_residual_routing() {
+        use crate::graph::{GraphBuilder, GraphOp};
+        use crate::network::Shape;
+        let net = GraphBuilder::new("res", Shape { maps: 2, size: 6 })
+            .node("c1", GraphOp::conv(2, 1), ["input"])
+            .node("c2", GraphOp::conv(2, 1), ["c1"])
+            .node("sum", GraphOp::Add, ["c1", "c2"])
+            .output("sum")
+            .build()
+            .unwrap()
+            .into_network()
+            .unwrap();
+        let (input, kernels) = random_network_data(&net, 9);
+        let got = network(&net, &input, &kernels);
+        let convs: Vec<&ConvLayer> = net.conv_layers().collect();
+        let a = conv(convs[0], &input, &kernels[0]);
+        let b = conv(convs[1], &a, &kernels[1]);
+        let want = Tensor3::add_maps(&[&a, &b]);
+        assert_eq!(got, want);
     }
 
     #[test]

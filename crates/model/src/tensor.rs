@@ -259,6 +259,73 @@ impl<T: Copy> Tensor3<T> {
         let stride = self.rows * self.cols;
         &self.data[m * stride..(m + 1) * stride]
     }
+
+    /// Copies the map subrange `[from, to)` into a new tensor (the DAG
+    /// `slice` routing node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or exceeds the map count.
+    pub fn slice_maps(&self, from: usize, to: usize) -> Tensor3<T> {
+        assert!(from < to && to <= self.maps, "map slice out of bounds");
+        let stride = self.rows * self.cols;
+        Tensor3 {
+            maps: to - from,
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data[from * stride..to * stride].to_vec(),
+        }
+    }
+
+    /// Stacks tensors along the map axis (the DAG `concat` routing
+    /// node). All parts must share the same spatial size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or the spatial sizes disagree.
+    pub fn concat_maps(parts: &[&Tensor3<T>]) -> Tensor3<T> {
+        let first = parts.first().expect("concat needs at least one input");
+        let (rows, cols) = (first.rows, first.cols);
+        let mut data = Vec::new();
+        let mut maps = 0;
+        for p in parts {
+            assert!(
+                p.rows == rows && p.cols == cols,
+                "concat inputs must share the spatial size"
+            );
+            maps += p.maps;
+            data.extend_from_slice(&p.data);
+        }
+        Tensor3 {
+            maps,
+            rows,
+            cols,
+            data,
+        }
+    }
+}
+
+impl Tensor3<Fx16> {
+    /// Element-wise saturating sum of same-shape tensors (the DAG
+    /// residual-`add` routing node; each PE's saturating adder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or the shapes disagree.
+    pub fn add_maps(parts: &[&Tensor3<Fx16>]) -> Tensor3<Fx16> {
+        let first = parts.first().expect("add needs at least one input");
+        let mut out = (*first).clone();
+        for p in &parts[1..] {
+            assert!(
+                p.maps == out.maps && p.rows == out.rows && p.cols == out.cols,
+                "add inputs must share the shape"
+            );
+            for (o, &v) in out.data.iter_mut().zip(&p.data) {
+                *o = o.saturating_add(v);
+            }
+        }
+        out
+    }
 }
 
 impl<T: Copy> std::ops::Index<(usize, usize, usize)> for Tensor3<T> {

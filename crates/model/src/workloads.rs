@@ -116,6 +116,11 @@ pub fn all() -> Vec<Network> {
 /// Looks up a Table 1 workload by its printed name, case-insensitively
 /// (`"alexnet"`, `"LeNet-5"`, `"vgg-11"`/`"vgg11"`, …). `None` when the
 /// name matches no workload — callers render the valid set themselves.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `registry::WorkloadRegistry::resolve`, which also accepts \
+            aliases and `.ffnet` file paths and reports what it knows"
+)]
 pub fn by_name(name: &str) -> Option<Network> {
     let want = name.to_ascii_lowercase().replace('-', "");
     all()
@@ -212,6 +217,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn by_name_is_case_and_hyphen_insensitive() {
         assert_eq!(by_name("alexnet").unwrap().name(), "AlexNet");
         assert_eq!(by_name("LeNet-5").unwrap().name(), "LeNet-5");

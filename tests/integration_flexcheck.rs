@@ -165,7 +165,7 @@ fn fxc02_dynamic_widened_walk_trips_the_bus_guard() {
     for dn in 0..u.tn {
         for di in 0..u.ti {
             for dj in 0..2 * u.tj {
-                claims.claim(mapping.operand_col(dn, 0, 0, di, dj, 1));
+                claims.claim(mapping.operand_col(dn, 0, 0, di, dj, 1, 1));
             }
         }
     }
@@ -481,7 +481,7 @@ fn fxc12_dynamic_widened_walk_collides_on_a_claimed_bus() {
     for dn in 0..u.tn {
         for di in 0..u.ti {
             for dj in 0..u.tj + 1 {
-                claims.claim(mapping.operand_col(dn, 0, 0, di, dj, 1));
+                claims.claim(mapping.operand_col(dn, 0, 0, di, dj, 1, 1));
             }
         }
     }

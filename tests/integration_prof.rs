@@ -16,6 +16,7 @@
 //!    corruption classes it claims to.
 
 use flexsim_experiments::arches::{ArchSet, ARCH_NAMES};
+use flexsim_model::registry::WorkloadRegistry;
 use flexsim_model::workloads;
 use flexsim_obs::attrib::{ledgers, LossLedger, StallCause};
 use flexsim_obs::cycles::{
@@ -242,7 +243,7 @@ fn profile_report_json_parses_and_balances() {
     // produced only after every ledger passed the FXC09 gate (the run
     // panics otherwise).
     let ctx = flexsim_experiments::ExperimentCtx::serial("profile");
-    let net = workloads::by_name("lenet-5").unwrap();
+    let net = WorkloadRegistry::new().resolve("lenet-5").unwrap();
     let result = flexsim_experiments::profile::run_workloads(&ctx, &[net]);
     let parsed = Json::parse(&result.to_json()).expect("profile JSON parses");
     let text = parsed.pretty();
