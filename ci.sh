@@ -112,6 +112,24 @@ fi
 grep -q 'unknown field' "$TMP/bad_run.txt" \
     || { echo "FAIL: malformed .ffnet did not produce an actionable diagnostic"; exit 1; }
 
+echo "==> flexsim heatmap smoke (FXC13 spatial exactness; --jobs byte-identity)"
+# The run itself enforces flexcheck FXC13: every per-PE heatmap cell
+# sum must equal the loss ledger exactly, per cause, or exit goes 1.
+"$FLEXSIM" heatmap lenet > "$TMP/heat.txt"
+grep -q 'FXC13 spatial-exactness: ok' "$TMP/heat.txt" \
+    || { echo "FAIL: heatmap report missing the FXC13 verdict"; exit 1; }
+"$FLEXSIM" --jobs 1 --json heatmap lenet > "$TMP/heat1.json"
+"$FLEXSIM" --jobs 4 --json heatmap lenet > "$TMP/heat4.json"
+cmp "$TMP/heat1.json" "$TMP/heat4.json" \
+    || { echo "FAIL: heatmap --jobs 4 JSON diverged from serial"; exit 1; }
+"$FLEXSIM" --jobs 1 --svg heatmap lenet > "$TMP/heat1.svg"
+"$FLEXSIM" --jobs 4 --svg heatmap lenet > "$TMP/heat4.svg"
+cmp "$TMP/heat1.svg" "$TMP/heat4.svg" \
+    || { echo "FAIL: heatmap --jobs 4 SVG diverged from serial"; exit 1; }
+"$FLEXSIM" heatmap "$FFNET" --arch flexflow > "$TMP/heat_ffnet.txt"
+grep -q 'FXC13 spatial-exactness: ok' "$TMP/heat_ffnet.txt" \
+    || { echo "FAIL: .ffnet heatmap missing the FXC13 verdict"; exit 1; }
+
 echo "==> flexsim stats smoke (telemetry never perturbs results; all phases fire)"
 # Same sweep with telemetry off vs. on: the written artifacts must be
 # byte-identical, and the snapshot must cover every declared phase.
@@ -142,5 +160,9 @@ grep -q 'tune_static_wall_s' "$TMP/BENCH_history.jsonl" \
     || { echo "FAIL: history entry missing static-tune wall time"; exit 1; }
 grep -q 'workloads_total' "$TMP/BENCH_history.jsonl" \
     || { echo "FAIL: history entry missing workload-count honesty fields"; exit 1; }
+grep -q 'heatmap_cells' "$TMP/BENCH_history.jsonl" \
+    || { echo "FAIL: history entry missing spatial-probe honesty fields"; exit 1; }
+grep -q 'spatial_overhead_pct' "$TMP/BENCH_history.jsonl" \
+    || { echo "FAIL: history entry missing spatial overhead"; exit 1; }
 
 echo "CI OK"

@@ -4,6 +4,7 @@ use crate::area::AreaBreakdown;
 use crate::stats::{LayerResult, RunSummary};
 use flexsim_model::{ConvLayer, Network};
 use flexsim_obs::cycles::SinkHandle;
+use flexsim_obs::spatial::SpatialHandle;
 use flexsim_obs::{span, telemetry};
 
 /// A simulated CNN accelerator.
@@ -52,6 +53,13 @@ pub trait Accelerator: Send {
     /// implementation ignores the sink, so architectures without
     /// cycle-level instrumentation remain valid.
     fn attach_sink(&mut self, _sink: SinkHandle) {}
+
+    /// Attaches a spatial sink; subsequent `run_conv` calls submit one
+    /// per-PE heatmap/bank-watermark/contention record per layer into
+    /// it (flexcheck FXC13 gates those records against the loss
+    /// ledgers). The default implementation ignores the sink, so
+    /// architectures without spatial instrumentation remain valid.
+    fn attach_spatial(&mut self, _sink: SpatialHandle) {}
 
     /// Simulates every CONV layer of a workload in order.
     fn run_network(&mut self, net: &Network) -> RunSummary {

@@ -4,6 +4,7 @@ use flexsim_arch::dram::conv_layer_traffic;
 use flexsim_arch::energy::EnergyModel;
 use flexsim_arch::stats::{mirror_layer, EventCounts, LayerResult, Traffic};
 use flexsim_model::ConvLayer;
+use flexsim_obs::spatial::HeatmapBuilder;
 
 /// Table 5 on-chip buffer capacity per buffer, in 16-bit words
 /// (32 KB each).
@@ -57,11 +58,39 @@ pub(crate) fn cdiv(a: usize, b: usize) -> usize {
     a.div_ceil(b)
 }
 
+/// Samples the three Table 5 on-chip buffers into a layer's heatmap:
+/// each bank holds the layer's working set clamped at capacity for the
+/// full layer duration (the baselines stream operands, so residency is
+/// flat). Every bank covers exactly `cycles` so flexcheck FXC13's
+/// dropped-sample check holds.
+pub(crate) fn buffer_banks(hb: &mut HeatmapBuilder, layer: &ConvLayer, cycles: u64) {
+    hb.bank_sample(
+        "neuron-in",
+        BUFFER_WORDS,
+        layer.input_neurons().min(BUFFER_WORDS),
+        cycles,
+    );
+    hb.bank_sample(
+        "kernel",
+        BUFFER_WORDS,
+        layer.synapses().min(BUFFER_WORDS),
+        cycles,
+    );
+    hb.bank_sample(
+        "neuron-out",
+        BUFFER_WORDS,
+        layer.output_neurons().min(BUFFER_WORDS),
+        cycles,
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use crate::{Mapping2d, Systolic, TilingArray};
     use flexsim_arch::Accelerator;
+    use flexsim_obs::attrib::{LossLedger, StallCause};
     use flexsim_obs::cycles::{CycleRecorder, SinkHandle};
+    use flexsim_obs::spatial::{SpatialHandle, SpatialRecorder};
     use std::sync::Arc;
 
     #[test]
@@ -97,6 +126,45 @@ mod tests {
                         "{tag}: {occ} vs {}",
                         lr.utilization()
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_spatial_records_reproduce_the_loss_ledgers() {
+        for net in [
+            flexsim_model::workloads::lenet5(),
+            flexsim_model::workloads::pv(),
+        ] {
+            let mut accs: Vec<Box<dyn Accelerator>> = vec![
+                Box::new(Systolic::dc_cnn()),
+                Box::new(Mapping2d::shidiannao()),
+                Box::new(TilingArray::diannao()),
+            ];
+            for acc in &mut accs {
+                let cyc = Arc::new(CycleRecorder::new());
+                let spa = Arc::new(SpatialRecorder::new());
+                acc.attach_sink(SinkHandle::new(cyc.clone()));
+                acc.attach_spatial(SpatialHandle::new(spa.clone()));
+                acc.run_network(&net);
+                let ledgers: Vec<LossLedger> =
+                    cyc.take().iter().map(LossLedger::from_timeline).collect();
+                let spatials = spa.take();
+                assert_eq!(spatials.len(), ledgers.len());
+                for (sp, led) in spatials.iter().zip(&ledgers) {
+                    let tag = format!("{}/{}/{}", sp.arch, net.name(), sp.layer);
+                    assert_eq!(sp.arch, led.arch, "{tag}");
+                    assert_eq!(sp.pe_count() as u32, led.pe_count, "{tag}");
+                    assert_eq!(sp.total_cycles, led.total_cycles, "{tag}");
+                    assert_eq!(sp.busy_total(), led.busy_pe_cycles, "{tag}");
+                    for cause in StallCause::ALL {
+                        assert_eq!(sp.lost_total(cause), led.lost(cause), "{tag} {cause:?}");
+                    }
+                    assert_eq!(sp.banks.len(), 3, "{tag}");
+                    for bank in &sp.banks {
+                        assert_eq!(bank.sampled_cycles, sp.total_cycles, "{tag}/{}", bank.bank);
+                    }
                 }
             }
         }

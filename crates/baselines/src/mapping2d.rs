@@ -13,7 +13,7 @@
 //! the reference. The analytic path counts the same schedule in closed
 //! form.
 
-use crate::common::{cdiv, finish, Outcome};
+use crate::common::{buffer_banks, cdiv, finish, Outcome};
 use flexsim_arch::area::{AreaBreakdown, AreaModel, AreaSpec, InterconnectStyle};
 use flexsim_arch::energy::EnergyModel;
 use flexsim_arch::stats::{EventCounts, LayerResult, Traffic};
@@ -23,6 +23,7 @@ use flexsim_model::tensor::KernelSet;
 use flexsim_model::{Acc32, ConvLayer, Tensor2, Tensor3};
 use flexsim_obs::attrib::StallCause;
 use flexsim_obs::cycles::{Coalescer, CycleEventKind, LayerCtx, SinkHandle};
+use flexsim_obs::spatial::{CellRect, HeatmapBuilder, SpatialHandle};
 use flexsim_obs::telemetry;
 
 /// Operand-movement statistics from the explicit shift simulation.
@@ -55,6 +56,7 @@ pub struct Mapping2d {
     tc: usize,
     energy: EnergyModel,
     sink: SinkHandle,
+    spatial: SpatialHandle,
 }
 
 impl Mapping2d {
@@ -70,6 +72,7 @@ impl Mapping2d {
             tc,
             energy: EnergyModel::tsmc65(),
             sink: SinkHandle::none(),
+            spatial: SpatialHandle::none(),
         }
     }
 
@@ -333,6 +336,45 @@ impl Mapping2d {
         self.sink.end_layer();
     }
 
+    /// Emits the layer's spatial record: each output tile computes in
+    /// the top-left `Tr_eff × Tc_eff` corner of the array (output
+    /// neurons map to PEs in place), so edge tiles darken the right and
+    /// bottom margins — exactly the paper's "feature map smaller than
+    /// computing array" waste, now visible per cell. Window loads cost
+    /// every PE uniformly. Cell sums reproduce the ledger exactly
+    /// (flexcheck FXC13). No shared reduction ports or CDB exist here,
+    /// so both contention matrices stay empty.
+    fn emit_spatial(&self, layer: &ConvLayer, total_cycles: u64) {
+        let (m, n, s, k) = (layer.m(), layer.n(), layer.s(), layer.k());
+        let row_tiles = cdiv(s, self.tr);
+        let col_tiles = cdiv(s, self.tc);
+        let pass_cycles = (m * n * k * k) as u64;
+        let mut hb = HeatmapBuilder::new(self.name(), layer.name(), self.tr, self.tc, total_cycles);
+        hb.stall(
+            StallCause::BufferBandwidthWait,
+            (row_tiles * col_tiles * self.tc) as u64,
+        );
+        for rt in 0..row_tiles {
+            let tr_eff = self.tr.min(s - rt * self.tr);
+            for ct in 0..col_tiles {
+                let tc_eff = self.tc.min(s - ct * self.tc);
+                hb.pass(
+                    StallCause::EdgeFragmentation,
+                    &[CellRect {
+                        row: 0,
+                        col: 0,
+                        rows: tr_eff,
+                        cols: tc_eff,
+                    }],
+                    pass_cycles,
+                    (tr_eff * tc_eff) as u64 * pass_cycles,
+                );
+            }
+        }
+        buffer_banks(&mut hb, layer, total_cycles);
+        self.spatial.record_layer(hb.finish());
+    }
+
     fn area_spec(&self) -> AreaSpec {
         AreaSpec {
             pe_count: self.pe_count(),
@@ -363,6 +405,9 @@ impl Accelerator for Mapping2d {
         if self.sink.enabled() {
             self.emit_cycle_events(layer, outcome.cycles);
         }
+        if self.spatial.enabled() {
+            self.emit_spatial(layer, outcome.cycles);
+        }
         let area = self.area().total_mm2();
         finish(
             self.name(),
@@ -376,6 +421,10 @@ impl Accelerator for Mapping2d {
 
     fn attach_sink(&mut self, sink: SinkHandle) {
         self.sink = sink;
+    }
+
+    fn attach_spatial(&mut self, sink: SpatialHandle) {
+        self.spatial = sink;
     }
 
     fn area(&self) -> AreaBreakdown {

@@ -16,7 +16,7 @@
 //! ("Systolic needs a long initialization phase to fill its deep
 //! pipeline", Section 6.2.3).
 
-use crate::common::{cdiv, finish, Outcome};
+use crate::common::{buffer_banks, cdiv, finish, Outcome};
 use flexsim_arch::area::{AreaBreakdown, AreaModel, AreaSpec, InterconnectStyle};
 use flexsim_arch::energy::EnergyModel;
 use flexsim_arch::stats::{EventCounts, LayerResult, Traffic};
@@ -26,6 +26,7 @@ use flexsim_model::tensor::KernelSet;
 use flexsim_model::{Acc32, ConvLayer, Tensor2, Tensor3};
 use flexsim_obs::attrib::StallCause;
 use flexsim_obs::cycles::{Coalescer, CycleEventKind, LayerCtx, SinkHandle};
+use flexsim_obs::spatial::{CellRect, HeatmapBuilder, SpatialHandle};
 use flexsim_obs::telemetry;
 
 /// The Systolic baseline simulator.
@@ -48,6 +49,7 @@ pub struct Systolic {
     num_arrays: usize,
     energy: EnergyModel,
     sink: SinkHandle,
+    spatial: SpatialHandle,
 }
 
 impl Systolic {
@@ -67,6 +69,7 @@ impl Systolic {
             num_arrays,
             energy: EnergyModel::tsmc65(),
             sink: SinkHandle::none(),
+            spatial: SpatialHandle::none(),
         }
     }
 
@@ -331,6 +334,61 @@ impl Systolic {
         self.sink.end_layer();
     }
 
+    /// Emits the layer's spatial record: the heatmap is the engine laid
+    /// out as `num_arrays` stacked `array_k × array_k` tiles (rows
+    /// `a·ak..a·ak+ak` are array `a`). The chain bubble costs every PE
+    /// uniformly; each m-group's pass credits its MACs to the active
+    /// arrays' `K_eff × K_eff` sub-rectangles — so per-cause cell sums
+    /// reproduce the ledger exactly (flexcheck FXC13), and the heatmap
+    /// *shows* the `K² < ak²` array waste as dark cells outside the
+    /// kernel footprint. Systolic chains have no shared adder-tree
+    /// ports or CDB, so both contention matrices stay empty.
+    fn emit_spatial(&self, layer: &ConvLayer, total_cycles: u64) {
+        let (m, n, k, s) = (layer.m(), layer.n(), layer.k(), layer.s());
+        let w = layer.input_size();
+        let ak = self.array_k;
+        let pk = (cdiv(k, ak) * cdiv(k, ak)) as u64;
+        let bubble = pk * self.chain_len(w) as u64;
+        let stream = (w * w) as u64;
+        let m_groups = cdiv(m, self.num_arrays);
+        let keff = k.min(ak);
+        let mut hb = HeatmapBuilder::new(
+            self.name(),
+            layer.name(),
+            self.num_arrays * ak,
+            ak,
+            total_cycles,
+        );
+        let steps = (m_groups * n) as u64;
+        hb.stall(StallCause::PipelineFill, steps * bubble.div_ceil(2));
+        hb.stall(StallCause::PipelineDrain, steps * (bubble / 2));
+        for gi in 0..m_groups {
+            let arrays_active = self.num_arrays.min(m - gi * self.num_arrays);
+            let pass_macs = arrays_active as u64 * (s * s * k * k) as u64;
+            let residue_cause = if arrays_active < self.num_arrays {
+                StallCause::EdgeFragmentation
+            } else {
+                StallCause::MappingResidueIdle
+            };
+            let rects: Vec<CellRect> = (0..arrays_active)
+                .map(|a| CellRect {
+                    row: a * ak,
+                    col: 0,
+                    rows: keff,
+                    cols: keff,
+                })
+                .collect();
+            hb.pass(
+                residue_cause,
+                &rects,
+                n as u64 * pk * stream,
+                n as u64 * pass_macs,
+            );
+        }
+        buffer_banks(&mut hb, layer, total_cycles);
+        self.spatial.record_layer(hb.finish());
+    }
+
     fn area_spec(&self) -> AreaSpec {
         let w_provisioned = 64; // provisioned FIFO depth per row crossing
         AreaSpec {
@@ -361,6 +419,9 @@ impl Accelerator for Systolic {
         if self.sink.enabled() {
             self.emit_cycle_events(layer, outcome.cycles);
         }
+        if self.spatial.enabled() {
+            self.emit_spatial(layer, outcome.cycles);
+        }
         let area = self.area().total_mm2();
         finish(
             self.name(),
@@ -374,6 +435,10 @@ impl Accelerator for Systolic {
 
     fn attach_sink(&mut self, sink: SinkHandle) {
         self.sink = sink;
+    }
+
+    fn attach_spatial(&mut self, sink: SpatialHandle) {
+        self.spatial = sink;
     }
 
     fn area(&self) -> AreaBreakdown {

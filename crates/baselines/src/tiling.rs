@@ -12,7 +12,7 @@
 //! form and charges the per-cycle operand streaming that makes this
 //! architecture's data volume the largest of the four (Fig. 17).
 
-use crate::common::{cdiv, finish, Outcome};
+use crate::common::{buffer_banks, cdiv, finish, Outcome};
 use flexsim_arch::area::{AreaBreakdown, AreaModel, AreaSpec, InterconnectStyle};
 use flexsim_arch::energy::EnergyModel;
 use flexsim_arch::stats::{EventCounts, LayerResult, Traffic};
@@ -22,6 +22,7 @@ use flexsim_model::tensor::KernelSet;
 use flexsim_model::{Acc32, ConvLayer, Tensor3};
 use flexsim_obs::attrib::StallCause;
 use flexsim_obs::cycles::{Coalescer, CycleEventKind, LayerCtx, SinkHandle};
+use flexsim_obs::spatial::{CellRect, HeatmapBuilder, SpatialHandle};
 use flexsim_obs::telemetry;
 
 /// The Tiling baseline simulator.
@@ -45,6 +46,7 @@ pub struct TilingArray {
     tn: usize,
     energy: EnergyModel,
     sink: SinkHandle,
+    spatial: SpatialHandle,
 }
 
 impl TilingArray {
@@ -60,6 +62,7 @@ impl TilingArray {
             tn,
             energy: EnergyModel::tsmc65(),
             sink: SinkHandle::none(),
+            spatial: SpatialHandle::none(),
         }
     }
 
@@ -230,6 +233,48 @@ impl TilingArray {
         self.sink.end_layer();
     }
 
+    /// Emits the layer's spatial record: the heatmap rows are the `Tm`
+    /// PEs and the columns their `Tn` multiplier lanes. Each
+    /// `(m-tile, n-tile)` pass lights the top-left `Tm_eff × Tn_eff`
+    /// corner, so a starved engine (M or N below 16) shows as dark rows
+    /// or lanes — Table 3's story per cell. Cell sums reproduce the
+    /// ledger exactly (flexcheck FXC13). The per-PE adder trees are
+    /// private and there is no CDB, so both contention matrices stay
+    /// empty.
+    fn emit_spatial(&self, layer: &ConvLayer, total_cycles: u64) {
+        let (m, n, s, k) = (layer.m(), layer.n(), layer.s(), layer.k());
+        let m_tiles = cdiv(m, self.tm);
+        let n_tiles = cdiv(n, self.tn);
+        let pass_cycles = (s * s * k * k) as u64;
+        let mut hb = HeatmapBuilder::new(self.name(), layer.name(), self.tm, self.tn, total_cycles);
+        for mt in 0..m_tiles {
+            let tm_eff = self.tm.min(m - mt * self.tm);
+            for nt in 0..n_tiles {
+                let tn_eff = self.tn.min(n - nt * self.tn);
+                let row_loss = (self.tm - tm_eff) * self.tn;
+                let lane_loss = tm_eff * (self.tn - tn_eff);
+                let residue_cause = if lane_loss > row_loss {
+                    StallCause::AdderTreeContention
+                } else {
+                    StallCause::EdgeFragmentation
+                };
+                hb.pass(
+                    residue_cause,
+                    &[CellRect {
+                        row: 0,
+                        col: 0,
+                        rows: tm_eff,
+                        cols: tn_eff,
+                    }],
+                    pass_cycles,
+                    (tm_eff * tn_eff) as u64 * pass_cycles,
+                );
+            }
+        }
+        buffer_banks(&mut hb, layer, total_cycles);
+        self.spatial.record_layer(hb.finish());
+    }
+
     fn area_spec(&self) -> AreaSpec {
         AreaSpec {
             pe_count: self.pe_count(),
@@ -259,6 +304,9 @@ impl Accelerator for TilingArray {
         if self.sink.enabled() {
             self.emit_cycle_events(layer, outcome.cycles);
         }
+        if self.spatial.enabled() {
+            self.emit_spatial(layer, outcome.cycles);
+        }
         let area = self.area().total_mm2();
         finish(
             self.name(),
@@ -272,6 +320,10 @@ impl Accelerator for TilingArray {
 
     fn attach_sink(&mut self, sink: SinkHandle) {
         self.sink = sink;
+    }
+
+    fn attach_spatial(&mut self, sink: SpatialHandle) {
+        self.spatial = sink;
     }
 
     fn area(&self) -> AreaBreakdown {

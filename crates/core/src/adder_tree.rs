@@ -6,6 +6,7 @@
 //! accumulates into the row's partial-result register.
 
 use flexsim_model::Acc32;
+use flexsim_obs::spatial::ContentionMatrix;
 
 /// Reduction result: the sum plus the adder-op count (for the energy
 /// model) and tree depth (for pipeline latency).
@@ -63,6 +64,34 @@ pub fn reduce(products: &[Acc32]) -> Reduction {
         sum: level[0],
         adds,
         depth,
+    }
+}
+
+/// Folds one layer's row-port sharing pattern into a contention
+/// matrix: under IPDR kernel replication each output group of
+/// `rows_per_group` consecutive PE rows reduces into one logical
+/// adder-tree output port, so every row pair within a group is
+/// co-active on that port for `weight` compute cycles. Spatial-probe
+/// counterpart of the static `flexcheck` rule `FXC03 adder-tree-port`
+/// (which proves the sharing is conflict-free; this records how much
+/// of it there is).
+///
+/// # Panics
+///
+/// Panics when a group's rows run past the matrix's port count.
+pub fn port_sharing(
+    matrix: &mut ContentionMatrix,
+    groups: usize,
+    rows_per_group: usize,
+    weight: u64,
+) {
+    for g in 0..groups {
+        let base = g * rows_per_group;
+        for a in 0..rows_per_group {
+            for b in (a + 1)..rows_per_group {
+                matrix.record(base + a, base + b, weight);
+            }
+        }
     }
 }
 
@@ -148,6 +177,25 @@ mod tests {
         let r = reduce(&products);
         assert_eq!(r.depth, 4);
         assert_eq!(r.sum.to_fx16().to_f64(), 4.0);
+    }
+
+    #[test]
+    fn port_sharing_pairs_rows_within_groups_only() {
+        // 2 groups × 3 rows: pairs (0,1)(0,2)(1,2) and (3,4)(3,5)(4,5).
+        let mut m = ContentionMatrix::new(8);
+        port_sharing(&mut m, 2, 3, 10);
+        assert_eq!(m.get(0, 1), 10);
+        assert_eq!(m.get(1, 2), 10);
+        assert_eq!(m.get(4, 5), 10);
+        assert_eq!(m.get(2, 3), 0, "rows of different groups never share");
+        assert_eq!(m.total(), 6 * 10);
+    }
+
+    #[test]
+    fn port_sharing_single_row_groups_record_nothing() {
+        let mut m = ContentionMatrix::new(4);
+        port_sharing(&mut m, 4, 1, 99);
+        assert!(m.is_empty());
     }
 
     #[test]

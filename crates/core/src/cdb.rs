@@ -6,6 +6,7 @@
 //! decoding, no handshaking — so their cost model here is a word counter
 //! per bus plus a busy-cycle tally used for bandwidth checks.
 
+use flexsim_obs::spatial::ContentionMatrix;
 use std::fmt;
 
 /// One direction's bus bundle (vertical or horizontal).
@@ -72,6 +73,26 @@ impl fmt::Display for BusBundle {
             self.total_words(),
             self.max_bus_words()
         )
+    }
+}
+
+/// Folds one layer's partial-sum writeback pattern into a contention
+/// matrix: when a layer spills (`segments > 1`), every active PE row's
+/// accumulator takes a turn on the output-buffer writeback path at each
+/// segment boundary, so all active-row pairs are charged `weight`
+/// serialized encounters. Spatial-probe counterpart of the static
+/// `flexcheck` rule `FXC02 cdb-race` (which proves the turns never
+/// collide in one cycle; this records how much serialization they
+/// cost).
+///
+/// # Panics
+///
+/// Panics when `active_rows` exceeds the matrix's port count.
+pub fn writeback_collisions(matrix: &mut ContentionMatrix, active_rows: usize, weight: u64) {
+    for a in 0..active_rows {
+        for b in (a + 1)..active_rows {
+            matrix.record(a, b, weight);
+        }
     }
 }
 
@@ -164,6 +185,17 @@ mod tests {
         b.broadcast(1);
         b.reset();
         assert_eq!(b.total_words(), 0);
+    }
+
+    #[test]
+    fn writeback_collisions_charge_every_active_pair() {
+        let mut m = ContentionMatrix::new(4);
+        writeback_collisions(&mut m, 3, 5);
+        assert_eq!(m.get(0, 1), 5);
+        assert_eq!(m.get(0, 2), 5);
+        assert_eq!(m.get(1, 2), 5);
+        assert_eq!(m.get(2, 3), 0, "inactive rows never contend");
+        assert_eq!(m.total(), 3 * 5);
     }
 
     #[test]

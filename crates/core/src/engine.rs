@@ -10,10 +10,12 @@
 
 use crate::analytic::{schedule_default, Schedule, PIPELINE_FILL_CYCLES, SEGMENT_STALL_CYCLES};
 use crate::array::PeArray;
-use crate::buffers::BufferSet;
+use crate::buffers::{BufferSet, BUFFER_BYTES};
 use crate::compiler::Program;
 use crate::isa::Instr;
+use crate::local_store::STORE_WORDS;
 use crate::pooling::{PoolStats, PoolingUnit};
+use crate::{adder_tree, cdb};
 use flexsim_arch::area::{AreaBreakdown, AreaModel, AreaSpec, InterconnectStyle};
 use flexsim_arch::dram::conv_layer_traffic;
 use flexsim_arch::energy::EnergyModel;
@@ -25,6 +27,7 @@ use flexsim_model::tensor::KernelSet;
 use flexsim_model::{ConvLayer, Network, Tensor3};
 use flexsim_obs::attrib::StallCause;
 use flexsim_obs::cycles::{Coalescer, CycleEventKind, LayerCtx, SinkHandle};
+use flexsim_obs::spatial::{CellRect, ContentionMatrix, HeatmapBuilder, SpatialHandle};
 use flexsim_obs::{span, telemetry};
 
 /// The FlexFlow accelerator simulator.
@@ -45,6 +48,7 @@ pub struct FlexFlow {
     d: usize,
     energy: EnergyModel,
     sink: SinkHandle,
+    spatial: SpatialHandle,
 }
 
 impl FlexFlow {
@@ -59,6 +63,7 @@ impl FlexFlow {
             d,
             energy: EnergyModel::tsmc65(),
             sink: SinkHandle::none(),
+            spatial: SpatialHandle::none(),
         }
     }
 
@@ -151,10 +156,85 @@ impl FlexFlow {
         self.sink.end_layer();
     }
 
+    /// Emits the layer's spatial record into the attached spatial sink:
+    /// the per-PE heatmap, the on-chip buffer watermarks (plus the
+    /// aggregate local-store watermark), and the adder-tree/CDB
+    /// contention matrices.
+    ///
+    /// The heatmap mirrors [`Self::emit_cycle_events`] spatially: the
+    /// pipeline fill and segment spills cost every PE uniformly, while
+    /// the compute pass credits `sch.macs` to the `Ur × Uc` active
+    /// rectangle — so per-cause cell sums reproduce the layer's
+    /// [`flexsim_obs::attrib::LossLedger`] exactly (flexcheck FXC13
+    /// spatial-exactness).
+    fn emit_spatial(&self, layer: &ConvLayer, sch: &Schedule) {
+        let u = sch.unroll;
+        let mut hb = HeatmapBuilder::new(self.name(), layer.name(), self.d, self.d, sch.cycles);
+        hb.stall(StallCause::PipelineFill, PIPELINE_FILL_CYCLES);
+        hb.pass(
+            StallCause::MappingResidueIdle,
+            &[CellRect {
+                row: 0,
+                col: 0,
+                rows: u.rows_used(),
+                cols: u.cols_used(),
+            }],
+            sch.row_batches * sch.chunks,
+            sch.macs,
+        );
+        if sch.segments > 1 {
+            hb.stall(
+                StallCause::PsumSpillRoundTrip,
+                sch.row_batches * (sch.segments - 1) * SEGMENT_STALL_CYCLES,
+            );
+        }
+        // Each of the three buffers holds at most its half of the 64 KB
+        // on-chip SRAM in 16-bit words; the resident set saturates at
+        // capacity for large layers.
+        let buf_words = (BUFFER_BYTES / 2) as u64;
+        hb.bank_sample(
+            "neuron-in",
+            buf_words,
+            layer.input_neurons().min(buf_words),
+            sch.cycles,
+        );
+        hb.bank_sample(
+            "kernel",
+            buf_words,
+            layer.synapses().min(buf_words),
+            sch.cycles,
+        );
+        hb.bank_sample(
+            "neuron-out",
+            buf_words,
+            layer.output_neurons().min(buf_words),
+            sch.cycles,
+        );
+        let store_words = (self.pe_count() * STORE_WORDS) as u64;
+        let resident = (self.pe_count() as u64 * 2 * sch.chunks).min(store_words);
+        hb.bank_sample("local-store", store_words, resident, sch.cycles);
+        let mut tree = ContentionMatrix::new(self.d);
+        adder_tree::port_sharing(&mut tree, u.tm, u.tr * u.tc, sch.row_batches * sch.chunks);
+        hb.set_adder_tree(tree);
+        let mut bus = ContentionMatrix::new(self.d);
+        if sch.segments > 1 {
+            cdb::writeback_collisions(
+                &mut bus,
+                u.rows_used(),
+                sch.row_batches * (sch.segments - 1),
+            );
+        }
+        hb.set_cdb(bus);
+        self.spatial.record_layer(hb.finish());
+    }
+
     fn result_from_schedule(&self, layer: &ConvLayer, sch: &Schedule) -> LayerResult {
         let _engine = span("engine", format!("{}/{}", self.name(), layer.name()));
         if self.sink.enabled() {
             self.emit_cycle_events(layer, sch);
+        }
+        if self.spatial.enabled() {
+            self.emit_spatial(layer, sch);
         }
         let pe_count = self.pe_count();
         let u = sch.unroll;
@@ -361,6 +441,10 @@ impl Accelerator for FlexFlow {
         self.sink = sink;
     }
 
+    fn attach_spatial(&mut self, sink: SpatialHandle) {
+        self.spatial = sink;
+    }
+
     fn run_network(&mut self, net: &Network) -> RunSummary {
         let _workload = span("workload", format!("{}/{}", self.name(), net.name()));
         // Unlike the default, plan the whole network jointly (IADP
@@ -519,6 +603,51 @@ mod tests {
             // Trace-derived utilization equals the analytic one.
             assert!((tl.occupancy().utilization() - lr.utilization()).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn spatial_records_reproduce_the_loss_ledgers() {
+        use flexsim_obs::attrib::{LossLedger, StallCause};
+        use flexsim_obs::cycles::{CycleRecorder, SinkHandle};
+        use flexsim_obs::spatial::{SpatialHandle, SpatialRecorder};
+        use std::sync::Arc;
+        let cyc = Arc::new(CycleRecorder::new());
+        let spa = Arc::new(SpatialRecorder::new());
+        let mut ff = FlexFlow::paper_config();
+        ff.attach_sink(SinkHandle::new(cyc.clone()));
+        ff.attach_spatial(SpatialHandle::new(spa.clone()));
+        ff.run_network(&workloads::lenet5());
+        let ledgers: Vec<LossLedger> = cyc.take().iter().map(LossLedger::from_timeline).collect();
+        let spatials = spa.take();
+        assert_eq!(spatials.len(), ledgers.len());
+        for (sp, led) in spatials.iter().zip(&ledgers) {
+            assert_eq!(sp.layer, led.layer);
+            assert_eq!(sp.pe_count() as u32, led.pe_count);
+            assert_eq!(sp.total_cycles, led.total_cycles);
+            assert_eq!(sp.busy_total(), led.busy_pe_cycles, "{}", sp.layer);
+            for cause in StallCause::ALL {
+                assert_eq!(
+                    sp.lost_total(cause),
+                    led.lost(cause),
+                    "{} {cause:?}",
+                    sp.layer
+                );
+            }
+            for bank in &sp.banks {
+                assert_eq!(bank.sampled_cycles, sp.total_cycles, "{}", bank.bank);
+            }
+            assert!(!sp.adder_tree.is_empty() || sp.banks.len() == 4);
+        }
+    }
+
+    #[test]
+    fn detached_spatial_changes_nothing() {
+        use flexsim_obs::spatial::SpatialHandle;
+        let mut ff = FlexFlow::paper_config();
+        let r = ff.run_conv(&ConvLayer::new("C", 8, 4, 8, 3));
+        ff.attach_spatial(SpatialHandle::none());
+        let r2 = ff.run_conv(&ConvLayer::new("C", 8, 4, 8, 3));
+        assert_eq!(r, r2);
     }
 
     #[test]

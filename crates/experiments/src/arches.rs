@@ -17,6 +17,7 @@ use flexsim_arch::Accelerator;
 use flexsim_baselines::{Mapping2d, Systolic, TilingArray};
 use flexsim_model::Network;
 use flexsim_obs::cycles::SinkHandle;
+use flexsim_obs::spatial::SpatialHandle;
 
 /// The four architecture names in the paper's presentation order.
 pub const ARCH_NAMES: [&str; 4] = ["Systolic", "2D-Mapping", "Tiling", "FlexFlow"];
@@ -58,6 +59,7 @@ impl ArchSet {
         ArchSetBuilder {
             scale: PAPER_SCALE,
             sink: SinkHandle::none(),
+            spatial: SpatialHandle::none(),
             lint: true,
         }
     }
@@ -94,6 +96,7 @@ impl IntoIterator for ArchSet {
 pub struct ArchSetBuilder {
     scale: usize,
     sink: SinkHandle,
+    spatial: SpatialHandle,
     lint: bool,
 }
 
@@ -108,6 +111,13 @@ impl ArchSetBuilder {
     /// Cycle sink every built simulator attaches (default: none).
     pub fn sink(mut self, sink: SinkHandle) -> ArchSetBuilder {
         self.sink = sink;
+        self
+    }
+
+    /// Spatial sink every built simulator attaches (default: none) —
+    /// the `flexsim heatmap` path.
+    pub fn spatial(mut self, sink: SpatialHandle) -> ArchSetBuilder {
+        self.spatial = sink;
         self
     }
 
@@ -156,6 +166,9 @@ impl ArchSetBuilder {
         };
         if self.sink.is_attached() {
             acc.attach_sink(self.sink.clone());
+        }
+        if self.spatial.is_attached() {
+            acc.attach_spatial(self.spatial.clone());
         }
         acc
     }

@@ -420,11 +420,13 @@ struct SweepTimings {
     prove_wall_s: f64,
 }
 
-/// The provenance triple every bench artifact carries — machine
-/// parallelism, compiler, and commit — produced in one place so
-/// `BENCH_pool.json`, `BENCH_tune.json`, and [`HISTORY_FILE`] can
-/// never drift apart in what "honest numbers" means.
-pub(crate) fn honesty_fields() -> [(&'static str, Json); 3] {
+/// The provenance fields every bench artifact carries — machine
+/// parallelism, compiler, commit, and the spatial-instrumentation
+/// probe — produced in one place so `BENCH_pool.json`,
+/// `BENCH_tune.json`, and [`HISTORY_FILE`] can never drift apart in
+/// what "honest numbers" means.
+pub(crate) fn honesty_fields() -> [(&'static str, Json); 5] {
+    let spatial = spatial_probe();
     [
         (
             "available_parallelism",
@@ -432,7 +434,48 @@ pub(crate) fn honesty_fields() -> [(&'static str, Json); 3] {
         ),
         ("rustc", Json::str(rustc_version())),
         ("commit", Json::str(git_commit())),
+        ("heatmap_cells", Json::Int(spatial.cells as i64)),
+        ("spatial_overhead_pct", Json::Float(spatial.overhead_pct)),
     ]
+}
+
+/// The spatial-probe measurements: how many heatmap cells one
+/// reference run records, and the wall-clock overhead of recording
+/// them.
+struct SpatialProbe {
+    cells: u64,
+    overhead_pct: f64,
+}
+
+/// Times a reference workload (LeNet-5 on FlexFlow) with and without a
+/// spatial sink attached. The cell count documents the heatmap volume
+/// behind the overhead number; the overhead keeps the "spatial
+/// observability is ≈free when detached, cheap when attached" claim on
+/// the record, noise and all (like the telemetry overhead, the
+/// acceptance bar lives in the integration tests — the log is data).
+fn spatial_probe() -> SpatialProbe {
+    use flexsim_obs::spatial::{SpatialHandle, SpatialRecorder};
+    let net = workloads::lenet5();
+    let plain_start = Instant::now();
+    let mut acc = ArchSet::builder().build_one(&net, ARCH_NAMES.len() - 1);
+    let _ = acc.run_network(&net);
+    let plain_s = plain_start.elapsed().as_secs_f64();
+    let spa = Arc::new(SpatialRecorder::new());
+    let spatial_start = Instant::now();
+    let mut acc = ArchSet::builder()
+        .spatial(SpatialHandle::new(spa.clone()))
+        .build_one(&net, ARCH_NAMES.len() - 1);
+    let _ = acc.run_network(&net);
+    let spatial_s = spatial_start.elapsed().as_secs_f64();
+    let cells = spa
+        .take()
+        .iter()
+        .map(|sp| sp.pe_count() as u64)
+        .sum::<u64>();
+    SpatialProbe {
+        cells,
+        overhead_pct: (spatial_s - plain_s) / plain_s.max(1e-9) * 100.0,
+    }
 }
 
 /// Workload-count honesty fields for a history entry: how many
@@ -464,7 +507,7 @@ fn history_entry(
     wall_s: f64,
     jobs: usize,
     experiments: usize,
-    honesty: [(&'static str, Json); 3],
+    honesty: [(&'static str, Json); 5],
     attrib: &AttributionTotals,
     tune: &crate::tune::SweepTotals,
     timings: &SweepTimings,
@@ -605,6 +648,8 @@ mod tests {
             ("available_parallelism", Json::Int(16)),
             ("rustc", Json::str("rustc 1.x")),
             ("commit", Json::str("abc1234")),
+            ("heatmap_cells", Json::Int(1024)),
+            ("spatial_overhead_pct", Json::Float(0.5)),
         ];
         let entry = history_entry(
             1_700_000_000,
@@ -622,6 +667,11 @@ mod tests {
         assert_eq!(parsed, entry);
         assert_eq!(json_field(&parsed, "wall_s").and_then(json_f64), Some(4.25));
         assert_eq!(json_field(&parsed, "commit"), Some(&Json::str("abc1234")));
+        assert_eq!(json_field(&parsed, "heatmap_cells"), Some(&Json::Int(1024)));
+        assert_eq!(
+            json_field(&parsed, "spatial_overhead_pct").and_then(json_f64),
+            Some(0.5)
+        );
         assert_eq!(
             json_field(&parsed, "tune_static_wall_s").and_then(json_f64),
             Some(0.25)
@@ -692,6 +742,29 @@ mod tests {
         for f in [empty, corrupt, good] {
             let _ = std::fs::remove_file(f);
         }
+    }
+
+    #[test]
+    fn honesty_fields_carry_the_spatial_probe() {
+        let fields = honesty_fields();
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            keys,
+            [
+                "available_parallelism",
+                "rustc",
+                "commit",
+                "heatmap_cells",
+                "spatial_overhead_pct"
+            ]
+        );
+        // The probe actually records cells: LeNet-5 on the 16×16
+        // FlexFlow engine yields 256 per CONV layer.
+        match &fields[3].1 {
+            Json::Int(cells) => assert!(*cells > 0, "no heatmap cells recorded"),
+            other => panic!("heatmap_cells is not an integer: {other:?}"),
+        }
+        assert!(matches!(fields[4].1, Json::Float(_)));
     }
 
     #[test]

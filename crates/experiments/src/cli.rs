@@ -9,6 +9,7 @@
 pub const USAGE: &str = "\
 usage: flexsim [OPTIONS] [EXPERIMENT-ID...]
        flexsim run WORKLOAD|PATH.ffnet [--json] [--jobs N]
+       flexsim heatmap WORKLOAD|PATH.ffnet [--arch A] [--json|--svg] [--jobs N]
        flexsim workloads [--json]
        flexsim lint [--json]
        flexsim profile [WORKLOAD] [--json]
@@ -34,14 +35,26 @@ every loss ledger checked against the FXC09 exactness identity.
 Unresolvable references (unknown name, unreadable file, or a `.ffnet`
 parse/shape error with line and path context) exit 2.
 
+`flexsim heatmap WORKLOAD|PATH.ffnet` simulates one workload with the
+spatial sink attached and renders per-PE utilization heatmaps (one per
+layer and architecture), per-buffer-bank occupancy watermarks, and the
+adder-tree/CDB contention pairs. Every record is exactness-gated:
+per-cause heatmap cell sums must equal the layer's loss ledger
+(flexcheck FXC13 spatial-exactness) or the process exits 1. `--arch`
+restricts to one architecture (a case-insensitive name or prefix:
+`flexflow`, `sys`, ...); `--json` emits the byte-stable structured
+document; `--svg` an SVG rendering. Output is byte-identical at every
+`--jobs` level.
+
 `flexsim workloads` lists every resolvable workload — built-ins plus
 `examples/*.ffnet` — with layer, CONV-MAC, and parameter counts.
 
 `flexsim lint` statically verifies every Table 1 workload on all four
-architectures with the flexcheck rules (FXC01-FXC12: local-store
+architectures with the flexcheck rules (FXC01-FXC13: local-store
 capacity, bus races, adder-tree ports, FSM bounds, ISA protocol,
 unroll bounds, bank conflicts, utilization sanity, attribution
-exactness, cycle exactness, ISA coverage, interference freedom) and
+exactness, cycle exactness, ISA coverage, interference freedom,
+spatial exactness) and
 exits non-zero on any error. The same check also gates every
 simulation. `--json` emits the findings as a byte-stable structured
 document instead of the text table.
@@ -95,6 +108,9 @@ options:
   --jobs N        run up to N experiment tasks concurrently (default:
                   available parallelism; `--jobs 1` is byte-identical
                   to the historical serial output)
+  --arch A        heatmap: restrict to one architecture (name or
+                  case-insensitive prefix)
+  --svg           heatmap: emit an SVG rendering instead of text
   --budget B      tune search budget: `smoke` (power-of-two grid),
                   `full` (exhaustive, the default), or a positive
                   per-layer candidate cap
@@ -139,6 +155,12 @@ pub struct Cli {
     pub lint: bool,
     /// Simulate one workload reference on all four architectures.
     pub run: bool,
+    /// Render the spatial observability report for one workload.
+    pub heatmap: bool,
+    /// `heatmap --svg`: emit an SVG rendering instead of text.
+    pub svg: bool,
+    /// `heatmap --arch`: restrict to one architecture.
+    pub arch: Option<String>,
     /// List every resolvable workload instead of any experiment.
     pub workloads: bool,
     /// Run the benchmark subcommand instead of any experiment.
@@ -198,6 +220,7 @@ pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Cli, String> {
             "--no-lint" => cli.no_lint = true,
             "lint" => cli.lint = true,
             "run" => cli.run = true,
+            "heatmap" => cli.heatmap = true,
             "workloads" => cli.workloads = true,
             "bench" => cli.bench = true,
             "tune" => cli.tune = true,
@@ -205,6 +228,8 @@ pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Cli, String> {
             "stats" => cli.stats = true,
             "--static" => cli.static_verify = true,
             "--mutate" => cli.mutate = true,
+            "--svg" => cli.svg = true,
+            "--arch" => cli.arch = Some(value_of(&mut iter, "--arch", "an architecture name")?),
             "--jobs" => {
                 let v = value_of(&mut iter, "--jobs", "a positive integer")?;
                 match v.parse::<usize>() {
@@ -476,6 +501,31 @@ mod tests {
         assert!(cli.run);
         assert_eq!(cli.ids, ["lenet"]);
         assert_eq!(cli.jobs, Some(2));
+    }
+
+    #[test]
+    fn heatmap_is_a_subcommand_with_arch_and_svg() {
+        let cli = p(&["heatmap", "lenet"]).unwrap();
+        assert!(cli.heatmap && !cli.run && !cli.svg);
+        assert_eq!(cli.ids, ["lenet"]);
+        assert_eq!(cli.arch, None);
+        let cli = p(&[
+            "heatmap", "pv", "--arch", "flexflow", "--svg", "--jobs", "2",
+        ])
+        .unwrap();
+        assert!(cli.heatmap && cli.svg);
+        assert_eq!(cli.arch.as_deref(), Some("flexflow"));
+        assert_eq!(cli.jobs, Some(2));
+        let cli = p(&["heatmap", "examples/dilated.ffnet", "--json"]).unwrap();
+        assert!(cli.heatmap && cli.json);
+        assert_eq!(cli.ids, ["examples/dilated.ffnet"]);
+        // --arch refuses missing or flag-shaped values.
+        assert!(p(&["heatmap", "pv", "--arch"])
+            .unwrap_err()
+            .contains("--arch"));
+        assert!(p(&["heatmap", "pv", "--arch", "--json"])
+            .unwrap_err()
+            .contains("--arch"));
     }
 
     #[test]

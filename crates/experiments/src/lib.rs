@@ -37,6 +37,7 @@ pub mod fig17;
 pub mod fig18;
 pub mod fig19;
 pub mod frontend;
+pub mod heatmap;
 pub mod lint;
 pub mod paper;
 pub mod profile;

@@ -13,6 +13,8 @@
 //! flexsim run lenet              # one workload on all four architectures
 //! flexsim run net.ffnet          # ... same, from a user-supplied .ffnet file
 //! flexsim workloads              # list every resolvable workload
+//! flexsim heatmap lenet          # per-PE heatmaps + bank watermarks (FXC13-gated)
+//! flexsim heatmap pv --svg       # ... as an SVG document on stdout
 //! flexsim lint                   # static verification sweep
 //! flexsim lint --json            # same findings, byte-stable structured JSON
 //! flexsim profile alexnet        # per-layer loss attribution + roofline
@@ -109,6 +111,11 @@ fn main() {
     }
     if cli.workloads {
         let code = flexsim_experiments::frontend::workloads(&cli);
+        write_telemetry(&cli);
+        std::process::exit(code);
+    }
+    if cli.heatmap {
+        let code = flexsim_experiments::heatmap::heatmap(&cli);
         write_telemetry(&cli);
         std::process::exit(code);
     }

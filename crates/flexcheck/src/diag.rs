@@ -11,7 +11,7 @@ use std::fmt;
 
 /// The static rules, named after the hardware invariant each proves.
 ///
-/// Codes are stable (`FXC01`–`FXC12`); dynamic `debug_assert!`s in the
+/// Codes are stable (`FXC01`–`FXC13`); dynamic `debug_assert!`s in the
 /// simulators reference them so a runtime trip names the static rule
 /// that missed it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -53,11 +53,16 @@ pub enum RuleId {
     /// and bank access sets are pairwise disjoint (the `O(1)` closed
     /// form subsuming the `FXC02`/`FXC03`/`FXC07` enumerations).
     InterferenceFreedom,
+    /// `FXC13` — a layer's spatial heatmap reproduces its loss ledger
+    /// exactly: per-cause cell sums equal `ledger.lost(cause)`, the
+    /// busy plane sums to `busy_pe_cycles`, and every bank watermark
+    /// covers the full layer duration.
+    SpatialExactness,
 }
 
 impl RuleId {
     /// All rules, in code order.
-    pub const ALL: [RuleId; 12] = [
+    pub const ALL: [RuleId; 13] = [
         RuleId::LsCapacity,
         RuleId::CdbRace,
         RuleId::AdderTreePort,
@@ -70,6 +75,7 @@ impl RuleId {
         RuleId::CycleExactness,
         RuleId::IsaCoverage,
         RuleId::InterferenceFreedom,
+        RuleId::SpatialExactness,
     ];
 
     /// Stable short code (`FXC01`…).
@@ -87,6 +93,7 @@ impl RuleId {
             RuleId::CycleExactness => "FXC10",
             RuleId::IsaCoverage => "FXC11",
             RuleId::InterferenceFreedom => "FXC12",
+            RuleId::SpatialExactness => "FXC13",
         }
     }
 
@@ -105,6 +112,7 @@ impl RuleId {
             RuleId::CycleExactness => "cycle-exactness",
             RuleId::IsaCoverage => "isa-coverage",
             RuleId::InterferenceFreedom => "interference-freedom",
+            RuleId::SpatialExactness => "spatial-exactness",
         }
     }
 }
@@ -267,7 +275,7 @@ mod tests {
         let codes: Vec<_> = RuleId::ALL.iter().map(|r| r.code()).collect();
         let mut dedup = codes.clone();
         dedup.dedup();
-        assert_eq!(codes.len(), 12);
+        assert_eq!(codes.len(), 13);
         assert_eq!(codes, dedup);
         assert_eq!(RuleId::LsCapacity.code(), "FXC01");
         assert_eq!(RuleId::UtilSanity.code(), "FXC08");
@@ -275,6 +283,7 @@ mod tests {
         assert_eq!(RuleId::CycleExactness.code(), "FXC10");
         assert_eq!(RuleId::IsaCoverage.code(), "FXC11");
         assert_eq!(RuleId::InterferenceFreedom.code(), "FXC12");
+        assert_eq!(RuleId::SpatialExactness.code(), "FXC13");
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! | `FXC10 cycle-exactness` | symbolic prediction == engine-recorded cycles and ledger |
 //! | `FXC11 isa-coverage` | every instruction observed; no symbolic state dies unread |
 //! | `FXC12 interference-freedom` | bus/port/bank access intervals pairwise disjoint |
+//! | `FXC13 spatial-exactness` | heatmap cell sums == ledger per cause; banks cover the layer |
 //!
 //! The techniques are static by construction: rules 2–3 abstract-
 //! interpret the residue algebra of the Section 4.3
@@ -65,7 +66,7 @@ pub use params::{ArchKind, ArchParams};
 pub use plan::{BatchShape, FsmPlan, LayerPlan, WalkShape};
 pub use rules::{
     check, check_candidate, check_layer_plan, check_ledger, check_ledgers, check_network,
-    max_fsm_addr, prune_candidates, PrunedCandidates,
+    check_spatial, check_spatials, max_fsm_addr, prune_candidates, PrunedCandidates,
 };
 pub use symbolic::{
     check_cycle_exactness, check_cycle_exactness_all, check_interference, check_isa_coverage,

@@ -27,6 +27,7 @@ use flexflow::local_store::STORE_WORDS;
 use flexsim_dataflow::utilization::ceil_div;
 use flexsim_model::{ConvLayer, Layer, Network};
 use flexsim_obs::attrib::LossLedger;
+use flexsim_obs::spatial::LayerSpatial;
 use std::collections::HashMap;
 
 /// Closed-form maximum address an [`flexflow::fsm::AddrFsm`] with
@@ -556,6 +557,137 @@ pub fn check_ledger(ledger: &LossLedger) -> Vec<Diagnostic> {
 /// [`check_ledger`] over a batch (one ledger per recorded layer).
 pub fn check_ledgers(ledgers: &[LossLedger]) -> Vec<Diagnostic> {
     ledgers.iter().flat_map(check_ledger).collect()
+}
+
+/// `FXC13`: a layer's spatial heatmap must reproduce its loss ledger
+/// exactly — the same hard-identity discipline as `FXC09`/`FXC10`,
+/// applied to the spatial planes:
+///
+/// * the array geometry matches (`rows × cols == pe_count`, and both
+///   records agree on the PE count and total cycles);
+/// * the busy plane sums to `busy_pe_cycles`;
+/// * for every [`StallCause`], the per-cell loss sums to
+///   `ledger.lost(cause)`;
+/// * every bank watermark covers the full layer duration
+///   (`sampled_cycles == total_cycles` — a dropped sample is a hole in
+///   the occupancy story) and never exceeds its capacity.
+///
+/// A violation means a simulator's spatial emitter distributed work to
+/// the wrong cells, dropped a sample, or a consumer tampered with the
+/// planes — never a modeling judgment call.
+///
+/// [`StallCause`]: flexsim_obs::attrib::StallCause
+pub fn check_spatial(spatial: &LayerSpatial, ledger: &LossLedger) -> Vec<Diagnostic> {
+    use flexsim_obs::attrib::StallCause;
+    let mut diags = Vec::new();
+    let at = || Location::layer(&spatial.layer);
+    if spatial.pe_count() != ledger.pe_count as usize {
+        diags.push(Diagnostic::error(
+            RuleId::SpatialExactness,
+            at(),
+            format!(
+                "{}: heatmap geometry {}x{} = {} cells != {} PEs in the ledger",
+                spatial.arch,
+                spatial.rows,
+                spatial.cols,
+                spatial.pe_count(),
+                ledger.pe_count
+            ),
+            "emit one heatmap cell per physical PE",
+        ));
+    }
+    if spatial.total_cycles != ledger.total_cycles {
+        diags.push(Diagnostic::error(
+            RuleId::SpatialExactness,
+            at(),
+            format!(
+                "{}: heatmap spans {} cycles, ledger {}",
+                spatial.arch, spatial.total_cycles, ledger.total_cycles
+            ),
+            "build the heatmap over the same cycle span the ledger covers",
+        ));
+    }
+    if spatial.busy_total() != ledger.busy_pe_cycles {
+        diags.push(Diagnostic::error(
+            RuleId::SpatialExactness,
+            at(),
+            format!(
+                "{}: busy plane sums to {} PE-cycles, ledger says {}",
+                spatial.arch,
+                spatial.busy_total(),
+                ledger.busy_pe_cycles
+            ),
+            "distribute every useful MAC to exactly one cell",
+        ));
+    }
+    for cause in StallCause::ALL {
+        let cells = spatial.lost_total(cause);
+        let want = ledger.lost(cause);
+        if cells != want {
+            diags.push(Diagnostic::error(
+                RuleId::SpatialExactness,
+                at(),
+                format!(
+                    "{}: {} cells sum to {} lost PE-cycles, ledger says {}",
+                    spatial.arch,
+                    cause.name(),
+                    cells,
+                    want
+                ),
+                "charge every lost PE-cycle to exactly one (cell, cause)",
+            ));
+        }
+    }
+    for bank in &spatial.banks {
+        if bank.sampled_cycles != spatial.total_cycles {
+            diags.push(Diagnostic::error(
+                RuleId::SpatialExactness,
+                at(),
+                format!(
+                    "{}: bank {} sampled {} of {} cycles (dropped sample)",
+                    spatial.arch, bank.bank, bank.sampled_cycles, spatial.total_cycles
+                ),
+                "bank occupancy samples must cover the whole layer",
+            ));
+        }
+        if bank.high_water_words > bank.capacity_words {
+            diags.push(Diagnostic::error(
+                RuleId::SpatialExactness,
+                at(),
+                format!(
+                    "{}: bank {} high-water {} words exceeds its {}-word capacity",
+                    spatial.arch, bank.bank, bank.high_water_words, bank.capacity_words
+                ),
+                "clamp modeled residency to the physical bank size",
+            ));
+        }
+    }
+    diags
+}
+
+/// [`check_spatial`] over a batch: every spatial record is paired with
+/// the ledger of the same `(arch, layer)`; an unpaired record is
+/// itself a violation (a heatmap nobody's ledger vouches for).
+pub fn check_spatials(spatials: &[LayerSpatial], ledgers: &[LossLedger]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for spatial in spatials {
+        match ledgers
+            .iter()
+            .find(|l| l.arch == spatial.arch && l.layer == spatial.layer)
+        {
+            Some(ledger) => diags.extend(check_spatial(spatial, ledger)),
+            None => diags.push(Diagnostic::error(
+                RuleId::SpatialExactness,
+                Location::layer(&spatial.layer),
+                format!(
+                    "{}: heatmap recorded but no loss ledger for this layer",
+                    spatial.arch
+                ),
+                "record the cycle timeline alongside the spatial sink",
+            )),
+        }
+    }
+    diags
 }
 
 /// CONV views of every layer a program computes on the engine (CONV

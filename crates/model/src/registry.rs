@@ -1,8 +1,7 @@
 //! The workload registry: one lookup path for built-in Table 1 nets and
 //! user-supplied `.ffnet` files.
 //!
-//! This replaces ad-hoc calls to `workloads::by_name` scattered through
-//! the experiment binaries. A [`WorkloadRegistry`] resolves a workload
+//! A [`WorkloadRegistry`] is the single lookup path: it resolves a workload
 //! *reference* — a built-in name (case- and hyphen-insensitive, with
 //! aliases), a path to a `.ffnet` file, or a bare name found as
 //! `<dir>/<name>.ffnet` in a registered search directory — uniformly to

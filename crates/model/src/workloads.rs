@@ -113,21 +113,6 @@ pub fn all() -> Vec<Network> {
     vec![pv(), fr(), lenet5(), hg(), alexnet(), vgg11()]
 }
 
-/// Looks up a Table 1 workload by its printed name, case-insensitively
-/// (`"alexnet"`, `"LeNet-5"`, `"vgg-11"`/`"vgg11"`, …). `None` when the
-/// name matches no workload — callers render the valid set themselves.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `registry::WorkloadRegistry::resolve`, which also accepts \
-            aliases and `.ffnet` file paths and reports what it knows"
-)]
-pub fn by_name(name: &str) -> Option<Network> {
-    let want = name.to_ascii_lowercase().replace('-', "");
-    all()
-        .into_iter()
-        .find(|net| net.name().to_ascii_lowercase().replace('-', "") == want)
-}
-
 /// The small two-layer demonstration of Section 4: "a small scale 4×4-PE
 /// convolutional unit processing two CONV layers C1 (M=2, N=1, S=8, K=4)
 /// and C2 (M=2, N=2, S=4, K=2)".
@@ -214,17 +199,6 @@ mod tests {
         // AlexNet (half) should dwarf LeNet-5 by orders of magnitude.
         assert!(alexnet().conv_macs() > 100 * lenet5().conv_macs());
         assert!(vgg11().conv_macs() > alexnet().conv_macs());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn by_name_is_case_and_hyphen_insensitive() {
-        assert_eq!(by_name("alexnet").unwrap().name(), "AlexNet");
-        assert_eq!(by_name("LeNet-5").unwrap().name(), "LeNet-5");
-        assert_eq!(by_name("lenet5").unwrap().name(), "LeNet-5");
-        assert_eq!(by_name("VGG11").unwrap().name(), "VGG-11");
-        assert_eq!(by_name("pv").unwrap().name(), "PV");
-        assert!(by_name("resnet").is_none());
     }
 
     #[test]

@@ -14,7 +14,13 @@
 //!   events with the convention **1 µs = 1 simulated cycle**.
 //!
 //! A metrics snapshot rides along under `otherData.metrics` so a single
-//! file captures spans, cycle timelines, and final counters.
+//! file captures spans, cycle timelines, and final counters (including
+//! the `spatial_*` per-cell mirrors when a heatmap run populated them).
+//!
+//! Each layer thread additionally carries a **`busy-pes` counter
+//! track** (`"ph":"C"`): the mean number of busy PEs during each cycle
+//! event, dropping to zero at the layer's end — Perfetto renders it as
+//! a utilization area chart above the event row.
 //!
 //! Two emission paths share one event generator: [`chrome_trace`]
 //! builds the whole document as a [`Json`] value (small traces,
@@ -49,6 +55,17 @@ fn duration_event(
     ])
 }
 
+fn counter_event(name: &str, ts: u64, pid: u64, tid: u64, value: u64) -> Json {
+    Json::obj([
+        ("name", Json::str(name)),
+        ("ph", Json::str("C")),
+        ("ts", Json::from(ts)),
+        ("pid", Json::from(pid)),
+        ("tid", Json::from(tid)),
+        ("args", Json::obj([("value", Json::from(value))])),
+    ])
+}
+
 fn metadata_event(meta: &str, pid: u64, tid: u64, value: &str) -> Json {
     Json::obj([
         ("name", Json::str(meta)),
@@ -61,7 +78,9 @@ fn metadata_event(meta: &str, pid: u64, tid: u64, value: &str) -> Json {
 
 /// Renders a metrics snapshot as a JSON object, one
 /// `name{k="v"}`-style key per cell (same keys as
-/// [`Snapshot::dump`]).
+/// [`Snapshot::dump`]). Label values pass through
+/// [`crate::metrics::escape_label`], so a hostile `.ffnet`-derived
+/// layer name cannot forge extra cells or ambiguous keys.
 pub fn metrics_json(metrics: &Snapshot) -> Json {
     Json::obj(metrics.iter().map(|(key, value)| {
         let mut name = key.name.clone();
@@ -73,7 +92,7 @@ pub fn metrics_json(metrics: &Snapshot) -> Json {
                 }
                 name.push_str(k);
                 name.push_str("=\"");
-                name.push_str(v);
+                name.push_str(&crate::metrics::escape_label(v));
                 name.push('"');
             }
             name.push('}');
@@ -172,6 +191,23 @@ fn for_each_event(
                 pid,
                 tid,
                 Json::obj(args),
+            ));
+        }
+        // The utilization counter track: mean busy PEs per event (an
+        // event of `cycles` cycles carrying `macs` MACs keeps
+        // `macs / cycles` PEs busy on average), closed by a zero
+        // sample so the area chart returns to the baseline.
+        for ev in &tl.events {
+            let busy = ev.macs.checked_div(ev.cycles).unwrap_or(0);
+            emit(counter_event("busy-pes", ev.start_cycle, pid, tid, busy));
+        }
+        if let Some(last) = tl.events.last() {
+            emit(counter_event(
+                "busy-pes",
+                last.start_cycle + last.cycles,
+                pid,
+                tid,
+                0,
             ));
         }
     }
@@ -296,8 +332,8 @@ mod tests {
 
         let evs = events(&doc);
         // host process_name + host thread_name + 1 span
-        // + 2 × (process_name + thread_name + 1 event).
-        assert_eq!(evs.len(), 9);
+        // + 2 × (process_name + thread_name + 1 event + 2 counters).
+        assert_eq!(evs.len(), 13);
         let phases: Vec<&Json> = evs.iter().map(|e| field(e, "ph")).collect();
         assert_eq!(phases.iter().filter(|p| ***p == Json::str("X")).count(), 3);
         // Distinct pids: 0 (host), 1 (FlexFlow), 2 (Tiling).
@@ -394,6 +430,36 @@ mod tests {
     }
 
     #[test]
+    fn counter_tracks_follow_each_timeline() {
+        let timelines = vec![LayerTimeline {
+            ctx: LayerCtx::new("FlexFlow", "C1", 256),
+            events: vec![
+                CycleEvent::new(FILL, 0, 8, 0),
+                CycleEvent::new(PASS, 8, 100, 12_800),
+            ],
+        }];
+        let doc = chrome_trace(&[], &timelines, &Snapshot::default());
+        let counters: Vec<&Json> = events(&doc)
+            .iter()
+            .filter(|e| field(e, "ph") == &Json::str("C"))
+            .collect();
+        // One sample per cycle event plus the closing zero.
+        assert_eq!(counters.len(), 3);
+        for c in &counters {
+            assert_eq!(field(c, "name"), &Json::str("busy-pes"));
+        }
+        let values: Vec<&Json> = counters
+            .iter()
+            .map(|c| field(field(c, "args"), "value"))
+            .collect();
+        // Fill keeps 0 PEs busy; the pass averages 12800/100 = 128;
+        // the track closes at 0.
+        assert_eq!(values, vec![&Json::Int(0), &Json::Int(128), &Json::Int(0)]);
+        let stamps: Vec<&Json> = counters.iter().map(|c| field(c, "ts")).collect();
+        assert_eq!(stamps, vec![&Json::Int(0), &Json::Int(8), &Json::Int(108)]);
+    }
+
+    #[test]
     fn streaming_writer_matches_the_in_memory_document() {
         let spans = vec![
             SpanRecord {
@@ -478,6 +544,35 @@ mod tests {
         let err = write_chrome_trace(&mut Failing, &[], &[], &Snapshot::default(), &[])
             .expect_err("write must fail");
         assert_eq!(err.to_string(), "sink full");
+    }
+
+    #[test]
+    fn hostile_ffnet_names_survive_export_intact() {
+        // A workload/layer name with quotes, backslashes, and
+        // non-ASCII — the trace must stay valid JSON and the metrics
+        // keys must stay unambiguous.
+        let hostile = "C1\"},{\"pwned\\é";
+        let timelines = vec![LayerTimeline {
+            ctx: LayerCtx::new("FlexFlow", hostile, 256),
+            events: vec![CycleEvent::new(PASS, 0, 10, 100)],
+        }];
+        let reg = Registry::new();
+        reg.add("sim_cycles", &[("layer", hostile)], 10);
+        let snapshot = reg.snapshot();
+        let mut out = Vec::new();
+        write_chrome_trace(&mut out, &[], &timelines, &snapshot, &[]).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let doc = Json::parse(&text).expect("hostile name broke the trace JSON");
+        assert_eq!(doc, chrome_trace(&[], &timelines, &snapshot));
+        // The metrics key carries the escaped form.
+        let metrics = field(field(&doc, "otherData"), "metrics");
+        assert_eq!(
+            field(
+                metrics,
+                "sim_cycles{layer=\"C1\\\"},{\\\"pwned\\\\\\u{00e9}\"}"
+            ),
+            &Json::Int(10)
+        );
     }
 
     #[test]

@@ -608,6 +608,53 @@ mod tests {
     }
 
     #[test]
+    fn coalescer_flushes_the_remainder_at_the_layer_boundary() {
+        let rec = Arc::new(CycleRecorder::new());
+        let sink = SinkHandle::new(rec.clone());
+        sink.begin_layer(&LayerCtx::new("a", "L1", 4));
+        // 1000 expected steps → flush every 4; push only 2, so the
+        // whole layer sits buffered until `finish`.
+        let mut co = Coalescer::new(&sink, 1000);
+        co.push(CycleEventKind::Pass(StallCause::MappingResidueIdle), 5, 9);
+        co.step();
+        co.push(CycleEventKind::Stall(StallCause::PipelineFill), 3, 0);
+        co.step();
+        let totals = co.finish();
+        sink.end_layer();
+        assert_eq!(totals, CoalescerTotals { cycles: 8, macs: 9 });
+        let tls = rec.take();
+        assert_eq!(tls.len(), 1);
+        let tl = &tls[0];
+        assert_eq!(tl.total_cycles(), 8);
+        assert_eq!(tl.macs(), 9);
+        // A single boundary flush in KIND_ORDER: had an intermediate
+        // flush happened, the pass (step 1) would precede the stall.
+        assert_eq!(tl.events.len(), 2);
+        assert_eq!(
+            tl.events[0].kind,
+            CycleEventKind::Stall(StallCause::PipelineFill)
+        );
+        assert_eq!(tl.events[0].start_cycle, 0);
+        assert_eq!(
+            tl.events[1].kind,
+            CycleEventKind::Pass(StallCause::MappingResidueIdle)
+        );
+        assert_eq!(tl.events[1].start_cycle, 3);
+
+        // The next layer's coalescer starts a fresh cursor at 0.
+        sink.begin_layer(&LayerCtx::new("a", "L2", 4));
+        let mut co = Coalescer::new(&sink, 1000);
+        co.push(CycleEventKind::Pass(StallCause::EdgeFragmentation), 7, 7);
+        co.step();
+        co.finish();
+        sink.end_layer();
+        let tls = rec.take();
+        assert_eq!(tls.len(), 1);
+        assert_eq!(tls[0].events[0].start_cycle, 0);
+        assert_eq!(tls[0].total_cycles(), 7);
+    }
+
+    #[test]
     fn coalescer_keeps_causes_in_separate_events() {
         let rec = Arc::new(CycleRecorder::new());
         let sink = SinkHandle::new(rec.clone());

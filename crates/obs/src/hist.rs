@@ -315,6 +315,46 @@ mod tests {
     }
 
     #[test]
+    fn power_of_two_edges_start_new_buckets_exactly() {
+        for shift in 2..62u64 {
+            let edge = 1u64 << shift;
+            let below = bucket_index(edge - 1);
+            let at = bucket_index(edge);
+            assert!(at > below, "2^{shift} shares a bucket with 2^{shift}-1");
+            // The bucket below ends exactly at the edge — an octave
+            // boundary never blurs values across it.
+            assert_eq!(bucket_upper(below), edge - 1, "2^{shift}");
+        }
+    }
+
+    #[test]
+    fn single_sample_pins_every_percentile() {
+        let mut h = Histogram::new();
+        h.observe(42);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 42);
+        assert_eq!(h.max(), 42);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 42, "q={q}");
+        }
+        // 42's bucket tops out at 47, but quantiles clamp to the exact
+        // max — a single sample is reported exactly, never bucketed up.
+        assert!(bucket_upper(bucket_index(42)) > 42);
+    }
+
+    #[test]
+    fn min_max_and_sum_stay_exact_across_octaves() {
+        let mut h = Histogram::new();
+        for v in [7u64, 1 << 10, (1 << 20) + 3] {
+            h.observe(v);
+        }
+        assert_eq!(h.min(), 7);
+        assert_eq!(h.max(), (1 << 20) + 3);
+        assert_eq!(h.sum(), 7 + (1 << 10) + (1 << 20) + 3);
+        assert_eq!(h.quantile(1.0), (1 << 20) + 3);
+    }
+
+    #[test]
     fn huge_values_saturate_the_last_bucket() {
         let mut h = Histogram::new();
         h.observe(u64::MAX);

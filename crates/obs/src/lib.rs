@@ -38,6 +38,10 @@
 //!   snapshot, streamed through any `io::Write` sink;
 //! * [`hist`] — HDR-style log-bucketed latency histograms with exact
 //!   counts and byte-stable JSON/Prometheus emission;
+//! * [`spatial`] — per-PE utilization heatmaps with per-cause loss
+//!   planes, buffer-bank occupancy watermarks, and contention
+//!   matrices, exactness-gated against the loss ledgers (flexcheck
+//!   FXC13);
 //! * [`telemetry`] — host-side runtime telemetry: the wall-clock phase
 //!   profiler (parse → flexcheck → schedule → simulate → verify →
 //!   export), pool/scheduler worker stats, latency histograms, and the
@@ -81,6 +85,7 @@ pub mod metrics;
 pub mod occupancy;
 pub mod roofline;
 pub mod span;
+pub mod spatial;
 pub mod telemetry;
 
 pub use attrib::{LossDelta, LossLedger, StallCause};
@@ -90,4 +95,8 @@ pub use hist::Histogram;
 pub use metrics::{Registry, Snapshot};
 pub use occupancy::OccupancyTimeline;
 pub use span::{span, SpanGuard, SpanRecord};
+pub use spatial::{
+    BankWatermark, ContentionMatrix, HeatmapBuilder, LayerSpatial, SpatialHandle, SpatialRecorder,
+    SpatialSink,
+};
 pub use telemetry::{Phase, PhaseTimer, TelemetrySnapshot, WorkerTotals};

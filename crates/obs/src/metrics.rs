@@ -102,6 +102,29 @@ pub fn global() -> &'static Registry {
     &GLOBAL
 }
 
+/// Escapes a label value for `name{k="v"}` rendering: backslashes and
+/// double quotes get a backslash prefix, newlines become `\n`, and any
+/// other control or non-ASCII character is hex-escaped as `\u{…}`.
+/// Layer and workload names come from user-supplied `.ffnet` files, so
+/// a hostile name (embedded quote, backslash, non-ASCII) must not be
+/// able to break the one-line-per-cell dump format or forge an
+/// ambiguous metric key.
+pub fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c if c.is_ascii_control() || !c.is_ascii() => {
+                let _ = write!(out, "\\u{{{:04x}}}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// An immutable point-in-time view of a [`Registry`].
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Snapshot {
@@ -176,7 +199,7 @@ impl Snapshot {
                     if i > 0 {
                         out.push(',');
                     }
-                    let _ = write!(out, "{k}=\"{v}\"");
+                    let _ = write!(out, "{k}=\"{}\"", escape_label(v));
                 }
                 out.push('}');
             }
@@ -240,5 +263,30 @@ mod tests {
         reg.add("a_metric", &[("arch", "X")], 2);
         let dump = reg.snapshot().dump();
         assert_eq!(dump, "a_metric{arch=\"X\"} 2\nb_metric 1\n");
+    }
+
+    #[test]
+    fn hostile_label_values_cannot_break_the_dump() {
+        let reg = Registry::new();
+        // A layer name straight out of a hostile .ffnet file: embedded
+        // quote, backslash, newline, and a non-ASCII character.
+        reg.add("m", &[("layer", "C1\"} 99\nforged 1")], 3);
+        reg.add("m", &[("layer", "C\\1é")], 4);
+        let dump = reg.snapshot().dump();
+        // Still one line per cell, values escaped, nothing forged.
+        assert_eq!(
+            dump,
+            "m{layer=\"C1\\\"} 99\\nforged 1\"} 3\nm{layer=\"C\\\\1\\u{00e9}\"} 4\n"
+        );
+        assert_eq!(dump.lines().count(), 2);
+    }
+
+    #[test]
+    fn escape_label_passes_plain_names_through() {
+        assert_eq!(escape_label("FlexFlow"), "FlexFlow");
+        assert_eq!(escape_label("conv2_3x3/s2"), "conv2_3x3/s2");
+        assert_eq!(escape_label("a\"b"), "a\\\"b");
+        assert_eq!(escape_label("a\\b"), "a\\\\b");
+        assert_eq!(escape_label("tab\there"), "tab\\u{0009}here");
     }
 }

@@ -1,0 +1,182 @@
+//! Spatial observability integration: the FXC13 spatial-exactness
+//! gate must hold on every shipped workload × architecture pair, the
+//! mutation harness must prove the gate has teeth (a tampered cell or
+//! a dropped bank sample trips exactly FXC13), and the `flexsim
+//! heatmap` CLI must be byte-identical at every `--jobs` level.
+
+use flexcheck::{Diagnostic, RuleId, Severity};
+use flexsim_experiments::arches::ARCH_NAMES;
+use flexsim_experiments::heatmap;
+use flexsim_model::{workloads, WorkloadRegistry};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+/// Asserts that every diagnostic in `diags` is an FXC13 error — the
+/// mutation harness contract: a spatial corruption trips exactly the
+/// spatial rule, never a neighbor.
+fn assert_only_fxc13(diags: &[Diagnostic], tag: &str) {
+    assert!(!diags.is_empty(), "{tag}: corruption went undetected");
+    for d in diags {
+        assert_eq!(d.rule, RuleId::SpatialExactness, "{tag}: {d:?}");
+        assert_eq!(d.severity, Severity::Error, "{tag}: {d:?}");
+    }
+}
+
+/// ISSUE acceptance: FXC13 holds on all six Table 1 workloads across
+/// all four architectures — every spatial record reproduces its loss
+/// ledger exactly, with full bank coverage.
+#[test]
+fn fxc13_holds_on_every_builtin_workload_and_architecture() {
+    for net in workloads::all() {
+        for idx in 0..ARCH_NAMES.len() {
+            let heat = heatmap::simulate(&net, idx);
+            let tag = format!("{}/{}", heat.arch, net.name());
+            assert!(
+                heat.diags.is_empty(),
+                "{tag}: FXC13 violated\n{}",
+                flexcheck::render(&heat.diags)
+            );
+            assert!(!heat.spatials.is_empty(), "{tag}: no spatial records");
+            assert_eq!(
+                heat.spatials.len(),
+                heat.ledgers.len(),
+                "{tag}: record/ledger count mismatch"
+            );
+            for sp in &heat.spatials {
+                assert_eq!(sp.pe_count(), heat.pe_count, "{tag}: geometry");
+                assert!(!sp.banks.is_empty(), "{tag}: no bank watermarks");
+            }
+        }
+    }
+}
+
+/// ISSUE acceptance: the gate extends to user-supplied `.ffnet` nets —
+/// the three shipped fixtures stay FXC13-clean on all four
+/// architectures.
+#[test]
+fn fxc13_holds_on_the_ffnet_fixtures() {
+    let reg = WorkloadRegistry::new().with_dir(repo_path("examples"));
+    for name in ["dilated", "mobilenet_block", "resnet_block"] {
+        let net = reg.resolve(name).expect("fixture parses");
+        for idx in 0..ARCH_NAMES.len() {
+            let heat = heatmap::simulate(&net, idx);
+            assert!(
+                heat.diags.is_empty(),
+                "{}/{name}: FXC13 violated\n{}",
+                heat.arch,
+                flexcheck::render(&heat.diags)
+            );
+        }
+    }
+}
+
+/// Mutation: moving one busy PE-cycle into the wrong cell breaks the
+/// busy-plane identity and trips exactly FXC13.
+#[test]
+fn a_tampered_busy_cell_trips_exactly_fxc13() {
+    let net = workloads::lenet5();
+    let mut heat = heatmap::simulate(&net, ARCH_NAMES.len() - 1);
+    assert!(heat.diags.is_empty(), "clean run must pass");
+    heat.spatials[0].busy[0] += 1;
+    let diags = flexcheck::check_spatials(&heat.spatials, &heat.ledgers);
+    assert_only_fxc13(&diags, "tampered busy cell");
+    assert!(
+        diags.iter().any(|d| d.message.contains("busy plane")),
+        "should name the busy plane:\n{}",
+        flexcheck::render(&diags)
+    );
+}
+
+/// Mutation: shifting one lost PE-cycle between causes keeps the
+/// totals balanced but breaks two per-cause identities — FXC13 checks
+/// each cause independently, so it still trips.
+#[test]
+fn a_misattributed_loss_cell_trips_exactly_fxc13() {
+    let net = workloads::lenet5();
+    let mut heat = heatmap::simulate(&net, ARCH_NAMES.len() - 1);
+    assert!(heat.diags.is_empty(), "clean run must pass");
+    let cell = heat.spatials[0]
+        .lost
+        .iter_mut()
+        .find(|cell| cell.iter().any(|&c| c > 0))
+        .expect("some cell lost cycles");
+    let from = cell.iter().position(|&c| c > 0).expect("non-zero cause");
+    let to = (from + 1) % cell.len();
+    cell[from] -= 1;
+    cell[to] += 1;
+    let diags = flexcheck::check_spatials(&heat.spatials, &heat.ledgers);
+    assert_only_fxc13(&diags, "misattributed loss");
+    assert_eq!(diags.len(), 2, "one violation per perturbed cause");
+}
+
+/// Mutation: a bank watermark that covers less than the layer's full
+/// duration is a hole in the occupancy story and trips exactly FXC13.
+#[test]
+fn a_dropped_bank_sample_trips_exactly_fxc13() {
+    let net = workloads::lenet5();
+    let mut heat = heatmap::simulate(&net, ARCH_NAMES.len() - 1);
+    assert!(heat.diags.is_empty(), "clean run must pass");
+    let bank = &mut heat.spatials[0].banks[0];
+    assert!(bank.sampled_cycles > 0, "bank must have samples to drop");
+    bank.sampled_cycles -= 1;
+    let diags = flexcheck::check_spatials(&heat.spatials, &heat.ledgers);
+    assert_only_fxc13(&diags, "dropped bank sample");
+    assert!(
+        diags.iter().any(|d| d.message.contains("dropped sample")),
+        "should name the dropped sample:\n{}",
+        flexcheck::render(&diags)
+    );
+}
+
+/// Mutation: a spatial record nobody's ledger vouches for is itself a
+/// violation.
+#[test]
+fn an_unpaired_spatial_record_trips_exactly_fxc13() {
+    let net = workloads::lenet5();
+    let heat = heatmap::simulate(&net, ARCH_NAMES.len() - 1);
+    let diags = flexcheck::check_spatials(&heat.spatials, &[]);
+    assert_only_fxc13(&diags, "unpaired record");
+    assert_eq!(diags.len(), heat.spatials.len(), "one violation per record");
+}
+
+/// ISSUE acceptance: `flexsim heatmap` output — text, `--json`, and
+/// `--svg` — is byte-identical across `--jobs 1/2/8`, and the text
+/// report carries the grep-able FXC13 verdict CI keys on.
+#[test]
+fn heatmap_cli_is_byte_identical_across_jobs_levels() {
+    let run = |extra: &[&str], jobs: &str| {
+        let mut args = vec!["--jobs", jobs];
+        args.extend_from_slice(extra);
+        args.extend_from_slice(&["heatmap", "lenet"]);
+        let out = Command::new(env!("CARGO_BIN_EXE_flexsim"))
+            .args(&args)
+            .output()
+            .expect("flexsim runs");
+        assert!(out.status.success(), "jobs={jobs} {extra:?} failed");
+        String::from_utf8(out.stdout).expect("utf-8 output")
+    };
+    for extra in [&[][..], &["--json"][..], &["--svg"][..]] {
+        let serial = run(extra, "1");
+        for jobs in ["2", "8"] {
+            assert_eq!(
+                serial,
+                run(extra, jobs),
+                "{extra:?}: --jobs {jobs} diverged from serial"
+            );
+        }
+        assert!(!serial.is_empty(), "{extra:?}: empty report");
+    }
+    let text = run(&[], "2");
+    for arch in ARCH_NAMES {
+        assert!(
+            text.contains(&format!("FXC13 spatial-exactness: ok (2 layers, {arch})")),
+            "missing {arch} verdict:\n{text}"
+        );
+    }
+}
